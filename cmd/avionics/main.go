@@ -1,0 +1,249 @@
+// Command avionics runs the paper's section 7 example instantiation: the
+// hypothetical UAV avionics system (autopilot + flight control system +
+// electrical power model + aircraft dynamics) under a selectable failure
+// scenario, printing a frame log, the SCRAM protocol exchange (Table 1), the
+// reconfiguration summary, and the SP1-SP4 verdicts.
+//
+// Usage:
+//
+//	avionics -scenario alternator -frames 600
+//	avionics -scenario mission -trace run.json
+//	avionics -scenario double -paced         # soft real time, 20 ms frames
+//
+// Scenarios: steady, alternator, double, repair, procfail, mission.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/avionics"
+	"repro/internal/core"
+	"repro/internal/envmon"
+	"repro/internal/experiments"
+	"repro/internal/fta"
+	"repro/internal/spec"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "avionics:", err)
+		os.Exit(1)
+	}
+}
+
+// scenario bundles a description with the options it needs.
+type scenario struct {
+	describe string
+	frames   int
+	opts     avionics.ScenarioOptions
+}
+
+func scenarios() map[string]scenario {
+	initial := avionics.AircraftState{AltFt: 5000, HeadingDeg: 0, AirspeedKts: 100}
+	return map[string]scenario{
+		"steady": {
+			describe: "steady cruise, no failures",
+			frames:   500,
+			opts:     avionics.ScenarioOptions{Initial: initial, DwellFrames: -1},
+		},
+		"alternator": {
+			describe: "alternator 1 fails at frame 100: Full -> Reduced (section 7.1)",
+			frames:   600,
+			opts: avionics.ScenarioOptions{
+				Initial:     initial,
+				DwellFrames: -1,
+				Script: []envmon.Event{
+					{Frame: 100, Factor: avionics.FactorAlt1, Value: avionics.AltFailed},
+				},
+			},
+		},
+		"double": {
+			describe: "both alternators fail: Full -> Reduced -> Minimal",
+			frames:   800,
+			opts: avionics.ScenarioOptions{
+				Initial:     initial,
+				DwellFrames: 10,
+				Script: []envmon.Event{
+					{Frame: 100, Factor: avionics.FactorAlt1, Value: avionics.AltFailed},
+					{Frame: 300, Factor: avionics.FactorAlt2, Value: avionics.AltFailed},
+				},
+			},
+		},
+		"repair": {
+			describe: "alternator fails then is repaired: Full -> Reduced -> Full",
+			frames:   800,
+			opts: avionics.ScenarioOptions{
+				Initial:     initial,
+				DwellFrames: 10,
+				Script: []envmon.Event{
+					{Frame: 100, Factor: avionics.FactorAlt1, Value: avionics.AltFailed},
+					{Frame: 400, Factor: avionics.FactorAlt1, Value: avionics.AltOK},
+				},
+			},
+		},
+		"procfail": {
+			describe: "the FCS's processor fails: state migrates, Full -> Reduced",
+			frames:   600,
+			opts: avionics.ScenarioOptions{
+				Initial:     initial,
+				DwellFrames: -1,
+				ProcEvents: []core.ProcEvent{
+					{Frame: 100, Proc: avionics.Proc2, Kind: core.ProcFail},
+				},
+			},
+		},
+		"mission": {
+			describe: "climb + turn, degradation to minimal, partial repair",
+			frames:   2400,
+			opts: avionics.ScenarioOptions{
+				Initial:     initial,
+				Targets:     avionics.Targets{AltFt: 5300, HdgDeg: 45, Climb: true, Turn: true},
+				DwellFrames: 10,
+				Script: []envmon.Event{
+					{Frame: 500, Factor: avionics.FactorAlt1, Value: avionics.AltFailed},
+					{Frame: 1200, Factor: avionics.FactorAlt2, Value: avionics.AltFailed},
+					{Frame: 1800, Factor: avionics.FactorAlt1, Value: avionics.AltOK},
+				},
+			},
+		},
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("avionics", flag.ContinueOnError)
+	name := fs.String("scenario", "alternator", "scenario: steady, alternator, double, repair, procfail, mission")
+	frames := fs.Int("frames", 0, "override the scenario's frame count")
+	paced := fs.Bool("paced", false, "run in soft real time (20 ms frames)")
+	tracePath := fs.String("trace", "", "write the recorded trace to this file (JSON)")
+	every := fs.Int("log-every", 100, "print a status line every N frames")
+	showSFTA := fs.Bool("sfta", false, "print the derived SFTA structure (section 5.2 view)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	sc, ok := scenarios()[*name]
+	if !ok {
+		return fmt.Errorf("unknown scenario %q", *name)
+	}
+	if *frames > 0 {
+		sc.frames = *frames
+	}
+	sc.opts.Paced = *paced
+
+	fmt.Fprintf(out, "scenario %q: %s\n", *name, sc.describe)
+	fmt.Fprintf(out, "frame length %v, %d frames (%v of flight)\n\n",
+		avionics.FrameLength, sc.frames, avionics.FrameLength*timesDuration(sc.frames))
+
+	// The procfail scenario needs a classifier that folds proc-2 health
+	// into the power state, so it wires its own system.
+	if *name == "procfail" {
+		return runProcFail(out, sc, *tracePath, *showSFTA)
+	}
+
+	s, err := avionics.NewScenario(sc.opts)
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+
+	for f := 0; f < sc.frames; f += *every {
+		n := *every
+		if f+n > sc.frames {
+			n = sc.frames - f
+		}
+		if err := s.Sys.Run(n); err != nil {
+			return err
+		}
+		printStatus(out, s)
+	}
+	return report(out, s.Sys, *tracePath, *showSFTA)
+}
+
+// runProcFail builds the processor-failure variant: the classifier folds
+// proc-2 health into the power state.
+func runProcFail(out io.Writer, sc scenario, tracePath string, showSFTA bool) error {
+	classifier := func(f map[envmon.Factor]string) spec.EnvState {
+		state := avionics.Classifier(f)
+		if f[core.ProcHealthFactor(avionics.Proc2)] == core.ProcFailed && state == avionics.EnvPowerFull {
+			state = avionics.EnvPowerReduced
+		}
+		return state
+	}
+	ap := avionics.NewAutopilot(avionics.Targets{AltFt: sc.opts.Initial.AltFt, HdgDeg: sc.opts.Initial.HeadingDeg})
+	fcs := avionics.NewFCS()
+	sys, err := core.NewSystem(core.Options{
+		Spec:       avionics.Spec(),
+		Apps:       map[spec.AppID]core.App{avionics.AppAutopilot: ap, avionics.AppFCS: fcs},
+		Classifier: classifier,
+		InitialFactors: map[envmon.Factor]string{
+			avionics.FactorAlt1:    avionics.AltOK,
+			avionics.FactorAlt2:    avionics.AltOK,
+			avionics.FactorBattery: "ok",
+		},
+		ProcEvents:  sc.opts.ProcEvents,
+		BusSchedule: avionics.BusSchedule(),
+		Paced:       sc.opts.Paced,
+	})
+	if err != nil {
+		return err
+	}
+	defer sys.Close()
+	if err := sys.Run(sc.frames); err != nil {
+		return err
+	}
+	return report(out, sys, tracePath, showSFTA)
+}
+
+func printStatus(out io.Writer, s *avionics.Scenario) {
+	st := s.Dyn.State()
+	fmt.Fprintf(out, "f%-6d cfg=%-16s alt=%7.1f ft  vs=%7.1f fpm  hdg=%6.1f  bank=%5.1f  %s\n",
+		s.Sys.Frame(), s.Sys.Kernel().Current(), st.AltFt, st.VSFpm, st.HeadingDeg, st.BankDeg, s.Elec)
+}
+
+func report(out io.Writer, sys *core.System, tracePath string, showSFTA bool) error {
+	if showSFTA {
+		fmt.Fprintln(out, "\nderived SFTA structure (section 5.2):")
+		fmt.Fprint(out, fta.Render(fta.Derive(sys.Trace())))
+	}
+	fmt.Fprintln(out, "\nSCRAM protocol log (paper Table 1):")
+	fmt.Fprint(out, experiments.RenderTable1(sys.Kernel().Events()))
+
+	tr := sys.Trace()
+	fmt.Fprintf(out, "\nreconfigurations (%d):\n", len(tr.Reconfigs()))
+	for _, r := range tr.Reconfigs() {
+		fmt.Fprintf(out, "  [%d,%d] %s -> %s (%d frames = %v)\n",
+			r.StartC, r.EndC, r.From, r.To, r.Frames(),
+			avionics.FrameLength*timesDuration(int(r.Frames())))
+	}
+
+	violations := sys.CheckProperties()
+	if len(violations) == 0 {
+		fmt.Fprintln(out, "\nSP1-SP4: all properties hold over the recorded trace")
+	} else {
+		fmt.Fprintf(out, "\nSP1-SP4: %d violation(s):\n", len(violations))
+		for _, v := range violations {
+			fmt.Fprintf(out, "  %s\n", v)
+		}
+	}
+
+	if tracePath != "" {
+		data, err := json.MarshalIndent(tr, "", " ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(tracePath, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "\ntrace written to %s (verify with: tracecheck -trace %s -avionics)\n",
+			tracePath, tracePath)
+	}
+	return nil
+}
+
+// timesDuration converts a frame count into a duration multiplier.
+func timesDuration(n int) time.Duration { return time.Duration(n) }

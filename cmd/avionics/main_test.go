@@ -1,0 +1,66 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSteadyScenario(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-scenario", "steady", "-frames", "150"}, &out); err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	text := out.String()
+	for _, want := range []string{"steady cruise", "reconfigurations (0)", "all properties hold"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestAlternatorScenarioWithTraceAndSFTA(t *testing.T) {
+	tracePath := filepath.Join(t.TempDir(), "run.json")
+	var out bytes.Buffer
+	err := run([]string{"-scenario", "alternator", "-frames", "200",
+		"-trace", tracePath, "-sfta"}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	text := out.String()
+	for _, want := range []string{
+		"reduced-service",
+		"SCRAM protocol log",
+		"derived SFTA structure",
+		"SFTA recovery",
+		"all properties hold",
+		"trace written to",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	if _, err := os.Stat(tracePath); err != nil {
+		t.Errorf("trace file not written: %v", err)
+	}
+}
+
+func TestProcFailScenario(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-scenario", "procfail", "-frames", "200"}, &out); err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	text := out.String()
+	if !strings.Contains(text, "reduced-service") || !strings.Contains(text, "all properties hold") {
+		t.Errorf("procfail output unexpected:\n%s", text)
+	}
+}
+
+func TestUnknownScenario(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-scenario", "bogus"}, &out); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+}

@@ -1,0 +1,145 @@
+// Command scramcheck statically analyzes a reconfiguration specification:
+// it discharges the architecture's proof obligations (coverage, dependency
+// acyclicity, timing, resources, dwell guard — the analog of the paper's
+// generated TCCs, Figure 2) and prints the timing and restriction analyses
+// of section 5.3.
+//
+// Usage:
+//
+//	scramcheck -spec system.json     # analyze a specification file
+//	scramcheck -avionics             # analyze the built-in avionics system
+//	scramcheck -avionics -dump       # print the avionics spec as JSON
+//	scramcheck -avionics -pvs        # print the spec as a PVS theory skeleton
+//	scramcheck -spec system.json -json
+//
+// The exit status is 0 when every obligation is discharged and 1 otherwise.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/avionics"
+	"repro/internal/spec"
+	"repro/internal/statics"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "scramcheck:", err)
+		os.Exit(1)
+	}
+}
+
+// errObligations distinguishes "analysis ran, obligations failed" from
+// operational errors; both exit 1, but the former prints a report first.
+var errObligations = errors.New("obligations failed")
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("scramcheck", flag.ContinueOnError)
+	specPath := fs.String("spec", "", "path to a reconfiguration specification (JSON)")
+	useAvionics := fs.Bool("avionics", false, "analyze the built-in avionics specification")
+	dump := fs.Bool("dump", false, "print the selected specification as JSON and exit")
+	pvs := fs.Bool("pvs", false, "print the specification as a PVS theory skeleton and exit")
+	asJSON := fs.Bool("json", false, "emit the report as JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var rs *spec.ReconfigSpec
+	switch {
+	case *useAvionics:
+		rs = avionics.Spec()
+	case *specPath != "":
+		data, err := os.ReadFile(*specPath)
+		if err != nil {
+			return err
+		}
+		rs = new(spec.ReconfigSpec)
+		if err := json.Unmarshal(data, rs); err != nil {
+			return fmt.Errorf("parsing %s: %w", *specPath, err)
+		}
+	default:
+		return errors.New("provide -spec <file> or -avionics")
+	}
+
+	if *dump {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rs)
+	}
+	if *pvs {
+		_, err := fmt.Fprint(out, statics.ExportPVS(rs))
+		return err
+	}
+
+	report, err := statics.Check(rs)
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			return err
+		}
+	} else {
+		printReport(out, report)
+	}
+	if !report.AllDischarged() {
+		return errObligations
+	}
+	return nil
+}
+
+func printReport(out io.Writer, r *statics.Report) {
+	fmt.Fprintf(out, "specification: %s\n", r.SpecName)
+	fmt.Fprintf(out, "reachable configurations: %v\n\n", r.Reachable)
+
+	fmt.Fprintln(out, "obligations:")
+	for _, o := range r.Obligations {
+		status := "PROVED"
+		if !o.OK {
+			status = "FAILED"
+		}
+		fmt.Fprintf(out, "  [%s] %-28s %s\n", status, o.ID, o.Description)
+		if o.Detail != "" {
+			fmt.Fprintf(out, "           %s\n", o.Detail)
+		}
+	}
+
+	fmt.Fprintln(out, "\ntiming obligations (required <= declared, frames):")
+	for _, t := range r.Timing {
+		status := "PROVED"
+		if !t.OK {
+			status = "FAILED"
+		}
+		fmt.Fprintf(out, "  [%s] %s -> %s: required %d, declared %d\n",
+			status, t.From, t.To, t.RequiredFrames, t.DeclaredFrames)
+	}
+
+	if len(r.Cycles) > 0 {
+		fmt.Fprintln(out, "\ntransition-graph cycles (guarded by dwell time):")
+		for _, c := range r.Cycles {
+			fmt.Fprintf(out, "  %v\n", c)
+		}
+	}
+
+	fmt.Fprintln(out, "\nrestriction analysis (section 5.3):")
+	fmt.Fprintf(out, "  longest chain to safety: %v = %d frames\n",
+		r.Restriction.LongestChain, r.Restriction.LongestChainFrames)
+	if r.Restriction.InterposedSafe != "" {
+		fmt.Fprintf(out, "  interposing %s: max{T(i,s)} = %d frames\n",
+			r.Restriction.InterposedSafe, r.Restriction.InterposedBoundFrames)
+	}
+
+	if r.AllDischarged() {
+		fmt.Fprintln(out, "\nall obligations discharged")
+	} else {
+		fmt.Fprintf(out, "\nFAILED obligations: %v\n", r.Failures())
+	}
+}

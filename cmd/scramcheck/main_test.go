@@ -1,0 +1,120 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/statics"
+)
+
+func TestAvionicsReportAllProved(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-avionics"}, &out); err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	text := out.String()
+	for _, want := range []string{"covering_txns", "all obligations discharged", "longest chain"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	if strings.Contains(text, "FAILED") {
+		t.Errorf("unexpected failure in output:\n%s", text)
+	}
+}
+
+func TestDumpRoundTrips(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-avionics", "-dump"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "spec.json")
+	if err := os.WriteFile(path, out.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out2 bytes.Buffer
+	if err := run([]string{"-spec", path}, &out2); err != nil {
+		t.Fatalf("re-check of dumped spec: %v\n%s", err, out2.String())
+	}
+	if !strings.Contains(out2.String(), "all obligations discharged") {
+		t.Error("dumped spec does not re-discharge")
+	}
+}
+
+func TestFailingSpecExitsNonZero(t *testing.T) {
+	// Dump, undersize a bound, re-check: obligations must fail.
+	var out bytes.Buffer
+	if err := run([]string{"-avionics", "-dump"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var raw map[string]any
+	if err := json.Unmarshal(out.Bytes(), &raw); err != nil {
+		t.Fatal(err)
+	}
+	transitions := raw["transitions"].([]any)
+	transitions[0].(map[string]any)["max_frames"] = 1.0
+	data, err := json.Marshal(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "broken.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out2 bytes.Buffer
+	err = run([]string{"-spec", path}, &out2)
+	if !errors.Is(err, errObligations) {
+		t.Fatalf("err = %v, want errObligations\n%s", err, out2.String())
+	}
+	if !strings.Contains(out2.String(), "FAILED") {
+		t.Error("report does not show the failure")
+	}
+}
+
+func TestJSONOutputParses(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-avionics", "-json"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var report statics.Report
+	if err := json.Unmarshal(out.Bytes(), &report); err != nil {
+		t.Fatalf("JSON report does not parse: %v", err)
+	}
+	if !report.AllDischarged() {
+		t.Error("parsed report not discharged")
+	}
+}
+
+func TestArgumentErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); err == nil {
+		t.Error("no input accepted")
+	}
+	if err := run([]string{"-spec", "/nonexistent/x.json"}, &out); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-spec", bad}, &out); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+}
+
+func TestPVSExport(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-avionics", "-pvs"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"uav_avionics: THEORY", "covering_txns", "SP3(tr, r)"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("PVS output missing %q", want)
+		}
+	}
+}

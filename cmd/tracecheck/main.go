@@ -1,0 +1,95 @@
+// Command tracecheck verifies a recorded system trace against the four
+// formal reconfiguration properties of the paper's Table 2 (SP1-SP4).
+//
+// Usage:
+//
+//	tracecheck -trace run.json -spec system.json
+//	tracecheck -trace run.json -avionics
+//
+// The exit status is 0 when every property holds over every reconfiguration
+// in the trace and 1 otherwise.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/avionics"
+	"repro/internal/spec"
+	"repro/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "tracecheck:", err)
+		os.Exit(1)
+	}
+}
+
+var errViolations = errors.New("property violations found")
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("tracecheck", flag.ContinueOnError)
+	tracePath := fs.String("trace", "", "path to a recorded trace (JSON)")
+	specPath := fs.String("spec", "", "path to the reconfiguration specification (JSON)")
+	useAvionics := fs.Bool("avionics", false, "check against the built-in avionics specification")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *tracePath == "" {
+		return errors.New("provide -trace <file>")
+	}
+
+	var rs *spec.ReconfigSpec
+	switch {
+	case *useAvionics:
+		rs = avionics.Spec()
+	case *specPath != "":
+		data, err := os.ReadFile(*specPath)
+		if err != nil {
+			return err
+		}
+		rs = new(spec.ReconfigSpec)
+		if err := json.Unmarshal(data, rs); err != nil {
+			return fmt.Errorf("parsing %s: %w", *specPath, err)
+		}
+	default:
+		return errors.New("provide -spec <file> or -avionics")
+	}
+
+	data, err := os.ReadFile(*tracePath)
+	if err != nil {
+		return err
+	}
+	var tr trace.Trace
+	if err := json.Unmarshal(data, &tr); err != nil {
+		return fmt.Errorf("parsing %s: %w", *tracePath, err)
+	}
+
+	fmt.Fprintf(out, "trace: %s, %d cycles, frame length %v\n", tr.System, tr.Len(), tr.FrameLen)
+	rcs := tr.Reconfigs()
+	fmt.Fprintf(out, "reconfigurations: %d\n", len(rcs))
+	for _, r := range rcs {
+		fmt.Fprintf(out, "  [%d,%d] %s -> %s (%d frames)\n", r.StartC, r.EndC, r.From, r.To, r.Frames())
+	}
+	if open, ok := tr.OpenReconfig(); ok {
+		fmt.Fprintf(out, "  open window at end of trace: [%d,%d] from %s\n", open.StartC, open.EndC, open.From)
+	}
+	fmt.Fprintf(out, "restriction: %d frames total, longest run %d\n",
+		tr.RestrictionFrames(), tr.MaxRestrictionRun())
+
+	violations := trace.CheckAll(&tr, rs)
+	if len(violations) == 0 {
+		fmt.Fprintln(out, "SP1-SP4: all properties hold")
+		return nil
+	}
+	fmt.Fprintf(out, "SP1-SP4: %d violation(s)\n", len(violations))
+	for _, v := range violations {
+		fmt.Fprintf(out, "  %s\n", v)
+	}
+	return errViolations
+}

@@ -1,0 +1,135 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/avionics"
+	"repro/internal/envmon"
+	"repro/internal/spec"
+	"repro/internal/trace"
+)
+
+// writeScenarioTrace runs the alternator scenario and writes its trace.
+func writeScenarioTrace(t *testing.T) string {
+	t.Helper()
+	sc, err := avionics.NewScenario(avionics.ScenarioOptions{
+		Initial:     avionics.AircraftState{AltFt: 5000, AirspeedKts: 100},
+		Script:      []envmon.Event{{Frame: 20, Factor: avionics.FactorAlt1, Value: avionics.AltFailed}},
+		DwellFrames: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sc.Close()
+	if err := sc.Sys.Run(60); err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(sc.Sys.Trace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCleanTracePasses(t *testing.T) {
+	path := writeScenarioTrace(t)
+	var out bytes.Buffer
+	if err := run([]string{"-trace", path, "-avionics"}, &out); err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	text := out.String()
+	for _, want := range []string{"reconfigurations: 1", "all properties hold"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestViolatingTraceFails(t *testing.T) {
+	// A hand-made trace whose window exceeds every declared bound and
+	// whose end state lacks a precondition.
+	tr := &trace.Trace{System: "bad", FrameLen: time.Millisecond}
+	statuses := []trace.ReconfStatus{trace.StatusNormal, trace.StatusInterrupted}
+	for i := 0; i < 15; i++ {
+		statuses = append(statuses, trace.StatusHalting)
+	}
+	statuses = append(statuses, trace.StatusNormal)
+	for c, st := range statuses {
+		preOK := st != trace.StatusNormal || c == 0
+		err := tr.Append(trace.SysState{
+			Cycle:  int64(c),
+			Config: avionics.CfgFull,
+			Env:    avionics.EnvPowerReduced,
+			Apps: map[spec.AppID]trace.AppState{
+				avionics.AppAutopilot: {Status: st, Spec: "ap-full", PreOK: preOK},
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, err := json.Marshal(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	err = run([]string{"-trace", path, "-avionics"}, &out)
+	if !errors.Is(err, errViolations) {
+		t.Fatalf("err = %v, want errViolations\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "SP") {
+		t.Errorf("violations not printed:\n%s", out.String())
+	}
+}
+
+func TestSpecFromFile(t *testing.T) {
+	// The avionics spec via -spec file must behave like -avionics.
+	specData, err := json.Marshal(avionics.Spec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	specPath := filepath.Join(t.TempDir(), "spec.json")
+	if err := os.WriteFile(specPath, specData, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tracePath := writeScenarioTrace(t)
+	var out bytes.Buffer
+	if err := run([]string{"-trace", tracePath, "-spec", specPath}, &out); err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+}
+
+func TestArgumentErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); err == nil {
+		t.Error("missing -trace accepted")
+	}
+	if err := run([]string{"-trace", "/nonexistent.json"}, &out); err == nil {
+		t.Error("missing spec source accepted")
+	}
+	if err := run([]string{"-trace", "/nonexistent.json", "-avionics"}, &out); err == nil {
+		t.Error("missing trace file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("не json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-trace", bad, "-avionics"}, &out); err == nil {
+		t.Error("malformed trace accepted")
+	}
+}

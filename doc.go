@@ -1,0 +1,12 @@
+// Package repro is a complete Go reproduction of "Assured Reconfiguration
+// of Fail-Stop Systems" (Strunk, Knight, Aiello — DSN 2005): a framework for
+// building safety-critical systems that tolerate component failures by
+// assured reconfiguration over fail-stop processors instead of (or in
+// addition to) hardware masking.
+//
+// See README.md for the architecture overview, DESIGN.md for the system
+// inventory and per-experiment index, and EXPERIMENTS.md for the
+// paper-versus-measured record. The benchmarks in bench_test.go regenerate
+// the cost side of every table and figure; `go run ./cmd/faultsim
+// -experiment all` regenerates the tables themselves.
+package repro

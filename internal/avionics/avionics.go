@@ -1,0 +1,310 @@
+package avionics
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/bus"
+	"repro/internal/core"
+	"repro/internal/envmon"
+	"repro/internal/spec"
+)
+
+// AppPowerMonitor is the virtual application monitoring the electrical
+// system (section 6.3's environment-monitor pattern).
+const AppPowerMonitor spec.AppID = "power-monitor"
+
+// Configuration identifiers: the three acceptable configurations of
+// section 7.
+const (
+	// CfgFull: full power, autopilot and FCS at full service on separate
+	// computers.
+	CfgFull spec.ConfigID = "full-service"
+	// CfgReduced: one alternator (or battery) only; both applications
+	// share one computer, the autopilot provides altitude hold only and
+	// the FCS provides direct control.
+	CfgReduced spec.ConfigID = "reduced-service"
+	// CfgMinimal: battery only; the remaining computer runs in low-power
+	// mode, the autopilot is off and the FCS provides direct control.
+	CfgMinimal spec.ConfigID = "minimal-service"
+)
+
+// Platform processor identifiers.
+const (
+	Proc1 spec.ProcID = "proc-1"
+	Proc2 spec.ProcID = "proc-2"
+)
+
+// FrameLength is the real-time frame length of the avionics system: 20 ms
+// (a 50 Hz control loop).
+const FrameLength = 20 * time.Millisecond
+
+// Spec returns the reconfiguration specification of the section 7 avionics
+// system. The returned value is fresh on every call and safe to mutate for
+// experiments.
+func Spec() *spec.ReconfigSpec {
+	return &spec.ReconfigSpec{
+		Name: "uav-avionics",
+		Apps: []spec.App{
+			{
+				ID:          AppAutopilot,
+				Description: "autopilot: altitude/heading hold, climb, turn (full); altitude hold (reduced)",
+				Specs: []spec.Specification{
+					{
+						ID:          SpecAPFull,
+						Description: "altitude hold, heading hold, climb to altitude, turn to heading",
+						Resources:   spec.Resources{CPU: 4, MemoryKB: 512, PowerMW: 400},
+						HaltFrames:  1, PrepareFrames: 1, InitFrames: 1,
+					},
+					{
+						ID:          SpecAPAltHold,
+						Description: "altitude hold only",
+						Resources:   spec.Resources{CPU: 1, MemoryKB: 128, PowerMW: 100},
+						HaltFrames:  1, PrepareFrames: 1, InitFrames: 1,
+					},
+				},
+			},
+			{
+				ID:          AppFCS,
+				Description: "flight control system: augmented control (full); direct control (reduced)",
+				Specs: []spec.Specification{
+					{
+						ID:          SpecFCSFull,
+						Description: "command augmentation and stability facilities",
+						Resources:   spec.Resources{CPU: 3, MemoryKB: 384, PowerMW: 300},
+						HaltFrames:  1, PrepareFrames: 1, InitFrames: 1,
+					},
+					{
+						ID:          SpecFCSDirect,
+						Description: "direct control: commands applied without augmentation",
+						Resources:   spec.Resources{CPU: 1, MemoryKB: 128, PowerMW: 100},
+						HaltFrames:  1, PrepareFrames: 1, InitFrames: 1,
+					},
+				},
+			},
+			{
+				ID:          AppPowerMonitor,
+				Description: "electrical power generation monitoring (virtual)",
+				Virtual:     true,
+				Specs: []spec.Specification{
+					{ID: "monitor", HaltFrames: 1, PrepareFrames: 1, InitFrames: 1},
+				},
+			},
+		},
+		Configs: []spec.Configuration{
+			{
+				ID:          CfgFull,
+				Description: "full power; autopilot and FCS at full service on separate computers",
+				Assignment: map[spec.AppID]spec.SpecID{
+					AppAutopilot: SpecAPFull,
+					AppFCS:       SpecFCSFull,
+				},
+				Placement: map[spec.AppID]spec.ProcID{
+					AppAutopilot: Proc1,
+					AppFCS:       Proc2,
+				},
+			},
+			{
+				ID:          CfgReduced,
+				Description: "single alternator or battery; applications share one computer",
+				Assignment: map[spec.AppID]spec.SpecID{
+					AppAutopilot: SpecAPAltHold,
+					AppFCS:       SpecFCSDirect,
+				},
+				Placement: map[spec.AppID]spec.ProcID{
+					AppAutopilot: Proc1,
+					AppFCS:       Proc1,
+				},
+			},
+			{
+				ID:          CfgMinimal,
+				Description: "battery only; low-power computer, autopilot off, direct control",
+				Safe:        true,
+				Assignment: map[spec.AppID]spec.SpecID{
+					AppAutopilot: spec.SpecOff,
+					AppFCS:       SpecFCSDirect,
+				},
+				Placement: map[spec.AppID]spec.ProcID{
+					AppFCS: Proc1,
+				},
+				LowPower: []spec.ProcID{Proc1},
+			},
+		},
+		Transitions: []spec.Transition{
+			{From: CfgFull, To: CfgReduced, MaxFrames: 10},
+			{From: CfgFull, To: CfgMinimal, MaxFrames: 10},
+			{From: CfgReduced, To: CfgMinimal, MaxFrames: 10},
+			{From: CfgReduced, To: CfgFull, MaxFrames: 10},
+			{From: CfgMinimal, To: CfgReduced, MaxFrames: 10},
+		},
+		Choice: spec.ChoiceTable{
+			CfgFull: {
+				EnvPowerFull:    CfgFull,
+				EnvPowerReduced: CfgReduced,
+				EnvPowerBattery: CfgMinimal,
+			},
+			CfgReduced: {
+				EnvPowerFull:    CfgFull,
+				EnvPowerReduced: CfgReduced,
+				EnvPowerBattery: CfgMinimal,
+			},
+			CfgMinimal: {
+				EnvPowerFull:    CfgReduced,
+				EnvPowerReduced: CfgReduced,
+				EnvPowerBattery: CfgMinimal,
+			},
+		},
+		Envs:        []spec.EnvState{EnvPowerFull, EnvPowerReduced, EnvPowerBattery},
+		StartConfig: CfgFull,
+		StartEnv:    EnvPowerFull,
+		Deps: []spec.Dependency{
+			// The autopilot cannot resume until the FCS has completed
+			// its reconfiguration — it cannot effect control without
+			// the other application (section 7.1).
+			{Independent: AppFCS, Dependent: AppAutopilot, Phase: spec.PhaseInit},
+		},
+		Platform: spec.Platform{Procs: []spec.Proc{
+			{
+				ID:               Proc1,
+				Capacity:         spec.Resources{CPU: 8, MemoryKB: 1024, PowerMW: 1000},
+				LowPowerCapacity: spec.Resources{CPU: 2, MemoryKB: 256, PowerMW: 250},
+			},
+			{
+				ID:               Proc2,
+				Capacity:         spec.Resources{CPU: 8, MemoryKB: 1024, PowerMW: 1000},
+				LowPowerCapacity: spec.Resources{CPU: 2, MemoryKB: 256, PowerMW: 250},
+			},
+		}},
+		FrameLen:    FrameLength,
+		DwellFrames: 25, // 0.5 s of stable operation before the next reconfiguration
+		Retarget:    spec.RetargetBuffer,
+	}
+}
+
+// BusSchedule returns the TDMA schedule of the avionics bus.
+func BusSchedule() bus.Schedule {
+	return bus.Schedule{
+		{Owner: bus.EndpointID(AppAutopilot), MaxMessages: 2},
+		{Owner: bus.EndpointID(AppFCS), MaxMessages: 2},
+		{Owner: "sensors", MaxMessages: 2},
+	}
+}
+
+// ScenarioOptions configures NewScenario.
+type ScenarioOptions struct {
+	// Initial is the aircraft's initial state.
+	Initial AircraftState
+	// Targets are the autopilot's initial objectives; zero values default
+	// to holding the initial altitude and heading.
+	Targets Targets
+	// Script drives alternator (and other factor) events.
+	Script []envmon.Event
+	// ProcEvents schedules processor failures and repairs.
+	ProcEvents []core.ProcEvent
+	// StandbyProc enables the replicated SCRAM on the given processor.
+	StandbyProc spec.ProcID
+	// DwellFrames overrides the specification's dwell guard when >= 0.
+	DwellFrames int
+	// Paced runs the scenario in soft real time (20 ms frames).
+	Paced bool
+}
+
+// Scenario is a fully wired avionics system: the reconfigurable system plus
+// the simulated world around it.
+type Scenario struct {
+	// Sys is the reconfigurable system.
+	Sys *core.System
+	// Dyn is the aircraft dynamics model.
+	Dyn *Dynamics
+	// Elec is the electrical system model.
+	Elec *Electrical
+	// AP and FCS are the application implementations.
+	AP  *Autopilot
+	FCS *FCS
+}
+
+// NewScenario wires the complete section 7 example with the published
+// specification.
+func NewScenario(opts ScenarioOptions) (*Scenario, error) {
+	return NewScenarioWithSpec(Spec(), opts)
+}
+
+// NewScenarioWithSpec wires the section 7 example against a caller-supplied
+// (possibly transformed) specification — for instance one produced by
+// statics.Interpose. The specification must keep the avionics application
+// and configuration identifiers.
+func NewScenarioWithSpec(rs *spec.ReconfigSpec, opts ScenarioOptions) (*Scenario, error) {
+	if opts.DwellFrames >= 0 {
+		rs.DwellFrames = opts.DwellFrames
+		if rs.DwellFrames == 0 {
+			rs.DwellFrames = 1 // the transition graph has repair cycles
+		}
+	}
+	if opts.Targets == (Targets{}) {
+		opts.Targets = Targets{AltFt: opts.Initial.AltFt, HdgDeg: opts.Initial.HeadingDeg}
+	}
+
+	ap := NewAutopilot(opts.Targets)
+	fcs := NewFCS()
+
+	sys, err := core.NewSystem(core.Options{
+		Spec: rs,
+		Apps: map[spec.AppID]core.App{
+			AppAutopilot: ap,
+			AppFCS:       fcs,
+		},
+		Classifier: Classifier,
+		InitialFactors: map[envmon.Factor]string{
+			FactorAlt1:    AltOK,
+			FactorAlt2:    AltOK,
+			FactorBattery: "ok",
+		},
+		Script:      opts.Script,
+		ProcEvents:  opts.ProcEvents,
+		BusSchedule: BusSchedule(),
+		StandbyProc: opts.StandbyProc,
+		Paced:       opts.Paced,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("avionics: building system: %w", err)
+	}
+
+	dyn, err := NewDynamics(sys.Bus(), opts.Initial)
+	if err != nil {
+		sys.Close()
+		return nil, err
+	}
+	sensors, err := NewSensorSuite(sys.Bus(), dyn)
+	if err != nil {
+		sys.Close()
+		return nil, err
+	}
+	if err := sys.AddTask(sensors); err != nil {
+		sys.Close()
+		return nil, err
+	}
+
+	// Application subscriptions.
+	apEP, err := sys.Bus().Endpoint(bus.EndpointID(AppAutopilot))
+	if err != nil {
+		sys.Close()
+		return nil, err
+	}
+	apEP.Subscribe(TopicSensors)
+	fcsEP, err := sys.Bus().Endpoint(bus.EndpointID(AppFCS))
+	if err != nil {
+		sys.Close()
+		return nil, err
+	}
+	fcsEP.Subscribe(TopicSensors)
+	fcsEP.Subscribe(TopicAPCmd)
+
+	elec := NewElectrical(sys.Env())
+	sys.AddCommitHook(dyn.Hook)
+	sys.AddCommitHook(elec.Hook)
+
+	return &Scenario{Sys: sys, Dyn: dyn, Elec: elec, AP: ap, FCS: fcs}, nil
+}
+
+// Close releases the scenario's resources.
+func (s *Scenario) Close() { s.Sys.Close() }

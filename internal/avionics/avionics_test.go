@@ -1,0 +1,382 @@
+package avionics
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/frame"
+
+	"repro/internal/core"
+	"repro/internal/envmon"
+	"repro/internal/failstop"
+	"repro/internal/spec"
+	"repro/internal/statics"
+	"repro/internal/trace"
+)
+
+func TestSpecDischargesAllObligations(t *testing.T) {
+	report, err := statics.Check(Spec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.AllDischarged() {
+		t.Fatalf("obligations failed: %v", report.Failures())
+	}
+	// The three-configuration structure of section 7.
+	if len(report.Reachable) != 3 {
+		t.Errorf("reachable = %v", report.Reachable)
+	}
+}
+
+func newScenario(t *testing.T, opts ScenarioOptions) *Scenario {
+	t.Helper()
+	sc, err := NewScenario(opts)
+	if err != nil {
+		t.Fatalf("NewScenario: %v", err)
+	}
+	t.Cleanup(sc.Close)
+	return sc
+}
+
+func cruise() AircraftState {
+	return AircraftState{AltFt: 5000, HeadingDeg: 0, AirspeedKts: 100}
+}
+
+func TestAltitudeHoldSteadyState(t *testing.T) {
+	sc := newScenario(t, ScenarioOptions{Initial: cruise(), DwellFrames: -1})
+	if err := sc.Sys.Run(500); err != nil { // 10 s
+		t.Fatal(err)
+	}
+	st := sc.Dyn.State()
+	if math.Abs(st.AltFt-5000) > 50 {
+		t.Errorf("altitude drifted to %.1f ft", st.AltFt)
+	}
+	if math.Abs(st.VSFpm) > 150 {
+		t.Errorf("vertical speed = %.1f fpm, want near level", st.VSFpm)
+	}
+	if !sc.AP.Engaged() {
+		t.Error("autopilot not engaged in steady state")
+	}
+	if vs := sc.Sys.CheckProperties(); len(vs) != 0 {
+		t.Errorf("violations: %v", vs)
+	}
+}
+
+func TestClimbToAltitudeCapturesAndReverts(t *testing.T) {
+	sc := newScenario(t, ScenarioOptions{
+		Initial:     cruise(),
+		Targets:     Targets{AltFt: 5300, HdgDeg: 0, Climb: true},
+		DwellFrames: -1,
+	})
+	if err := sc.Sys.Run(1500); err != nil { // 30 s
+		t.Fatal(err)
+	}
+	st := sc.Dyn.State()
+	if math.Abs(st.AltFt-5300) > 120 {
+		t.Errorf("altitude = %.1f ft, want near 5300", st.AltFt)
+	}
+	if sc.AP.Targets().Climb {
+		t.Error("climb mode did not revert to hold after capture")
+	}
+}
+
+func TestTurnToHeadingCapturesAndReverts(t *testing.T) {
+	sc := newScenario(t, ScenarioOptions{
+		Initial:     cruise(),
+		Targets:     Targets{AltFt: 5000, HdgDeg: 90, Turn: true},
+		DwellFrames: -1,
+	})
+	if err := sc.Sys.Run(2000); err != nil { // 40 s
+		t.Fatal(err)
+	}
+	st := sc.Dyn.State()
+	if math.Abs(wrapDeg180(90-st.HeadingDeg)) > 10 {
+		t.Errorf("heading = %.1f deg, want near 90", st.HeadingDeg)
+	}
+	if sc.AP.Targets().Turn {
+		t.Error("turn mode did not revert to hold after capture")
+	}
+	// Altitude held through the turn.
+	if math.Abs(st.AltFt-5000) > 120 {
+		t.Errorf("altitude = %.1f ft during turn, want near 5000", st.AltFt)
+	}
+}
+
+// TestSection71Scenario reproduces the paper's walkthrough: operating in
+// Full Service, an alternator fails; the SCRAM commands Reduced Service; the
+// preconditions (surfaces centered, autopilot disengaged) hold on entry; and
+// all four properties are satisfied.
+func TestSection71Scenario(t *testing.T) {
+	sc := newScenario(t, ScenarioOptions{
+		Initial:     cruise(),
+		Script:      []envmon.Event{{Frame: 100, Factor: FactorAlt1, Value: AltFailed}},
+		DwellFrames: -1,
+	})
+	if err := sc.Sys.Run(400); err != nil {
+		t.Fatal(err)
+	}
+	if got := sc.Sys.Kernel().Current(); got != CfgReduced {
+		t.Fatalf("configuration = %s, want reduced", got)
+	}
+	rcs := sc.Sys.Trace().Reconfigs()
+	if len(rcs) != 1 {
+		t.Fatalf("reconfigurations = %v", rcs)
+	}
+	r := rcs[0]
+	if r.StartC != 100 || r.From != CfgFull || r.To != CfgReduced {
+		t.Errorf("reconfiguration = %+v", r)
+	}
+	// Table 1 shape: trigger + halt + prepare + init(fcs, then autopilot)
+	// = 5 frames.
+	if r.Frames() != 5 {
+		t.Errorf("window = %d frames, want 5", r.Frames())
+	}
+	if vs := sc.Sys.CheckProperties(); len(vs) != 0 {
+		t.Fatalf("violations: %v", vs)
+	}
+	// Proc2 hosts nothing in Reduced Service: shut down.
+	p2, _ := sc.Sys.Pool().Proc(Proc2)
+	if p2.State() != failstop.StateOff {
+		t.Errorf("proc-2 state = %v, want off", p2.State())
+	}
+	// The autopilot still holds altitude under reduced service.
+	if st := sc.Dyn.State(); math.Abs(st.AltFt-5000) > 100 {
+		t.Errorf("altitude after reconfiguration = %.1f ft", st.AltFt)
+	}
+	if !sc.AP.Engaged() {
+		t.Error("autopilot did not re-engage after reduced-service entry")
+	}
+}
+
+func TestDoubleAlternatorFailureReachesMinimal(t *testing.T) {
+	sc := newScenario(t, ScenarioOptions{
+		Initial: cruise(),
+		Script: []envmon.Event{
+			{Frame: 50, Factor: FactorAlt1, Value: AltFailed},
+			{Frame: 150, Factor: FactorAlt2, Value: AltFailed},
+		},
+		DwellFrames: 5,
+	})
+	if err := sc.Sys.Run(600); err != nil {
+		t.Fatal(err)
+	}
+	if got := sc.Sys.Kernel().Current(); got != CfgMinimal {
+		t.Fatalf("configuration = %s, want minimal", got)
+	}
+	if vs := sc.Sys.CheckProperties(); len(vs) != 0 {
+		t.Fatalf("violations: %v", vs)
+	}
+	// In minimal service the autopilot is off and proc-1 runs low-power.
+	st, _ := sc.Sys.Trace().At(sc.Sys.Trace().Len() - 1)
+	if ap := st.Apps[AppAutopilot]; ap.Spec != spec.SpecOff || ap.Status != trace.StatusNormal {
+		t.Errorf("autopilot state in minimal = %+v", ap)
+	}
+	p1, _ := sc.Sys.Pool().Proc(Proc1)
+	if p1.State() != failstop.StateLowPower {
+		t.Errorf("proc-1 state = %v, want low-power", p1.State())
+	}
+	// On battery power the battery discharges.
+	if sc.Elec.Charge() >= 100 {
+		t.Errorf("battery charge = %.1f%%, want < 100 after running on battery", sc.Elec.Charge())
+	}
+	// The FCS keeps flying the aircraft (direct control) — altitude is no
+	// longer actively held, but commands stop and surfaces were centered,
+	// so the aircraft remains roughly level.
+	if bank := sc.Dyn.State().BankDeg; math.Abs(bank) > 5 {
+		t.Errorf("bank in minimal service = %.1f deg", bank)
+	}
+}
+
+func TestRepairRestoresFullService(t *testing.T) {
+	sc := newScenario(t, ScenarioOptions{
+		Initial: cruise(),
+		Script: []envmon.Event{
+			{Frame: 50, Factor: FactorAlt1, Value: AltFailed},
+			{Frame: 300, Factor: FactorAlt1, Value: AltOK},
+		},
+		DwellFrames: 5,
+	})
+	if err := sc.Sys.Run(600); err != nil {
+		t.Fatal(err)
+	}
+	if got := sc.Sys.Kernel().Current(); got != CfgFull {
+		t.Fatalf("configuration = %s, want full after repair", got)
+	}
+	if vs := sc.Sys.CheckProperties(); len(vs) != 0 {
+		t.Fatalf("violations: %v", vs)
+	}
+	// The FCS migrated back to proc-2, which was powered off during
+	// reduced service and must be running again.
+	p2, _ := sc.Sys.Pool().Proc(Proc2)
+	if p2.State() != failstop.StateRunning {
+		t.Errorf("proc-2 state = %v, want running", p2.State())
+	}
+}
+
+func TestProcessorFailureDuringFlight(t *testing.T) {
+	// proc-2 (hosting the FCS) fails; the electrical state is unchanged
+	// but the platform can no longer support full service. The avionics
+	// classifier is power-based, so wire the health factor in explicitly
+	// for this test.
+	classifier := func(f map[envmon.Factor]string) spec.EnvState {
+		state := Classifier(f)
+		if f[core.ProcHealthFactor(Proc2)] == core.ProcFailed && state == EnvPowerFull {
+			state = EnvPowerReduced
+		}
+		return state
+	}
+	rs := Spec()
+	ap := NewAutopilot(Targets{AltFt: 5000})
+	fcs := NewFCS()
+	sys, err := core.NewSystem(core.Options{
+		Spec:       rs,
+		Apps:       map[spec.AppID]core.App{AppAutopilot: ap, AppFCS: fcs},
+		Classifier: classifier,
+		InitialFactors: map[envmon.Factor]string{
+			FactorAlt1: AltOK, FactorAlt2: AltOK, FactorBattery: "ok",
+		},
+		ProcEvents:  []core.ProcEvent{{Frame: 60, Proc: Proc2, Kind: core.ProcFail}},
+		BusSchedule: BusSchedule(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	if err := sys.Run(300); err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.Kernel().Current(); got != CfgReduced {
+		t.Fatalf("configuration = %s, want reduced", got)
+	}
+	if vs := sys.CheckProperties(); len(vs) != 0 {
+		t.Fatalf("violations: %v", vs)
+	}
+}
+
+func TestElectricalModel(t *testing.T) {
+	env := envmon.NewEnvironment(map[envmon.Factor]string{
+		FactorAlt1: AltOK, FactorAlt2: AltOK,
+	})
+	e := NewElectrical(env)
+	ctx := frameCtx(FrameLength)
+	// Healthy: stays charged.
+	for i := 0; i < 100; i++ {
+		if err := e.Hook(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if e.Charge() != 100 {
+		t.Errorf("charge = %.2f, want 100", e.Charge())
+	}
+	if band, _ := env.Get(FactorBattery); band != "ok" {
+		t.Errorf("battery band = %q", band)
+	}
+	// Both alternators out: discharging toward low.
+	env.Set(FactorAlt1, AltFailed)
+	env.Set(FactorAlt2, AltFailed)
+	for i := 0; i < 40000; i++ { // 800 s of battery time
+		if err := e.Hook(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if e.Charge() >= batteryLowPC {
+		t.Errorf("charge = %.2f, want below low threshold", e.Charge())
+	}
+	if band, _ := env.Get(FactorBattery); band != "low" {
+		t.Errorf("battery band = %q, want low", band)
+	}
+	// One alternator back: recharging.
+	env.Set(FactorAlt1, AltOK)
+	before := e.Charge()
+	for i := 0; i < 100; i++ {
+		if err := e.Hook(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if e.Charge() <= before {
+		t.Error("battery not recharging with an alternator available")
+	}
+	if e.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestClassifier(t *testing.T) {
+	tests := []struct {
+		alt1, alt2 string
+		want       spec.EnvState
+	}{
+		{AltOK, AltOK, EnvPowerFull},
+		{AltFailed, AltOK, EnvPowerReduced},
+		{AltOK, AltFailed, EnvPowerReduced},
+		{AltFailed, AltFailed, EnvPowerBattery},
+	}
+	for _, tt := range tests {
+		got := Classifier(map[envmon.Factor]string{FactorAlt1: tt.alt1, FactorAlt2: tt.alt2})
+		if got != tt.want {
+			t.Errorf("Classifier(%s, %s) = %s, want %s", tt.alt1, tt.alt2, got, tt.want)
+		}
+	}
+}
+
+func TestPIDAntiWindupAndClamp(t *testing.T) {
+	p := newPID(1, 10, 0, 1)
+	// Large persistent error: output clamps at 1 and the integral must
+	// not run away.
+	for i := 0; i < 1000; i++ {
+		if out := p.Update(100, 0.02); out != 1 {
+			t.Fatalf("clamped output = %v", out)
+		}
+	}
+	integral, _ := p.State()
+	if integral > 10 {
+		t.Errorf("integral wound up to %v", integral)
+	}
+	p.Reset()
+	if i, e := p.State(); i != 0 || e != 0 {
+		t.Error("reset did not clear state")
+	}
+	p.Restore(0.5, 0.1)
+	if i, e := p.State(); i != 0.5 || e != 0.1 {
+		t.Error("restore did not reinstate state")
+	}
+	// Derivative path.
+	d := newPID(0, 0, 1, 10)
+	d.Update(0, 0.1)
+	if out := d.Update(1, 0.1); math.Abs(out-10) > 1e-9 {
+		t.Errorf("derivative output = %v, want 10", out)
+	}
+}
+
+func TestAngleHelpers(t *testing.T) {
+	if got := wrapDeg180(270); got != -90 {
+		t.Errorf("wrapDeg180(270) = %v", got)
+	}
+	if got := wrapDeg180(-270); got != 90 {
+		t.Errorf("wrapDeg180(-270) = %v", got)
+	}
+	if got := wrapDeg360(-10); got != 350 {
+		t.Errorf("wrapDeg360(-10) = %v", got)
+	}
+	if got := wrapDeg360(370); got != 10 {
+		t.Errorf("wrapDeg360(370) = %v", got)
+	}
+	if got := clamp(5, -1, 1); got != 1 {
+		t.Errorf("clamp = %v", got)
+	}
+}
+
+func TestSurfacesCentered(t *testing.T) {
+	if !(Surfaces{}).Centered(1e-9) {
+		t.Error("zero surfaces not centered")
+	}
+	if (Surfaces{Elevator: 0.1}).Centered(1e-3) {
+		t.Error("deflected surfaces reported centered")
+	}
+}
+
+// frameCtx builds a frame context with the given length.
+func frameCtx(len_ time.Duration) frame.Context {
+	return frame.Context{Frame: 0, Len: len_}
+}

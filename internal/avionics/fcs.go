@@ -1,0 +1,175 @@
+package avionics
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/spec"
+)
+
+// Application and specification identifiers of the flight control system.
+const (
+	// AppFCS is the flight control system application.
+	AppFCS spec.AppID = "fcs"
+	// SpecFCSFull is the primary specification: the FCS accepts input
+	// from the pilot or autopilot and generates actuator commands with
+	// stability augmentation.
+	SpecFCSFull spec.SpecID = "fcs-full"
+	// SpecFCSDirect is the reduced specification: commands are applied
+	// directly to the control surfaces without augmentation.
+	SpecFCSDirect spec.SpecID = "fcs-direct"
+)
+
+// surfaceCenterEps is the tolerance for "control surfaces centered", the
+// FCS precondition for entering a new configuration.
+const surfaceCenterEps = 1e-6
+
+// APCommand is the autopilot's (or pilot's) control request to the FCS:
+// normalized pitch and roll commands.
+type APCommand struct {
+	Pitch   float64 `json:"pitch"`
+	Roll    float64 `json:"roll"`
+	Engaged bool    `json:"engaged"`
+}
+
+// FCS is the flight control system application. Under SpecFCSFull it smooths
+// commands and adds rate damping from sensor feedback (simulated stability
+// augmentation); under SpecFCSDirect it passes commands straight through.
+type FCS struct {
+	cmd      APCommand
+	sensors  AircraftState
+	surfaces Surfaces
+	smoothed Surfaces
+	halted   bool
+}
+
+// Augmentation constants for the full specification.
+const (
+	// fcsSmoothAlpha is the low-pass constant applied to incoming
+	// commands.
+	fcsSmoothAlpha = 0.35
+	// fcsBankDamp is the roll-rate damping gain (per degree of bank).
+	fcsBankDamp = 0.01
+	// fcsVSDamp is the pitch damping gain (per fpm of vertical speed
+	// error from zero at neutral command).
+	fcsVSDamp = 0.00002
+)
+
+// NewFCS returns a flight control system in its boot state (surfaces
+// centered).
+func NewFCS() *FCS { return &FCS{} }
+
+// ID implements core.App.
+func (f *FCS) ID() spec.AppID { return AppFCS }
+
+// Surfaces returns the last commanded surfaces.
+func (f *FCS) Surfaces() Surfaces { return f.surfaces }
+
+// drainBus updates the latest command and sensor sample from the inbox.
+func (f *FCS) drainBus(env *core.FrameEnv) error {
+	if env.Bus == nil {
+		return nil
+	}
+	for _, msg := range env.Bus.Receive() {
+		switch msg.Topic {
+		case TopicAPCmd:
+			if err := json.Unmarshal(msg.Payload, &f.cmd); err != nil {
+				return fmt.Errorf("avionics: fcs decoding command: %w", err)
+			}
+		case TopicSensors:
+			if err := json.Unmarshal(msg.Payload, &f.sensors); err != nil {
+				return fmt.Errorf("avionics: fcs decoding sensors: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// Step implements core.App: compute and publish one surface command.
+func (f *FCS) Step(env *core.FrameEnv) error {
+	f.halted = false
+	if err := f.drainBus(env); err != nil {
+		return err
+	}
+
+	in := Surfaces{Elevator: clamp(f.cmd.Pitch, -1, 1), Aileron: clamp(f.cmd.Roll, -1, 1)}
+	if !f.cmd.Engaged {
+		in = Surfaces{}
+	}
+
+	var out Surfaces
+	switch env.Spec {
+	case SpecFCSFull:
+		// Stability augmentation: low-pass the command and damp
+		// aircraft rates.
+		f.smoothed.Elevator += (in.Elevator - f.smoothed.Elevator) * fcsSmoothAlpha
+		f.smoothed.Aileron += (in.Aileron - f.smoothed.Aileron) * fcsSmoothAlpha
+		out = Surfaces{
+			Elevator: clamp(f.smoothed.Elevator-f.sensors.VSFpm*fcsVSDamp*(1-math.Abs(in.Elevator)), -1, 1),
+			Aileron:  clamp(f.smoothed.Aileron-f.sensors.BankDeg*fcsBankDamp*(1-math.Abs(in.Aileron)), -1, 1),
+		}
+	case SpecFCSDirect:
+		out = in
+	default:
+		return fmt.Errorf("avionics: fcs has no specification %q", env.Spec)
+	}
+
+	f.surfaces = out
+	if err := f.publish(env, out); err != nil {
+		return err
+	}
+	return env.Store.PutJSON("surfaces", out)
+}
+
+func (f *FCS) publish(env *core.FrameEnv, s Surfaces) error {
+	if env.Bus == nil {
+		return nil
+	}
+	payload, err := json.Marshal(s)
+	if err != nil {
+		return fmt.Errorf("avionics: fcs encoding surfaces: %w", err)
+	}
+	if err := env.Bus.Publish(TopicSurfaces, payload); err != nil {
+		return fmt.Errorf("avionics: fcs publishing surfaces: %w", err)
+	}
+	return nil
+}
+
+// Halt implements core.App: the FCS's postcondition is merely to cease
+// operation (section 7.1).
+func (f *FCS) Halt(env *core.FrameEnv) (bool, error) {
+	f.halted = true
+	return true, nil
+}
+
+// Prepare implements core.App: reset the augmentation filters for the
+// target specification.
+func (f *FCS) Prepare(env *core.FrameEnv, target spec.SpecID) (bool, error) {
+	f.smoothed = Surfaces{}
+	return true, nil
+}
+
+// Init implements core.App: establish the precondition — control surfaces
+// centered — by commanding neutral surfaces.
+func (f *FCS) Init(env *core.FrameEnv, target spec.SpecID) (bool, error) {
+	f.surfaces = Surfaces{}
+	f.smoothed = Surfaces{}
+	f.cmd = APCommand{}
+	if err := f.publish(env, Surfaces{}); err != nil {
+		return false, err
+	}
+	if err := env.Store.PutJSON("surfaces", Surfaces{}); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// Postcondition implements core.App.
+func (f *FCS) Postcondition() bool { return f.halted }
+
+// Precondition implements core.App: the control surfaces are centered.
+func (f *FCS) Precondition(spec.SpecID) bool {
+	return f.surfaces.Centered(surfaceCenterEps)
+}

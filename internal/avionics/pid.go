@@ -1,0 +1,99 @@
+package avionics
+
+// pid is a discrete proportional-integral-derivative controller with output
+// clamping and integrator anti-windup. Gains are per-second; Update scales
+// by the frame time step.
+type pid struct {
+	kp, ki, kd float64
+	outMin     float64
+	outMax     float64
+
+	integral  float64
+	lastErr   float64
+	havePrior bool
+}
+
+// newPID returns a controller with symmetric output clamp [-limit, limit].
+func newPID(kp, ki, kd, limit float64) *pid {
+	return &pid{kp: kp, ki: ki, kd: kd, outMin: -limit, outMax: limit}
+}
+
+// Update advances the controller by dt seconds for the given error and
+// returns the clamped output.
+func (p *pid) Update(err, dt float64) float64 {
+	p.integral += err * dt
+	var deriv float64
+	if p.havePrior && dt > 0 {
+		deriv = (err - p.lastErr) / dt
+	}
+	p.lastErr = err
+	p.havePrior = true
+
+	out := p.kp*err + p.ki*p.integral + p.kd*deriv
+	// Anti-windup: when the output saturates, stop accumulating in the
+	// saturating direction.
+	if out > p.outMax {
+		if p.ki != 0 {
+			p.integral -= err * dt
+		}
+		return p.outMax
+	}
+	if out < p.outMin {
+		if p.ki != 0 {
+			p.integral -= err * dt
+		}
+		return p.outMin
+	}
+	return out
+}
+
+// Reset clears the controller's accumulated state.
+func (p *pid) Reset() {
+	p.integral = 0
+	p.lastErr = 0
+	p.havePrior = false
+}
+
+// State returns the integrator and last error for stable-storage
+// checkpointing.
+func (p *pid) State() (integral, lastErr float64) { return p.integral, p.lastErr }
+
+// Restore reinstates checkpointed controller state.
+func (p *pid) Restore(integral, lastErr float64) {
+	p.integral = integral
+	p.lastErr = lastErr
+	p.havePrior = true
+}
+
+// clamp limits v to [lo, hi].
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// wrapDeg180 wraps an angle difference into (-180, 180].
+func wrapDeg180(d float64) float64 {
+	for d > 180 {
+		d -= 360
+	}
+	for d <= -180 {
+		d += 360
+	}
+	return d
+}
+
+// wrapDeg360 wraps a heading into [0, 360).
+func wrapDeg360(h float64) float64 {
+	for h < 0 {
+		h += 360
+	}
+	for h >= 360 {
+		h -= 360
+	}
+	return h
+}

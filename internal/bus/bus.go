@@ -1,0 +1,285 @@
+// Package bus simulates the ultra-dependable, real-time data bus the
+// reconfiguration architecture assumes (section 3 of Strunk, Knight and
+// Aiello, DSN 2005): a time-triggered bus in the style of the Time-Triggered
+// Architecture, carrying application traffic and sensor/actuator traffic in
+// statically scheduled TDMA slots.
+//
+// The simulation is frame-synchronous: endpoints stage messages during a
+// frame (bounded by their slot's capacity), and the bus delivers all staged
+// messages to subscriber inboxes at the frame boundary, in slot order. The
+// paper assumes the bus itself is ultra-dependable, so no loss or
+// reordering occurs by default; a fault hook exists for robustness
+// experiments beyond the paper's assumptions.
+package bus
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Errors reported by this package.
+var (
+	// ErrUnknownEndpoint reports an operation naming an unattached
+	// endpoint.
+	ErrUnknownEndpoint = errors.New("bus: unknown endpoint")
+	// ErrDuplicateEndpoint reports an Attach with an identifier already
+	// in use.
+	ErrDuplicateEndpoint = errors.New("bus: duplicate endpoint")
+	// ErrNoSlot reports a Publish from an endpoint that owns no TDMA
+	// slot.
+	ErrNoSlot = errors.New("bus: endpoint owns no slot")
+	// ErrSlotOverflow reports a Publish exceeding the endpoint's slot
+	// capacity for the current frame.
+	ErrSlotOverflow = errors.New("bus: slot capacity exceeded")
+)
+
+// EndpointID identifies a bus endpoint (an application, the SCRAM, or a
+// sensor/actuator interface unit).
+type EndpointID string
+
+// Message is one bus transfer.
+type Message struct {
+	// From is the publishing endpoint.
+	From EndpointID
+	// Topic is the publish/subscribe channel.
+	Topic string
+	// Payload is the message body.
+	Payload []byte
+	// SentFrame is the frame in which the message was staged; it is
+	// delivered at that frame's boundary and readable in the next frame,
+	// mirroring the one-frame latency of a TDMA round.
+	SentFrame int64
+}
+
+// Slot is one entry of the static TDMA schedule: which endpoint owns it and
+// how many messages the endpoint may stage per frame.
+type Slot struct {
+	Owner EndpointID
+	// MaxMessages bounds the owner's traffic per frame. Zero means an
+	// unconstrained simulation slot.
+	MaxMessages int
+}
+
+// Schedule is the static TDMA schedule for one frame. Delivery order
+// follows schedule order, making the simulation deterministic.
+type Schedule []Slot
+
+// Bus is a simulated time-triggered bus. Create one with New. A Bus is safe
+// for concurrent use by its endpoints within a frame.
+type Bus struct {
+	mu        sync.Mutex
+	schedule  Schedule
+	slotOf    map[EndpointID]Slot
+	endpoints map[EndpointID]*Endpoint
+	order     []EndpointID
+	faultHook func(Message) bool
+	delivered int64
+	dropped   int64
+}
+
+// New returns a bus with the given static schedule. Multiple slots per owner
+// are allowed; their capacities add.
+func New(schedule Schedule) *Bus {
+	slotOf := make(map[EndpointID]Slot)
+	for _, s := range schedule {
+		cur, ok := slotOf[s.Owner]
+		if !ok {
+			slotOf[s.Owner] = s
+			continue
+		}
+		cur.MaxMessages += s.MaxMessages
+		slotOf[s.Owner] = cur
+	}
+	return &Bus{
+		schedule:  schedule,
+		slotOf:    slotOf,
+		endpoints: make(map[EndpointID]*Endpoint),
+	}
+}
+
+// Attach creates and registers an endpoint.
+func (b *Bus) Attach(id EndpointID) (*Endpoint, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, dup := b.endpoints[id]; dup {
+		return nil, fmt.Errorf("%w: %q", ErrDuplicateEndpoint, id)
+	}
+	ep := &Endpoint{id: id, bus: b, topics: make(map[string]bool)}
+	b.endpoints[id] = ep
+	b.order = append(b.order, id)
+	sort.Slice(b.order, func(i, j int) bool { return b.order[i] < b.order[j] })
+	return ep, nil
+}
+
+// Detach removes an endpoint (for example when its hosting processor is
+// powered off permanently). Pending inbox contents are dropped.
+func (b *Bus) Detach(id EndpointID) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, ok := b.endpoints[id]; !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownEndpoint, id)
+	}
+	delete(b.endpoints, id)
+	for i, e := range b.order {
+		if e == id {
+			b.order = append(b.order[:i], b.order[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// Endpoint returns a previously attached endpoint.
+func (b *Bus) Endpoint(id EndpointID) (*Endpoint, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	ep, ok := b.endpoints[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownEndpoint, id)
+	}
+	return ep, nil
+}
+
+// SetFaultHook installs a hook consulted once per staged message at delivery
+// time; returning true drops the message. The paper assumes an
+// ultra-dependable bus, so the hook exists only for experiments beyond the
+// paper's fault model. Passing nil removes the hook.
+func (b *Bus) SetFaultHook(hook func(Message) bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.faultHook = hook
+}
+
+// Stats returns the counts of delivered and dropped messages.
+func (b *Bus) Stats() (delivered, dropped int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.delivered, b.dropped
+}
+
+// DeliverFrame moves every message staged during the given frame into the
+// inboxes of subscribing endpoints. Delivery follows TDMA slot order, then
+// staging order within an endpoint, so results are deterministic. The frame
+// runtime calls DeliverFrame from a frame-end hook.
+func (b *Bus) DeliverFrame(frameNum int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+
+	// Collect sending endpoints in slot order, without duplicates.
+	var senders []*Endpoint
+	seen := make(map[EndpointID]bool)
+	for _, slot := range b.schedule {
+		if seen[slot.Owner] {
+			continue
+		}
+		seen[slot.Owner] = true
+		if ep, ok := b.endpoints[slot.Owner]; ok {
+			senders = append(senders, ep)
+		}
+	}
+	// Endpoints without slots may still have staged nothing; include any
+	// stragglers (endpoints attached but scheduled under a wildcard
+	// simulation setup) in ID order for determinism.
+	for _, id := range b.order {
+		if !seen[id] {
+			senders = append(senders, b.endpoints[id])
+		}
+	}
+
+	for _, sender := range senders {
+		staged := sender.takeStaged()
+		for _, msg := range staged {
+			msg.SentFrame = frameNum
+			if b.faultHook != nil && b.faultHook(msg) {
+				b.dropped++
+				continue
+			}
+			for _, id := range b.order {
+				rcpt := b.endpoints[id]
+				if rcpt.subscribed(msg.Topic) {
+					rcpt.deliver(msg)
+					b.delivered++
+				}
+			}
+		}
+	}
+}
+
+// Endpoint is one attachment point on the bus.
+type Endpoint struct {
+	id  EndpointID
+	bus *Bus
+
+	mu     sync.Mutex
+	topics map[string]bool
+	staged []Message
+	inbox  []Message
+}
+
+// ID returns the endpoint identifier.
+func (e *Endpoint) ID() EndpointID { return e.id }
+
+// Publish stages a message on topic for delivery at the frame boundary. It
+// fails if the endpoint owns no TDMA slot or the slot's per-frame capacity
+// is exhausted. The payload is copied.
+func (e *Endpoint) Publish(topic string, payload []byte) error {
+	slot, ok := e.bus.slotOf[e.id]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoSlot, e.id)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if slot.MaxMessages > 0 && len(e.staged) >= slot.MaxMessages {
+		return fmt.Errorf("%w: %q staged %d, slot capacity %d", ErrSlotOverflow, e.id, len(e.staged), slot.MaxMessages)
+	}
+	cp := make([]byte, len(payload))
+	copy(cp, payload)
+	e.staged = append(e.staged, Message{From: e.id, Topic: topic, Payload: cp})
+	return nil
+}
+
+// Subscribe adds a topic subscription. Subscribing twice is a no-op.
+func (e *Endpoint) Subscribe(topic string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.topics[topic] = true
+}
+
+// Unsubscribe removes a topic subscription.
+func (e *Endpoint) Unsubscribe(topic string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	delete(e.topics, topic)
+}
+
+// Receive drains and returns the endpoint's inbox: every message delivered
+// at earlier frame boundaries and not yet read.
+func (e *Endpoint) Receive() []Message {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := e.inbox
+	e.inbox = nil
+	return out
+}
+
+func (e *Endpoint) takeStaged() []Message {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := e.staged
+	e.staged = nil
+	return out
+}
+
+func (e *Endpoint) subscribed(topic string) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.topics[topic]
+}
+
+func (e *Endpoint) deliver(msg Message) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.inbox = append(e.inbox, msg)
+}

@@ -1,0 +1,311 @@
+package bus
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/frame"
+)
+
+func twoEndpointBus(t *testing.T) (*Bus, *Endpoint, *Endpoint) {
+	t.Helper()
+	b := New(Schedule{
+		{Owner: "a", MaxMessages: 4},
+		{Owner: "b", MaxMessages: 4},
+	})
+	a, err := b.Attach("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := b.Attach("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b, a, bb
+}
+
+func TestPublishDeliverReceive(t *testing.T) {
+	b, a, bb := twoEndpointBus(t)
+	bb.Subscribe("telemetry")
+
+	if err := a.Publish("telemetry", []byte("alt=1000")); err != nil {
+		t.Fatal(err)
+	}
+	// Not yet delivered: delivery happens at the frame boundary.
+	if msgs := bb.Receive(); len(msgs) != 0 {
+		t.Fatalf("received %d messages before delivery", len(msgs))
+	}
+	b.DeliverFrame(0)
+	msgs := bb.Receive()
+	if len(msgs) != 1 {
+		t.Fatalf("received %d messages, want 1", len(msgs))
+	}
+	m := msgs[0]
+	if m.From != "a" || m.Topic != "telemetry" || string(m.Payload) != "alt=1000" || m.SentFrame != 0 {
+		t.Errorf("message = %+v", m)
+	}
+	// Inbox drained.
+	if msgs := bb.Receive(); len(msgs) != 0 {
+		t.Errorf("inbox not drained: %d", len(msgs))
+	}
+	delivered, dropped := b.Stats()
+	if delivered != 1 || dropped != 0 {
+		t.Errorf("stats = %d, %d; want 1, 0", delivered, dropped)
+	}
+}
+
+func TestNoSubscriberNoDelivery(t *testing.T) {
+	b, a, bb := twoEndpointBus(t)
+	if err := a.Publish("lonely", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	b.DeliverFrame(0)
+	if msgs := bb.Receive(); len(msgs) != 0 {
+		t.Errorf("unsubscribed endpoint received %d messages", len(msgs))
+	}
+}
+
+func TestUnsubscribe(t *testing.T) {
+	b, a, bb := twoEndpointBus(t)
+	bb.Subscribe("t")
+	bb.Unsubscribe("t")
+	if err := a.Publish("t", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	b.DeliverFrame(0)
+	if msgs := bb.Receive(); len(msgs) != 0 {
+		t.Errorf("unsubscribed endpoint received %d messages", len(msgs))
+	}
+}
+
+func TestSelfDelivery(t *testing.T) {
+	b, a, _ := twoEndpointBus(t)
+	a.Subscribe("loop")
+	if err := a.Publish("loop", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	b.DeliverFrame(0)
+	if msgs := a.Receive(); len(msgs) != 1 {
+		t.Errorf("self delivery got %d messages, want 1", len(msgs))
+	}
+}
+
+func TestSlotCapacity(t *testing.T) {
+	b := New(Schedule{{Owner: "a", MaxMessages: 2}})
+	a, err := b.Attach("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := a.Publish("t", nil); err != nil {
+			t.Fatalf("publish %d: %v", i, err)
+		}
+	}
+	if err := a.Publish("t", nil); !errors.Is(err, ErrSlotOverflow) {
+		t.Fatalf("overflow publish = %v, want ErrSlotOverflow", err)
+	}
+	// Capacity resets after delivery.
+	b.DeliverFrame(0)
+	if err := a.Publish("t", nil); err != nil {
+		t.Fatalf("publish after delivery: %v", err)
+	}
+}
+
+func TestMultipleSlotsAddCapacity(t *testing.T) {
+	b := New(Schedule{
+		{Owner: "a", MaxMessages: 1},
+		{Owner: "a", MaxMessages: 1},
+	})
+	a, err := b.Attach("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := a.Publish("t", nil); err != nil {
+			t.Fatalf("publish %d: %v", i, err)
+		}
+	}
+	if err := a.Publish("t", nil); !errors.Is(err, ErrSlotOverflow) {
+		t.Fatalf("third publish = %v, want ErrSlotOverflow", err)
+	}
+}
+
+func TestPublishWithoutSlot(t *testing.T) {
+	b := New(Schedule{{Owner: "a", MaxMessages: 1}})
+	noSlot, err := b.Attach("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := noSlot.Publish("t", nil); !errors.Is(err, ErrNoSlot) {
+		t.Fatalf("slotless publish = %v, want ErrNoSlot", err)
+	}
+}
+
+func TestAttachDetachErrors(t *testing.T) {
+	b := New(Schedule{})
+	if _, err := b.Attach("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Attach("a"); !errors.Is(err, ErrDuplicateEndpoint) {
+		t.Errorf("duplicate attach = %v", err)
+	}
+	if _, err := b.Endpoint("a"); err != nil {
+		t.Errorf("Endpoint(a) = %v", err)
+	}
+	if _, err := b.Endpoint("ghost"); !errors.Is(err, ErrUnknownEndpoint) {
+		t.Errorf("Endpoint(ghost) = %v", err)
+	}
+	if err := b.Detach("a"); err != nil {
+		t.Errorf("Detach(a) = %v", err)
+	}
+	if err := b.Detach("a"); !errors.Is(err, ErrUnknownEndpoint) {
+		t.Errorf("double detach = %v", err)
+	}
+}
+
+func TestDeterministicSlotOrderDelivery(t *testing.T) {
+	// Schedule order, not attach order, determines delivery order.
+	b := New(Schedule{
+		{Owner: "second", MaxMessages: 1},
+		{Owner: "first", MaxMessages: 1},
+	})
+	first, _ := b.Attach("first")
+	second, _ := b.Attach("second")
+	sink, err := b.Attach("sink")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink.Subscribe("t")
+
+	if err := first.Publish("t", []byte("from-first")); err != nil {
+		t.Fatal(err)
+	}
+	if err := second.Publish("t", []byte("from-second")); err != nil {
+		t.Fatal(err)
+	}
+	b.DeliverFrame(0)
+	msgs := sink.Receive()
+	if len(msgs) != 2 {
+		t.Fatalf("got %d messages, want 2", len(msgs))
+	}
+	if string(msgs[0].Payload) != "from-second" || string(msgs[1].Payload) != "from-first" {
+		t.Errorf("delivery order = [%s, %s], want slot order [from-second, from-first]",
+			msgs[0].Payload, msgs[1].Payload)
+	}
+}
+
+func TestPayloadCopied(t *testing.T) {
+	b, a, bb := twoEndpointBus(t)
+	bb.Subscribe("t")
+	payload := []byte("orig")
+	if err := a.Publish("t", payload); err != nil {
+		t.Fatal(err)
+	}
+	payload[0] = 'X'
+	b.DeliverFrame(0)
+	msgs := bb.Receive()
+	if string(msgs[0].Payload) != "orig" {
+		t.Errorf("payload aliased: %q", msgs[0].Payload)
+	}
+}
+
+func TestFaultHookDrops(t *testing.T) {
+	b, a, bb := twoEndpointBus(t)
+	bb.Subscribe("t")
+	b.SetFaultHook(func(m Message) bool { return m.Topic == "t" })
+	if err := a.Publish("t", nil); err != nil {
+		t.Fatal(err)
+	}
+	b.DeliverFrame(0)
+	if msgs := bb.Receive(); len(msgs) != 0 {
+		t.Errorf("dropped message delivered")
+	}
+	_, dropped := b.Stats()
+	if dropped != 1 {
+		t.Errorf("dropped = %d, want 1", dropped)
+	}
+	b.SetFaultHook(nil)
+	if err := a.Publish("t", nil); err != nil {
+		t.Fatal(err)
+	}
+	b.DeliverFrame(1)
+	if msgs := bb.Receive(); len(msgs) != 1 {
+		t.Errorf("message dropped after hook removed")
+	}
+}
+
+func TestSensorActuatorUnits(t *testing.T) {
+	b := New(Schedule{{Owner: "alt-sensor", MaxMessages: 1}})
+	var applied []string
+	sensor, err := NewSensorUnit(b, "alt-sensor", "sensors/alt", func(frameNum int64) []byte {
+		return []byte(strconv.FormatInt(1000+frameNum, 10))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	actuator, err := NewActuatorUnit(b, "elevator", "sensors/alt", func(frameNum int64, p []byte) {
+		applied = append(applied, fmt.Sprintf("f%d:%s", frameNum, p))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sched, err := frame.NewScheduler(time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sched.Close()
+	if err := sched.AddTask(sensor); err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.AddTask(actuator); err != nil {
+		t.Fatal(err)
+	}
+	sched.AddCommitHook(func(ctx frame.Context) error {
+		b.DeliverFrame(ctx.Frame)
+		return nil
+	})
+	if err := sched.Run(3); err != nil {
+		t.Fatal(err)
+	}
+	// Frame 0's sample arrives in frame 1, etc.
+	want := []string{"f1:1000", "f2:1001"}
+	if len(applied) != len(want) {
+		t.Fatalf("applied = %v, want %v", applied, want)
+	}
+	for i := range want {
+		if applied[i] != want[i] {
+			t.Errorf("applied[%d] = %q, want %q", i, applied[i], want[i])
+		}
+	}
+	if sensor.TaskID() != "sensor:alt-sensor" || actuator.TaskID() != "actuator:elevator" {
+		t.Errorf("task IDs = %q, %q", sensor.TaskID(), actuator.TaskID())
+	}
+}
+
+func TestSensorUnitSlotOverflowSurfaces(t *testing.T) {
+	b := New(Schedule{}) // sensor owns no slot
+	sensor, err := NewSensorUnit(b, "s", "t", func(int64) []byte { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sensor.Tick(frame.Context{}); !errors.Is(err, ErrNoSlot) {
+		t.Errorf("Tick = %v, want ErrNoSlot", err)
+	}
+}
+
+func TestUnitAttachErrors(t *testing.T) {
+	b := New(Schedule{})
+	if _, err := b.Attach("dup"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewSensorUnit(b, "dup", "t", nil); !errors.Is(err, ErrDuplicateEndpoint) {
+		t.Errorf("NewSensorUnit dup = %v", err)
+	}
+	if _, err := NewActuatorUnit(b, "dup", "t", nil); !errors.Is(err, ErrDuplicateEndpoint) {
+		t.Errorf("NewActuatorUnit dup = %v", err)
+	}
+}

@@ -1,0 +1,73 @@
+package bus
+
+import (
+	"fmt"
+
+	"repro/internal/frame"
+)
+
+// SensorFunc samples a sensor, returning the encoded reading for the frame.
+type SensorFunc func(frameNum int64) []byte
+
+// ActuatorFunc applies a command received from the bus.
+type ActuatorFunc func(frameNum int64, payload []byte)
+
+// SensorUnit is an interface unit (section 3) connecting a sensor to the
+// data bus: each frame it samples the sensor and publishes the reading on
+// its topic. It implements frame.Task.
+type SensorUnit struct {
+	ep     *Endpoint
+	topic  string
+	sample SensorFunc
+}
+
+// NewSensorUnit attaches a sensor interface unit to the bus.
+func NewSensorUnit(b *Bus, id EndpointID, topic string, sample SensorFunc) (*SensorUnit, error) {
+	ep, err := b.Attach(id)
+	if err != nil {
+		return nil, err
+	}
+	return &SensorUnit{ep: ep, topic: topic, sample: sample}, nil
+}
+
+// TaskID implements frame.Task.
+func (u *SensorUnit) TaskID() string { return "sensor:" + string(u.ep.ID()) }
+
+// Tick samples the sensor and publishes the reading.
+func (u *SensorUnit) Tick(ctx frame.Context) error {
+	reading := u.sample(ctx.Frame)
+	if err := u.ep.Publish(u.topic, reading); err != nil {
+		return fmt.Errorf("sensor %q: %w", u.ep.ID(), err)
+	}
+	return nil
+}
+
+// ActuatorUnit is an interface unit connecting an actuator to the data bus:
+// each frame it drains its inbox and applies every command received. It
+// implements frame.Task.
+type ActuatorUnit struct {
+	ep    *Endpoint
+	apply ActuatorFunc
+}
+
+// NewActuatorUnit attaches an actuator interface unit to the bus,
+// subscribing it to the given command topic.
+func NewActuatorUnit(b *Bus, id EndpointID, topic string, apply ActuatorFunc) (*ActuatorUnit, error) {
+	ep, err := b.Attach(id)
+	if err != nil {
+		return nil, err
+	}
+	ep.Subscribe(topic)
+	return &ActuatorUnit{ep: ep, apply: apply}, nil
+}
+
+// TaskID implements frame.Task.
+func (u *ActuatorUnit) TaskID() string { return "actuator:" + string(u.ep.ID()) }
+
+// Tick applies every command delivered at earlier frame boundaries.
+func (u *ActuatorUnit) Tick(ctx frame.Context) error {
+	for _, msg := range u.ep.Receive() {
+		u.apply(ctx.Frame, msg.Payload)
+	}
+	return nil
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/spec"
+)
+
+// BasicApp is a minimal correct reconfigurable application driven entirely
+// by its declaration: every phase takes exactly the number of frames the
+// relevant functional specification declares, normal operation counts work
+// units in stable storage, and the post/preconditions are tracked honestly.
+// It is the reference implementation used by randomized campaigns and a
+// convenient starting point for real applications.
+type BasicApp struct {
+	decl *spec.App
+
+	stepCount  int64
+	phaseLeft  int
+	phaseKey   string
+	halted     bool
+	readySpecs map[spec.SpecID]bool
+}
+
+// NewBasicApp builds a BasicApp from its declaration in the reconfiguration
+// specification.
+func NewBasicApp(decl *spec.App) *BasicApp {
+	return &BasicApp{
+		decl:       decl,
+		readySpecs: make(map[spec.SpecID]bool),
+	}
+}
+
+// ID implements App.
+func (a *BasicApp) ID() spec.AppID { return a.decl.ID }
+
+// Steps returns the number of normal work units performed.
+func (a *BasicApp) Steps() int64 { return a.stepCount }
+
+// Step implements App: one unit of counted work.
+func (a *BasicApp) Step(env *FrameEnv) error {
+	a.stepCount++
+	a.halted = false
+	n, _ := env.Store.GetInt64("work")
+	env.Store.PutInt64("work", n+1)
+	return nil
+}
+
+// phaseFrames returns the declared duration of the phase under sp.
+func (a *BasicApp) phaseFrames(phase spec.Phase, sp spec.SpecID) (int, error) {
+	s, ok := a.decl.Spec(sp)
+	if !ok {
+		return 0, fmt.Errorf("core: %q commanded under undeclared specification %q", a.decl.ID, sp)
+	}
+	switch phase {
+	case spec.PhaseHalt:
+		return s.HaltFrames, nil
+	case spec.PhasePrepare:
+		return s.PrepareFrames, nil
+	case spec.PhaseInit:
+		return s.InitFrames, nil
+	default:
+		return 0, fmt.Errorf("core: phase %v has no duration", phase)
+	}
+}
+
+// runPhase consumes one frame of the identified phase, returning done when
+// the declared duration has elapsed. The plan sequence number keys the
+// progress tracking so a retargeted window restarts the phase cleanly.
+func (a *BasicApp) runPhase(seq int64, phase spec.Phase, sp spec.SpecID) (bool, error) {
+	key := fmt.Sprintf("%d/%v/%s", seq, phase, sp)
+	if a.phaseKey != key {
+		frames, err := a.phaseFrames(phase, sp)
+		if err != nil {
+			return false, err
+		}
+		a.phaseKey = key
+		a.phaseLeft = frames
+	}
+	a.phaseLeft--
+	if a.phaseLeft > 0 {
+		return false, nil
+	}
+	a.phaseKey = ""
+	return true, nil
+}
+
+// Halt implements App.
+func (a *BasicApp) Halt(env *FrameEnv) (bool, error) {
+	done, err := a.runPhase(env.Seq, spec.PhaseHalt, env.Spec)
+	if err != nil {
+		return false, err
+	}
+	if done {
+		a.halted = true
+		env.Store.PutString("postcondition", "established")
+	}
+	return done, nil
+}
+
+// Prepare implements App.
+func (a *BasicApp) Prepare(env *FrameEnv, target spec.SpecID) (bool, error) {
+	return a.runPhase(env.Seq, spec.PhasePrepare, target)
+}
+
+// Init implements App.
+func (a *BasicApp) Init(env *FrameEnv, target spec.SpecID) (bool, error) {
+	done, err := a.runPhase(env.Seq, spec.PhaseInit, target)
+	if err != nil {
+		return false, err
+	}
+	if done {
+		a.readySpecs[target] = true
+		env.Store.PutString("spec", string(target))
+	}
+	return done, nil
+}
+
+// Postcondition implements App.
+func (a *BasicApp) Postcondition() bool { return a.halted }
+
+// Precondition implements App: true once Init has completed for the target
+// (and for the boot specification, which the platform establishes).
+func (a *BasicApp) Precondition(target spec.SpecID) bool {
+	if a.readySpecs[target] {
+		return true
+	}
+	// Boot: the platform initializes the starting specification.
+	return a.stepCount == 0 && len(a.readySpecs) == 0
+}

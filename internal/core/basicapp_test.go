@@ -1,0 +1,136 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/spec"
+	"repro/internal/stable"
+)
+
+func basicDecl() *spec.App {
+	return &spec.App{
+		ID: "app",
+		Specs: []spec.Specification{
+			{ID: "fast", HaltFrames: 1, PrepareFrames: 1, InitFrames: 1},
+			{ID: "slow", HaltFrames: 3, PrepareFrames: 2, InitFrames: 2},
+		},
+	}
+}
+
+func basicEnv(f int64, seq int64, sp spec.SpecID) (*FrameEnv, *stable.Store) {
+	st := stable.NewStore()
+	return &FrameEnv{Frame: f, Seq: seq, Spec: sp, Store: st.Region("app")}, st
+}
+
+func TestBasicAppStepCountsWork(t *testing.T) {
+	a := NewBasicApp(basicDecl())
+	env, st := basicEnv(0, 0, "fast")
+	// Commit after every step, as the frame runtime does: reads are
+	// committed-only, so the counter advances once per frame.
+	for i := 0; i < 5; i++ {
+		if err := a.Step(env); err != nil {
+			t.Fatal(err)
+		}
+		st.Commit()
+	}
+	if a.Steps() != 5 {
+		t.Errorf("Steps = %d", a.Steps())
+	}
+	n, err := env.Store.GetInt64("work")
+	if err != nil || n != 5 {
+		t.Errorf("work = %d, %v", n, err)
+	}
+	if a.ID() != "app" {
+		t.Errorf("ID = %s", a.ID())
+	}
+}
+
+func TestBasicAppPhaseDurations(t *testing.T) {
+	a := NewBasicApp(basicDecl())
+	env, _ := basicEnv(0, 1, "slow")
+
+	// Normal work first: the boot precondition no longer applies after
+	// this, so Init must genuinely establish preconditions below.
+	if err := a.Step(env); err != nil {
+		t.Fatal(err)
+	}
+
+	// Halt under "slow" takes 3 frames.
+	for i := 0; i < 2; i++ {
+		done, err := a.Halt(env)
+		if err != nil || done {
+			t.Fatalf("halt frame %d = %v, %v", i, done, err)
+		}
+		if a.Postcondition() {
+			t.Fatal("postcondition before halt completes")
+		}
+	}
+	done, err := a.Halt(env)
+	if err != nil || !done {
+		t.Fatalf("final halt frame = %v, %v", done, err)
+	}
+	if !a.Postcondition() {
+		t.Error("postcondition after halt")
+	}
+
+	// Prepare toward "fast" takes 1 frame.
+	done, err = a.Prepare(env, "fast")
+	if err != nil || !done {
+		t.Fatalf("prepare = %v, %v", done, err)
+	}
+	// Init toward "fast" takes 1 frame and establishes the precondition.
+	if a.Precondition("fast") {
+		t.Error("precondition before init (after work happened)")
+	}
+	done, err = a.Init(env, "fast")
+	if err != nil || !done {
+		t.Fatalf("init = %v, %v", done, err)
+	}
+	if !a.Precondition("fast") {
+		t.Error("precondition after init")
+	}
+}
+
+func TestBasicAppBootPrecondition(t *testing.T) {
+	a := NewBasicApp(basicDecl())
+	if !a.Precondition("fast") {
+		t.Error("fresh app lacks boot precondition")
+	}
+	env, _ := basicEnv(0, 0, "fast")
+	if err := a.Step(env); err != nil {
+		t.Fatal(err)
+	}
+	// After work has happened, only initialized specs hold.
+	if a.Precondition("slow") {
+		t.Error("uninitialized spec has precondition after work")
+	}
+}
+
+func TestBasicAppSeqChangeRestartsPhase(t *testing.T) {
+	a := NewBasicApp(basicDecl())
+	env, _ := basicEnv(0, 1, "slow")
+	// One frame of a 2-frame prepare under seq 1...
+	if done, _ := a.Prepare(env, "slow"); done {
+		t.Fatal("2-frame prepare done in 1 frame")
+	}
+	// ... then the plan is retargeted (seq 2): the same phase restarts
+	// from scratch and again needs its full 2 frames.
+	env2, _ := basicEnv(1, 2, "slow")
+	if done, _ := a.Prepare(env2, "slow"); done {
+		t.Fatal("retargeted prepare completed early")
+	}
+	if done, _ := a.Prepare(env2, "slow"); !done {
+		t.Fatal("retargeted prepare did not complete in its declared frames")
+	}
+}
+
+func TestBasicAppRejectsUndeclaredSpec(t *testing.T) {
+	a := NewBasicApp(basicDecl())
+	env, _ := basicEnv(0, 1, "ghost")
+	if _, err := a.Halt(env); err == nil {
+		t.Error("halt under undeclared spec accepted")
+	}
+	if _, err := a.Prepare(env, "ghost"); err == nil {
+		t.Error("prepare toward undeclared spec accepted")
+	}
+}

@@ -1,0 +1,50 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/envmon"
+	"repro/internal/spec"
+	"repro/internal/spectest"
+)
+
+// A complete system: reference applications over the canonical
+// three-configuration specification, a scripted power loss at frame 10, and
+// the SP1-SP4 verdict over the recorded trace.
+func ExampleNewSystem() {
+	rs := spectest.ThreeConfig()
+	apps := map[spec.AppID]core.App{}
+	for _, decl := range rs.RealApps() {
+		decl := decl
+		apps[decl.ID] = core.NewBasicApp(&decl)
+	}
+	sys, err := core.NewSystem(core.Options{
+		Spec: rs,
+		Apps: apps,
+		Classifier: func(f map[envmon.Factor]string) spec.EnvState {
+			return spec.EnvState(f["power"])
+		},
+		InitialFactors: map[envmon.Factor]string{"power": string(spectest.EnvFull)},
+		Script: []envmon.Event{
+			{Frame: 10, Factor: "power", Value: string(spectest.EnvReduced)},
+		},
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer sys.Close()
+	if err := sys.Run(30); err != nil {
+		panic(err)
+	}
+
+	fmt.Println("configuration:", sys.Kernel().Current())
+	for _, r := range sys.Trace().Reconfigs() {
+		fmt.Printf("window [%d,%d]: %s -> %s\n", r.StartC, r.EndC, r.From, r.To)
+	}
+	fmt.Println("violations:", len(sys.CheckProperties()))
+	// Output:
+	// configuration: reduced
+	// window [10,14]: full -> reduced
+	// violations: 0
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/envmon"
+	"repro/internal/failstop"
+	"repro/internal/frame"
+	"repro/internal/scram"
+	"repro/internal/spec"
+	"repro/internal/stable"
+)
+
+// scramManager hosts the SCRAM kernel on a fail-stop processor and,
+// optionally, fails over to a standby processor. The paper leaves the
+// SCRAM's dependable implementation open ("allocating it to a fail-stop
+// processor so that any faults in its hardware will be masked", or
+// distribution over several processors); this manager realizes the
+// fail-stop-plus-standby variant: the kernel persists its state to its
+// processor's stable storage every frame, and on a primary failure the
+// standby polls that stable storage — which survives the failure — restores
+// the state, and continues the protocol on its own processor.
+//
+// The manager also buffers monitor signals: signals are delivered to the
+// manager (the signal path of Figure 1) and forwarded to the active kernel
+// at the commit step, so signals raised during the takeover frame are not
+// lost with the primary's volatile memory.
+type scramManager struct {
+	rs      *spec.ReconfigSpec
+	primary *failstop.Processor
+	standby *failstop.Processor // nil when not replicated
+
+	mu      sync.Mutex
+	pending []envmon.Signal
+
+	active       *scram.Kernel
+	activeProc   *failstop.Processor
+	tookOver     bool
+	takeoverAt   int64
+	takeoverSeen bool
+}
+
+// newSCRAMManager builds the manager with a fresh kernel on the primary.
+func newSCRAMManager(rs *spec.ReconfigSpec, primary, standby *failstop.Processor) (*scramManager, error) {
+	k, err := scram.NewKernel(rs, primary.Stable())
+	if err != nil {
+		return nil, err
+	}
+	return &scramManager{
+		rs:         rs,
+		primary:    primary,
+		standby:    standby,
+		active:     k,
+		activeProc: primary,
+	}, nil
+}
+
+// Signal enqueues a monitor signal for delivery at the commit step. Safe for
+// concurrent use by monitor tasks.
+func (m *scramManager) Signal(sig envmon.Signal) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.pending = append(m.pending, sig)
+}
+
+// store returns the active kernel's stable store — where applications read
+// their commands.
+func (m *scramManager) store() *stable.Store { return m.active.Store() }
+
+// kernel returns the active kernel.
+func (m *scramManager) kernel() *scram.Kernel { return m.active }
+
+// hook is the manager's frame-commit step: fail over if needed, deliver the
+// frame's signals, and advance the kernel.
+func (m *scramManager) hook(ctx frame.Context) error {
+	if !m.activeProc.Alive() {
+		if m.standby == nil || m.tookOver || !m.standby.Alive() {
+			// The SCRAM is gone. No commands are written; a
+			// reconfiguration in progress stalls, which the SP3
+			// checker surfaces. This is precisely why the paper
+			// requires a dependable SCRAM implementation.
+			return nil
+		}
+		snapshot := m.activeProc.Stable().Snapshot()
+		k, err := scram.Restore(m.rs, m.standby.Stable(), snapshot)
+		if err != nil {
+			return fmt.Errorf("core: SCRAM takeover: %w", err)
+		}
+		m.active = k
+		m.activeProc = m.standby
+		m.tookOver = true
+		m.takeoverAt = ctx.Frame
+		m.takeoverSeen = true
+	}
+	m.mu.Lock()
+	sigs := m.pending
+	m.pending = nil
+	m.mu.Unlock()
+	for _, sig := range sigs {
+		m.active.Signal(sig)
+	}
+	return m.active.EndOfFrame(ctx)
+}
+
+// TookOverAt reports whether (and at which frame) a standby takeover
+// happened.
+func (m *scramManager) TookOverAt() (int64, bool) {
+	return m.takeoverAt, m.takeoverSeen
+}

@@ -1,0 +1,584 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/bus"
+	"repro/internal/envmon"
+	"repro/internal/failstop"
+	"repro/internal/frame"
+	"repro/internal/scram"
+	"repro/internal/spec"
+	"repro/internal/statics"
+	"repro/internal/trace"
+)
+
+// ObligationError reports that a specification's static proof obligations
+// failed, refusing system construction — the analog of a failed PVS type
+// check of an instantiation against the abstract architecture.
+type ObligationError struct {
+	Report *statics.Report
+}
+
+// Error lists the failed obligations.
+func (e *ObligationError) Error() string {
+	return fmt.Sprintf("core: static obligations failed: %v", e.Report.Failures())
+}
+
+// ProcEventKind selects a processor fault-injection action.
+type ProcEventKind int
+
+// Processor event kinds.
+const (
+	// ProcFail makes the processor fail with fail-stop semantics during
+	// the event's frame: the frame's staged stable writes are lost, the
+	// last committed state survives, and monitors observe the failure in
+	// the same frame.
+	ProcFail ProcEventKind = iota + 1
+	// ProcRepair restores the processor between frames: it is alive from
+	// the event's frame on.
+	ProcRepair
+)
+
+// ProcEvent schedules a processor failure or repair.
+type ProcEvent struct {
+	Frame int64
+	Proc  spec.ProcID
+	Kind  ProcEventKind
+}
+
+// ProcHealthFactor returns the environment factor name carrying a
+// processor's health, which classifiers can consult.
+func ProcHealthFactor(id spec.ProcID) envmon.Factor {
+	return envmon.Factor("proc/" + string(id))
+}
+
+// Health factor values.
+const (
+	ProcOK     = "ok"
+	ProcFailed = "failed"
+)
+
+// Options configures NewSystem.
+type Options struct {
+	// Spec is the reconfiguration specification. Required.
+	Spec *spec.ReconfigSpec
+	// Apps provides the implementation of every non-virtual application
+	// declared in the specification. Required.
+	Apps map[spec.AppID]App
+	// Classifier abstracts environment factors into the specification's
+	// environment states. Required.
+	Classifier envmon.Classifier
+	// InitialFactors seeds the environment. Processor health factors are
+	// added automatically (all "ok").
+	InitialFactors map[envmon.Factor]string
+	// Script drives deterministic environment evolution.
+	Script []envmon.Event
+	// ProcEvents schedules processor failures and repairs.
+	ProcEvents []ProcEvent
+	// BusSchedule, when non-nil, attaches a time-triggered bus with the
+	// given TDMA schedule; every application gets an endpoint named by
+	// its application ID.
+	BusSchedule bus.Schedule
+	// SCRAMProc selects the processor hosting the SCRAM kernel; defaults
+	// to the first platform processor.
+	SCRAMProc spec.ProcID
+	// StandbyProc, when set, enables the replicated SCRAM: a standby on
+	// this processor takes over if the SCRAM's processor fails.
+	StandbyProc spec.ProcID
+	// HotStandby maps applications to spare processors, enabling the
+	// section 5.1 hybrid: a failure of a hot-standby application's host
+	// is masked — the application fails over to the spare within the
+	// failure frame, restoring from the failed host's stable storage —
+	// while failures of everything else still trigger reconfiguration.
+	HotStandby map[spec.AppID]spec.ProcID
+	// Paced runs frames against the wall clock (soft real time) instead
+	// of as fast as possible.
+	Paced bool
+	// SkipObligations builds the system even if static obligations fail.
+	// It exists so tests can execute deliberately broken specifications
+	// and watch the runtime property checkers catch them; production
+	// callers must not set it.
+	SkipObligations bool
+}
+
+// System is a fully wired reconfigurable system.
+type System struct {
+	rs       *spec.ReconfigSpec
+	report   *statics.Report
+	sched    *frame.Scheduler
+	pool     *failstop.Pool
+	env      *envmon.Environment
+	bus      *bus.Bus
+	manager  *scramManager
+	classify envmon.Classifier
+
+	runtimes map[spec.AppID]*appRuntime
+	monitors []*envmon.Monitor
+	script   *envmon.Script
+	events   []ProcEvent
+	tr       *trace.Trace
+
+	lastPowerCfg string
+}
+
+// NewSystem validates the specification, discharges its static obligations,
+// and wires the full architecture. The returned system has executed no
+// frames yet.
+func NewSystem(opts Options) (*System, error) {
+	if opts.Spec == nil {
+		return nil, errors.New("core: Options.Spec is required")
+	}
+	if opts.Classifier == nil {
+		return nil, errors.New("core: Options.Classifier is required")
+	}
+	report, err := statics.Check(opts.Spec)
+	if err != nil {
+		return nil, err
+	}
+	if !report.AllDischarged() && !opts.SkipObligations {
+		return nil, &ObligationError{Report: report}
+	}
+	rs := opts.Spec
+
+	// Applications: every real app needs an implementation; unknown
+	// implementations are rejected.
+	for _, a := range rs.RealApps() {
+		if _, ok := opts.Apps[a.ID]; !ok {
+			return nil, fmt.Errorf("core: no implementation provided for application %q", a.ID)
+		}
+	}
+	for id := range opts.Apps {
+		if a, ok := rs.AppByID(id); !ok || a.Virtual {
+			return nil, fmt.Errorf("core: implementation provided for unknown or virtual application %q", id)
+		}
+	}
+	for id := range opts.HotStandby {
+		if a, ok := rs.AppByID(id); !ok || a.Virtual {
+			return nil, fmt.Errorf("core: hot standby declared for unknown or virtual application %q", id)
+		}
+	}
+
+	s := &System{
+		rs:       rs,
+		report:   report,
+		pool:     failstop.NewPool(rs.Platform),
+		classify: opts.Classifier,
+		runtimes: make(map[spec.AppID]*appRuntime),
+		events:   append([]ProcEvent(nil), opts.ProcEvents...),
+		tr:       &trace.Trace{System: rs.Name, FrameLen: rs.FrameLen},
+	}
+	sort.SliceStable(s.events, func(i, j int) bool { return s.events[i].Frame < s.events[j].Frame })
+
+	// Environment: user factors plus processor health.
+	factors := make(map[envmon.Factor]string, len(opts.InitialFactors)+len(rs.Platform.Procs))
+	for k, v := range opts.InitialFactors {
+		factors[k] = v
+	}
+	for _, p := range rs.Platform.Procs {
+		factors[ProcHealthFactor(p.ID)] = ProcOK
+	}
+	s.env = envmon.NewEnvironment(factors)
+	s.script = envmon.NewScript(s.env, opts.Script)
+	s.script.Init()
+
+	// SCRAM placement.
+	scramProcID := opts.SCRAMProc
+	if scramProcID == "" {
+		scramProcID = rs.Platform.Procs[0].ID
+	}
+	primary, err := s.pool.Proc(scramProcID)
+	if err != nil {
+		return nil, fmt.Errorf("core: SCRAM processor: %w", err)
+	}
+	var standby *failstop.Processor
+	if opts.StandbyProc != "" {
+		standby, err = s.pool.Proc(opts.StandbyProc)
+		if err != nil {
+			return nil, fmt.Errorf("core: SCRAM standby processor: %w", err)
+		}
+		if standby.ID() == primary.ID() {
+			return nil, errors.New("core: SCRAM standby must differ from primary")
+		}
+	}
+	s.manager, err = newSCRAMManager(rs, primary, standby)
+	if err != nil {
+		return nil, err
+	}
+
+	// Bus.
+	if opts.BusSchedule != nil {
+		s.bus = bus.New(opts.BusSchedule)
+	}
+
+	// Scheduler, tasks, hooks.
+	var schedOpts []frame.Option
+	if opts.Paced {
+		schedOpts = append(schedOpts, frame.WithPacing())
+	}
+	s.sched, err = frame.NewScheduler(rs.FrameLen, schedOpts...)
+	if err != nil {
+		return nil, err
+	}
+
+	startCfg, _ := rs.Config(rs.StartConfig)
+	for _, decl := range rs.RealApps() {
+		decl := decl
+		rt := &appRuntime{sys: s, app: opts.Apps[decl.ID], decl: &decl}
+		// Initial host: the start configuration's placement, or the
+		// first processor for applications that start off.
+		procID, placed := startCfg.Placement[decl.ID]
+		if !placed {
+			procID = rs.Platform.Procs[0].ID
+		}
+		rt.proc, _ = s.pool.Proc(procID)
+		if spareID, ok := opts.HotStandby[decl.ID]; ok {
+			spare, err := s.pool.Proc(spareID)
+			if err != nil {
+				return nil, fmt.Errorf("core: hot standby for %q: %w", decl.ID, err)
+			}
+			rt.spare = spare
+		}
+		startSpec, _ := startCfg.SpecOf(decl.ID)
+		rt.curSpec = startSpec
+		if startSpec == spec.SpecOff {
+			rt.preOK = true
+		} else {
+			rt.preOK = rt.app.Precondition(startSpec)
+		}
+		if s.bus != nil {
+			ep, err := s.bus.Attach(bus.EndpointID(decl.ID))
+			if err != nil {
+				return nil, err
+			}
+			rt.ep = ep
+		}
+		s.runtimes[decl.ID] = rt
+		if err := s.sched.AddTask(rt); err != nil {
+			return nil, err
+		}
+	}
+	for _, decl := range rs.Apps {
+		if !decl.Virtual {
+			continue
+		}
+		m := envmon.NewMonitor(decl.ID, s.env, s.classify, s.manager.Signal)
+		s.monitors = append(s.monitors, m)
+		if err := s.sched.AddTask(m); err != nil {
+			return nil, err
+		}
+	}
+
+	// Hook order matters; see each hook's comment.
+	s.sched.AddCommitHook(s.failureHook)    // fail-stop failures of this frame (staged writes must die)
+	s.sched.AddCommitHook(s.failoverHook)   // hot-standby failovers mask within the failure frame
+	s.sched.AddCommitHook(s.syncProcHealth) // hardware fault signals: health factors + direct SCRAM signal
+	s.sched.AddCommitHook(s.manager.hook)   // SCRAM plans and writes next-frame commands
+	if s.bus != nil {
+		s.sched.AddCommitHook(func(ctx frame.Context) error {
+			s.bus.DeliverFrame(ctx.Frame)
+			return nil
+		})
+	}
+	s.sched.AddCommitHook(s.commitHook)  // frame-atomic stable-storage commits
+	s.sched.AddCommitHook(s.powerHook)   // apply the new configuration's processor modes
+	s.sched.AddCommitHook(s.recordHook)  // append tr(cycle) to the trace
+	s.sched.AddCommitHook(s.injectHook)  // stage next frame's env changes and repairs
+	s.sched.AddCommitHook(s.script.Hook) // scripted env events for the next frame
+
+	s.lastPowerCfg = "cfg:" + string(rs.StartConfig)
+	s.applyProcModes(rs.StartConfig)
+	return s, nil
+}
+
+// failureHook applies ProcFail events scheduled for the frame that just
+// executed: the failing processors' staged writes are discarded before the
+// commit hook runs, realizing "stops at the end of the last instruction it
+// completed successfully".
+func (s *System) failureHook(ctx frame.Context) error {
+	for _, ev := range s.events {
+		if ev.Frame == ctx.Frame && ev.Kind == ProcFail {
+			if err := s.pool.Fail(ev.Proc, ctx.Frame); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// failoverHook performs hot-standby failovers within the failure frame: the
+// application's last committed state is restored onto the spare (staged now,
+// committed by this frame's commit hook) and the recorder never observes the
+// application interrupted — the failure is masked.
+func (s *System) failoverHook(frame.Context) error {
+	for _, decl := range s.rs.RealApps() {
+		if rt, ok := s.runtimes[decl.ID]; ok {
+			rt.maybeFailover()
+		}
+	}
+	return nil
+}
+
+// syncProcHealth is the hardware-fault-signal path of Figure 1: at the end
+// of every frame it reconciles the processor-health environment factors with
+// the pool's actual state, and delivers a newly detected failure straight to
+// the SCRAM within the same frame — covering both scheduled ProcEvents and
+// spontaneous failures raised during the frame (for example a self-checking
+// pair halting its processor on divergence).
+func (s *System) syncProcHealth(ctx frame.Context) error {
+	changed := false
+	for _, p := range s.pool.Procs() {
+		factor := ProcHealthFactor(p.ID())
+		want := ProcOK
+		if p.State() == failstop.StateFailed {
+			want = ProcFailed
+		}
+		cur, _ := s.env.Get(factor)
+		if cur == want {
+			continue
+		}
+		s.env.Set(factor, want)
+		if want == ProcFailed {
+			changed = true
+		}
+	}
+	if changed {
+		s.manager.Signal(envmon.Signal{
+			Source: s.failureSignalSource(),
+			State:  s.classify(s.env.Snapshot()),
+			Frame:  ctx.Frame,
+		})
+	}
+	return nil
+}
+
+// failureSignalSource picks the application attributed as the source of a
+// hardware fault signal: the first virtual (monitor) application, since the
+// platform's failure detectors play the monitor role for processor health.
+func (s *System) failureSignalSource() spec.AppID {
+	for _, a := range s.rs.Apps {
+		if a.Virtual {
+			return a.ID
+		}
+	}
+	return s.rs.Apps[0].ID
+}
+
+// commitHook commits every alive processor's stable storage: the end-of-frame
+// commit of section 6.1. Failed processors do not commit (their staged
+// writes died with them); powered-off processors have nothing staged.
+func (s *System) commitHook(frame.Context) error {
+	for _, p := range s.pool.Procs() {
+		if p.Alive() {
+			p.Stable().Commit()
+		}
+	}
+	return nil
+}
+
+// powerHook sequences processor power modes around reconfigurations.
+// Processors the target configuration needs are powered up as soon as the
+// plan starts (the prepare and initialize phases execute on them); the
+// orderly shutdown and low-power switches of the new configuration are
+// applied only after the window completes, when every application has left
+// the old placement.
+func (s *System) powerHook(frame.Context) error {
+	k := s.manager.kernel()
+	if target, seq, ok := k.PlanTarget(); ok {
+		key := fmt.Sprintf("plan:%d:%s", seq, target)
+		if key != s.lastPowerCfg {
+			s.lastPowerCfg = key
+			s.applyTransitionModes(k.Current(), target)
+		}
+		return nil
+	}
+	if key := "cfg:" + string(k.Current()); key != s.lastPowerCfg {
+		s.lastPowerCfg = key
+		s.applyProcModes(k.Current())
+	}
+	return nil
+}
+
+// scramProcs returns the processors that must never be shut down: the
+// kernel's hosts.
+func (s *System) scramProcs(needed map[spec.ProcID]bool) {
+	needed[s.manager.primary.ID()] = true
+	if s.manager.standby != nil {
+		needed[s.manager.standby.ID()] = true
+	}
+}
+
+// applyTransitionModes powers up (at full capacity) every processor either
+// the source or the target configuration places applications on, so entry
+// phases can execute. Nothing is shut down mid-transition.
+func (s *System) applyTransitionModes(source, target spec.ConfigID) {
+	needed := make(map[spec.ProcID]bool)
+	for _, id := range []spec.ConfigID{source, target} {
+		if cfg, ok := s.rs.Config(id); ok {
+			for _, p := range cfg.Placement {
+				needed[p] = true
+			}
+		}
+	}
+	s.scramProcs(needed)
+	for _, p := range s.pool.Procs() {
+		if !needed[p.ID()] || p.State() == failstop.StateFailed {
+			continue
+		}
+		if p.State() == failstop.StateOff {
+			p.Repair()
+		}
+		// SetLowPower cannot fail here: failed and off states are
+		// handled above.
+		_ = p.SetLowPower(false)
+	}
+}
+
+// applyProcModes applies a configuration's steady-state power modes:
+// low-power processors per the configuration, orderly shutdown of
+// processors hosting nothing (excluding the SCRAM's processors), restart of
+// previously powered-off processors the configuration needs again.
+func (s *System) applyProcModes(cfgID spec.ConfigID) {
+	cfg, ok := s.rs.Config(cfgID)
+	if !ok {
+		return
+	}
+	needed := make(map[spec.ProcID]bool)
+	for _, p := range cfg.Placement {
+		needed[p] = true
+	}
+	s.scramProcs(needed)
+	lowPower := make(map[spec.ProcID]bool)
+	for _, p := range cfg.LowPower {
+		lowPower[p] = true
+	}
+	for _, p := range s.pool.Procs() {
+		switch {
+		case p.State() == failstop.StateFailed:
+			// Failed processors stay failed until repaired.
+		case !needed[p.ID()]:
+			p.PowerOff()
+		default:
+			if p.State() == failstop.StateOff {
+				p.Repair()
+			}
+			// SetLowPower cannot fail here: failed and off states
+			// are handled above.
+			_ = p.SetLowPower(lowPower[p.ID()])
+		}
+	}
+}
+
+// recordHook appends the frame's system state to the trace: the formal
+// model's tr(cycle).
+func (s *System) recordHook(ctx frame.Context) error {
+	k := s.manager.kernel()
+	cur := k.Current()
+	st := trace.SysState{
+		Cycle:  ctx.Frame,
+		Config: cur,
+		Env:    s.classify(s.env.Snapshot()),
+		Apps:   make(map[spec.AppID]trace.AppState, len(s.rs.Apps)),
+	}
+	for _, decl := range s.rs.Apps {
+		status := k.StatusOf(decl.ID, ctx.Frame)
+		appSpec := k.SpecOf(decl.ID)
+		preOK := true
+		if !decl.Virtual {
+			rt := s.runtimes[decl.ID]
+			if appSpec != spec.SpecOff {
+				preOK = rt.preOK
+			}
+			// An application that should be running but whose actual
+			// host processor is down is interrupted: its AFTA cannot
+			// complete and awaits system recovery. (The runtime's
+			// host, not the static placement: a hot-standby failover
+			// or a migration may have moved the application.)
+			if status == trace.StatusNormal && appSpec != spec.SpecOff && !rt.proc.Alive() {
+				status = trace.StatusInterrupted
+			}
+		}
+		st.Apps[decl.ID] = trace.AppState{Status: status, Spec: appSpec, PreOK: preOK}
+	}
+	return s.tr.Append(st)
+}
+
+// injectHook applies, at the end of frame k, the health-factor changes and
+// repairs that must be visible in frame k+1.
+func (s *System) injectHook(ctx frame.Context) error {
+	next := ctx.Frame + 1
+	for _, ev := range s.events {
+		if ev.Frame != next {
+			continue
+		}
+		switch ev.Kind {
+		case ProcFail:
+			// Applied by failureHook during frame k+1; detection is
+			// handled uniformly by syncProcHealth.
+		case ProcRepair:
+			if err := s.pool.Repair(ev.Proc); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("core: unknown processor event kind %d", ev.Kind)
+		}
+	}
+	return nil
+}
+
+// Step executes one frame.
+func (s *System) Step() error { return s.sched.Step() }
+
+// Run executes n frames, stopping at the first error.
+func (s *System) Run(n int) error { return s.sched.Run(n) }
+
+// RunUntil executes frames until stop returns true or maxFrames elapse.
+func (s *System) RunUntil(maxFrames int, stop func() bool) (bool, error) {
+	return s.sched.RunUntil(maxFrames, stop)
+}
+
+// Frame returns the number of executed frames.
+func (s *System) Frame() int64 { return s.sched.Frame() }
+
+// Trace returns the recorded system trace. The caller must not mutate it
+// while frames are executing.
+func (s *System) Trace() *trace.Trace { return s.tr }
+
+// Kernel returns the active SCRAM kernel.
+func (s *System) Kernel() *scram.Kernel { return s.manager.kernel() }
+
+// Report returns the static-obligations report computed at construction.
+func (s *System) Report() *statics.Report { return s.report }
+
+// Pool returns the processor pool.
+func (s *System) Pool() *failstop.Pool { return s.pool }
+
+// Env returns the environment.
+func (s *System) Env() *envmon.Environment { return s.env }
+
+// Bus returns the time-triggered bus, or nil if none was configured.
+func (s *System) Bus() *bus.Bus { return s.bus }
+
+// AddTask registers an extra frame task (for example a sensor interface unit
+// or a physics model). Tasks may be added between frames.
+func (s *System) AddTask(t frame.Task) error { return s.sched.AddTask(t) }
+
+// AddCommitHook registers an extra frame-end hook. User hooks run after all
+// built-in hooks (bus delivery, commits, trace recording, environment
+// scripting), so a hook that mutates shared state does so deterministically
+// between frames — the right place for physics and plant models.
+func (s *System) AddCommitHook(h frame.CommitHook) { s.sched.AddCommitHook(h) }
+
+// TookOverAt reports whether (and when) the standby SCRAM took over.
+func (s *System) TookOverAt() (int64, bool) { return s.manager.TookOverAt() }
+
+// CheckProperties runs the SP1-SP4 checkers over the recorded trace.
+func (s *System) CheckProperties() []trace.Violation {
+	return trace.CheckAll(s.tr, s.rs)
+}
+
+// Close releases the scheduler's goroutines. The system cannot run after
+// Close.
+func (s *System) Close() { s.sched.Close() }

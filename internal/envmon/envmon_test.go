@@ -1,0 +1,200 @@
+package envmon
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/frame"
+	"repro/internal/spec"
+)
+
+// powerClassifier maps two alternator factors to the avionics-style power
+// states used throughout the tests.
+func powerClassifier(f map[Factor]string) spec.EnvState {
+	ok := 0
+	for _, alt := range []Factor{"alt1", "alt2"} {
+		if f[alt] == "ok" {
+			ok++
+		}
+	}
+	switch ok {
+	case 2:
+		return "power-full"
+	case 1:
+		return "power-reduced"
+	default:
+		return "power-battery"
+	}
+}
+
+func TestEnvironmentSetGetSnapshot(t *testing.T) {
+	env := NewEnvironment(map[Factor]string{"alt1": "ok"})
+	if v, ok := env.Get("alt1"); !ok || v != "ok" {
+		t.Fatalf("Get = %q, %v", v, ok)
+	}
+	if _, ok := env.Get("missing"); ok {
+		t.Fatal("missing factor found")
+	}
+	env.Set("alt1", "failed")
+	if v, _ := env.Get("alt1"); v != "failed" {
+		t.Fatalf("Set did not take: %q", v)
+	}
+	snap := env.Snapshot()
+	snap["alt1"] = "mutated"
+	if v, _ := env.Get("alt1"); v != "failed" {
+		t.Fatal("Snapshot aliased the environment")
+	}
+}
+
+func TestNewEnvironmentCopiesInitial(t *testing.T) {
+	initial := map[Factor]string{"k": "v"}
+	env := NewEnvironment(initial)
+	initial["k"] = "mutated"
+	if v, _ := env.Get("k"); v != "v" {
+		t.Fatalf("initial map aliased: %q", v)
+	}
+}
+
+func TestMonitorSignalsOnChangeOnly(t *testing.T) {
+	env := NewEnvironment(map[Factor]string{"alt1": "ok", "alt2": "ok"})
+	var mu sync.Mutex
+	var got []Signal
+	m := NewMonitor("power-monitor", env, powerClassifier, func(s Signal) {
+		mu.Lock()
+		defer mu.Unlock()
+		got = append(got, s)
+	})
+
+	// Frames 0-2: stable environment, no signals (priming included).
+	for f := int64(0); f < 3; f++ {
+		if err := m.Tick(frame.Context{Frame: f}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(got) != 0 {
+		t.Fatalf("signals on stable environment: %v", got)
+	}
+	if m.Current() != "power-full" {
+		t.Fatalf("Current = %q", m.Current())
+	}
+
+	// Alternator fails; next tick signals exactly once.
+	env.Set("alt1", "failed")
+	for f := int64(3); f < 6; f++ {
+		if err := m.Tick(frame.Context{Frame: f}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(got) != 1 {
+		t.Fatalf("got %d signals, want 1: %v", len(got), got)
+	}
+	if got[0].Source != "power-monitor" || got[0].State != "power-reduced" || got[0].Frame != 3 {
+		t.Errorf("signal = %+v", got[0])
+	}
+	if m.SignalCount() != 1 {
+		t.Errorf("SignalCount = %d", m.SignalCount())
+	}
+
+	// Second alternator fails.
+	env.Set("alt2", "failed")
+	if err := m.Tick(frame.Context{Frame: 6}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[1].State != "power-battery" {
+		t.Fatalf("second signal = %v", got)
+	}
+}
+
+func TestMonitorTaskID(t *testing.T) {
+	m := NewMonitor("pm", nil, nil, nil)
+	if m.TaskID() != "monitor:pm" {
+		t.Errorf("TaskID = %q", m.TaskID())
+	}
+	if m.ID() != "pm" {
+		t.Errorf("ID = %q", m.ID())
+	}
+}
+
+func TestScriptAppliesEventsAtFrameBoundaries(t *testing.T) {
+	env := NewEnvironment(map[Factor]string{"alt1": "ok"})
+	script := NewScript(env, []Event{
+		{Frame: 3, Factor: "alt1", Value: "failed"},
+		{Frame: 0, Factor: "alt2", Value: "ok"},
+		{Frame: 5, Factor: "alt2", Value: "failed"},
+	})
+	script.Init()
+	if v, _ := env.Get("alt2"); v != "ok" {
+		t.Fatalf("frame-0 event not applied by Init: %q", v)
+	}
+	if script.Done() {
+		t.Fatal("script done too early")
+	}
+
+	// End of frame 1 applies events for frame 2: none.
+	if err := script.Hook(frame.Context{Frame: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := env.Get("alt1"); v != "ok" {
+		t.Fatal("frame-3 event applied too early")
+	}
+	// End of frame 2 applies events for frame 3.
+	if err := script.Hook(frame.Context{Frame: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := env.Get("alt1"); v != "failed" {
+		t.Fatal("frame-3 event not applied at end of frame 2")
+	}
+	// End of frame 4 applies events for frame 5.
+	if err := script.Hook(frame.Context{Frame: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := env.Get("alt2"); v != "failed" {
+		t.Fatal("frame-5 event not applied")
+	}
+	if !script.Done() {
+		t.Fatal("script not done")
+	}
+}
+
+func TestScriptWithSchedulerEndToEnd(t *testing.T) {
+	// A monitor driven by a scheduler sees a scripted frame-4 event
+	// exactly in frame 4.
+	env := NewEnvironment(map[Factor]string{"alt1": "ok", "alt2": "ok"})
+	script := NewScript(env, []Event{{Frame: 4, Factor: "alt1", Value: "failed"}})
+	script.Init()
+
+	var mu sync.Mutex
+	var got []Signal
+	m := NewMonitor("pm", env, powerClassifier, func(s Signal) {
+		mu.Lock()
+		defer mu.Unlock()
+		got = append(got, s)
+	})
+
+	sched, err := frame.NewScheduler(time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sched.Close()
+	if err := sched.AddTask(m); err != nil {
+		t.Fatal(err)
+	}
+	sched.AddCommitHook(script.Hook)
+	if err := sched.Run(8); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("signals = %v, want exactly 1", got)
+	}
+	if got[0].Frame != 4 || got[0].State != "power-reduced" {
+		t.Errorf("signal = %+v, want frame 4 power-reduced", got[0])
+	}
+}
+
+func TestSignalString(t *testing.T) {
+	s := Signal{Source: "pm", State: "power-full", Frame: 7}
+	if got := s.String(); got != "signal{pm -> power-full @f7}" {
+		t.Errorf("String = %q", got)
+	}
+}

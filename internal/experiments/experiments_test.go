@@ -1,0 +1,219 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTable1ShapeMatchesPaper(t *testing.T) {
+	res, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("violations: %v", res.Violations)
+	}
+	// The canonical protocol: 1 trigger + 1 halt + 1 prepare + 2 init
+	// frames (FCS then autopilot) = 5-frame window.
+	if res.Window.Frames() != 5 {
+		t.Errorf("window = %d frames, want 5", res.Window.Frames())
+	}
+	for _, want := range []string{"signal", "trigger", "halt", "prepare", "initialize", "complete"} {
+		if !strings.Contains(res.Text, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, res.Text)
+		}
+	}
+}
+
+func TestTable2NoViolations(t *testing.T) {
+	res, err := Table2(6, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalViolations != 0 {
+		t.Fatalf("violations reported:\n%s", res.Text)
+	}
+	if res.TotalReconfigs == 0 {
+		t.Fatal("campaigns exercised no reconfigurations")
+	}
+	if len(res.Rows) != 6 {
+		t.Errorf("rows = %d", len(res.Rows))
+	}
+}
+
+func TestFigure2MutantsFail(t *testing.T) {
+	res, err := Figure2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Report.AllDischarged() {
+		t.Fatalf("published spec has failures: %v", res.Report.Failures())
+	}
+	if len(res.MutantReports) != 5 {
+		t.Fatalf("mutants = %d, want 5", len(res.MutantReports))
+	}
+	for name, mr := range res.MutantReports {
+		if mr.AllDischarged() {
+			t.Errorf("mutant %q discharged all obligations", name)
+		}
+	}
+}
+
+func TestEquipmentShape(t *testing.T) {
+	res, err := Equipment(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		// The paper's claim: reconfiguration always saves the
+		// full/safe gap, and carries no excess while failures fit in
+		// the gap.
+		if r.Saved != 1 {
+			t.Errorf("failures=%d: saved = %d, want 1", r.Params.MaxFailures, r.Saved)
+		}
+		if r.Params.MaxFailures <= 1 && r.ReconfigExcess != 0 {
+			t.Errorf("failures=%d: reconfig excess = %d, want 0", r.Params.MaxFailures, r.ReconfigExcess)
+		}
+	}
+}
+
+func TestRestrictionBoundsHold(t *testing.T) {
+	res, err := Restriction()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("violations: %v", res.Violations)
+	}
+	// Shape from the paper: interposition lowers the bound whenever the
+	// longest chain has >= 2 hops, and measurements never exceed bounds.
+	if res.InterposedBoundFrames >= res.ChainBoundFrames {
+		t.Errorf("interposed bound %d !< chain bound %d",
+			res.InterposedBoundFrames, res.ChainBoundFrames)
+	}
+	if res.MeasuredChainMax > int64(res.ChainBoundFrames) {
+		t.Errorf("measured chain %d exceeds bound %d", res.MeasuredChainMax, res.ChainBoundFrames)
+	}
+	if res.MeasuredWindowMax > int64(res.InterposedBoundFrames) {
+		t.Errorf("measured window %d exceeds per-hop bound %d",
+			res.MeasuredWindowMax, res.InterposedBoundFrames)
+	}
+	if res.MeasuredChainMax == 0 {
+		t.Error("campaign produced no restriction at all")
+	}
+}
+
+func TestCycleGuardBoundsRate(t *testing.T) {
+	res, err := CycleGuard(1500, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if r.Violations != 0 {
+			t.Errorf("dwell=%d: %d violations", r.DwellFrames, r.Violations)
+		}
+	}
+	// Monotone shape: more dwell, no more reconfigurations; and the
+	// largest guard cuts the rate well below the no-guard rate.
+	for i := 1; i < len(res.Rows); i++ {
+		if res.Rows[i].Reconfigs > res.Rows[i-1].Reconfigs {
+			t.Errorf("reconfigs not monotone: dwell=%d has %d > dwell=%d's %d",
+				res.Rows[i].DwellFrames, res.Rows[i].Reconfigs,
+				res.Rows[i-1].DwellFrames, res.Rows[i-1].Reconfigs)
+		}
+	}
+	first, last := res.Rows[0], res.Rows[len(res.Rows)-1]
+	if first.Reconfigs == 0 {
+		t.Fatal("churn produced no reconfigurations at minimal dwell")
+	}
+	if last.Reconfigs*2 >= first.Reconfigs {
+		t.Errorf("dwell guard did not substantially bound the rate: %d -> %d",
+			first.Reconfigs, last.Reconfigs)
+	}
+}
+
+func TestScenarioMission(t *testing.T) {
+	res, err := Scenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("violations: %v", res.Violations)
+	}
+	// Full -> Reduced -> Minimal -> Reduced.
+	if len(res.Reconfigs) != 3 {
+		t.Fatalf("reconfigurations = %d, want 3:\n%s", len(res.Reconfigs), res.Text)
+	}
+	want := [][2]string{
+		{"full-service", "reduced-service"},
+		{"reduced-service", "minimal-service"},
+		{"minimal-service", "reduced-service"},
+	}
+	for i, r := range res.Reconfigs {
+		if string(r.From) != want[i][0] || string(r.To) != want[i][1] {
+			t.Errorf("reconfig %d = %s -> %s, want %s -> %s", i, r.From, r.To, want[i][0], want[i][1])
+		}
+	}
+	// The mission climbed toward 5300 ft before degradation.
+	if res.FinalAlt < 5100 {
+		t.Errorf("final altitude = %.0f ft, want climb progress", res.FinalAlt)
+	}
+}
+
+func TestRestrictionInterpositionImprovesMeasurement(t *testing.T) {
+	res, err := Restriction()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.InterposedMeasuredChainMax >= res.MeasuredChainMax {
+		t.Errorf("interposed chain %d !< direct chain %d",
+			res.InterposedMeasuredChainMax, res.MeasuredChainMax)
+	}
+	if res.InterposedMeasuredChainMax > int64(res.InterposedBoundFrames) {
+		t.Errorf("interposed measurement %d exceeds its bound %d",
+			res.InterposedMeasuredChainMax, res.InterposedBoundFrames)
+	}
+}
+
+func TestFailureSweepAllOffsetsAssured(t *testing.T) {
+	res, err := FailureSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 6 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if r.Final != "minimal-service" {
+			t.Errorf("offset %d: final = %s", r.Offset, r.Final)
+		}
+		if r.Violations != 0 {
+			t.Errorf("offset %d: %d violations", r.Offset, r.Violations)
+		}
+		if r.Offset == 0 && r.Windows != 1 {
+			t.Errorf("same-frame failure: windows = %d, want 1 direct transition", r.Windows)
+		}
+		if r.Offset > 0 && r.Windows != 2 {
+			t.Errorf("offset %d: windows = %d, want 2 chained", r.Offset, r.Windows)
+		}
+	}
+}
+
+func TestExhaustiveVerificationClean(t *testing.T) {
+	res, err := ExhaustiveVerification(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Staged.Runs != 27 || res.Compressed.Runs != 27 {
+		t.Fatalf("runs = %d/%d", res.Staged.Runs, res.Compressed.Runs)
+	}
+	if len(res.Staged.Violations)+len(res.Compressed.Violations) != 0 {
+		t.Fatalf("violations:\n%s", res.Text)
+	}
+}

@@ -1,0 +1,253 @@
+// Package fta provides the fault-tolerant-action view of an execution
+// (section 5.2 of Strunk, Knight and Aiello, DSN 2005).
+//
+// In Schlichting and Schneider's framework an FTA either completes its
+// action A or, after a failure, completes a recovery R. The paper
+// distinguishes application FTAs (AFTAs — a single unit of work for one
+// application) from system FTAs (SFTAs — the AFTAs all applications execute
+// over a common frame span), and generalizes R to system reconfiguration:
+// an SFTA leaves the system either having carried out the function
+// requested, or having put itself into a state where the next action can
+// carry out some suitable but possibly different function.
+//
+// Derive reconstructs this structure from a recorded trace: maximal runs of
+// normal operation become normal SFTAs (one action AFTA per application),
+// and every reconfiguration window becomes a recovery SFTA whose AFTAs carry
+// the per-application phase spans (interrupted/halt/prepare/initialize) the
+// recovery protocol executed.
+package fta
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/spec"
+	"repro/internal/trace"
+)
+
+// Kind classifies an SFTA (and its AFTAs).
+type Kind int
+
+const (
+	// KindAction is normal operation: every AFTA completed its action A.
+	KindAction Kind = iota + 1
+	// KindRecovery is a reconfiguration: the SFTA completed the
+	// generalized recovery R, leaving the system operating under a
+	// (possibly different) configuration.
+	KindRecovery
+)
+
+// String returns the kind name.
+func (k Kind) String() string {
+	switch k {
+	case KindAction:
+		return "action"
+	case KindRecovery:
+		return "recovery"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// PhaseSpan is a contiguous run of one reconfiguration status within an
+// AFTA.
+type PhaseSpan struct {
+	// Status is the recorded reconfiguration status.
+	Status trace.ReconfStatus `json:"status"`
+	// StartC and EndC delimit the span, inclusive.
+	StartC int64 `json:"start_c"`
+	EndC   int64 `json:"end_c"`
+}
+
+// AFTA is one application's fault-tolerant action over an SFTA's span.
+type AFTA struct {
+	// App is the application.
+	App spec.AppID `json:"app"`
+	// Kind says whether this AFTA was normal work or recovery.
+	Kind Kind `json:"kind"`
+	// Spec is the functional specification at the span's end (the target
+	// specification for recoveries).
+	Spec spec.SpecID `json:"spec"`
+	// Interrupted reports whether this application was the interrupted
+	// one (the failure carrier) of a recovery SFTA.
+	Interrupted bool `json:"interrupted,omitempty"`
+	// Phases are the status spans the application moved through.
+	Phases []PhaseSpan `json:"phases"`
+}
+
+// SFTA is a system fault-tolerant action: the composition of every
+// application's AFTA over a common frame span.
+type SFTA struct {
+	// Kind distinguishes normal operation from recovery.
+	Kind Kind `json:"kind"`
+	// StartC and EndC delimit the span, inclusive.
+	StartC int64 `json:"start_c"`
+	EndC   int64 `json:"end_c"`
+	// From and To are the configurations at the span boundaries (equal
+	// for action SFTAs).
+	From spec.ConfigID `json:"from"`
+	To   spec.ConfigID `json:"to"`
+	// AFTAs holds one entry per application, sorted by application ID.
+	AFTAs []AFTA `json:"aftas"`
+}
+
+// Frames returns the span length in frames.
+func (s *SFTA) Frames() int64 { return s.EndC - s.StartC + 1 }
+
+// String renders a one-line summary.
+func (s *SFTA) String() string {
+	if s.Kind == KindAction {
+		return fmt.Sprintf("SFTA action [%d,%d] under %s (%d frames, %d apps)",
+			s.StartC, s.EndC, s.From, s.Frames(), len(s.AFTAs))
+	}
+	return fmt.Sprintf("SFTA recovery [%d,%d] %s -> %s (%d frames, %d apps)",
+		s.StartC, s.EndC, s.From, s.To, s.Frames(), len(s.AFTAs))
+}
+
+// Derive reconstructs the SFTA sequence from a trace. A trailing open
+// reconfiguration window (the trace ends mid-recovery) is returned as a
+// final recovery SFTA whose To is the tentative target.
+func Derive(tr *trace.Trace) []SFTA {
+	n := tr.Len()
+	if n == 0 {
+		return nil
+	}
+	var out []SFTA
+	var c int64
+	for c < n {
+		st, _ := tr.At(c)
+		start := c
+		normal := allNormal(st)
+		for c < n {
+			cur, _ := tr.At(c)
+			if allNormal(cur) != normal {
+				break
+			}
+			c++
+		}
+		end := c - 1
+		if !normal {
+			// A recovery window per get_reconfigs ends at the first
+			// all-normal cycle; include it when present.
+			if c < n {
+				end = c
+				c++
+			}
+			out = append(out, buildSFTA(tr, KindRecovery, start, end))
+		} else {
+			// Do not emit an action SFTA for the single all-normal
+			// cycle a recovery claimed as its end; starts only.
+			out = append(out, buildSFTA(tr, KindAction, start, end))
+		}
+	}
+	return out
+}
+
+func allNormal(st trace.SysState) bool {
+	for _, a := range st.Apps {
+		if !a.Status.Normal() {
+			return false
+		}
+	}
+	return true
+}
+
+func buildSFTA(tr *trace.Trace, kind Kind, start, end int64) SFTA {
+	first, _ := tr.At(start)
+	last, _ := tr.At(end)
+	s := SFTA{
+		Kind:   kind,
+		StartC: start,
+		EndC:   end,
+		From:   first.Config,
+		To:     last.Config,
+	}
+	ids := make([]spec.AppID, 0, len(first.Apps))
+	for id := range first.Apps {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		a := AFTA{App: id, Kind: kind}
+		endState := last.Apps[id]
+		a.Spec = endState.Spec
+		for c := start; c <= end; c++ {
+			st, _ := tr.At(c)
+			app := st.Apps[id]
+			if app.Status == trace.StatusInterrupted {
+				a.Interrupted = true
+			}
+			if k := len(a.Phases); k > 0 && a.Phases[k-1].Status == app.Status {
+				a.Phases[k-1].EndC = c
+			} else {
+				a.Phases = append(a.Phases, PhaseSpan{Status: app.Status, StartC: c, EndC: c})
+			}
+		}
+		s.AFTAs = append(s.AFTAs, a)
+	}
+	return s
+}
+
+// Summary aggregates an SFTA sequence.
+type Summary struct {
+	// Actions and Recoveries count the SFTAs by kind.
+	Actions    int `json:"actions"`
+	Recoveries int `json:"recoveries"`
+	// ActionFrames and RecoveryFrames sum the span lengths.
+	ActionFrames   int64 `json:"action_frames"`
+	RecoveryFrames int64 `json:"recovery_frames"`
+	// LongestRecovery is the longest recovery span.
+	LongestRecovery int64 `json:"longest_recovery"`
+}
+
+// Summarize computes aggregate statistics over an SFTA sequence.
+func Summarize(sftas []SFTA) Summary {
+	var sum Summary
+	for i := range sftas {
+		s := &sftas[i]
+		switch s.Kind {
+		case KindAction:
+			sum.Actions++
+			sum.ActionFrames += s.Frames()
+		case KindRecovery:
+			sum.Recoveries++
+			sum.RecoveryFrames += s.Frames()
+			if f := s.Frames(); f > sum.LongestRecovery {
+				sum.LongestRecovery = f
+			}
+		}
+	}
+	return sum
+}
+
+// Render writes a human-readable report of the SFTA structure.
+func Render(sftas []SFTA) string {
+	var b strings.Builder
+	for i := range sftas {
+		s := &sftas[i]
+		fmt.Fprintf(&b, "%s\n", s.String())
+		if s.Kind != KindRecovery {
+			continue
+		}
+		for _, a := range s.AFTAs {
+			marker := " "
+			if a.Interrupted {
+				marker = "!"
+			}
+			fmt.Fprintf(&b, "  %s %-14s -> %-12s ", marker, a.App, a.Spec)
+			for i, ph := range a.Phases {
+				if i > 0 {
+					b.WriteString(", ")
+				}
+				if ph.StartC == ph.EndC {
+					fmt.Fprintf(&b, "%s@%d", ph.Status, ph.StartC)
+				} else {
+					fmt.Fprintf(&b, "%s@[%d,%d]", ph.Status, ph.StartC, ph.EndC)
+				}
+			}
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,243 @@
+package fta
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/envmon"
+	"repro/internal/spec"
+	"repro/internal/spectest"
+	"repro/internal/trace"
+)
+
+// mkTrace builds the canonical test trace: 2 normal cycles, a 4-frame
+// recovery window [2,5], then 2 normal cycles.
+func mkTrace(t *testing.T) *trace.Trace {
+	t.Helper()
+	tr := &trace.Trace{System: "fta-test", FrameLen: time.Millisecond}
+	add := func(c int64, cfg spec.ConfigID, a, b trace.ReconfStatus) {
+		t.Helper()
+		err := tr.Append(trace.SysState{
+			Cycle: c, Config: cfg, Env: "e",
+			Apps: map[spec.AppID]trace.AppState{
+				"a": {Status: a, Spec: "s1", PreOK: true},
+				"b": {Status: b, Spec: "s2", PreOK: true},
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	add(0, "full", trace.StatusNormal, trace.StatusNormal)
+	add(1, "full", trace.StatusNormal, trace.StatusNormal)
+	add(2, "full", trace.StatusInterrupted, trace.StatusNormal)
+	add(3, "full", trace.StatusHalted, trace.StatusHalted)
+	add(4, "full", trace.StatusPreparing, trace.StatusPrepared)
+	add(5, "degraded", trace.StatusNormal, trace.StatusNormal)
+	add(6, "degraded", trace.StatusNormal, trace.StatusNormal)
+	return tr
+}
+
+func TestDeriveStructure(t *testing.T) {
+	sftas := Derive(mkTrace(t))
+	if len(sftas) != 3 {
+		t.Fatalf("SFTAs = %d, want 3 (action, recovery, action)", len(sftas))
+	}
+
+	action1 := sftas[0]
+	if action1.Kind != KindAction || action1.StartC != 0 || action1.EndC != 1 {
+		t.Errorf("first SFTA = %s", action1.String())
+	}
+	if action1.From != "full" || action1.To != "full" {
+		t.Errorf("action config = %s -> %s", action1.From, action1.To)
+	}
+
+	rec := sftas[1]
+	if rec.Kind != KindRecovery || rec.StartC != 2 || rec.EndC != 5 {
+		t.Fatalf("recovery SFTA = %s", rec.String())
+	}
+	if rec.From != "full" || rec.To != "degraded" {
+		t.Errorf("recovery config = %s -> %s", rec.From, rec.To)
+	}
+	if rec.Frames() != 4 {
+		t.Errorf("recovery frames = %d", rec.Frames())
+	}
+	if len(rec.AFTAs) != 2 {
+		t.Fatalf("recovery AFTAs = %d", len(rec.AFTAs))
+	}
+	// Sorted by app ID; app "a" was the interrupted one.
+	a := rec.AFTAs[0]
+	if a.App != "a" || !a.Interrupted {
+		t.Errorf("AFTA[0] = %+v", a)
+	}
+	// a's phases: interrupted@2, halted@3, preparing@4, normal@5.
+	if len(a.Phases) != 4 {
+		t.Fatalf("a phases = %+v", a.Phases)
+	}
+	if a.Phases[0].Status != trace.StatusInterrupted || a.Phases[0].StartC != 2 {
+		t.Errorf("a phase 0 = %+v", a.Phases[0])
+	}
+	if a.Phases[3].Status != trace.StatusNormal || a.Phases[3].StartC != 5 {
+		t.Errorf("a phase 3 = %+v", a.Phases[3])
+	}
+	b := rec.AFTAs[1]
+	if b.App != "b" || b.Interrupted {
+		t.Errorf("AFTA[1] = %+v", b)
+	}
+	// b: normal@2, halted@3, prepared@4, normal@5.
+	if len(b.Phases) != 4 || b.Phases[0].Status != trace.StatusNormal {
+		t.Errorf("b phases = %+v", b.Phases)
+	}
+
+	action2 := sftas[2]
+	if action2.Kind != KindAction || action2.StartC != 6 || action2.EndC != 6 {
+		t.Errorf("final SFTA = %s", action2.String())
+	}
+}
+
+func TestDeriveMergesContiguousSpans(t *testing.T) {
+	tr := &trace.Trace{System: "merge", FrameLen: time.Millisecond}
+	statuses := []trace.ReconfStatus{
+		trace.StatusNormal,
+		trace.StatusInterrupted,
+		trace.StatusHalting, trace.StatusHalting, trace.StatusHalting,
+		trace.StatusNormal,
+	}
+	for c, st := range statuses {
+		err := tr.Append(trace.SysState{
+			Cycle: int64(c), Config: "full", Env: "e",
+			Apps: map[spec.AppID]trace.AppState{"a": {Status: st, Spec: "s", PreOK: true}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	sftas := Derive(tr)
+	if len(sftas) != 2 {
+		t.Fatalf("SFTAs = %d", len(sftas))
+	}
+	rec := sftas[1]
+	a := rec.AFTAs[0]
+	// interrupted@1, halting@[2,4], normal@5 — the three halting cycles
+	// merge into one span.
+	if len(a.Phases) != 3 {
+		t.Fatalf("phases = %+v", a.Phases)
+	}
+	if a.Phases[1].Status != trace.StatusHalting || a.Phases[1].StartC != 2 || a.Phases[1].EndC != 4 {
+		t.Errorf("halting span = %+v", a.Phases[1])
+	}
+}
+
+func TestDeriveOpenWindow(t *testing.T) {
+	tr := &trace.Trace{System: "open", FrameLen: time.Millisecond}
+	statuses := []trace.ReconfStatus{trace.StatusNormal, trace.StatusInterrupted, trace.StatusHalting}
+	for c, st := range statuses {
+		err := tr.Append(trace.SysState{
+			Cycle: int64(c), Config: "full", Env: "e",
+			Apps: map[spec.AppID]trace.AppState{"a": {Status: st, Spec: "s", PreOK: true}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	sftas := Derive(tr)
+	if len(sftas) != 2 {
+		t.Fatalf("SFTAs = %d", len(sftas))
+	}
+	open := sftas[1]
+	if open.Kind != KindRecovery || open.EndC != 2 {
+		t.Errorf("open recovery = %s", open.String())
+	}
+}
+
+func TestDeriveEmpty(t *testing.T) {
+	if sftas := Derive(&trace.Trace{}); sftas != nil {
+		t.Errorf("Derive(empty) = %v", sftas)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	sftas := Derive(mkTrace(t))
+	sum := Summarize(sftas)
+	if sum.Actions != 2 || sum.Recoveries != 1 {
+		t.Errorf("summary = %+v", sum)
+	}
+	if sum.ActionFrames != 3 || sum.RecoveryFrames != 4 || sum.LongestRecovery != 4 {
+		t.Errorf("summary frames = %+v", sum)
+	}
+}
+
+func TestRender(t *testing.T) {
+	text := Render(Derive(mkTrace(t)))
+	for _, want := range []string{"SFTA action", "SFTA recovery", "full -> degraded", "! a", "interrupted@2"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("render missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindAction.String() != "action" || KindRecovery.String() != "recovery" {
+		t.Error("kind names wrong")
+	}
+	if Kind(9).String() != "kind(9)" {
+		t.Error("unknown kind rendering wrong")
+	}
+}
+
+// TestDeriveFromLiveSystem closes the loop: derive the SFTA structure from
+// a real execution of the canonical system and check it is consistent with
+// the trace's reconfigurations.
+func TestDeriveFromLiveSystem(t *testing.T) {
+	rs := spectest.ThreeConfig()
+	apps := map[spec.AppID]core.App{}
+	for _, decl := range rs.RealApps() {
+		decl := decl
+		apps[decl.ID] = core.NewBasicApp(&decl)
+	}
+	sys, err := core.NewSystem(core.Options{
+		Spec: rs,
+		Apps: apps,
+		Classifier: func(f map[envmon.Factor]string) spec.EnvState {
+			return spec.EnvState(f["power"])
+		},
+		InitialFactors: map[envmon.Factor]string{"power": string(spectest.EnvFull)},
+		Script: []envmon.Event{
+			{Frame: 10, Factor: "power", Value: string(spectest.EnvReduced)},
+			{Frame: 40, Factor: "power", Value: string(spectest.EnvBattery)},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	if err := sys.Run(80); err != nil {
+		t.Fatal(err)
+	}
+
+	sftas := Derive(sys.Trace())
+	sum := Summarize(sftas)
+	rcs := sys.Trace().Reconfigs()
+	if sum.Recoveries != len(rcs) {
+		t.Fatalf("recoveries = %d, trace reconfigurations = %d", sum.Recoveries, len(rcs))
+	}
+	// Every recovery SFTA matches a reconfiguration window exactly.
+	ri := 0
+	for i := range sftas {
+		if sftas[i].Kind != KindRecovery {
+			continue
+		}
+		r := rcs[ri]
+		if sftas[i].StartC != r.StartC || sftas[i].EndC != r.EndC ||
+			sftas[i].From != r.From || sftas[i].To != r.To {
+			t.Errorf("recovery %d = %s, reconfiguration = %+v", ri, sftas[i].String(), r)
+		}
+		ri++
+	}
+	// Action and recovery frames partition the trace.
+	if total := sum.ActionFrames + sum.RecoveryFrames; total != sys.Trace().Len() {
+		t.Errorf("frames partition: %d + %d != %d", sum.ActionFrames, sum.RecoveryFrames, sys.Trace().Len())
+	}
+}

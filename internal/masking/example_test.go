@@ -1,0 +1,28 @@
+package masking_test
+
+import (
+	"fmt"
+
+	"repro/internal/masking"
+)
+
+// The section 5.1 comparison: full service needs 4 processors, the most
+// basic safe service needs 2, and two failures are anticipated over the
+// longest mission.
+func ExampleEquipmentAnalysis() {
+	r, err := masking.EquipmentAnalysis(masking.EquipmentParams{
+		FullServiceProcs: 4,
+		SafeServiceProcs: 2,
+		MaxFailures:      2,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("masking needs %d processors, reconfiguration needs %d (saves %d)\n",
+		r.MaskingTotal, r.ReconfigTotal, r.Saved)
+	fmt.Printf("routine-operation excess: masking %d, reconfiguration %d\n",
+		r.MaskingExcess, r.ReconfigExcess)
+	// Output:
+	// masking needs 6 processors, reconfiguration needs 4 (saves 2)
+	// routine-operation excess: masking 2, reconfiguration 0
+}

@@ -1,0 +1,265 @@
+// Package masking implements the baseline the paper argues against
+// extending: Schlichting and Schneider's original masking-only use of
+// fail-stop processors, in which every anticipated failure is masked by
+// restarting the interrupted fault-tolerant action on a spare processor and
+// full service is always provided.
+//
+// Two artifacts live here. EquipmentAnalysis reproduces the section 5.1
+// resource argument: a masking design needs (max anticipated failures +
+// processors for full service) components, while a reconfigurable design
+// needs (max anticipated failures + processors for the most basic safe
+// service) — which can equal the full-service count, eliminating excess
+// equipment in routine operation. MaskedFTASystem is an executable model of
+// the masking baseline used by the comparison experiments: a fault-tolerant
+// action stream over a pool of fail-stop processors with spare restart.
+package masking
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/spec"
+	"repro/internal/stable"
+)
+
+// EquipmentParams are the inputs to the section 5.1 analysis.
+type EquipmentParams struct {
+	// FullServiceProcs is the minimum number of processors needed to
+	// provide full service.
+	FullServiceProcs int
+	// SafeServiceProcs is the minimum number of processors needed to
+	// provide the most basic form of safe service.
+	SafeServiceProcs int
+	// MaxFailures is the maximum number of processor failures anticipated
+	// during the longest planned mission.
+	MaxFailures int
+}
+
+// Validate checks the parameters for sanity.
+func (p EquipmentParams) Validate() error {
+	switch {
+	case p.FullServiceProcs < 1:
+		return errors.New("masking: full-service processor count must be >= 1")
+	case p.SafeServiceProcs < 1:
+		return errors.New("masking: safe-service processor count must be >= 1")
+	case p.SafeServiceProcs > p.FullServiceProcs:
+		return errors.New("masking: safe service cannot need more processors than full service")
+	case p.MaxFailures < 0:
+		return errors.New("masking: anticipated failures must be >= 0")
+	}
+	return nil
+}
+
+// EquipmentResult is the section 5.1 comparison for one parameter set.
+type EquipmentResult struct {
+	Params EquipmentParams
+	// MaskingTotal is the component count a masking design requires:
+	// MaxFailures + FullServiceProcs.
+	MaskingTotal int
+	// ReconfigTotal is the component count a reconfigurable design
+	// requires: MaxFailures + SafeServiceProcs.
+	ReconfigTotal int
+	// Saved is MaskingTotal - ReconfigTotal.
+	Saved int
+	// MaskingExcess is the routine-operation excess of the masking
+	// design: processors carried beyond what full service needs.
+	MaskingExcess int
+	// ReconfigExcess is the routine-operation excess of the
+	// reconfigurable design: max(0, ReconfigTotal - FullServiceProcs).
+	// It is zero exactly when MaxFailures <= FullServiceProcs -
+	// SafeServiceProcs — the paper's "no excess equipment" case.
+	ReconfigExcess int
+}
+
+// EquipmentAnalysis evaluates the section 5.1 equipment requirement for one
+// parameter set.
+func EquipmentAnalysis(p EquipmentParams) (EquipmentResult, error) {
+	if err := p.Validate(); err != nil {
+		return EquipmentResult{}, err
+	}
+	r := EquipmentResult{
+		Params:        p,
+		MaskingTotal:  p.MaxFailures + p.FullServiceProcs,
+		ReconfigTotal: p.MaxFailures + p.SafeServiceProcs,
+	}
+	r.Saved = r.MaskingTotal - r.ReconfigTotal
+	r.MaskingExcess = r.MaskingTotal - p.FullServiceProcs
+	if excess := r.ReconfigTotal - p.FullServiceProcs; excess > 0 {
+		r.ReconfigExcess = excess
+	}
+	return r, nil
+}
+
+// EquipmentSweep evaluates the analysis across failure budgets 0..maxFail,
+// producing the rows of the equipment experiment table.
+func EquipmentSweep(fullProcs, safeProcs, maxFail int) ([]EquipmentResult, error) {
+	out := make([]EquipmentResult, 0, maxFail+1)
+	for f := 0; f <= maxFail; f++ {
+		r, err := EquipmentAnalysis(EquipmentParams{
+			FullServiceProcs: fullProcs,
+			SafeServiceProcs: safeProcs,
+			MaxFailures:      f,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// MaskedFTASystem is the executable masking baseline: a stream of
+// fault-tolerant actions over one logical task, executed on an active
+// fail-stop processor with cold spares. On a failure, the interrupted
+// action's recovery protocol restarts the task on the next spare from the
+// failed processor's stable storage — the original fail-stop recovery, in
+// which R completes the same function A would have.
+type MaskedFTASystem struct {
+	procs          []*proc
+	active         int
+	recoveryFrames int
+	recoveryLeft   int
+	stats          Stats
+}
+
+// proc is one processor of the baseline: the stable store stands in for the
+// processor's stable storage, alive tracks fail-stop state.
+type proc struct {
+	id    spec.ProcID
+	store *stable.Store
+	alive bool
+}
+
+// Stats summarizes a masking-baseline run.
+type Stats struct {
+	// WorkDone is the number of completed work units (actions).
+	WorkDone int64
+	// Recoveries is the number of spare restarts performed.
+	Recoveries int64
+	// LostFrames counts frames in which no work completed because a
+	// recovery was in progress.
+	LostFrames int64
+	// Failures is the number of processor failures injected.
+	Failures int64
+	// Exhausted reports that a failure found no spare: total system
+	// failure, the outcome masking designs size MaxFailures to avoid.
+	Exhausted bool
+}
+
+// NewMaskedFTASystem builds a baseline with n processors (1 active, n-1
+// spares). recoveryFrames is the cost of one spare restart (polling the
+// failed processor's stable storage and re-establishing the action's state);
+// it must be at least 1.
+func NewMaskedFTASystem(n, recoveryFrames int) (*MaskedFTASystem, error) {
+	if n < 1 {
+		return nil, errors.New("masking: need at least one processor")
+	}
+	if recoveryFrames < 1 {
+		return nil, errors.New("masking: recovery must cost at least one frame")
+	}
+	m := &MaskedFTASystem{recoveryFrames: recoveryFrames}
+	for i := 0; i < n; i++ {
+		m.procs = append(m.procs, &proc{
+			id:    spec.ProcID(fmt.Sprintf("m%d", i)),
+			store: stable.NewStore(),
+			alive: true,
+		})
+	}
+	return m, nil
+}
+
+// Tick executes one frame: one unit of the action if healthy, one step of
+// recovery otherwise. The work counter lives in stable storage and is
+// committed every frame, so a failure loses at most the in-flight frame.
+func (m *MaskedFTASystem) Tick() {
+	if m.stats.Exhausted {
+		return
+	}
+	if m.recoveryLeft > 0 {
+		m.recoveryLeft--
+		m.stats.LostFrames++
+		if m.recoveryLeft == 0 {
+			m.stats.Recoveries++
+		}
+		return
+	}
+	p := m.procs[m.active]
+	n, _ := p.store.GetInt64("work")
+	p.store.PutInt64("work", n+1)
+	p.store.Commit()
+	m.stats.WorkDone = n + 1
+}
+
+// InjectFailure fails the active processor mid-frame (its staged writes are
+// lost) and begins recovery on the next spare, restoring the action's state
+// from the failed processor's stable storage.
+func (m *MaskedFTASystem) InjectFailure(frameNum int64) {
+	if m.stats.Exhausted {
+		return
+	}
+	m.stats.Failures++
+	failed := m.procs[m.active]
+	failed.alive = false
+	failed.store.Discard()
+
+	next := -1
+	for i, p := range m.procs {
+		if p.alive {
+			next = i
+			break
+		}
+	}
+	if next == -1 {
+		m.stats.Exhausted = true
+		return
+	}
+	// The spare polls the failed processor's stable storage — readable
+	// after the failure — and restores the last committed action state.
+	snapshot := failed.store.Snapshot()
+	m.procs[next].store.Restore(snapshot)
+	m.procs[next].store.Commit()
+	m.active = next
+	m.recoveryLeft = m.recoveryFrames
+	_ = frameNum
+}
+
+// Stats returns the run summary.
+func (m *MaskedFTASystem) Stats() Stats { return m.stats }
+
+// SparesLeft returns the number of alive processors beyond the active one.
+func (m *MaskedFTASystem) SparesLeft() int {
+	n := 0
+	for i, p := range m.procs {
+		if p.alive && i != m.active {
+			n++
+		}
+	}
+	return n
+}
+
+// Work returns the committed work counter.
+func (m *MaskedFTASystem) Work() int64 {
+	if m.stats.Exhausted {
+		return m.stats.WorkDone
+	}
+	n, _ := m.procs[m.active].store.GetInt64("work")
+	return n
+}
+
+// RunMaskedMission drives a masking baseline through a mission of `frames`
+// frames with failures at the given frame numbers (sorted ascending).
+func RunMaskedMission(nProcs, recoveryFrames int, frames int64, failures []int64) (Stats, error) {
+	m, err := NewMaskedFTASystem(nProcs, recoveryFrames)
+	if err != nil {
+		return Stats{}, err
+	}
+	fi := 0
+	for f := int64(0); f < frames; f++ {
+		for fi < len(failures) && failures[fi] == f {
+			m.InjectFailure(f)
+			fi++
+		}
+		m.Tick()
+	}
+	return m.Stats(), nil
+}

@@ -1,0 +1,193 @@
+package masking
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEquipmentAnalysisPaperCase(t *testing.T) {
+	// Full service needs 4 processors, basic safe service needs 2, and
+	// up to 2 failures are anticipated: masking carries 6, the
+	// reconfigurable design carries 4 — exactly the full-service count,
+	// so routine operation has no excess equipment.
+	r, err := EquipmentAnalysis(EquipmentParams{
+		FullServiceProcs: 4,
+		SafeServiceProcs: 2,
+		MaxFailures:      2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MaskingTotal != 6 || r.ReconfigTotal != 4 {
+		t.Errorf("totals = %d/%d, want 6/4", r.MaskingTotal, r.ReconfigTotal)
+	}
+	if r.Saved != 2 {
+		t.Errorf("saved = %d, want 2", r.Saved)
+	}
+	if r.MaskingExcess != 2 || r.ReconfigExcess != 0 {
+		t.Errorf("excess = %d/%d, want 2/0", r.MaskingExcess, r.ReconfigExcess)
+	}
+}
+
+func TestEquipmentAnalysisValidation(t *testing.T) {
+	bad := []EquipmentParams{
+		{FullServiceProcs: 0, SafeServiceProcs: 1},
+		{FullServiceProcs: 1, SafeServiceProcs: 0},
+		{FullServiceProcs: 1, SafeServiceProcs: 2},
+		{FullServiceProcs: 2, SafeServiceProcs: 1, MaxFailures: -1},
+	}
+	for _, p := range bad {
+		if _, err := EquipmentAnalysis(p); err == nil {
+			t.Errorf("params %+v accepted", p)
+		}
+	}
+}
+
+// TestEquipmentSavingProperty: the reconfigurable design never needs more
+// components than masking, and the saving is exactly the full/safe service
+// gap, independent of the failure budget.
+func TestEquipmentSavingProperty(t *testing.T) {
+	prop := func(full, gap, fail uint8) bool {
+		fullProcs := int(full%8) + 1
+		safeProcs := fullProcs - int(gap)%fullProcs
+		r, err := EquipmentAnalysis(EquipmentParams{
+			FullServiceProcs: fullProcs,
+			SafeServiceProcs: safeProcs,
+			MaxFailures:      int(fail % 16),
+		})
+		if err != nil {
+			return false
+		}
+		return r.Saved == fullProcs-safeProcs && r.ReconfigTotal <= r.MaskingTotal
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEquipmentSweep(t *testing.T) {
+	rows, err := EquipmentSweep(4, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	for f, r := range rows {
+		if r.Params.MaxFailures != f {
+			t.Errorf("row %d has MaxFailures %d", f, r.Params.MaxFailures)
+		}
+		if r.Saved != 2 {
+			t.Errorf("row %d saved = %d, want 2", f, r.Saved)
+		}
+	}
+}
+
+func TestMaskedFTAWorkAndRecovery(t *testing.T) {
+	m, err := NewMaskedFTASystem(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f := int64(0); f < 10; f++ {
+		m.Tick()
+	}
+	if m.Work() != 10 {
+		t.Fatalf("work = %d, want 10", m.Work())
+	}
+
+	// Failure loses the in-flight frame's progress but nothing committed.
+	m.InjectFailure(10)
+	if m.SparesLeft() != 1 {
+		t.Errorf("spares = %d, want 1", m.SparesLeft())
+	}
+	if m.Work() != 10 {
+		t.Errorf("work after failure = %d, want 10 (restored)", m.Work())
+	}
+	// Two recovery frames, then work resumes.
+	m.Tick()
+	m.Tick()
+	st := m.Stats()
+	if st.LostFrames != 2 || st.Recoveries != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	m.Tick()
+	if m.Work() != 11 {
+		t.Errorf("work after recovery = %d, want 11", m.Work())
+	}
+}
+
+func TestMaskedFTAExhaustion(t *testing.T) {
+	m, err := NewMaskedFTASystem(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Tick()
+	m.InjectFailure(1)
+	m.Tick() // recovery
+	m.Tick() // work on spare
+	m.InjectFailure(3)
+	if !m.Stats().Exhausted {
+		t.Fatal("second failure with no spare did not exhaust the system")
+	}
+	before := m.Work()
+	m.Tick()
+	m.InjectFailure(5)
+	if m.Work() != before {
+		t.Error("exhausted system still made progress")
+	}
+	if m.Stats().Failures != 2 {
+		t.Errorf("failures = %d, want 2 (post-exhaustion injects ignored)", m.Stats().Failures)
+	}
+}
+
+func TestNewMaskedFTAValidation(t *testing.T) {
+	if _, err := NewMaskedFTASystem(0, 1); err == nil {
+		t.Error("zero processors accepted")
+	}
+	if _, err := NewMaskedFTASystem(1, 0); err == nil {
+		t.Error("zero recovery frames accepted")
+	}
+}
+
+func TestRunMaskedMission(t *testing.T) {
+	st, err := RunMaskedMission(3, 1, 100, []int64{20, 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Failures != 2 || st.Exhausted {
+		t.Fatalf("stats = %+v", st)
+	}
+	// 100 frames - 2 recovery frames = 98 units of work.
+	if st.WorkDone != 98 {
+		t.Errorf("work = %d, want 98", st.WorkDone)
+	}
+	// A mission with more failures than spares exhausts.
+	st, err = RunMaskedMission(2, 1, 100, []int64{10, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Exhausted {
+		t.Error("mission with failures > spares did not exhaust")
+	}
+}
+
+// TestMaskedMissionWorkConservation: for any failure schedule that does not
+// exhaust the spares, committed work equals mission frames minus recovery
+// frames minus frames lost to in-flight discards.
+func TestMaskedMissionWorkConservation(t *testing.T) {
+	prop := func(seed uint8) bool {
+		// Two failures at deterministic, distinct frames derived from
+		// the seed; 4 processors tolerate them.
+		f1 := int64(seed%40) + 1
+		f2 := f1 + int64(seed%20) + 2
+		const frames = 100
+		st, err := RunMaskedMission(4, 1, frames, []int64{f1, f2})
+		if err != nil || st.Exhausted {
+			return false
+		}
+		return st.WorkDone == frames-st.LostFrames
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}

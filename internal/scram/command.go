@@ -1,0 +1,95 @@
+// Package scram implements the System Control Reconfiguration Analysis and
+// Management kernel of Strunk, Knight and Aiello (DSN 2005, section 3 and
+// section 6.3).
+//
+// The SCRAM receives component-failure and environment-change signals,
+// determines the configuration the system must move to from a
+// statically-defined choice table, and effects the reconfiguration by
+// driving every application through the three-phase protocol of the paper's
+// Table 1 — halt, prepare(Ct), initialize — via configuration-status
+// variables in stable storage. Applications read their command at the start
+// of each frame (stable storage is read-committed at frame granularity, so
+// a command written during frame k governs frame k+1) and acknowledge by
+// executing the commanded phase.
+//
+// The kernel runs at the frame-commit boundary (it is kernel infrastructure,
+// not an application): monitors emit signals during frame k, the kernel
+// plans during frame k's commit step, and the first protocol frame is k+1 —
+// reproducing Table 1's frame numbering exactly.
+package scram
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/spec"
+	"repro/internal/stable"
+)
+
+// Command is the configuration_status variable of section 6.2: what one
+// application must do in a frame, as most recently committed by the SCRAM.
+type Command struct {
+	// Seq identifies the reconfiguration plan the command belongs to;
+	// it increments on every trigger and retarget, letting applications
+	// detect a changed target mid-window.
+	Seq int64 `json:"seq"`
+	// Phase is the commanded protocol phase (normal, halt, prepare,
+	// initialize).
+	Phase spec.Phase `json:"phase"`
+	// Target is the functional specification the application is assigned
+	// in the configuration being entered (SpecOff if the application is
+	// off). During normal operation it is the current assignment.
+	Target spec.SpecID `json:"target"`
+	// Config is the configuration context: the current configuration
+	// during normal operation, the target configuration during a
+	// reconfiguration.
+	Config spec.ConfigID `json:"config"`
+	// WinStart and WinEnd delimit (inclusive, in frames) when the
+	// application actively executes the commanded phase; outside the
+	// window the application holds (it has ceased normal execution and
+	// either awaits its turn or has finished its phase work). Both are
+	// zero for normal operation.
+	WinStart int64 `json:"win_start,omitempty"`
+	WinEnd   int64 `json:"win_end,omitempty"`
+}
+
+// Active reports whether the command's action window covers the frame.
+func (c Command) Active(frameNum int64) bool {
+	return c.Phase != spec.PhaseNormal && c.WinStart <= frameNum && frameNum <= c.WinEnd
+}
+
+// commandKey is the stable-storage key of an application's
+// configuration_status variable.
+func commandKey(app spec.AppID) string { return "scram/cmd/" + string(app) }
+
+// stateKey is the stable-storage key of the kernel's persisted state.
+const stateKey = "scram/state"
+
+// WriteCommand stages app's command in the SCRAM's stable storage; it
+// becomes visible to the application after the frame's commit.
+func WriteCommand(st *stable.Store, app spec.AppID, cmd Command) error {
+	if err := st.PutJSON(commandKey(app), cmd); err != nil {
+		return fmt.Errorf("scram: writing command for %q: %w", app, err)
+	}
+	return nil
+}
+
+// unmarshalState decodes a persisted kernel state.
+func unmarshalState(raw []byte, st *kernelState) error {
+	if err := json.Unmarshal(raw, st); err != nil {
+		return fmt.Errorf("scram: decoding persisted kernel state: %w", err)
+	}
+	return nil
+}
+
+// ReadCommand reads app's most recently committed command. The second
+// result is false if no command has ever been committed (the boot frames
+// before the kernel's first commit).
+func ReadCommand(st *stable.Store, app spec.AppID) (Command, bool, error) {
+	var cmd Command
+	ok, err := st.GetJSON(commandKey(app), &cmd)
+	if err != nil {
+		return Command{}, false, fmt.Errorf("scram: reading command for %q: %w", app, err)
+	}
+	return cmd, ok, nil
+}

@@ -1,0 +1,370 @@
+package scram
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/envmon"
+	"repro/internal/frame"
+	"repro/internal/spec"
+	"repro/internal/stable"
+	"repro/internal/trace"
+)
+
+// EventKind classifies a protocol log entry.
+type EventKind string
+
+// Protocol event kinds, in the vocabulary of the paper's Table 1.
+const (
+	// EventSignal records a component-failure or environment-change
+	// signal reaching the kernel.
+	EventSignal EventKind = "signal"
+	// EventTrigger records the decision to reconfigure (Table 1 frame 0).
+	EventTrigger EventKind = "trigger"
+	// EventHalt records the halt command taking effect (frame 1).
+	EventHalt EventKind = "halt"
+	// EventPrepare records the prepare(Ct) command (frame 2).
+	EventPrepare EventKind = "prepare"
+	// EventInitialize records the initialize command (frame 3).
+	EventInitialize EventKind = "initialize"
+	// EventComplete records the end of the reconfiguration.
+	EventComplete EventKind = "complete"
+	// EventRetarget records a mid-window target change (immediate
+	// policy).
+	EventRetarget EventKind = "retarget"
+	// EventDeferred records a trigger deferred by the dwell guard.
+	EventDeferred EventKind = "deferred"
+)
+
+// Event is one protocol log entry; the sequence of events for a single
+// reconfiguration renders the paper's Table 1.
+type Event struct {
+	Frame  int64         `json:"frame"`
+	Kind   EventKind     `json:"kind"`
+	Config spec.ConfigID `json:"config,omitempty"`
+	Detail string        `json:"detail,omitempty"`
+}
+
+// String renders the event for logs.
+func (e Event) String() string {
+	s := fmt.Sprintf("f%-4d %-10s", e.Frame, e.Kind)
+	if e.Config != "" {
+		s += " " + string(e.Config)
+	}
+	if e.Detail != "" {
+		s += " (" + e.Detail + ")"
+	}
+	return s
+}
+
+// kernelState is the kernel's persistent state, committed to stable storage
+// every frame so a standby kernel can take over after a fail-stop failure of
+// the primary's processor.
+type kernelState struct {
+	Current    spec.ConfigID `json:"current"`
+	Env        spec.EnvState `json:"env"`
+	Seq        int64         `json:"seq"`
+	LastEnd    int64         `json:"last_end"`
+	LastSource spec.AppID    `json:"last_source,omitempty"`
+	TriggerApp spec.AppID    `json:"trigger_app,omitempty"`
+	Plan       *plan         `json:"plan,omitempty"`
+}
+
+// Kernel is the SCRAM kernel. Create one with NewKernel; drive it by calling
+// EndOfFrame from a frame-commit hook that runs before the stable-storage
+// commits (so commands written during frame k are committed at k's boundary
+// and visible to applications in frame k+1).
+type Kernel struct {
+	rs    *spec.ReconfigSpec
+	store *stable.Store
+
+	mu      sync.Mutex
+	signals []envmon.Signal
+
+	st     kernelState
+	events []Event
+}
+
+// NewKernel returns a kernel for the given specification, persisting its
+// state and the application command variables in store (the stable storage
+// of the processor hosting the SCRAM).
+func NewKernel(rs *spec.ReconfigSpec, store *stable.Store) (*Kernel, error) {
+	if _, ok := rs.Config(rs.StartConfig); !ok {
+		return nil, fmt.Errorf("scram: start configuration %q not declared", rs.StartConfig)
+	}
+	return &Kernel{
+		rs:    rs,
+		store: store,
+		st: kernelState{
+			Current: rs.StartConfig,
+			Env:     rs.StartEnv,
+			LastEnd: math.MinInt64 / 2,
+		},
+	}, nil
+}
+
+// Restore returns a kernel whose state is loaded from a stable-storage
+// snapshot of a (possibly failed) kernel's processor — the takeover path of
+// a replicated SCRAM. The snapshot must contain a persisted kernel state.
+func Restore(rs *spec.ReconfigSpec, store *stable.Store, snapshot map[string][]byte) (*Kernel, error) {
+	k, err := NewKernel(rs, store)
+	if err != nil {
+		return nil, err
+	}
+	raw, ok := snapshot[stateKey]
+	if !ok {
+		return nil, fmt.Errorf("scram: snapshot holds no kernel state under %q", stateKey)
+	}
+	if err := unmarshalState(raw, &k.st); err != nil {
+		return nil, err
+	}
+	return k, nil
+}
+
+// Store returns the stable store the kernel writes commands to.
+func (k *Kernel) Store() *stable.Store { return k.store }
+
+// Current returns the configuration in effect (the target configuration is
+// not "current" until the reconfiguration completes).
+func (k *Kernel) Current() spec.ConfigID { return k.st.Current }
+
+// Env returns the kernel's latest view of the environment state.
+func (k *Kernel) Env() spec.EnvState { return k.st.Env }
+
+// Reconfiguring reports whether a reconfiguration plan is in progress.
+func (k *Kernel) Reconfiguring() bool { return k.st.Plan != nil }
+
+// PlanTarget returns the in-progress plan's target configuration and its
+// sequence number; ok is false when no plan is active.
+func (k *Kernel) PlanTarget() (target spec.ConfigID, seq int64, ok bool) {
+	if k.st.Plan == nil {
+		return "", 0, false
+	}
+	return k.st.Plan.Target, k.st.Plan.Seq, true
+}
+
+// Events returns a copy of the protocol event log.
+func (k *Kernel) Events() []Event {
+	out := make([]Event, len(k.events))
+	copy(out, k.events)
+	return out
+}
+
+// Signal delivers a component-failure or environment-change signal to the
+// kernel. Per Figure 1 of the paper, signals travel on a direct path (not
+// through stable storage). Signal is safe to call from monitor tasks running
+// concurrently within a frame; the kernel processes all signals of frame k
+// during k's commit step.
+func (k *Kernel) Signal(sig envmon.Signal) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.signals = append(k.signals, sig)
+}
+
+// EndOfFrame advances the kernel by one frame: it drains the frame's
+// signals, starts, advances, retargets, or completes the reconfiguration
+// plan, and writes every application's command for the next frame.
+func (k *Kernel) EndOfFrame(ctx frame.Context) error {
+	f := ctx.Frame
+	for _, sig := range k.drainSignals() {
+		k.st.Env = sig.State
+		k.st.LastSource = sig.Source
+		k.logf(f, EventSignal, "", "%s reports %s", sig.Source, sig.State)
+	}
+
+	if k.st.Plan == nil {
+		if err := k.maybeTrigger(f); err != nil {
+			return err
+		}
+	} else {
+		if err := k.advancePlan(f); err != nil {
+			return err
+		}
+	}
+	if err := k.writeCommands(f); err != nil {
+		return err
+	}
+	return k.persist()
+}
+
+// maybeTrigger starts a reconfiguration if the choice table demands one for
+// the current environment and the dwell guard allows it.
+func (k *Kernel) maybeTrigger(f int64) error {
+	target, ok := k.rs.Choice.Choose(k.st.Current, k.st.Env)
+	if !ok || target == k.st.Current {
+		return nil
+	}
+	if dwell := int64(k.rs.DwellFrames); f-k.st.LastEnd < dwell {
+		k.logf(f, EventDeferred, target, "dwell guard: %d of %d frames since last reconfiguration",
+			f-k.st.LastEnd, dwell)
+		return nil
+	}
+	k.st.Seq++
+	p, err := buildPlan(k.rs, k.st.Seq, k.st.Current, target, f)
+	if err != nil {
+		return err
+	}
+	k.st.Plan = p
+	k.st.TriggerApp = k.st.LastSource
+	k.logf(f, EventTrigger, target, "%s -> %s, window [%d,%d]", p.Source, p.Target, p.TriggerFrame, p.InitEnd)
+	k.logf(f, EventHalt, target, "halt commanded for frames [%d,%d]", p.HaltStart, p.HaltEnd)
+	k.logf(f, EventPrepare, target, "prepare(%s) scheduled for frames [%d,%d]", target, p.PrepStart, p.PrepEnd)
+	k.logf(f, EventInitialize, target, "initialize scheduled for frames [%d,%d]", p.InitStart, p.InitEnd)
+	return nil
+}
+
+// advancePlan handles retargeting and completion of the in-progress plan.
+func (k *Kernel) advancePlan(f int64) error {
+	p := k.st.Plan
+	// Immediate retargeting: permitted once per window, and only while
+	// initialization has not begun (after that, new triggers buffer).
+	if k.rs.Retarget == spec.RetargetImmediate && !p.Retargeted && f+1 <= p.InitStart {
+		if newTarget, ok := k.rs.Choice.Choose(p.Source, k.st.Env); ok && newTarget != p.Target {
+			k.st.Seq++
+			if err := p.retarget(k.rs, newTarget, k.st.Seq, f); err != nil {
+				return err
+			}
+			k.logf(f, EventRetarget, newTarget, "window extended to [%d,%d]", p.TriggerFrame, p.InitEnd)
+		}
+	}
+	if f == p.InitEnd {
+		k.st.Current = p.Target
+		k.st.LastEnd = f
+		k.st.Plan = nil
+		k.st.TriggerApp = ""
+		k.logf(f, EventComplete, p.Target, "window [%d,%d], %d frames",
+			p.TriggerFrame, p.InitEnd, p.InitEnd-p.TriggerFrame+1)
+	}
+	return nil
+}
+
+// writeCommands stages every application's command for frame f+1.
+func (k *Kernel) writeCommands(f int64) error {
+	p := k.st.Plan
+	for _, app := range k.rs.Apps {
+		if app.Virtual {
+			continue // monitors are not commanded
+		}
+		var cmd Command
+		if p == nil {
+			cfg, _ := k.rs.Config(k.st.Current)
+			target, _ := cfg.SpecOf(app.ID)
+			cmd = Command{Seq: k.st.Seq, Phase: spec.PhaseNormal, Target: target, Config: k.st.Current}
+		} else {
+			// Per-application phase selection: the command names the
+			// phase the application is in (or awaiting) at f+1, with
+			// its own action window. Outside the window the runtime
+			// holds, so a command naming a future phase is inert
+			// until the window opens. This covers both the staged
+			// protocol and the compressed (section 6.3) one.
+			aw := p.Apps[app.ID]
+			cmd = Command{Seq: p.Seq, Config: p.Target, Target: aw.Target}
+			g := f + 1
+			switch {
+			case aw.HaltStart >= 0 && g <= aw.HaltEnd:
+				cmd.Phase = spec.PhaseHalt
+				cmd.WinStart, cmd.WinEnd = aw.HaltStart, aw.HaltEnd
+			case aw.PrepStart >= 0 && g <= aw.PrepEnd:
+				cmd.Phase = spec.PhasePrepare
+				cmd.WinStart, cmd.WinEnd = aw.PrepStart, aw.PrepEnd
+			case g <= p.InitEnd:
+				cmd.Phase = spec.PhaseInit
+				cmd.WinStart, cmd.WinEnd = aw.InitStart, aw.InitEnd
+			default:
+				// f+1 is past the plan window only when the plan
+				// completed this frame, which clears Plan before
+				// writeCommands runs; a plan still present here
+				// is a scheduling bug.
+				return fmt.Errorf("scram: plan %d has no phase for frame %d", p.Seq, f+1)
+			}
+		}
+		if err := WriteCommand(k.store, app.ID, cmd); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// StatusOf returns the reconfiguration status (reconf_st) the kernel
+// attributes to app at the given frame. The trace recorder calls it after
+// EndOfFrame for the same frame.
+func (k *Kernel) StatusOf(app spec.AppID, frameNum int64) trace.ReconfStatus {
+	p := k.st.Plan
+	if p == nil {
+		return trace.StatusNormal
+	}
+	if frameNum == p.TriggerFrame {
+		if app == k.st.TriggerApp {
+			return trace.StatusInterrupted
+		}
+		return trace.StatusNormal
+	}
+	aw, ok := p.Apps[app]
+	if !ok {
+		return trace.StatusHalted
+	}
+	// Per-application status: an application is halting until its own halt
+	// window completes, halted while awaiting its prepare, preparing and
+	// prepared around its prepare window, and initializing from its init
+	// window until the plan's global completion (the release barrier).
+	switch {
+	case aw.HaltStart >= 0 && frameNum < aw.HaltEnd:
+		return trace.StatusHalting
+	case aw.HaltStart >= 0 && frameNum == aw.HaltEnd:
+		return trace.StatusHalted
+	case aw.PrepStart >= 0 && frameNum < aw.PrepStart:
+		return trace.StatusHalted
+	case aw.PrepStart >= 0 && frameNum < aw.PrepEnd:
+		return trace.StatusPreparing
+	case aw.PrepStart >= 0 && frameNum == aw.PrepEnd:
+		return trace.StatusPrepared
+	case aw.InitStart >= 0 && frameNum < aw.InitStart:
+		return trace.StatusPrepared
+	case aw.InitStart >= 0:
+		return trace.StatusInitializing
+	default:
+		return trace.StatusHalted // off in the target configuration
+	}
+}
+
+// SpecOf returns the functional specification attributed to app at the
+// current point: its target during a reconfiguration, its current
+// assignment otherwise.
+func (k *Kernel) SpecOf(app spec.AppID) spec.SpecID {
+	if p := k.st.Plan; p != nil {
+		if aw, ok := p.Apps[app]; ok {
+			return aw.Target
+		}
+	}
+	if cfg, ok := k.rs.Config(k.st.Current); ok {
+		if s, ok := cfg.SpecOf(app); ok {
+			return s
+		}
+	}
+	return spec.SpecOff
+}
+
+func (k *Kernel) drainSignals() []envmon.Signal {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	out := k.signals
+	k.signals = nil
+	return out
+}
+
+func (k *Kernel) logf(f int64, kind EventKind, cfg spec.ConfigID, format string, args ...any) {
+	k.events = append(k.events, Event{
+		Frame:  f,
+		Kind:   kind,
+		Config: cfg,
+		Detail: fmt.Sprintf(format, args...),
+	})
+}
+
+func (k *Kernel) persist() error {
+	if err := k.store.PutJSON(stateKey, k.st); err != nil {
+		return fmt.Errorf("scram: persisting kernel state: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,267 @@
+package scram
+
+import (
+	"fmt"
+
+	"repro/internal/spec"
+	"repro/internal/statics"
+)
+
+// appWindows is one application's schedule within a reconfiguration plan:
+// the inclusive frame ranges in which it actively executes each phase. A
+// start of -1 means the application does not participate in that phase (it
+// is off in the relevant configuration) and merely holds.
+type appWindows struct {
+	HaltStart int64       `json:"halt_start"`
+	HaltEnd   int64       `json:"halt_end"`
+	PrepStart int64       `json:"prep_start"`
+	PrepEnd   int64       `json:"prep_end"`
+	InitStart int64       `json:"init_start"`
+	InitEnd   int64       `json:"init_end"`
+	Target    spec.SpecID `json:"target"`
+}
+
+// plan is one scheduled reconfiguration: the realization of Table 1 for a
+// specific (source, target) pair, with per-application phase windows derived
+// from the same dependency-aware critical-path analysis the static timing
+// obligation uses.
+type plan struct {
+	Seq          int64                      `json:"seq"`
+	Source       spec.ConfigID              `json:"source"`
+	Target       spec.ConfigID              `json:"target"`
+	TriggerFrame int64                      `json:"trigger_frame"`
+	HaltStart    int64                      `json:"halt_start"`
+	HaltEnd      int64                      `json:"halt_end"`
+	PrepStart    int64                      `json:"prep_start"`
+	PrepEnd      int64                      `json:"prep_end"`
+	InitStart    int64                      `json:"init_start"`
+	InitEnd      int64                      `json:"init_end"`
+	Apps         map[spec.AppID]*appWindows `json:"apps"`
+	Retargeted   bool                       `json:"retargeted"`
+}
+
+// buildPlan schedules a reconfiguration triggered at triggerFrame from
+// source to target. Frame triggerFrame+1 begins the halt phase, matching
+// Table 1's frame numbering (frame 0 carries only the failure signal).
+func buildPlan(rs *spec.ReconfigSpec, seq int64, source, target spec.ConfigID, triggerFrame int64) (*plan, error) {
+	srcCfg, ok := rs.Config(source)
+	if !ok {
+		return nil, fmt.Errorf("scram: unknown source configuration %q", source)
+	}
+	tgtCfg, ok := rs.Config(target)
+	if !ok {
+		return nil, fmt.Errorf("scram: unknown target configuration %q", target)
+	}
+
+	p := &plan{
+		Seq:          seq,
+		Source:       source,
+		Target:       target,
+		TriggerFrame: triggerFrame,
+		HaltStart:    triggerFrame + 1,
+		Apps:         make(map[spec.AppID]*appWindows),
+	}
+	for _, app := range rs.Apps {
+		aw := &appWindows{
+			HaltStart: -1, HaltEnd: -1,
+			PrepStart: -1, PrepEnd: -1,
+			InitStart: -1, InitEnd: -1,
+			Target: spec.SpecOff,
+		}
+		if app.Virtual {
+			// Virtual applications are not reconfigured (section
+			// 6.3); they follow the protocol only in recorded
+			// status.
+			aw.Target = app.Specs[0].ID
+		}
+		p.Apps[app.ID] = aw
+	}
+
+	if rs.Compression {
+		if err := p.scheduleCompressed(rs, srcCfg, tgtCfg); err != nil {
+			return nil, err
+		}
+		return p, nil
+	}
+
+	haltStarts, haltDur, haltLen, err := statics.PhasePlan(rs, srcCfg, spec.PhaseHalt)
+	if err != nil {
+		return nil, fmt.Errorf("scram: halt plan: %w", err)
+	}
+	p.HaltEnd = triggerFrame + int64(haltLen)
+	for id, off := range haltStarts {
+		aw := p.Apps[id]
+		aw.HaltStart = p.HaltStart + int64(off)
+		aw.HaltEnd = aw.HaltStart + int64(haltDur[id]) - 1
+	}
+	if err := p.scheduleEntry(rs, tgtCfg, p.HaltEnd+1); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// scheduleCompressed fills the plan from the section 6.3 relaxed schedule:
+// per-application phase chaining with no global barriers. The global
+// boundary fields are set to the envelope of the per-application windows
+// (InitStart is the earliest initialize start, which gates retargeting).
+func (p *plan) scheduleCompressed(rs *spec.ReconfigSpec, srcCfg, tgtCfg *spec.Configuration) error {
+	sched, length, err := statics.CompressedSchedule(rs, srcCfg, tgtCfg)
+	if err != nil {
+		return fmt.Errorf("scram: compressed plan: %w", err)
+	}
+	base := p.TriggerFrame + 1
+	p.HaltEnd, p.PrepEnd = p.TriggerFrame, p.TriggerFrame
+	p.InitStart = base + int64(length) // lowered below by participants
+	p.InitEnd = p.TriggerFrame + int64(length)
+	p.PrepStart = p.InitEnd // informational only under compression
+	for id, s := range sched {
+		aw, ok := p.Apps[id]
+		if !ok {
+			continue
+		}
+		if app, ok2 := rs.AppByID(id); ok2 && !app.Virtual {
+			if t, ok3 := tgtCfg.SpecOf(id); ok3 {
+				aw.Target = t
+			} else {
+				aw.Target = spec.SpecOff
+			}
+		}
+		set := func(start, end int) (int64, int64) {
+			if start < 0 {
+				return -1, -1
+			}
+			return base + int64(start), base + int64(end)
+		}
+		aw.HaltStart, aw.HaltEnd = set(s.HaltStart, s.HaltEnd)
+		aw.PrepStart, aw.PrepEnd = set(s.PrepStart, s.PrepEnd)
+		aw.InitStart, aw.InitEnd = set(s.InitStart, s.InitEnd)
+		if aw.HaltEnd > p.HaltEnd {
+			p.HaltEnd = aw.HaltEnd
+		}
+		if aw.PrepEnd > p.PrepEnd {
+			p.PrepEnd = aw.PrepEnd
+		}
+		if aw.InitStart >= 0 && aw.InitStart < p.InitStart {
+			p.InitStart = aw.InitStart
+		}
+	}
+	if p.PrepStart < p.InitStart {
+		p.PrepStart = p.HaltEnd + 1
+	}
+	return nil
+}
+
+// scheduleEntry (re)schedules the prepare and initialize phases for the
+// plan's target configuration, with the prepare phase starting at
+// prepStart. It is used both at plan construction and at retargeting.
+func (p *plan) scheduleEntry(rs *spec.ReconfigSpec, tgtCfg *spec.Configuration, prepStart int64) error {
+	prepStarts, prepDur, prepLen, err := statics.PhasePlan(rs, tgtCfg, spec.PhasePrepare)
+	if err != nil {
+		return fmt.Errorf("scram: prepare plan: %w", err)
+	}
+	initStarts, initDur, initLen, err := statics.PhasePlan(rs, tgtCfg, spec.PhaseInit)
+	if err != nil {
+		return fmt.Errorf("scram: init plan: %w", err)
+	}
+	p.PrepStart = prepStart
+	p.PrepEnd = prepStart + int64(prepLen) - 1
+	p.InitStart = p.PrepEnd + 1
+	p.InitEnd = p.PrepEnd + int64(initLen)
+
+	for id, aw := range p.Apps {
+		aw.PrepStart, aw.PrepEnd = -1, -1
+		aw.InitStart, aw.InitEnd = -1, -1
+		if app, ok := rs.AppByID(id); ok && !app.Virtual {
+			if t, ok := tgtCfg.SpecOf(id); ok {
+				aw.Target = t
+			} else {
+				aw.Target = spec.SpecOff
+			}
+		}
+	}
+	for id, off := range prepStarts {
+		aw := p.Apps[id]
+		aw.PrepStart = p.PrepStart + int64(off)
+		aw.PrepEnd = aw.PrepStart + int64(prepDur[id]) - 1
+	}
+	for id, off := range initStarts {
+		aw := p.Apps[id]
+		aw.InitStart = p.InitStart + int64(off)
+		aw.InitEnd = aw.InitStart + int64(initDur[id]) - 1
+	}
+	return nil
+}
+
+// retarget reschedules the plan toward a new target configuration. It may
+// only be called while initialization has not begun; the prepare phase
+// restarts at frameNow+1 (or after the halt phase completes, whichever is
+// later). Under compression the whole relaxed entry schedule is rebuilt and
+// shifted so no prepare begins before frameNow+1.
+func (p *plan) retarget(rs *spec.ReconfigSpec, newTarget spec.ConfigID, seq, frameNow int64) error {
+	tgtCfg, ok := rs.Config(newTarget)
+	if !ok {
+		return fmt.Errorf("scram: unknown retarget configuration %q", newTarget)
+	}
+	p.Target = newTarget
+	p.Seq = seq
+	p.Retargeted = true
+	if rs.Compression {
+		srcCfg, ok := rs.Config(p.Source)
+		if !ok {
+			return fmt.Errorf("scram: unknown source configuration %q", p.Source)
+		}
+		// Rebuild the relaxed schedule for the new target, keep the
+		// already-executed halt windows, and uniformly shift the entry
+		// windows so none starts before frameNow+1.
+		halts := make(map[spec.AppID]*appWindows, len(p.Apps))
+		for id, aw := range p.Apps {
+			cp := *aw
+			halts[id] = &cp
+		}
+		if err := p.scheduleCompressed(rs, srcCfg, tgtCfg); err != nil {
+			return err
+		}
+		var shift int64
+		for _, aw := range p.Apps {
+			if aw.PrepStart >= 0 && frameNow+1-aw.PrepStart > shift {
+				shift = frameNow + 1 - aw.PrepStart
+			}
+		}
+		for id, aw := range p.Apps {
+			if prev, ok := halts[id]; ok {
+				aw.HaltStart, aw.HaltEnd = prev.HaltStart, prev.HaltEnd
+			}
+			if aw.PrepStart >= 0 {
+				aw.PrepStart += shift
+				aw.PrepEnd += shift
+			}
+			if aw.InitStart >= 0 {
+				aw.InitStart += shift
+				aw.InitEnd += shift
+			}
+		}
+		p.PrepEnd += shift
+		p.InitStart += shift
+		p.InitEnd += shift
+		return nil
+	}
+	prepStart := frameNow + 1
+	if min := p.HaltEnd + 1; prepStart < min {
+		prepStart = min
+	}
+	return p.scheduleEntry(rs, tgtCfg, prepStart)
+}
+
+// phaseAt returns the protocol phase in effect at the given frame.
+func (p *plan) phaseAt(frameNum int64) spec.Phase {
+	switch {
+	case frameNum <= p.TriggerFrame:
+		return spec.PhaseNormal
+	case frameNum <= p.HaltEnd:
+		return spec.PhaseHalt
+	case frameNum <= p.PrepEnd:
+		return spec.PhasePrepare
+	default:
+		return spec.PhaseInit
+	}
+}

@@ -1,0 +1,475 @@
+// Package spec defines the static vocabulary of an assuredly reconfigurable
+// system: application functional specifications, system configurations, the
+// transition table, the configuration-choice table, inter-application
+// dependencies, and the timing matrix.
+//
+// The types in this package are the Go rendering of the reconfiguration
+// specification of Strunk, Knight and Aiello, "Assured Reconfiguration of
+// Fail-Stop Systems" (DSN 2005), section 6. A ReconfigSpec is purely static
+// data: it can be validated (this package and package statics), serialized to
+// JSON, and interpreted by the SCRAM kernel at run time.
+package spec
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// AppID identifies a reconfigurable application. Application identifiers are
+// unique within a system.
+type AppID string
+
+// SpecID identifies one functional specification of an application. A
+// specification identifier is unique within its application's specification
+// set.
+type SpecID string
+
+// ConfigID identifies a system configuration (a "service level" in the
+// paper's formal model, svclvl).
+type ConfigID string
+
+// EnvState is a discrete, named state of the system's operating environment.
+// Following section 6.3 of the paper, component failures are modeled as
+// environment changes, so a processor or sensor failure simply moves the
+// environment to a different EnvState.
+type EnvState string
+
+// ProcID identifies a fail-stop processor of the computing platform.
+type ProcID string
+
+// SpecOff is the distinguished specification meaning "this application is not
+// running in this configuration". An application assigned SpecOff is halted
+// and consumes no platform resources.
+const SpecOff SpecID = "off"
+
+// Phase enumerates the stages of the reconfiguration protocol (Table 1 of the
+// paper). Normal operation is included so that per-application status
+// variables can carry a single Phase value.
+type Phase int
+
+// Reconfiguration phases, in protocol order.
+const (
+	// PhaseNormal is ordinary operation under the current specification.
+	PhaseNormal Phase = iota + 1
+	// PhaseHalt is the first protocol stage: the application ceases
+	// execution and establishes its postcondition.
+	PhaseHalt
+	// PhasePrepare is the second protocol stage: the application
+	// establishes the condition required to transition to the target
+	// specification.
+	PhasePrepare
+	// PhaseInit is the third protocol stage: the application establishes
+	// the precondition of the target specification and resumes operation.
+	PhaseInit
+)
+
+// String returns the lower-case protocol name of the phase.
+func (p Phase) String() string {
+	switch p {
+	case PhaseNormal:
+		return "normal"
+	case PhaseHalt:
+		return "halt"
+	case PhasePrepare:
+		return "prepare"
+	case PhaseInit:
+		return "initialize"
+	default:
+		return fmt.Sprintf("phase(%d)", int(p))
+	}
+}
+
+// Resources models the platform resources a specification consumes or a
+// processor provides. Units are abstract but must be consistent across a
+// system description.
+type Resources struct {
+	// CPU is processing capacity in abstract units.
+	CPU int `json:"cpu"`
+	// MemoryKB is memory footprint in kilobytes.
+	MemoryKB int `json:"memory_kb"`
+	// PowerMW is electrical power draw (or supply) in milliwatts.
+	PowerMW int `json:"power_mw"`
+}
+
+// Add returns the component-wise sum of r and o.
+func (r Resources) Add(o Resources) Resources {
+	return Resources{
+		CPU:      r.CPU + o.CPU,
+		MemoryKB: r.MemoryKB + o.MemoryKB,
+		PowerMW:  r.PowerMW + o.PowerMW,
+	}
+}
+
+// Fits reports whether r fits within capacity c in every dimension.
+func (r Resources) Fits(c Resources) bool {
+	return r.CPU <= c.CPU && r.MemoryKB <= c.MemoryKB && r.PowerMW <= c.PowerMW
+}
+
+// Specification describes one functional specification an application can
+// operate under: its resource footprint and the worst-case duration, in
+// real-time frames, of each reconfiguration phase entering or leaving it.
+//
+// Per section 6.1 of the paper, each phase normally completes one unit of
+// work in one frame; the frame counts here allow the generalization to
+// multi-frame phases while keeping every phase bounded.
+type Specification struct {
+	// ID is the specification identifier, unique within the application.
+	ID SpecID `json:"id"`
+	// Description is free-form documentation of the service provided.
+	Description string `json:"description,omitempty"`
+	// Resources is the footprint of an application operating under this
+	// specification.
+	Resources Resources `json:"resources"`
+	// HaltFrames is the worst-case number of frames needed to establish
+	// the postcondition and halt when leaving this specification. It must
+	// be at least 1.
+	HaltFrames int `json:"halt_frames"`
+	// PrepareFrames is the worst-case number of frames needed to
+	// establish the transition condition when this specification is the
+	// target. It must be at least 1.
+	PrepareFrames int `json:"prepare_frames"`
+	// InitFrames is the worst-case number of frames needed to establish
+	// the precondition and resume when this specification is the target.
+	// It must be at least 1.
+	InitFrames int `json:"init_frames"`
+}
+
+// App describes a reconfigurable application: its identity and the set of
+// functional specifications it implements (S_i in the paper).
+type App struct {
+	// ID is the application identifier.
+	ID AppID `json:"id"`
+	// Description is free-form documentation.
+	Description string `json:"description,omitempty"`
+	// Specs is the application's specification set. It must be non-empty
+	// and must not contain SpecOff (being off is expressed per
+	// configuration, not as a specification the app implements).
+	Specs []Specification `json:"specs"`
+	// Virtual marks environment-monitor applications (section 6.3):
+	// applications that exist to observe an environmental factor and
+	// signal the SCRAM when it changes. Virtual applications participate
+	// in traces but are not reconfigured.
+	Virtual bool `json:"virtual,omitempty"`
+}
+
+// Spec returns the specification with the given ID, or false if the
+// application does not implement it.
+func (a *App) Spec(id SpecID) (Specification, bool) {
+	for _, s := range a.Specs {
+		if s.ID == id {
+			return s, true
+		}
+	}
+	return Specification{}, false
+}
+
+// Configuration is one acceptable system service: an assignment of a
+// functional specification (or SpecOff) to every application, together with a
+// static placement of running applications onto processors.
+//
+// This is the function f: Apps -> S of the paper's formal definition of
+// reconfiguration, plus the static process-to-node mapping the architecture
+// assumes.
+type Configuration struct {
+	// ID is the configuration identifier.
+	ID ConfigID `json:"id"`
+	// Description is free-form documentation.
+	Description string `json:"description,omitempty"`
+	// Assignment maps every application to the specification it operates
+	// under in this configuration, or SpecOff.
+	Assignment map[AppID]SpecID `json:"assignment"`
+	// Placement maps every running (non-off) application to the processor
+	// that hosts it in this configuration.
+	Placement map[AppID]ProcID `json:"placement"`
+	// Safe marks the configuration as a "safe" configuration in the sense
+	// of section 4: one dependable enough that the system can remain in it
+	// indefinitely without compromising dependability goals.
+	Safe bool `json:"safe,omitempty"`
+	// LowPower lists processors that must operate in low-power mode in
+	// this configuration.
+	LowPower []ProcID `json:"low_power,omitempty"`
+}
+
+// SpecOf returns the specification assigned to app in this configuration.
+// The second result is false if the configuration does not mention the app.
+func (c *Configuration) SpecOf(app AppID) (SpecID, bool) {
+	s, ok := c.Assignment[app]
+	return s, ok
+}
+
+// RunningApps returns the identifiers of applications that are not off in
+// this configuration, in deterministic (sorted) order.
+func (c *Configuration) RunningApps() []AppID {
+	apps := make([]AppID, 0, len(c.Assignment))
+	for id, s := range c.Assignment {
+		if s != SpecOff {
+			apps = append(apps, id)
+		}
+	}
+	sort.Slice(apps, func(i, j int) bool { return apps[i] < apps[j] })
+	return apps
+}
+
+// Transition is one statically-permitted system transition together with its
+// worst-case duration bound T(from, to), expressed in frames. The bound
+// covers the full reconfiguration window as observed in a system trace
+// (trigger frame through the frame in which every application operates under
+// the target configuration), so SP3 can be checked as
+//
+//	(end_c - start_c + 1) * cycle_time <= T(from, to) * cycle_time.
+type Transition struct {
+	From ConfigID `json:"from"`
+	To   ConfigID `json:"to"`
+	// MaxFrames is the inclusive bound on the reconfiguration window
+	// length in frames.
+	MaxFrames int `json:"max_frames"`
+}
+
+// Dependency is a phase-scoped ordering constraint between two applications
+// during reconfiguration: the Dependent application may not begin the given
+// Phase until the Independent application has completed that phase.
+//
+// Section 6.1 requires only that the independent application be halted
+// before the dependent application computes its precondition; richer (still
+// acyclic) dependencies are supported per section 6.3.
+type Dependency struct {
+	Independent AppID `json:"independent"`
+	Dependent   AppID `json:"dependent"`
+	Phase       Phase `json:"phase"`
+}
+
+// ChoiceTable is the SCRAM's statically-defined configuration choice
+// function: it maps (current configuration, environment state) to the
+// configuration the system must move to. An entry equal to the current
+// configuration means "no reconfiguration required".
+type ChoiceTable map[ConfigID]map[EnvState]ConfigID
+
+// Choose returns the target configuration for the given current
+// configuration and environment state. The second result is false if the
+// table has no entry, which a validated specification guarantees cannot
+// happen for reachable pairs (the covering_txns obligation).
+func (t ChoiceTable) Choose(cur ConfigID, env EnvState) (ConfigID, bool) {
+	row, ok := t[cur]
+	if !ok {
+		return "", false
+	}
+	target, ok := row[env]
+	return target, ok
+}
+
+// Proc describes one fail-stop processor of the computing platform.
+type Proc struct {
+	// ID is the processor identifier.
+	ID ProcID `json:"id"`
+	// Capacity is the resource capacity in normal operation.
+	Capacity Resources `json:"capacity"`
+	// LowPowerCapacity is the (reduced) capacity in low-power mode. Zero
+	// values mean the processor has no low-power mode.
+	LowPowerCapacity Resources `json:"low_power_capacity,omitempty"`
+}
+
+// Platform describes the computing platform: the set of fail-stop processors
+// available to host applications.
+type Platform struct {
+	Procs []Proc `json:"procs"`
+}
+
+// Proc returns the processor with the given ID, or false if the platform has
+// no such processor.
+func (p *Platform) Proc(id ProcID) (Proc, bool) {
+	for _, pr := range p.Procs {
+		if pr.ID == id {
+			return pr, true
+		}
+	}
+	return Proc{}, false
+}
+
+// RetargetPolicy selects how the SCRAM handles a failure (or other
+// environment change) that arrives while a reconfiguration is already in
+// progress (section 5.3).
+type RetargetPolicy int
+
+const (
+	// RetargetBuffer buffers the new trigger until the current
+	// reconfiguration completes, then starts a new reconfiguration. This
+	// is the policy assumed by the worst-case restriction-time formula
+	// (the sum of bounds along the transition chain).
+	RetargetBuffer RetargetPolicy = iota + 1
+	// RetargetImmediate re-chooses the target as soon as every
+	// application has established its postcondition, re-running the
+	// prepare and initialize phases for the new target. The transition
+	// bound T(from, finalTo) must be sized to cover one retargeting.
+	RetargetImmediate
+)
+
+// String returns the policy name.
+func (p RetargetPolicy) String() string {
+	switch p {
+	case RetargetBuffer:
+		return "buffer"
+	case RetargetImmediate:
+		return "immediate"
+	default:
+		return fmt.Sprintf("retarget(%d)", int(p))
+	}
+}
+
+// MarshalJSON encodes the policy as its name.
+func (p RetargetPolicy) MarshalJSON() ([]byte, error) {
+	return json.Marshal(p.String())
+}
+
+// UnmarshalJSON decodes a policy from its name.
+func (p *RetargetPolicy) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	switch s {
+	case "buffer":
+		*p = RetargetBuffer
+	case "immediate":
+		*p = RetargetImmediate
+	default:
+		return fmt.Errorf("spec: unknown retarget policy %q", s)
+	}
+	return nil
+}
+
+// ReconfigSpec is the complete reconfiguration specification of a system: the
+// application set, the acceptable configurations, the permitted transitions
+// and their bounds, the configuration choice table, reachable environment
+// states, inter-application dependencies, the platform, and global timing
+// parameters.
+//
+// A ReconfigSpec is inert data. Validate checks local well-formedness;
+// package statics discharges the deeper proof obligations (coverage,
+// acyclicity, timing consistency, resource feasibility).
+type ReconfigSpec struct {
+	// Name identifies the system, for reports.
+	Name string `json:"name"`
+	// Apps is the application set (Apps in the paper).
+	Apps []App `json:"apps"`
+	// Configs is the set of acceptable configurations (C in the paper).
+	Configs []Configuration `json:"configs"`
+	// Transitions is the statically-defined set of valid transitions with
+	// their timing bounds.
+	Transitions []Transition `json:"transitions"`
+	// Choice is the configuration choice table.
+	Choice ChoiceTable `json:"choice"`
+	// Envs enumerates the reachable environment states.
+	Envs []EnvState `json:"envs"`
+	// StartConfig is the configuration the system boots into.
+	StartConfig ConfigID `json:"start_config"`
+	// StartEnv is the environment state assumed at boot.
+	StartEnv EnvState `json:"start_env"`
+	// Deps are the phase-scoped reconfiguration dependencies.
+	Deps []Dependency `json:"deps,omitempty"`
+	// Platform describes the processors available.
+	Platform Platform `json:"platform"`
+	// FrameLen is the real-time frame length (cycle_time). It must be
+	// positive.
+	FrameLen time.Duration `json:"frame_len_ns"`
+	// DwellFrames is the minimum number of frames the system must remain
+	// in a configuration before a subsequent reconfiguration may begin.
+	// It is the cycle guard of section 5.3; zero disables the guard.
+	DwellFrames int `json:"dwell_frames,omitempty"`
+	// Compression enables the section 6.3 relaxation: applications
+	// complete their protocol stages back to back without waiting for
+	// global phase barriers, subject to (a) same-phase dependency
+	// ordering and (b) the section 6.1 guard that every independent an
+	// application waits on has halted before the application computes
+	// its transition condition. Compression shortens windows whenever
+	// applications' phase durations are heterogeneous.
+	Compression bool `json:"compression,omitempty"`
+	// Retarget selects the failure-during-reconfiguration policy.
+	Retarget RetargetPolicy `json:"retarget"`
+}
+
+// AppByID returns the application with the given ID, or false.
+func (rs *ReconfigSpec) AppByID(id AppID) (*App, bool) {
+	for i := range rs.Apps {
+		if rs.Apps[i].ID == id {
+			return &rs.Apps[i], true
+		}
+	}
+	return nil, false
+}
+
+// Config returns the configuration with the given ID, or false.
+func (rs *ReconfigSpec) Config(id ConfigID) (*Configuration, bool) {
+	for i := range rs.Configs {
+		if rs.Configs[i].ID == id {
+			return &rs.Configs[i], true
+		}
+	}
+	return nil, false
+}
+
+// T returns the transition bound T(from, to) in frames. The second result is
+// false if the transition is not in the statically-permitted set.
+func (rs *ReconfigSpec) T(from, to ConfigID) (int, bool) {
+	for _, t := range rs.Transitions {
+		if t.From == from && t.To == to {
+			return t.MaxFrames, true
+		}
+	}
+	return 0, false
+}
+
+// SafeConfigs returns the identifiers of all safe configurations, sorted.
+func (rs *ReconfigSpec) SafeConfigs() []ConfigID {
+	var ids []ConfigID
+	for _, c := range rs.Configs {
+		if c.Safe {
+			ids = append(ids, c.ID)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// RealApps returns the non-virtual applications, in declaration order.
+func (rs *ReconfigSpec) RealApps() []App {
+	var apps []App
+	for _, a := range rs.Apps {
+		if !a.Virtual {
+			apps = append(apps, a)
+		}
+	}
+	return apps
+}
+
+// DepsForPhase returns the dependencies scoped to the given phase.
+func (rs *ReconfigSpec) DepsForPhase(p Phase) []Dependency {
+	var deps []Dependency
+	for _, d := range rs.Deps {
+		if d.Phase == p {
+			deps = append(deps, d)
+		}
+	}
+	return deps
+}
+
+// MarshalJSON writes the specification with FrameLen in nanoseconds.
+func (rs *ReconfigSpec) MarshalJSON() ([]byte, error) {
+	type alias ReconfigSpec // strip methods to avoid recursion
+	return json.Marshal((*alias)(rs))
+}
+
+// UnmarshalJSON reads a specification previously written by MarshalJSON.
+func (rs *ReconfigSpec) UnmarshalJSON(b []byte) error {
+	type alias ReconfigSpec
+	if err := json.Unmarshal(b, (*alias)(rs)); err != nil {
+		return fmt.Errorf("spec: decoding reconfiguration specification: %w", err)
+	}
+	return nil
+}
+
+// ErrInvalid is wrapped by every validation error this package reports, so
+// callers can test for the class with errors.Is.
+var ErrInvalid = errors.New("invalid reconfiguration specification")

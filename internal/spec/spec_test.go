@@ -1,0 +1,487 @@
+package spec
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// validSpec builds a structurally valid two-application, two-configuration
+// specification used as the baseline for mutation tests.
+func validSpec() *ReconfigSpec {
+	return &ReconfigSpec{
+		Name: "test-system",
+		Apps: []App{
+			{
+				ID: "ctrl",
+				Specs: []Specification{
+					{ID: "full", Resources: Resources{CPU: 4, MemoryKB: 256, PowerMW: 400}, HaltFrames: 1, PrepareFrames: 1, InitFrames: 1},
+					{ID: "basic", Resources: Resources{CPU: 1, MemoryKB: 64, PowerMW: 100}, HaltFrames: 1, PrepareFrames: 1, InitFrames: 1},
+				},
+			},
+			{
+				ID: "nav",
+				Specs: []Specification{
+					{ID: "full", Resources: Resources{CPU: 2, MemoryKB: 128, PowerMW: 200}, HaltFrames: 1, PrepareFrames: 1, InitFrames: 1},
+				},
+			},
+			{
+				ID:      "power-monitor",
+				Virtual: true,
+				Specs: []Specification{
+					{ID: "monitor", HaltFrames: 1, PrepareFrames: 1, InitFrames: 1},
+				},
+			},
+		},
+		Configs: []Configuration{
+			{
+				ID:         "full",
+				Assignment: map[AppID]SpecID{"ctrl": "full", "nav": "full"},
+				Placement:  map[AppID]ProcID{"ctrl": "p1", "nav": "p2"},
+			},
+			{
+				ID:         "degraded",
+				Assignment: map[AppID]SpecID{"ctrl": "basic", "nav": SpecOff},
+				Placement:  map[AppID]ProcID{"ctrl": "p1"},
+				Safe:       true,
+			},
+		},
+		Transitions: []Transition{
+			{From: "full", To: "degraded", MaxFrames: 6},
+			{From: "degraded", To: "full", MaxFrames: 6},
+		},
+		Choice: ChoiceTable{
+			"full": {
+				"env-ok":  "full",
+				"env-low": "degraded",
+			},
+			"degraded": {
+				"env-ok":  "full",
+				"env-low": "degraded",
+			},
+		},
+		Envs:        []EnvState{"env-ok", "env-low"},
+		StartConfig: "full",
+		StartEnv:    "env-ok",
+		Deps: []Dependency{
+			{Independent: "ctrl", Dependent: "nav", Phase: PhaseInit},
+		},
+		Platform: Platform{Procs: []Proc{
+			{ID: "p1", Capacity: Resources{CPU: 8, MemoryKB: 1024, PowerMW: 1000}},
+			{ID: "p2", Capacity: Resources{CPU: 8, MemoryKB: 1024, PowerMW: 1000}},
+		}},
+		FrameLen: 20 * time.Millisecond,
+		Retarget: RetargetBuffer,
+	}
+}
+
+func TestValidSpecValidates(t *testing.T) {
+	if err := validSpec().Validate(); err != nil {
+		t.Fatalf("valid spec failed validation: %v", err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	tests := []struct {
+		name    string
+		mutate  func(*ReconfigSpec)
+		wantSub string
+	}{
+		{
+			name:    "empty name",
+			mutate:  func(rs *ReconfigSpec) { rs.Name = "" },
+			wantSub: "name must be non-empty",
+		},
+		{
+			name:    "non-positive frame length",
+			mutate:  func(rs *ReconfigSpec) { rs.FrameLen = 0 },
+			wantSub: "frame length must be positive",
+		},
+		{
+			name:    "negative dwell",
+			mutate:  func(rs *ReconfigSpec) { rs.DwellFrames = -1 },
+			wantSub: "dwell frames must be non-negative",
+		},
+		{
+			name:    "bad retarget policy",
+			mutate:  func(rs *ReconfigSpec) { rs.Retarget = 0 },
+			wantSub: "retarget policy",
+		},
+		{
+			name:    "no apps",
+			mutate:  func(rs *ReconfigSpec) { rs.Apps = nil },
+			wantSub: "application set must be non-empty",
+		},
+		{
+			name:    "duplicate app",
+			mutate:  func(rs *ReconfigSpec) { rs.Apps = append(rs.Apps, rs.Apps[0]) },
+			wantSub: `duplicate application identifier "ctrl"`,
+		},
+		{
+			name:    "app without specs",
+			mutate:  func(rs *ReconfigSpec) { rs.Apps[1].Specs = nil },
+			wantSub: `application "nav" declares no specifications`,
+		},
+		{
+			name:    "reserved off spec",
+			mutate:  func(rs *ReconfigSpec) { rs.Apps[0].Specs[0].ID = SpecOff },
+			wantSub: `reserved specification "off"`,
+		},
+		{
+			name:    "duplicate spec in app",
+			mutate:  func(rs *ReconfigSpec) { rs.Apps[0].Specs[1].ID = "full" },
+			wantSub: `duplicate specification "full"`,
+		},
+		{
+			name:    "zero phase bound",
+			mutate:  func(rs *ReconfigSpec) { rs.Apps[0].Specs[0].HaltFrames = 0 },
+			wantSub: "every phase bound must be >= 1 frame",
+		},
+		{
+			name:    "no processors",
+			mutate:  func(rs *ReconfigSpec) { rs.Platform.Procs = nil },
+			wantSub: "at least one processor",
+		},
+		{
+			name:    "duplicate processor",
+			mutate:  func(rs *ReconfigSpec) { rs.Platform.Procs[1].ID = "p1" },
+			wantSub: `duplicate processor identifier "p1"`,
+		},
+		{
+			name:    "no configs",
+			mutate:  func(rs *ReconfigSpec) { rs.Configs = nil },
+			wantSub: "configuration set must be non-empty",
+		},
+		{
+			name:    "duplicate config",
+			mutate:  func(rs *ReconfigSpec) { rs.Configs[1].ID = "full" },
+			wantSub: `duplicate configuration identifier "full"`,
+		},
+		{
+			name:    "missing assignment",
+			mutate:  func(rs *ReconfigSpec) { delete(rs.Configs[0].Assignment, "nav") },
+			wantSub: `configuration "full" does not assign application "nav"`,
+		},
+		{
+			name:    "assignment to undeclared app",
+			mutate:  func(rs *ReconfigSpec) { rs.Configs[0].Assignment["ghost"] = "full" },
+			wantSub: `assigns undeclared application "ghost"`,
+		},
+		{
+			name:    "assignment to virtual app",
+			mutate:  func(rs *ReconfigSpec) { rs.Configs[0].Assignment["power-monitor"] = "monitor" },
+			wantSub: `assigns virtual application "power-monitor"`,
+		},
+		{
+			name:    "assignment to unimplemented spec",
+			mutate:  func(rs *ReconfigSpec) { rs.Configs[0].Assignment["nav"] = "basic" },
+			wantSub: `specification "basic" which it does not implement`,
+		},
+		{
+			name:    "running app unplaced",
+			mutate:  func(rs *ReconfigSpec) { delete(rs.Configs[0].Placement, "nav") },
+			wantSub: `runs application "nav" but does not place it`,
+		},
+		{
+			name:    "placement on undeclared processor",
+			mutate:  func(rs *ReconfigSpec) { rs.Configs[0].Placement["nav"] = "ghost-proc" },
+			wantSub: `undeclared processor "ghost-proc"`,
+		},
+		{
+			name:    "placement of unassigned app",
+			mutate:  func(rs *ReconfigSpec) { rs.Configs[1].Placement["nav"] = "p1" },
+			wantSub: `places unassigned application`,
+		},
+		{
+			name:    "low-power undeclared proc",
+			mutate:  func(rs *ReconfigSpec) { rs.Configs[0].LowPower = []ProcID{"ghost"} },
+			wantSub: `marks undeclared processor "ghost" low-power`,
+		},
+		{
+			name:    "transition from undeclared config",
+			mutate:  func(rs *ReconfigSpec) { rs.Transitions[0].From = "ghost" },
+			wantSub: "source is not a declared configuration",
+		},
+		{
+			name:    "non-positive transition bound",
+			mutate:  func(rs *ReconfigSpec) { rs.Transitions[0].MaxFrames = 0 },
+			wantSub: "bound must be >= 1 frame",
+		},
+		{
+			name: "duplicate transition",
+			mutate: func(rs *ReconfigSpec) {
+				rs.Transitions = append(rs.Transitions, rs.Transitions[0])
+			},
+			wantSub: `duplicate transition "full" -> "degraded"`,
+		},
+		{
+			name:    "no env states",
+			mutate:  func(rs *ReconfigSpec) { rs.Envs = nil },
+			wantSub: "environment state set must be non-empty",
+		},
+		{
+			name:    "duplicate env state",
+			mutate:  func(rs *ReconfigSpec) { rs.Envs = append(rs.Envs, "env-ok") },
+			wantSub: `duplicate environment state "env-ok"`,
+		},
+		{
+			name:    "choice row for undeclared config",
+			mutate:  func(rs *ReconfigSpec) { rs.Choice["ghost"] = map[EnvState]ConfigID{"env-ok": "full"} },
+			wantSub: `choice table row for undeclared configuration "ghost"`,
+		},
+		{
+			name:    "choice entry undeclared env",
+			mutate:  func(rs *ReconfigSpec) { rs.Choice["full"]["env-ghost"] = "full" },
+			wantSub: `undeclared environment state`,
+		},
+		{
+			name:    "choice entry undeclared target",
+			mutate:  func(rs *ReconfigSpec) { rs.Choice["full"]["env-ok"] = "ghost" },
+			wantSub: `target "ghost" is not a declared configuration`,
+		},
+		{
+			name:    "choice entry without transition",
+			mutate:  func(rs *ReconfigSpec) { rs.Transitions = rs.Transitions[1:] },
+			wantSub: `is not a declared transition`,
+		},
+		{
+			name:    "dependency on undeclared app",
+			mutate:  func(rs *ReconfigSpec) { rs.Deps[0].Independent = "ghost" },
+			wantSub: `undeclared independent application "ghost"`,
+		},
+		{
+			name:    "self dependency",
+			mutate:  func(rs *ReconfigSpec) { rs.Deps[0].Dependent = "ctrl" },
+			wantSub: `cannot depend on itself`,
+		},
+		{
+			name:    "dependency invalid phase",
+			mutate:  func(rs *ReconfigSpec) { rs.Deps[0].Phase = PhaseNormal },
+			wantSub: "invalid phase",
+		},
+		{
+			name:    "undeclared start config",
+			mutate:  func(rs *ReconfigSpec) { rs.StartConfig = "ghost" },
+			wantSub: `start configuration "ghost"`,
+		},
+		{
+			name:    "undeclared start env",
+			mutate:  func(rs *ReconfigSpec) { rs.StartEnv = "ghost" },
+			wantSub: `start environment "ghost"`,
+		},
+		{
+			name: "no safe config",
+			mutate: func(rs *ReconfigSpec) {
+				for i := range rs.Configs {
+					rs.Configs[i].Safe = false
+				}
+			},
+			wantSub: "at least one configuration must be marked safe",
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			rs := validSpec()
+			tt.mutate(rs)
+			err := rs.Validate()
+			if err == nil {
+				t.Fatalf("expected validation failure containing %q, got nil", tt.wantSub)
+			}
+			if !errors.Is(err, ErrInvalid) {
+				t.Errorf("error does not wrap ErrInvalid: %v", err)
+			}
+			if !strings.Contains(err.Error(), tt.wantSub) {
+				t.Errorf("error %q does not contain %q", err.Error(), tt.wantSub)
+			}
+		})
+	}
+}
+
+func TestResourcesAddFits(t *testing.T) {
+	a := Resources{CPU: 1, MemoryKB: 2, PowerMW: 3}
+	b := Resources{CPU: 4, MemoryKB: 5, PowerMW: 6}
+	sum := a.Add(b)
+	want := Resources{CPU: 5, MemoryKB: 7, PowerMW: 9}
+	if sum != want {
+		t.Errorf("Add = %+v, want %+v", sum, want)
+	}
+	if !a.Fits(b) {
+		t.Errorf("a should fit in b")
+	}
+	if b.Fits(a) {
+		t.Errorf("b should not fit in a")
+	}
+	if !a.Fits(a) {
+		t.Errorf("resources should fit themselves")
+	}
+}
+
+func TestPhaseString(t *testing.T) {
+	tests := []struct {
+		p    Phase
+		want string
+	}{
+		{PhaseNormal, "normal"},
+		{PhaseHalt, "halt"},
+		{PhasePrepare, "prepare"},
+		{PhaseInit, "initialize"},
+		{Phase(99), "phase(99)"},
+	}
+	for _, tt := range tests {
+		if got := tt.p.String(); got != tt.want {
+			t.Errorf("Phase(%d).String() = %q, want %q", int(tt.p), got, tt.want)
+		}
+	}
+}
+
+func TestAppSpecLookup(t *testing.T) {
+	rs := validSpec()
+	app, ok := rs.AppByID("ctrl")
+	if !ok {
+		t.Fatal("ctrl not found")
+	}
+	if _, ok := app.Spec("full"); !ok {
+		t.Error("ctrl/full not found")
+	}
+	if _, ok := app.Spec("ghost"); ok {
+		t.Error("ctrl/ghost unexpectedly found")
+	}
+	if _, ok := rs.AppByID("ghost"); ok {
+		t.Error("ghost app unexpectedly found")
+	}
+}
+
+func TestConfigHelpers(t *testing.T) {
+	rs := validSpec()
+	cfg, ok := rs.Config("degraded")
+	if !ok {
+		t.Fatal("degraded not found")
+	}
+	if s, ok := cfg.SpecOf("ctrl"); !ok || s != "basic" {
+		t.Errorf("SpecOf(ctrl) = %q, %v; want basic, true", s, ok)
+	}
+	if s, ok := cfg.SpecOf("nav"); !ok || s != SpecOff {
+		t.Errorf("SpecOf(nav) = %q, %v; want off, true", s, ok)
+	}
+	if _, ok := cfg.SpecOf("ghost"); ok {
+		t.Error("SpecOf(ghost) unexpectedly present")
+	}
+	running := cfg.RunningApps()
+	if len(running) != 1 || running[0] != "ctrl" {
+		t.Errorf("RunningApps = %v, want [ctrl]", running)
+	}
+}
+
+func TestTransitionBoundLookup(t *testing.T) {
+	rs := validSpec()
+	if b, ok := rs.T("full", "degraded"); !ok || b != 6 {
+		t.Errorf("T(full, degraded) = %d, %v; want 6, true", b, ok)
+	}
+	if _, ok := rs.T("degraded", "ghost"); ok {
+		t.Error("T to ghost unexpectedly present")
+	}
+}
+
+func TestSafeConfigs(t *testing.T) {
+	rs := validSpec()
+	safe := rs.SafeConfigs()
+	if len(safe) != 1 || safe[0] != "degraded" {
+		t.Errorf("SafeConfigs = %v, want [degraded]", safe)
+	}
+}
+
+func TestRealApps(t *testing.T) {
+	rs := validSpec()
+	real := rs.RealApps()
+	if len(real) != 2 {
+		t.Fatalf("RealApps = %d apps, want 2", len(real))
+	}
+	for _, a := range real {
+		if a.Virtual {
+			t.Errorf("RealApps returned virtual app %q", a.ID)
+		}
+	}
+}
+
+func TestDepsForPhase(t *testing.T) {
+	rs := validSpec()
+	if deps := rs.DepsForPhase(PhaseInit); len(deps) != 1 {
+		t.Errorf("DepsForPhase(init) = %d deps, want 1", len(deps))
+	}
+	if deps := rs.DepsForPhase(PhaseHalt); len(deps) != 0 {
+		t.Errorf("DepsForPhase(halt) = %d deps, want 0", len(deps))
+	}
+}
+
+func TestChoiceTableChoose(t *testing.T) {
+	rs := validSpec()
+	if got, ok := rs.Choice.Choose("full", "env-low"); !ok || got != "degraded" {
+		t.Errorf("Choose(full, env-low) = %q, %v; want degraded, true", got, ok)
+	}
+	if _, ok := rs.Choice.Choose("ghost", "env-low"); ok {
+		t.Error("Choose(ghost, ...) unexpectedly present")
+	}
+	if _, ok := rs.Choice.Choose("full", "env-ghost"); ok {
+		t.Error("Choose(..., env-ghost) unexpectedly present")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	rs := validSpec()
+	data, err := json.MarshalIndent(rs, "", "  ")
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back ReconfigSpec
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatalf("round-tripped spec fails validation: %v", err)
+	}
+	if back.Name != rs.Name || back.FrameLen != rs.FrameLen || back.Retarget != rs.Retarget {
+		t.Errorf("round trip lost fields: got name=%q framelen=%v retarget=%v",
+			back.Name, back.FrameLen, back.Retarget)
+	}
+	if len(back.Apps) != len(rs.Apps) || len(back.Configs) != len(rs.Configs) {
+		t.Errorf("round trip lost apps/configs")
+	}
+	if got, ok := back.Choice.Choose("full", "env-low"); !ok || got != "degraded" {
+		t.Errorf("round trip lost choice table")
+	}
+}
+
+func TestRetargetPolicyJSON(t *testing.T) {
+	for _, p := range []RetargetPolicy{RetargetBuffer, RetargetImmediate} {
+		data, err := json.Marshal(p)
+		if err != nil {
+			t.Fatalf("marshal %v: %v", p, err)
+		}
+		var back RetargetPolicy
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", data, err)
+		}
+		if back != p {
+			t.Errorf("round trip %v -> %v", p, back)
+		}
+	}
+	var p RetargetPolicy
+	if err := json.Unmarshal([]byte(`"bogus"`), &p); err == nil {
+		t.Error("unmarshal of bogus policy succeeded")
+	}
+	if err := json.Unmarshal([]byte(`42`), &p); err == nil {
+		t.Error("unmarshal of numeric policy succeeded")
+	}
+}
+
+func TestPlatformProcLookup(t *testing.T) {
+	rs := validSpec()
+	if _, ok := rs.Platform.Proc("p1"); !ok {
+		t.Error("p1 not found")
+	}
+	if _, ok := rs.Platform.Proc("ghost"); ok {
+		t.Error("ghost proc unexpectedly found")
+	}
+}

@@ -1,0 +1,299 @@
+package spec
+
+import (
+	"fmt"
+)
+
+// Validate checks the local well-formedness of the specification: identifier
+// uniqueness, referential integrity (assignments, placements, transitions,
+// choice-table entries, dependencies all name declared entities), and basic
+// sanity of numeric fields.
+//
+// Validate does not discharge the deeper proof obligations — transition
+// coverage, dependency acyclicity, timing consistency, resource feasibility —
+// which live in package statics because they mirror the paper's generated
+// TCCs rather than simple structural rules.
+//
+// All problems found are reported together; the returned error wraps
+// ErrInvalid.
+func (rs *ReconfigSpec) Validate() error {
+	var v validator
+	v.spec(rs)
+	return v.err()
+}
+
+// validator accumulates validation failures.
+type validator struct {
+	problems []string
+}
+
+func (v *validator) addf(format string, args ...any) {
+	v.problems = append(v.problems, fmt.Sprintf(format, args...))
+}
+
+func (v *validator) err() error {
+	if len(v.problems) == 0 {
+		return nil
+	}
+	return &ValidationError{Problems: v.problems}
+}
+
+// ValidationError reports every structural problem found in a
+// reconfiguration specification.
+type ValidationError struct {
+	Problems []string
+}
+
+// Error lists the problems, one per line.
+func (e *ValidationError) Error() string {
+	msg := fmt.Sprintf("%v: %d problem(s)", ErrInvalid, len(e.Problems))
+	for _, p := range e.Problems {
+		msg += "\n  - " + p
+	}
+	return msg
+}
+
+// Unwrap lets errors.Is(err, ErrInvalid) succeed.
+func (e *ValidationError) Unwrap() error { return ErrInvalid }
+
+func (v *validator) spec(rs *ReconfigSpec) {
+	if rs.Name == "" {
+		v.addf("name must be non-empty")
+	}
+	if rs.FrameLen <= 0 {
+		v.addf("frame length must be positive, got %v", rs.FrameLen)
+	}
+	if rs.DwellFrames < 0 {
+		v.addf("dwell frames must be non-negative, got %d", rs.DwellFrames)
+	}
+	if rs.Retarget != RetargetBuffer && rs.Retarget != RetargetImmediate {
+		v.addf("retarget policy must be buffer or immediate, got %v", rs.Retarget)
+	}
+
+	v.apps(rs)
+	v.platform(rs)
+	v.configs(rs)
+	v.transitions(rs)
+	v.choice(rs)
+	v.deps(rs)
+
+	if _, ok := rs.Config(rs.StartConfig); !ok {
+		v.addf("start configuration %q is not a declared configuration", rs.StartConfig)
+	}
+	if !envDeclared(rs, rs.StartEnv) {
+		v.addf("start environment %q is not a declared environment state", rs.StartEnv)
+	}
+	if len(rs.SafeConfigs()) == 0 {
+		v.addf("at least one configuration must be marked safe (section 4 assumption)")
+	}
+}
+
+func envDeclared(rs *ReconfigSpec, e EnvState) bool {
+	for _, d := range rs.Envs {
+		if d == e {
+			return true
+		}
+	}
+	return false
+}
+
+func (v *validator) apps(rs *ReconfigSpec) {
+	if len(rs.Apps) == 0 {
+		v.addf("application set must be non-empty")
+	}
+	seen := make(map[AppID]bool, len(rs.Apps))
+	for _, a := range rs.Apps {
+		if a.ID == "" {
+			v.addf("application with empty identifier")
+			continue
+		}
+		if seen[a.ID] {
+			v.addf("duplicate application identifier %q", a.ID)
+		}
+		seen[a.ID] = true
+		if len(a.Specs) == 0 {
+			v.addf("application %q declares no specifications", a.ID)
+		}
+		specSeen := make(map[SpecID]bool, len(a.Specs))
+		for _, s := range a.Specs {
+			switch {
+			case s.ID == "":
+				v.addf("application %q has a specification with empty identifier", a.ID)
+			case s.ID == SpecOff:
+				v.addf("application %q declares reserved specification %q", a.ID, SpecOff)
+			case specSeen[s.ID]:
+				v.addf("application %q declares duplicate specification %q", a.ID, s.ID)
+			}
+			specSeen[s.ID] = true
+			if s.HaltFrames < 1 || s.PrepareFrames < 1 || s.InitFrames < 1 {
+				v.addf("application %q specification %q: every phase bound must be >= 1 frame (halt=%d prepare=%d init=%d)",
+					a.ID, s.ID, s.HaltFrames, s.PrepareFrames, s.InitFrames)
+			}
+		}
+	}
+}
+
+func (v *validator) platform(rs *ReconfigSpec) {
+	if len(rs.Platform.Procs) == 0 {
+		v.addf("platform must declare at least one processor")
+	}
+	seen := make(map[ProcID]bool, len(rs.Platform.Procs))
+	for _, p := range rs.Platform.Procs {
+		if p.ID == "" {
+			v.addf("processor with empty identifier")
+			continue
+		}
+		if seen[p.ID] {
+			v.addf("duplicate processor identifier %q", p.ID)
+		}
+		seen[p.ID] = true
+	}
+}
+
+func (v *validator) configs(rs *ReconfigSpec) {
+	if len(rs.Configs) == 0 {
+		v.addf("configuration set must be non-empty")
+	}
+	seen := make(map[ConfigID]bool, len(rs.Configs))
+	for i := range rs.Configs {
+		c := &rs.Configs[i]
+		if c.ID == "" {
+			v.addf("configuration with empty identifier")
+			continue
+		}
+		if seen[c.ID] {
+			v.addf("duplicate configuration identifier %q", c.ID)
+		}
+		seen[c.ID] = true
+		v.configAssignment(rs, c)
+	}
+}
+
+func (v *validator) configAssignment(rs *ReconfigSpec, c *Configuration) {
+	// Every real application must be assigned; every assignment must name
+	// a declared app and one of its specs (or off); every running app must
+	// be placed on a declared processor.
+	for _, a := range rs.Apps {
+		if a.Virtual {
+			continue
+		}
+		if _, ok := c.Assignment[a.ID]; !ok {
+			v.addf("configuration %q does not assign application %q", c.ID, a.ID)
+		}
+	}
+	for appID, specID := range c.Assignment {
+		a, ok := rs.AppByID(appID)
+		if !ok {
+			v.addf("configuration %q assigns undeclared application %q", c.ID, appID)
+			continue
+		}
+		if a.Virtual {
+			v.addf("configuration %q assigns virtual application %q (virtual applications are not configured)", c.ID, appID)
+			continue
+		}
+		if specID == SpecOff {
+			continue
+		}
+		if _, ok := a.Spec(specID); !ok {
+			v.addf("configuration %q assigns application %q specification %q which it does not implement",
+				c.ID, appID, specID)
+			continue
+		}
+		proc, ok := c.Placement[appID]
+		if !ok {
+			v.addf("configuration %q runs application %q but does not place it on a processor", c.ID, appID)
+			continue
+		}
+		if _, ok := rs.Platform.Proc(proc); !ok {
+			v.addf("configuration %q places application %q on undeclared processor %q", c.ID, appID, proc)
+		}
+	}
+	for appID := range c.Placement {
+		if s, ok := c.Assignment[appID]; !ok || s == SpecOff {
+			v.addf("configuration %q places unassigned application %q", c.ID, appID)
+		}
+	}
+	for _, lp := range c.LowPower {
+		if _, ok := rs.Platform.Proc(lp); !ok {
+			v.addf("configuration %q marks undeclared processor %q low-power", c.ID, lp)
+		}
+	}
+}
+
+func (v *validator) transitions(rs *ReconfigSpec) {
+	type edge struct{ from, to ConfigID }
+	seen := make(map[edge]bool, len(rs.Transitions))
+	for _, t := range rs.Transitions {
+		if _, ok := rs.Config(t.From); !ok {
+			v.addf("transition %q -> %q: source is not a declared configuration", t.From, t.To)
+		}
+		if _, ok := rs.Config(t.To); !ok {
+			v.addf("transition %q -> %q: target is not a declared configuration", t.From, t.To)
+		}
+		// Self-transitions are permitted: under the immediate retarget
+		// policy a mid-reconfiguration re-choice can land back on the
+		// source configuration, and SP3 then needs a declared bound.
+		if t.MaxFrames < 1 {
+			v.addf("transition %q -> %q: bound must be >= 1 frame, got %d", t.From, t.To, t.MaxFrames)
+		}
+		e := edge{t.From, t.To}
+		if seen[e] {
+			v.addf("duplicate transition %q -> %q", t.From, t.To)
+		}
+		seen[e] = true
+	}
+}
+
+func (v *validator) choice(rs *ReconfigSpec) {
+	if len(rs.Envs) == 0 {
+		v.addf("environment state set must be non-empty")
+	}
+	seenEnv := make(map[EnvState]bool, len(rs.Envs))
+	for _, e := range rs.Envs {
+		if e == "" {
+			v.addf("environment state with empty name")
+		}
+		if seenEnv[e] {
+			v.addf("duplicate environment state %q", e)
+		}
+		seenEnv[e] = true
+	}
+	for from, row := range rs.Choice {
+		if _, ok := rs.Config(from); !ok {
+			v.addf("choice table row for undeclared configuration %q", from)
+		}
+		for env, to := range row {
+			if !seenEnv[env] {
+				v.addf("choice table entry (%q, %q): undeclared environment state", from, env)
+			}
+			if _, ok := rs.Config(to); !ok {
+				v.addf("choice table entry (%q, %q): target %q is not a declared configuration", from, env, to)
+			}
+			if to != from {
+				if _, ok := rs.T(from, to); !ok {
+					v.addf("choice table entry (%q, %q) -> %q is not a declared transition", from, env, to)
+				}
+			}
+		}
+	}
+}
+
+func (v *validator) deps(rs *ReconfigSpec) {
+	for _, d := range rs.Deps {
+		if _, ok := rs.AppByID(d.Independent); !ok {
+			v.addf("dependency names undeclared independent application %q", d.Independent)
+		}
+		if _, ok := rs.AppByID(d.Dependent); !ok {
+			v.addf("dependency names undeclared dependent application %q", d.Dependent)
+		}
+		if d.Independent == d.Dependent {
+			v.addf("application %q cannot depend on itself", d.Dependent)
+		}
+		switch d.Phase {
+		case PhaseHalt, PhasePrepare, PhaseInit:
+		default:
+			v.addf("dependency %q -> %q has invalid phase %v (must be halt, prepare, or initialize)",
+				d.Independent, d.Dependent, d.Phase)
+		}
+	}
+}

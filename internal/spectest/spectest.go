@@ -1,0 +1,255 @@
+// Package spectest provides canonical reconfiguration specifications used by
+// tests and benchmarks across the repository: a small three-configuration
+// system shaped like the paper's avionics example, plus generators for
+// randomized specifications used in property-based campaigns.
+package spectest
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/spec"
+	"repro/internal/statics"
+)
+
+// Environment states of the canonical system: the three power states of the
+// paper's electrical system model.
+const (
+	EnvFull    spec.EnvState = "power-full"
+	EnvReduced spec.EnvState = "power-reduced"
+	EnvBattery spec.EnvState = "power-battery"
+)
+
+// Canonical application and configuration identifiers.
+const (
+	AppAP      spec.AppID = "autopilot"
+	AppFCS     spec.AppID = "fcs"
+	AppMonitor spec.AppID = "power-monitor"
+
+	CfgFull    spec.ConfigID = "full"
+	CfgReduced spec.ConfigID = "reduced"
+	CfgMinimal spec.ConfigID = "minimal"
+)
+
+// ThreeConfig returns the canonical specification: an autopilot and a flight
+// control system across Full/Reduced/Minimal service configurations driven
+// by electrical power state, with a repair path, an init-phase dependency
+// (the autopilot cannot resume until the FCS has initialized), and generous
+// transition bounds.
+func ThreeConfig() *spec.ReconfigSpec {
+	mk := func(id spec.SpecID, cpu, halt, prep, init int) spec.Specification {
+		return spec.Specification{
+			ID:            id,
+			Resources:     spec.Resources{CPU: cpu, MemoryKB: cpu * 64, PowerMW: cpu * 100},
+			HaltFrames:    halt,
+			PrepareFrames: prep,
+			InitFrames:    init,
+		}
+	}
+	return &spec.ReconfigSpec{
+		Name: "uav-test",
+		Apps: []spec.App{
+			{ID: AppAP, Description: "autopilot", Specs: []spec.Specification{
+				mk("ap-full", 4, 1, 1, 1),
+				mk("ap-alt-hold", 1, 1, 1, 1),
+			}},
+			{ID: AppFCS, Description: "flight control system", Specs: []spec.Specification{
+				mk("fcs-full", 3, 1, 1, 1),
+				mk("fcs-direct", 1, 1, 1, 1),
+			}},
+			{ID: AppMonitor, Description: "electrical power monitor", Virtual: true,
+				Specs: []spec.Specification{mk("monitor", 0, 1, 1, 1)}},
+		},
+		Configs: []spec.Configuration{
+			{ID: CfgFull, Description: "full service",
+				Assignment: map[spec.AppID]spec.SpecID{AppAP: "ap-full", AppFCS: "fcs-full"},
+				Placement:  map[spec.AppID]spec.ProcID{AppAP: "p1", AppFCS: "p2"}},
+			{ID: CfgReduced, Description: "reduced service",
+				Assignment: map[spec.AppID]spec.SpecID{AppAP: "ap-alt-hold", AppFCS: "fcs-direct"},
+				Placement:  map[spec.AppID]spec.ProcID{AppAP: "p1", AppFCS: "p1"}},
+			{ID: CfgMinimal, Description: "minimal service", Safe: true,
+				Assignment: map[spec.AppID]spec.SpecID{AppAP: spec.SpecOff, AppFCS: "fcs-direct"},
+				Placement:  map[spec.AppID]spec.ProcID{AppFCS: "p1"},
+				LowPower:   []spec.ProcID{"p1"}},
+		},
+		Transitions: []spec.Transition{
+			{From: CfgFull, To: CfgReduced, MaxFrames: 8},
+			{From: CfgFull, To: CfgMinimal, MaxFrames: 8},
+			{From: CfgReduced, To: CfgMinimal, MaxFrames: 8},
+			{From: CfgReduced, To: CfgFull, MaxFrames: 8},
+			{From: CfgMinimal, To: CfgReduced, MaxFrames: 8},
+		},
+		Choice: spec.ChoiceTable{
+			CfgFull:    {EnvFull: CfgFull, EnvReduced: CfgReduced, EnvBattery: CfgMinimal},
+			CfgReduced: {EnvFull: CfgFull, EnvReduced: CfgReduced, EnvBattery: CfgMinimal},
+			CfgMinimal: {EnvFull: CfgReduced, EnvReduced: CfgReduced, EnvBattery: CfgMinimal},
+		},
+		Envs:        []spec.EnvState{EnvFull, EnvReduced, EnvBattery},
+		StartConfig: CfgFull,
+		StartEnv:    EnvFull,
+		Deps: []spec.Dependency{
+			{Independent: AppFCS, Dependent: AppAP, Phase: spec.PhaseInit},
+		},
+		Platform: spec.Platform{Procs: []spec.Proc{
+			{ID: "p1", Capacity: spec.Resources{CPU: 8, MemoryKB: 1024, PowerMW: 1000},
+				LowPowerCapacity: spec.Resources{CPU: 2, MemoryKB: 256, PowerMW: 250}},
+			{ID: "p2", Capacity: spec.Resources{CPU: 8, MemoryKB: 1024, PowerMW: 1000}},
+		}},
+		FrameLen:    20 * time.Millisecond,
+		DwellFrames: 10,
+		Retarget:    spec.RetargetBuffer,
+	}
+}
+
+// Random returns a randomized, structurally valid specification with
+// nApps applications and nConfigs configurations driven by nEnvs environment
+// states. The choice table is total by construction, every chosen transition
+// is declared with a bound derived from the protocol's actual worst case
+// plus random slack, and a random acyclic dependency set orders the phases —
+// so a correct runtime must satisfy SP1-SP4 on any execution. The generator
+// is deterministic for a given rng state.
+func Random(rng *rand.Rand, nApps, nConfigs, nEnvs int) *spec.ReconfigSpec {
+	rs := &spec.ReconfigSpec{
+		Name:        fmt.Sprintf("random-%d-%d-%d", nApps, nConfigs, nEnvs),
+		FrameLen:    10 * time.Millisecond,
+		DwellFrames: 0,
+		Retarget:    spec.RetargetBuffer,
+	}
+	// One generously-sized processor: randomized placements always fit.
+	rs.Platform = spec.Platform{Procs: []spec.Proc{
+		{ID: "p1", Capacity: spec.Resources{CPU: 1 << 20, MemoryKB: 1 << 20, PowerMW: 1 << 20}},
+		{ID: "p2", Capacity: spec.Resources{CPU: 1 << 20, MemoryKB: 1 << 20, PowerMW: 1 << 20}},
+	}}
+
+	for e := 0; e < nEnvs; e++ {
+		rs.Envs = append(rs.Envs, spec.EnvState(fmt.Sprintf("env-%d", e)))
+	}
+
+	for a := 0; a < nApps; a++ {
+		app := spec.App{ID: spec.AppID(fmt.Sprintf("app-%d", a))}
+		nSpecs := 1 + rng.Intn(3)
+		for s := 0; s < nSpecs; s++ {
+			app.Specs = append(app.Specs, spec.Specification{
+				ID:            spec.SpecID(fmt.Sprintf("s%d", s)),
+				Resources:     spec.Resources{CPU: 1 + rng.Intn(4)},
+				HaltFrames:    1 + rng.Intn(2),
+				PrepareFrames: 1 + rng.Intn(2),
+				InitFrames:    1 + rng.Intn(2),
+			})
+		}
+		rs.Apps = append(rs.Apps, app)
+	}
+	rs.Apps = append(rs.Apps, spec.App{
+		ID: "monitor", Virtual: true,
+		Specs: []spec.Specification{{ID: "monitor", HaltFrames: 1, PrepareFrames: 1, InitFrames: 1}},
+	})
+
+	// Random acyclic dependencies: only lower-index -> higher-index apps.
+	for a := 0; a < nApps; a++ {
+		for b := a + 1; b < nApps; b++ {
+			if rng.Intn(4) == 0 {
+				phase := []spec.Phase{spec.PhaseHalt, spec.PhasePrepare, spec.PhaseInit}[rng.Intn(3)]
+				rs.Deps = append(rs.Deps, spec.Dependency{
+					Independent: spec.AppID(fmt.Sprintf("app-%d", a)),
+					Dependent:   spec.AppID(fmt.Sprintf("app-%d", b)),
+					Phase:       phase,
+				})
+			}
+		}
+	}
+
+	for c := 0; c < nConfigs; c++ {
+		cfg := spec.Configuration{
+			ID:         spec.ConfigID(fmt.Sprintf("cfg-%d", c)),
+			Assignment: make(map[spec.AppID]spec.SpecID),
+			Placement:  make(map[spec.AppID]spec.ProcID),
+			Safe:       c == 0, // cfg-0 is the safe configuration
+		}
+		for a := 0; a < nApps; a++ {
+			app := &rs.Apps[a]
+			// Each app is off with probability 1/4, except in cfg-0
+			// where at least app-0 runs, keeping the config
+			// non-empty.
+			if rng.Intn(4) == 0 && !(c == 0 && a == 0) {
+				cfg.Assignment[app.ID] = spec.SpecOff
+				continue
+			}
+			sp := app.Specs[rng.Intn(len(app.Specs))]
+			cfg.Assignment[app.ID] = sp.ID
+			cfg.Placement[app.ID] = rs.Platform.Procs[rng.Intn(len(rs.Platform.Procs))].ID
+		}
+		rs.Configs = append(rs.Configs, cfg)
+	}
+	rs.StartConfig = rs.Configs[rng.Intn(nConfigs)].ID
+	rs.StartEnv = rs.Envs[0]
+
+	// Total choice table; every non-identity choice becomes a declared
+	// transition sized from the actual protocol worst case plus slack.
+	rs.Choice = make(spec.ChoiceTable, nConfigs)
+	declared := make(map[[2]spec.ConfigID]bool)
+	for _, cfg := range rs.Configs {
+		row := make(map[spec.EnvState]spec.ConfigID, nEnvs)
+		for _, env := range rs.Envs {
+			target := rs.Configs[rng.Intn(nConfigs)].ID
+			row[env] = target
+			if target != cfg.ID {
+				declared[[2]spec.ConfigID{cfg.ID, target}] = true
+			}
+		}
+		rs.Choice[cfg.ID] = row
+	}
+	// The system must boot consistently: the start configuration is the
+	// choice for the start environment (the start_consistent obligation).
+	rs.Choice[rs.StartConfig][rs.StartEnv] = rs.StartConfig
+	// Ensure the safe configuration is reachable from everything.
+	for _, cfg := range rs.Configs {
+		if cfg.ID != rs.Configs[0].ID {
+			declared[[2]spec.ConfigID{cfg.ID, rs.Configs[0].ID}] = true
+		}
+	}
+	edges := make([][2]spec.ConfigID, 0, len(declared))
+	for edge := range declared {
+		edges = append(edges, edge)
+	}
+	// Map iteration order is random; sort so equal seeds give equal specs.
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i][0] != edges[j][0] {
+			return edges[i][0] < edges[j][0]
+		}
+		return edges[i][1] < edges[j][1]
+	})
+	for _, edge := range edges {
+		rs.Transitions = append(rs.Transitions, spec.Transition{
+			From: edge[0], To: edge[1],
+			// The bound is filled in by SizeTransitions below; use a
+			// placeholder that always passes validation.
+			MaxFrames: 1,
+		})
+	}
+	// Cycles are almost certain in a random total table; a positive dwell
+	// keeps the dwell_guard obligation discharged.
+	rs.DwellFrames = 1 + rng.Intn(4)
+	if err := SizeTransitions(rs, rng); err != nil {
+		// The generator only produces acyclic dependency graphs, so
+		// sizing cannot fail; a failure is a generator bug.
+		panic(err)
+	}
+	return rs
+}
+
+// SizeTransitions sets every transition's bound to the protocol's computed
+// worst-case window plus random slack in [0, 3], making the SP3 obligation
+// dischargeable by construction.
+func SizeTransitions(rs *spec.ReconfigSpec, rng *rand.Rand) error {
+	for i := range rs.Transitions {
+		t := &rs.Transitions[i]
+		required, err := statics.RequiredWindow(rs, t.From, t.To)
+		if err != nil {
+			return fmt.Errorf("spectest: sizing %s->%s: %w", t.From, t.To, err)
+		}
+		t.MaxFrames = required + rng.Intn(4)
+	}
+	return nil
+}

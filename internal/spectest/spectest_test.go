@@ -1,0 +1,108 @@
+package spectest
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/spec"
+	"repro/internal/statics"
+)
+
+func TestThreeConfigDischargesObligations(t *testing.T) {
+	report, err := statics.Check(ThreeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.AllDischarged() {
+		t.Fatalf("failures: %v", report.Failures())
+	}
+}
+
+func TestThreeConfigFreshPerCall(t *testing.T) {
+	a, b := ThreeConfig(), ThreeConfig()
+	a.DwellFrames = 999
+	if b.DwellFrames == 999 {
+		t.Error("ThreeConfig shares state across calls")
+	}
+	a.Configs[0].Assignment[AppAP] = "mutated"
+	if b.Configs[0].Assignment[AppAP] == "mutated" {
+		t.Error("ThreeConfig shares assignment maps across calls")
+	}
+}
+
+func TestRandomDeterministicPerSeed(t *testing.T) {
+	gen := func(seed int64) *spec.ReconfigSpec {
+		return Random(rand.New(rand.NewSource(seed)), 4, 3, 3)
+	}
+	a, b := gen(7), gen(7)
+	if a.Name != b.Name || len(a.Transitions) != len(b.Transitions) ||
+		a.StartConfig != b.StartConfig || a.DwellFrames != b.DwellFrames {
+		t.Fatalf("same seed differs: %+v vs %+v", a.Name, b.Name)
+	}
+	for i := range a.Transitions {
+		if a.Transitions[i] != b.Transitions[i] {
+			t.Fatalf("transition %d differs: %+v vs %+v", i, a.Transitions[i], b.Transitions[i])
+		}
+	}
+	c := gen(8)
+	same := len(a.Transitions) == len(c.Transitions) && a.StartConfig == c.StartConfig
+	if same {
+		for i := range a.Transitions {
+			if a.Transitions[i] != c.Transitions[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical specifications")
+	}
+}
+
+func TestRandomValidAcrossSizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for apps := 1; apps <= 6; apps++ {
+		for configs := 2; configs <= 5; configs++ {
+			rs := Random(rng, apps, configs, 3)
+			if err := rs.Validate(); err != nil {
+				t.Fatalf("apps=%d configs=%d: %v", apps, configs, err)
+			}
+			report, err := statics.Check(rs)
+			if err != nil {
+				t.Fatalf("apps=%d configs=%d: %v", apps, configs, err)
+			}
+			if !report.AllDischarged() {
+				t.Fatalf("apps=%d configs=%d: %v", apps, configs, report.Failures())
+			}
+		}
+	}
+}
+
+func TestSizeTransitionsRespectsRequiredWindows(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	rs := Random(rng, 4, 4, 3)
+	for _, tr := range rs.Transitions {
+		required, err := statics.RequiredWindow(rs, tr.From, tr.To)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.MaxFrames < required {
+			t.Errorf("T(%s,%s) = %d < required %d", tr.From, tr.To, tr.MaxFrames, required)
+		}
+		if tr.MaxFrames > required+3 {
+			t.Errorf("T(%s,%s) = %d has more than 3 frames of slack over %d",
+				tr.From, tr.To, tr.MaxFrames, required)
+		}
+	}
+}
+
+func TestRandomStartConsistent(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		rs := Random(rng, 3, 4, 3)
+		got, ok := rs.Choice.Choose(rs.StartConfig, rs.StartEnv)
+		if !ok || got != rs.StartConfig {
+			t.Fatalf("seed %d: choose(start, startEnv) = %s, %v", seed, got, ok)
+		}
+	}
+}

@@ -1,0 +1,293 @@
+// Package stable implements the stable storage of a fail-stop processor.
+//
+// In the fail-stop model of Schlichting and Schneider, a processor that
+// fails halts at the end of the last instruction it completed; the contents
+// of volatile storage are lost but the contents of stable storage are
+// preserved and can be polled by the surviving processors. The
+// reconfiguration architecture of Strunk, Knight and Aiello additionally
+// requires frame-atomic commits: each application commits its results to
+// stable storage at the end of each real-time frame (section 6.1), and
+// reads performed at the start of a frame observe only values committed in
+// earlier frames.
+//
+// A Store therefore exposes a read-committed, staged-write interface: Put
+// and Delete stage changes that become visible only after Commit, which the
+// frame scheduler invokes at the end of each frame. A processor failure
+// discards the staged writes (they were volatile) but never the committed
+// state.
+package stable
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Store is a frame-atomic, crash-survivable key-value store. The zero value
+// is not usable; call NewStore.
+//
+// A Store is safe for concurrent use: within a frame, multiple applications
+// hosted on the same processor may stage writes and read the committed view
+// concurrently.
+type Store struct {
+	mu        sync.Mutex
+	committed map[string][]byte
+	staged    map[string]stagedVal
+	version   uint64
+}
+
+// stagedVal is a staged write: a pending value or a tombstone.
+type stagedVal struct {
+	val     []byte
+	deleted bool
+}
+
+// NewStore returns an empty store at version 0.
+func NewStore() *Store {
+	return &Store{
+		committed: make(map[string][]byte),
+		staged:    make(map[string]stagedVal),
+	}
+}
+
+// Get returns the committed value for key. Staged (uncommitted) writes are
+// never visible, matching the read-committed semantics of frame-boundary
+// stable-storage access. The returned slice is a copy.
+func (s *Store) Get(key string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.committed[key]
+	if !ok {
+		return nil, false
+	}
+	out := make([]byte, len(v))
+	copy(out, v)
+	return out, true
+}
+
+// Put stages a write of val to key. The write becomes visible after the next
+// Commit. The input slice is copied.
+func (s *Store) Put(key string, val []byte) {
+	cp := make([]byte, len(val))
+	copy(cp, val)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.staged[key] = stagedVal{val: cp}
+}
+
+// Delete stages removal of key, effective at the next Commit.
+func (s *Store) Delete(key string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.staged[key] = stagedVal{deleted: true}
+}
+
+// Commit atomically applies all staged writes and returns the new version.
+// Commit with nothing staged still advances the version: every frame ends
+// with a commit, and the version doubles as a frame-aligned logical clock.
+func (s *Store) Commit() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for k, sv := range s.staged {
+		if sv.deleted {
+			delete(s.committed, k)
+		} else {
+			s.committed[k] = sv.val
+		}
+	}
+	clear(s.staged)
+	s.version++
+	return s.version
+}
+
+// Discard drops all staged writes without committing them. The frame
+// runtime calls Discard when the hosting processor fails mid-frame: the
+// staged writes were volatile and are lost, while committed state survives.
+func (s *Store) Discard() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	clear(s.staged)
+}
+
+// Version returns the number of commits performed.
+func (s *Store) Version() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.version
+}
+
+// PendingWrites returns the number of staged, uncommitted writes.
+func (s *Store) PendingWrites() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.staged)
+}
+
+// Snapshot returns a deep copy of the committed state. Surviving processors
+// use Snapshot to poll the stable storage of a failed processor (section 5.1
+// of the paper) and to migrate application state between processors during
+// reconfiguration.
+func (s *Store) Snapshot() map[string][]byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string][]byte, len(s.committed))
+	for k, v := range s.committed {
+		cp := make([]byte, len(v))
+		copy(cp, v)
+		out[k] = cp
+	}
+	return out
+}
+
+// Restore stages every entry of snap (it still requires a Commit to become
+// visible, preserving frame atomicity during migration).
+func (s *Store) Restore(snap map[string][]byte) {
+	for k, v := range snap {
+		s.Put(k, v)
+	}
+}
+
+// Keys returns the committed keys having the given prefix, sorted.
+func (s *Store) Keys(prefix string) []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var keys []string
+	for k := range s.committed {
+		if strings.HasPrefix(k, prefix) {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// PutString stages a string value.
+func (s *Store) PutString(key, val string) { s.Put(key, []byte(val)) }
+
+// GetString returns the committed value for key as a string.
+func (s *Store) GetString(key string) (string, bool) {
+	v, ok := s.Get(key)
+	if !ok {
+		return "", false
+	}
+	return string(v), true
+}
+
+// PutInt64 stages an integer value in decimal form.
+func (s *Store) PutInt64(key string, val int64) {
+	s.Put(key, strconv.AppendInt(nil, val, 10))
+}
+
+// GetInt64 returns the committed value for key parsed as a decimal integer.
+// It returns an error if the key is absent or malformed.
+func (s *Store) GetInt64(key string) (int64, error) {
+	v, ok := s.Get(key)
+	if !ok {
+		return 0, fmt.Errorf("stable: key %q not present", key)
+	}
+	n, err := strconv.ParseInt(string(v), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("stable: key %q: %w", key, err)
+	}
+	return n, nil
+}
+
+// PutJSON stages the JSON encoding of val.
+func (s *Store) PutJSON(key string, val any) error {
+	data, err := json.Marshal(val)
+	if err != nil {
+		return fmt.Errorf("stable: encoding %q: %w", key, err)
+	}
+	s.Put(key, data)
+	return nil
+}
+
+// GetJSON decodes the committed value for key into out. It returns false
+// with a nil error if the key is absent.
+func (s *Store) GetJSON(key string, out any) (bool, error) {
+	v, ok := s.Get(key)
+	if !ok {
+		return false, nil
+	}
+	if err := json.Unmarshal(v, out); err != nil {
+		return false, fmt.Errorf("stable: decoding %q: %w", key, err)
+	}
+	return true, nil
+}
+
+// Region returns a view of the store in which every key is transparently
+// prefixed. Regions give each application a private namespace within its
+// processor's stable storage while sharing the same frame-atomic commit.
+func (s *Store) Region(prefix string) *Region {
+	return &Region{store: s, prefix: prefix + "/"}
+}
+
+// Region is a prefixed view of a Store. All operations address keys within
+// the region's namespace; Commit and Discard remain whole-store operations
+// performed by the frame runtime, not by region holders.
+type Region struct {
+	store  *Store
+	prefix string
+}
+
+// Get returns the committed value for key within the region.
+func (r *Region) Get(key string) ([]byte, bool) { return r.store.Get(r.prefix + key) }
+
+// Put stages a write within the region.
+func (r *Region) Put(key string, val []byte) { r.store.Put(r.prefix+key, val) }
+
+// Delete stages a removal within the region.
+func (r *Region) Delete(key string) { r.store.Delete(r.prefix + key) }
+
+// PutString stages a string value within the region.
+func (r *Region) PutString(key, val string) { r.store.PutString(r.prefix+key, val) }
+
+// GetString returns the committed string value for key within the region.
+func (r *Region) GetString(key string) (string, bool) { return r.store.GetString(r.prefix + key) }
+
+// PutInt64 stages an integer value within the region.
+func (r *Region) PutInt64(key string, val int64) { r.store.PutInt64(r.prefix+key, val) }
+
+// GetInt64 returns the committed integer value for key within the region.
+func (r *Region) GetInt64(key string) (int64, error) { return r.store.GetInt64(r.prefix + key) }
+
+// PutJSON stages the JSON encoding of val within the region.
+func (r *Region) PutJSON(key string, val any) error { return r.store.PutJSON(r.prefix+key, val) }
+
+// GetJSON decodes the committed value for key within the region into out.
+func (r *Region) GetJSON(key string, out any) (bool, error) {
+	return r.store.GetJSON(r.prefix+key, out)
+}
+
+// Snapshot returns a deep copy of the committed entries in the region, with
+// the region prefix stripped.
+func (r *Region) Snapshot() map[string][]byte {
+	full := r.store.Snapshot()
+	out := make(map[string][]byte)
+	for k, v := range full {
+		if strings.HasPrefix(k, r.prefix) {
+			out[strings.TrimPrefix(k, r.prefix)] = v
+		}
+	}
+	return out
+}
+
+// Restore stages every entry of snap into the region.
+func (r *Region) Restore(snap map[string][]byte) {
+	for k, v := range snap {
+		r.Put(k, v)
+	}
+}
+
+// Keys returns the committed keys in the region (prefix stripped), sorted.
+func (r *Region) Keys() []string {
+	keys := r.store.Keys(r.prefix)
+	out := make([]string, len(keys))
+	for i, k := range keys {
+		out[i] = strings.TrimPrefix(k, r.prefix)
+	}
+	return out
+}

@@ -1,0 +1,183 @@
+package statics
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/spec"
+)
+
+// AppSchedule is one application's compressed protocol schedule: inclusive
+// frame offsets within the reconfiguration window, where offset 0 is the
+// first frame after the trigger. A start of -1 means the application does
+// not participate in that phase.
+type AppSchedule struct {
+	HaltStart, HaltEnd int
+	PrepStart, PrepEnd int
+	InitStart, InitEnd int
+}
+
+// CompressedSchedule computes the section 6.3 relaxed protocol schedule for
+// the transition from -> to: no global phase barriers; each application
+// chains halt, prepare, and initialize as early as its constraints allow:
+//
+//   - same-phase dependencies order starts within each phase,
+//   - an application's prepare follows its own halt, and
+//   - the section 6.1 guard: every independent the application waits on (in
+//     any phase) must have halted before the application's prepare begins.
+//
+// The returned length is the window's protocol portion in frames (the full
+// window adds one trigger frame). Both configurations' dependency graphs
+// must be acyclic per phase, which the dep_acyclic obligations guarantee.
+func CompressedSchedule(rs *spec.ReconfigSpec, from, to *spec.Configuration) (map[spec.AppID]AppSchedule, int, error) {
+	haltW, err := phaseWeights(rs, from, spec.PhaseHalt)
+	if err != nil {
+		return nil, 0, err
+	}
+	prepW, err := phaseWeights(rs, to, spec.PhasePrepare)
+	if err != nil {
+		return nil, 0, err
+	}
+	initW, err := phaseWeights(rs, to, spec.PhaseInit)
+	if err != nil {
+		return nil, 0, err
+	}
+
+	out := make(map[spec.AppID]AppSchedule)
+	for _, a := range rs.Apps {
+		out[a.ID] = AppSchedule{
+			HaltStart: -1, HaltEnd: -1,
+			PrepStart: -1, PrepEnd: -1,
+			InitStart: -1, InitEnd: -1,
+		}
+	}
+
+	// Halt phase: starts at offset 0 subject to halt-phase dependencies.
+	haltOrder, err := topoOrder(haltW, rs.DepsForPhase(spec.PhaseHalt))
+	if err != nil {
+		return nil, 0, err
+	}
+	for _, id := range haltOrder {
+		start := 0
+		for _, d := range rs.DepsForPhase(spec.PhaseHalt) {
+			if d.Dependent != id {
+				continue
+			}
+			if indep := out[d.Independent]; indep.HaltEnd >= 0 && indep.HaltEnd+1 > start {
+				start = indep.HaltEnd + 1
+			}
+		}
+		s := out[id]
+		s.HaltStart = start
+		s.HaltEnd = start + haltW[id] - 1
+		out[id] = s
+	}
+
+	// Prepare phase: after the app's own halt, after every same-phase
+	// independent's prepare, and after every (any-phase) independent's
+	// halt — the section 6.1 guard.
+	prepOrder, err := topoOrder(prepW, rs.DepsForPhase(spec.PhasePrepare))
+	if err != nil {
+		return nil, 0, err
+	}
+	for _, id := range prepOrder {
+		start := 0
+		if own := out[id]; own.HaltEnd >= 0 {
+			start = own.HaltEnd + 1
+		}
+		for _, d := range rs.Deps {
+			if d.Dependent != id {
+				continue
+			}
+			indep := out[d.Independent]
+			if indep.HaltEnd >= 0 && indep.HaltEnd+1 > start {
+				start = indep.HaltEnd + 1
+			}
+			if d.Phase == spec.PhasePrepare && indep.PrepEnd >= 0 && indep.PrepEnd+1 > start {
+				start = indep.PrepEnd + 1
+			}
+		}
+		s := out[id]
+		s.PrepStart = start
+		s.PrepEnd = start + prepW[id] - 1
+		out[id] = s
+	}
+
+	// Initialize phase: after the app's own prepare and every init-phase
+	// independent's initialize.
+	initOrder, err := topoOrder(initW, rs.DepsForPhase(spec.PhaseInit))
+	if err != nil {
+		return nil, 0, err
+	}
+	for _, id := range initOrder {
+		start := 0
+		if own := out[id]; own.PrepEnd >= 0 {
+			start = own.PrepEnd + 1
+		}
+		for _, d := range rs.DepsForPhase(spec.PhaseInit) {
+			if d.Dependent != id {
+				continue
+			}
+			if indep := out[d.Independent]; indep.InitEnd >= 0 && indep.InitEnd+1 > start {
+				start = indep.InitEnd + 1
+			}
+		}
+		s := out[id]
+		s.InitStart = start
+		s.InitEnd = start + initW[id] - 1
+		out[id] = s
+	}
+
+	length := 1 // even an empty transition spends one acknowledgement frame
+	for _, s := range out {
+		for _, end := range []int{s.HaltEnd, s.PrepEnd, s.InitEnd} {
+			if end+1 > length {
+				length = end + 1
+			}
+		}
+	}
+	return out, length, nil
+}
+
+// topoOrder returns the participating applications in an order compatible
+// with the given phase's dependencies.
+func topoOrder(weights map[spec.AppID]int, deps []spec.Dependency) ([]spec.AppID, error) {
+	indeg := make(map[spec.AppID]int, len(weights))
+	adj := make(map[spec.AppID][]spec.AppID)
+	for id := range weights {
+		indeg[id] = 0
+	}
+	for _, d := range deps {
+		if _, ok := weights[d.Independent]; !ok {
+			continue
+		}
+		if _, ok := weights[d.Dependent]; !ok {
+			continue
+		}
+		adj[d.Independent] = append(adj[d.Independent], d.Dependent)
+		indeg[d.Dependent]++
+	}
+	var queue []spec.AppID
+	for id, deg := range indeg {
+		if deg == 0 {
+			queue = append(queue, id)
+		}
+	}
+	sort.Slice(queue, func(i, j int) bool { return queue[i] < queue[j] })
+	var order []spec.AppID
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		order = append(order, cur)
+		for _, next := range adj[cur] {
+			indeg[next]--
+			if indeg[next] == 0 {
+				queue = append(queue, next)
+			}
+		}
+	}
+	if len(order) != len(weights) {
+		return nil, fmt.Errorf("statics: dependency graph is cyclic")
+	}
+	return order, nil
+}

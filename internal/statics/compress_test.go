@@ -1,0 +1,128 @@
+package statics
+
+import (
+	"testing"
+
+	"repro/internal/spec"
+)
+
+// heterogeneousSpec builds two apps with complementary phase durations:
+// ap = (halt 3, prep 1, init 1), fcs = (halt 1, prep 3, init 1), no deps.
+func heterogeneousSpec() *spec.ReconfigSpec {
+	rs := threeConfigSpec()
+	rs.Deps = nil
+	for i := range rs.Apps {
+		for j := range rs.Apps[i].Specs {
+			sp := &rs.Apps[i].Specs[j]
+			switch rs.Apps[i].ID {
+			case "ap":
+				sp.HaltFrames, sp.PrepareFrames, sp.InitFrames = 3, 1, 1
+			case "fcs":
+				sp.HaltFrames, sp.PrepareFrames, sp.InitFrames = 1, 3, 1
+			}
+		}
+	}
+	for i := range rs.Transitions {
+		rs.Transitions[i].MaxFrames = 12
+	}
+	return rs
+}
+
+func TestCompressedScheduleShortensHeterogeneousWindows(t *testing.T) {
+	rs := heterogeneousSpec()
+	from, _ := rs.Config("full")
+	to, _ := rs.Config("reduced")
+
+	// Staged: 1 + max(3,1) + max(1,3) + max(1,1) = 8 total window.
+	staged, err := RequiredWindow(rs, "full", "reduced")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if staged != 8 {
+		t.Fatalf("staged window = %d, want 8", staged)
+	}
+
+	sched, length, err := CompressedSchedule(rs, from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compressed: each app chains independently; both chains are 5
+	// frames, so the protocol portion is 5 and the window 6.
+	if length != 5 {
+		t.Fatalf("compressed length = %d, want 5 (schedule %+v)", length, sched)
+	}
+	ap := sched["ap"]
+	if ap.HaltStart != 0 || ap.HaltEnd != 2 || ap.PrepStart != 3 || ap.InitStart != 4 {
+		t.Errorf("ap schedule = %+v", ap)
+	}
+	fcs := sched["fcs"]
+	if fcs.HaltEnd != 0 || fcs.PrepStart != 1 || fcs.PrepEnd != 3 || fcs.InitStart != 4 {
+		t.Errorf("fcs schedule = %+v", fcs)
+	}
+
+	rs.Compression = true
+	compressed, err := RequiredWindow(rs, "full", "reduced")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if compressed != 6 {
+		t.Fatalf("compressed window = %d, want 6", compressed)
+	}
+}
+
+func TestCompressedScheduleCrossPhaseGuard(t *testing.T) {
+	// fcs -> ap init dependency: under compression, ap's PREPARE must
+	// still wait for fcs to HALT (the section 6.1 guard), and ap's INIT
+	// must wait for fcs's init.
+	rs := heterogeneousSpec()
+	rs.Deps = []spec.Dependency{{Independent: "fcs", Dependent: "ap", Phase: spec.PhaseInit}}
+	from, _ := rs.Config("full")
+	to, _ := rs.Config("reduced")
+	sched, _, err := CompressedSchedule(rs, from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ap, fcs := sched["ap"], sched["fcs"]
+	if ap.PrepStart <= fcs.HaltEnd {
+		t.Errorf("guard violated: ap prepare %d <= fcs halt end %d", ap.PrepStart, fcs.HaltEnd)
+	}
+	if ap.InitStart <= fcs.InitEnd {
+		t.Errorf("init dependency violated: ap init %d <= fcs init end %d", ap.InitStart, fcs.InitEnd)
+	}
+}
+
+func TestCompressedScheduleSamePhaseDeps(t *testing.T) {
+	rs := heterogeneousSpec()
+	rs.Deps = []spec.Dependency{{Independent: "ap", Dependent: "fcs", Phase: spec.PhaseHalt}}
+	from, _ := rs.Config("full")
+	to, _ := rs.Config("reduced")
+	sched, _, err := CompressedSchedule(rs, from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ap, fcs := sched["ap"], sched["fcs"]
+	if fcs.HaltStart <= ap.HaltEnd {
+		t.Errorf("halt dependency violated: fcs halt %d <= ap halt end %d", fcs.HaltStart, ap.HaltEnd)
+	}
+}
+
+func TestCompressedScheduleNeverLongerThanStaged(t *testing.T) {
+	// For the canonical fixture and all transitions, compression never
+	// lengthens the window.
+	rs := threeConfigSpec()
+	for _, tr := range rs.Transitions {
+		stagedLen, err := RequiredWindow(rs, tr.From, tr.To)
+		if err != nil {
+			t.Fatal(err)
+		}
+		from, _ := rs.Config(tr.From)
+		to, _ := rs.Config(tr.To)
+		_, compLen, err := CompressedSchedule(rs, from, to)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if 1+compLen > stagedLen {
+			t.Errorf("%s->%s: compressed %d > staged %d", tr.From, tr.To, 1+compLen, stagedLen)
+		}
+	}
+}

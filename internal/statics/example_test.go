@@ -1,0 +1,25 @@
+package statics_test
+
+import (
+	"fmt"
+
+	"repro/internal/avionics"
+	"repro/internal/statics"
+)
+
+// Check discharges the proof obligations of the avionics instantiation —
+// the executable analog of type checking the instantiation against the
+// abstract PVS architecture.
+func ExampleCheck() {
+	report, err := statics.Check(avionics.Spec())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("all discharged:", report.AllDischarged())
+	fmt.Println("longest chain to safety:", report.Restriction.LongestChainFrames, "frames")
+	fmt.Println("interposed bound:", report.Restriction.InterposedBoundFrames, "frames")
+	// Output:
+	// all discharged: true
+	// longest chain to safety: 20 frames
+	// interposed bound: 10 frames
+}

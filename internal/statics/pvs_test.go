@@ -1,0 +1,59 @@
+package statics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExportPVSAvionicsShape(t *testing.T) {
+	out := ExportPVS(threeConfigSpec())
+	wants := []string{
+		"statics_test: THEORY",
+		"app: TYPE = {ap, fcs, power_monitor}",
+		"svclvl: TYPE = {full, reduced, minimal}",
+		"env_state: TYPE = {power_full, power_reduced, power_battery}",
+		"assignment(c: svclvl, a: app)",
+		"txn_valid(i, j: svclvl)",
+		"choose(c: svclvl, e: env_state)",
+		"SP1(tr, r)",
+		"SP2(tr, r)",
+		"SP3(tr, r)",
+		"covering_txns: bool",
+		"END statics_test",
+	}
+	for _, w := range wants {
+		if !strings.Contains(out, w) {
+			t.Errorf("PVS export missing %q", w)
+		}
+	}
+	// Off assignments render as the distinguished literal.
+	if !strings.Contains(out, "ap: off") {
+		t.Errorf("off assignment not rendered:\n%s", out)
+	}
+	// Transition bounds appear.
+	if !strings.Contains(out, "i = full AND j = reduced -> 6") {
+		t.Errorf("transition bound not rendered")
+	}
+}
+
+func TestExportPVSDeterministic(t *testing.T) {
+	a := ExportPVS(threeConfigSpec())
+	b := ExportPVS(threeConfigSpec())
+	if a != b {
+		t.Fatal("PVS export is not deterministic")
+	}
+}
+
+func TestPVSIdentSanitizes(t *testing.T) {
+	tests := map[string]string{
+		"power-monitor": "power_monitor",
+		"3cfg":          "x_3cfg",
+		"":              "x_",
+		"ok":            "ok",
+	}
+	for in, want := range tests {
+		if got := pvsIdent(in); got != want {
+			t.Errorf("pvsIdent(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,468 @@
+package statics
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/spec"
+)
+
+// threeConfigSpec builds an avionics-shaped specification: two applications,
+// three configurations (full, reduced, minimal), power-driven choice table,
+// a repair path (hence transition-graph cycles), and one init-phase
+// dependency.
+func threeConfigSpec() *spec.ReconfigSpec {
+	onePhase := func(id spec.SpecID, cpu int) spec.Specification {
+		return spec.Specification{
+			ID: id, Resources: spec.Resources{CPU: cpu, MemoryKB: cpu * 32, PowerMW: cpu * 100},
+			HaltFrames: 1, PrepareFrames: 1, InitFrames: 1,
+		}
+	}
+	return &spec.ReconfigSpec{
+		Name: "statics-test",
+		Apps: []spec.App{
+			{ID: "ap", Specs: []spec.Specification{onePhase("full", 4), onePhase("alt-hold", 1)}},
+			{ID: "fcs", Specs: []spec.Specification{onePhase("full", 3), onePhase("direct", 1)}},
+			{ID: "power-monitor", Virtual: true, Specs: []spec.Specification{onePhase("monitor", 0)}},
+		},
+		Configs: []spec.Configuration{
+			{ID: "full",
+				Assignment: map[spec.AppID]spec.SpecID{"ap": "full", "fcs": "full"},
+				Placement:  map[spec.AppID]spec.ProcID{"ap": "p1", "fcs": "p2"}},
+			{ID: "reduced",
+				Assignment: map[spec.AppID]spec.SpecID{"ap": "alt-hold", "fcs": "direct"},
+				Placement:  map[spec.AppID]spec.ProcID{"ap": "p1", "fcs": "p1"}},
+			{ID: "minimal", Safe: true,
+				Assignment: map[spec.AppID]spec.SpecID{"ap": spec.SpecOff, "fcs": "direct"},
+				Placement:  map[spec.AppID]spec.ProcID{"fcs": "p1"},
+				LowPower:   []spec.ProcID{"p1"}},
+		},
+		Transitions: []spec.Transition{
+			{From: "full", To: "reduced", MaxFrames: 6},
+			{From: "reduced", To: "minimal", MaxFrames: 6},
+			{From: "full", To: "minimal", MaxFrames: 8},
+			{From: "minimal", To: "reduced", MaxFrames: 6},
+			{From: "reduced", To: "full", MaxFrames: 6},
+		},
+		Choice: spec.ChoiceTable{
+			"full":    {"power-full": "full", "power-reduced": "reduced", "power-battery": "minimal"},
+			"reduced": {"power-full": "full", "power-reduced": "reduced", "power-battery": "minimal"},
+			"minimal": {"power-full": "reduced", "power-reduced": "reduced", "power-battery": "minimal"},
+		},
+		Envs:        []spec.EnvState{"power-full", "power-reduced", "power-battery"},
+		StartConfig: "full",
+		StartEnv:    "power-full",
+		Deps: []spec.Dependency{
+			{Independent: "fcs", Dependent: "ap", Phase: spec.PhaseInit},
+		},
+		Platform: spec.Platform{Procs: []spec.Proc{
+			{ID: "p1", Capacity: spec.Resources{CPU: 8, MemoryKB: 1024, PowerMW: 1000},
+				LowPowerCapacity: spec.Resources{CPU: 2, MemoryKB: 256, PowerMW: 250}},
+			{ID: "p2", Capacity: spec.Resources{CPU: 8, MemoryKB: 1024, PowerMW: 1000}},
+		}},
+		FrameLen:    20 * time.Millisecond,
+		DwellFrames: 5,
+		Retarget:    spec.RetargetBuffer,
+	}
+}
+
+func mustCheck(t *testing.T, rs *spec.ReconfigSpec) *Report {
+	t.Helper()
+	r, err := Check(rs)
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	return r
+}
+
+func obligation(t *testing.T, r *Report, id string) Obligation {
+	t.Helper()
+	for _, o := range r.Obligations {
+		if o.ID == id {
+			return o
+		}
+	}
+	t.Fatalf("obligation %q not in report (have %v)", id, r.Failures())
+	return Obligation{}
+}
+
+func TestValidSpecDischargesAllObligations(t *testing.T) {
+	r := mustCheck(t, threeConfigSpec())
+	if !r.AllDischarged() {
+		t.Fatalf("failures: %v", r.Failures())
+	}
+	if len(r.Reachable) != 3 {
+		t.Errorf("reachable = %v, want 3 configurations", r.Reachable)
+	}
+	if len(r.Timing) != 5 {
+		t.Errorf("timing rows = %d, want 5", len(r.Timing))
+	}
+}
+
+func TestCheckRejectsInvalidSpec(t *testing.T) {
+	rs := threeConfigSpec()
+	rs.Name = ""
+	if _, err := Check(rs); err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+}
+
+func TestCoveringTxnsMissingChoice(t *testing.T) {
+	rs := threeConfigSpec()
+	delete(rs.Choice["reduced"], "power-battery")
+	r := mustCheck(t, rs)
+	ob := obligation(t, r, "covering_txns")
+	if ob.OK {
+		t.Fatal("missing choice entry not detected")
+	}
+	if !strings.Contains(ob.Detail, "(reduced, power-battery)") {
+		t.Errorf("detail = %q", ob.Detail)
+	}
+}
+
+func TestCoveringTxnsIgnoresUnreachable(t *testing.T) {
+	rs := threeConfigSpec()
+	// Add an unreachable configuration with no choice row at all: the
+	// obligation quantifies over reachable configurations only.
+	rs.Configs = append(rs.Configs, spec.Configuration{
+		ID:         "orphan",
+		Assignment: map[spec.AppID]spec.SpecID{"ap": spec.SpecOff, "fcs": spec.SpecOff},
+		Placement:  map[spec.AppID]spec.ProcID{},
+	})
+	r := mustCheck(t, rs)
+	if ob := obligation(t, r, "covering_txns"); !ob.OK {
+		t.Fatalf("unreachable configuration flagged: %s", ob.Detail)
+	}
+	for _, c := range r.Reachable {
+		if c == "orphan" {
+			t.Error("orphan reported reachable")
+		}
+	}
+}
+
+func TestDepAcyclicity(t *testing.T) {
+	rs := threeConfigSpec()
+	rs.Deps = append(rs.Deps, spec.Dependency{Independent: "ap", Dependent: "fcs", Phase: spec.PhaseInit})
+	r := mustCheck(t, rs)
+	if ob := obligation(t, r, "dep_acyclic:initialize"); ob.OK {
+		t.Fatal("init-phase dependency cycle not detected")
+	}
+	// Other phases unaffected.
+	if ob := obligation(t, r, "dep_acyclic:halt"); !ob.OK {
+		t.Errorf("halt-phase obligation failed: %s", ob.Detail)
+	}
+	// A cyclic dependency graph also makes the timing obligation
+	// un-dischargeable for transitions whose windows use that phase.
+	foundBroken := false
+	for _, tt := range r.Timing {
+		if tt.RequiredFrames == -1 && !tt.OK {
+			foundBroken = true
+		}
+	}
+	if !foundBroken {
+		t.Error("no timing row marked un-dischargeable under cyclic deps")
+	}
+}
+
+func TestCrossPhaseDepsDoNotCycle(t *testing.T) {
+	rs := threeConfigSpec()
+	// a->b in init (existing fcs->ap) plus b->a in halt: no cycle within
+	// any single phase.
+	rs.Deps = append(rs.Deps, spec.Dependency{Independent: "ap", Dependent: "fcs", Phase: spec.PhaseHalt})
+	r := mustCheck(t, rs)
+	for _, phase := range []string{"halt", "prepare", "initialize"} {
+		if ob := obligation(t, r, "dep_acyclic:"+phase); !ob.OK {
+			t.Errorf("%s obligation failed: %s", phase, ob.Detail)
+		}
+	}
+}
+
+func TestResourceFeasibility(t *testing.T) {
+	rs := threeConfigSpec()
+	// Shrink p1 to CPU 3: the full configuration (ap/full = CPU 4 on p1)
+	// no longer fits, while reduced (ap/alt-hold + fcs/direct = CPU 2)
+	// still does.
+	rs.Platform.Procs[0].Capacity = spec.Resources{CPU: 3, MemoryKB: 1024, PowerMW: 1000}
+	r := mustCheck(t, rs)
+	if ob := obligation(t, r, "resources:full"); ob.OK {
+		t.Fatal("overloaded configuration not detected")
+	}
+	if ob := obligation(t, r, "resources:reduced"); !ob.OK {
+		t.Errorf("reduced configuration flagged: %s", ob.Detail)
+	}
+}
+
+func TestResourceFeasibilityLowPower(t *testing.T) {
+	rs := threeConfigSpec()
+	// Minimal runs fcs/direct (CPU 1) on p1 in low-power mode (CPU 2): it
+	// fits. Shrinking the low-power capacity below the load must fail.
+	rs.Platform.Procs[0].LowPowerCapacity = spec.Resources{}
+	r := mustCheck(t, rs)
+	if ob := obligation(t, r, "resources:minimal"); ob.OK {
+		t.Fatal("low-power overload not detected")
+	}
+}
+
+func TestTimingWindows(t *testing.T) {
+	rs := threeConfigSpec()
+	// full -> reduced: 1 trigger + halt 1 + prepare 1 + init chain
+	// (fcs then ap) 2 = 5.
+	w, err := RequiredWindow(rs, "full", "reduced")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 5 {
+		t.Errorf("RequiredWindow(full, reduced) = %d, want 5", w)
+	}
+	// reduced -> minimal: ap is off in minimal, so the init dependency
+	// drops out: 1 + 1 + 1 + 1 = 4.
+	w, err = RequiredWindow(rs, "reduced", "minimal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 4 {
+		t.Errorf("RequiredWindow(reduced, minimal) = %d, want 4", w)
+	}
+	if _, err := RequiredWindow(rs, "ghost", "full"); err == nil {
+		t.Error("unknown source accepted")
+	}
+	if _, err := RequiredWindow(rs, "full", "ghost"); err == nil {
+		t.Error("unknown target accepted")
+	}
+}
+
+func TestTimingObligationFailure(t *testing.T) {
+	rs := threeConfigSpec()
+	rs.Transitions[0].MaxFrames = 4 // required is 5
+	r := mustCheck(t, rs)
+	if r.AllDischarged() {
+		t.Fatal("undersized bound not detected")
+	}
+	var row TransitionTiming
+	for _, tt := range r.Timing {
+		if tt.From == "full" && tt.To == "reduced" {
+			row = tt
+		}
+	}
+	if row.OK || row.RequiredFrames != 5 || row.DeclaredFrames != 4 {
+		t.Errorf("timing row = %+v", row)
+	}
+	if fails := r.Failures(); len(fails) != 1 || fails[0] != "timing:full->reduced" {
+		t.Errorf("Failures = %v", fails)
+	}
+}
+
+func TestImmediateRetargetAddsWorstPrepare(t *testing.T) {
+	rs := threeConfigSpec()
+	rs.Retarget = spec.RetargetImmediate
+	// Worst prepare over all configurations is 1, so windows grow by 1.
+	w, err := RequiredWindow(rs, "full", "reduced")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 6 {
+		t.Errorf("immediate RequiredWindow = %d, want 6", w)
+	}
+}
+
+func TestSelfTransitionObligationUnderImmediate(t *testing.T) {
+	rs := threeConfigSpec()
+	rs.Retarget = spec.RetargetImmediate
+	r := mustCheck(t, rs)
+	ob := obligation(t, r, "self_transitions")
+	if ob.OK {
+		t.Fatal("missing self-transitions not detected under immediate policy")
+	}
+	// Declare them all; obligation discharges.
+	for _, c := range []spec.ConfigID{"full", "reduced", "minimal"} {
+		rs.Transitions = append(rs.Transitions, spec.Transition{From: c, To: c, MaxFrames: 10})
+	}
+	r = mustCheck(t, rs)
+	if ob := obligation(t, r, "self_transitions"); !ob.OK {
+		t.Errorf("self transitions still failing: %s", ob.Detail)
+	}
+	// Buffer policy does not emit the obligation at all.
+	rs.Retarget = spec.RetargetBuffer
+	r = mustCheck(t, rs)
+	for _, o := range r.Obligations {
+		if o.ID == "self_transitions" {
+			t.Error("self_transitions emitted under buffer policy")
+		}
+	}
+}
+
+func TestCycleDetectionAndDwellGuard(t *testing.T) {
+	rs := threeConfigSpec()
+	r := mustCheck(t, rs)
+	if len(r.Cycles) == 0 {
+		t.Fatal("no cycles found in graph with full<->reduced loop")
+	}
+	// full->reduced->full is a cycle; canonical form starts at "full".
+	found := false
+	for _, c := range r.Cycles {
+		if len(c) == 3 && c[0] == "full" && c[1] == "reduced" && c[2] == "full" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("cycles = %v, want full->reduced->full among them", r.Cycles)
+	}
+	if ob := obligation(t, r, "dwell_guard"); !ob.OK {
+		t.Errorf("dwell guard failed despite DwellFrames=5: %s", ob.Detail)
+	}
+
+	rs.DwellFrames = 0
+	r = mustCheck(t, rs)
+	if ob := obligation(t, r, "dwell_guard"); ob.OK {
+		t.Error("cycles with zero dwell not detected")
+	}
+}
+
+func TestNoCyclesNoDwellNeeded(t *testing.T) {
+	rs := threeConfigSpec()
+	// Remove the repair paths: graph becomes a DAG.
+	rs.Transitions = []spec.Transition{
+		{From: "full", To: "reduced", MaxFrames: 6},
+		{From: "reduced", To: "minimal", MaxFrames: 6},
+		{From: "full", To: "minimal", MaxFrames: 8},
+	}
+	rs.Choice = spec.ChoiceTable{
+		"full":    {"power-full": "full", "power-reduced": "reduced", "power-battery": "minimal"},
+		"reduced": {"power-full": "reduced", "power-reduced": "reduced", "power-battery": "minimal"},
+		"minimal": {"power-full": "minimal", "power-reduced": "minimal", "power-battery": "minimal"},
+	}
+	rs.DwellFrames = 0
+	r := mustCheck(t, rs)
+	if len(r.Cycles) != 0 {
+		t.Errorf("cycles = %v, want none", r.Cycles)
+	}
+	if ob := obligation(t, r, "dwell_guard"); !ob.OK {
+		t.Errorf("dwell guard failed on acyclic graph: %s", ob.Detail)
+	}
+}
+
+func TestSafeReachability(t *testing.T) {
+	rs := threeConfigSpec()
+	// Cut every path from full to a safe configuration.
+	rs.Transitions = []spec.Transition{
+		{From: "reduced", To: "minimal", MaxFrames: 6},
+		{From: "minimal", To: "reduced", MaxFrames: 6},
+	}
+	rs.Choice = spec.ChoiceTable{
+		"full":    {"power-full": "full", "power-reduced": "full", "power-battery": "full"},
+		"reduced": {"power-full": "reduced", "power-reduced": "reduced", "power-battery": "minimal"},
+		"minimal": {"power-full": "reduced", "power-reduced": "reduced", "power-battery": "minimal"},
+	}
+	rs.DwellFrames = 5
+	r := mustCheck(t, rs)
+	ob := obligation(t, r, "safe_reachable")
+	if ob.OK {
+		t.Fatal("stranded configuration not detected")
+	}
+	if !strings.Contains(ob.Detail, "full") {
+		t.Errorf("detail = %q", ob.Detail)
+	}
+}
+
+func TestRestrictionAnalysis(t *testing.T) {
+	r := mustCheck(t, threeConfigSpec())
+	ra := r.Restriction
+	// Longest simple chain ending at the safe configuration (minimal):
+	// reduced -> full -> minimal = 6 + 8 = 14. (Chains are simple: a
+	// chain revisiting a configuration is the cyclic-reconfiguration case
+	// handled by the dwell guard, not by this bound.)
+	if ra.LongestChainFrames != 14 {
+		t.Errorf("LongestChainFrames = %d, want 14 (chain %v)", ra.LongestChainFrames, ra.LongestChain)
+	}
+	wantChain := []spec.ConfigID{"reduced", "full", "minimal"}
+	if len(ra.LongestChain) != len(wantChain) {
+		t.Fatalf("LongestChain = %v, want %v", ra.LongestChain, wantChain)
+	}
+	for i := range wantChain {
+		if ra.LongestChain[i] != wantChain[i] {
+			t.Fatalf("LongestChain = %v, want %v", ra.LongestChain, wantChain)
+		}
+	}
+	// Interposed: max{T(full, minimal), T(reduced, minimal)} = 8.
+	if ra.InterposedSafe != "minimal" || ra.InterposedBoundFrames != 8 {
+		t.Errorf("interposed = %s/%d, want minimal/8", ra.InterposedSafe, ra.InterposedBoundFrames)
+	}
+	if ra.InterposedBoundFrames >= ra.LongestChainFrames != false {
+		t.Errorf("interposition did not reduce the bound: %d vs %d",
+			ra.InterposedBoundFrames, ra.LongestChainFrames)
+	}
+}
+
+func TestInterposedBoundMissingTransition(t *testing.T) {
+	rs := threeConfigSpec()
+	// Remove full -> minimal: the bound becomes unavailable.
+	var kept []spec.Transition
+	for _, tr := range rs.Transitions {
+		if !(tr.From == "full" && tr.To == "minimal") {
+			kept = append(kept, tr)
+		}
+	}
+	rs.Transitions = kept
+	if _, ok := InterposedBound(rs, "minimal"); ok {
+		t.Fatal("InterposedBound available despite missing transition")
+	}
+}
+
+func TestInterposeTransform(t *testing.T) {
+	rs := threeConfigSpec()
+	out, err := Interpose(rs, "minimal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// full -> reduced (unsafe -> unsafe) is redirected to minimal.
+	if got, _ := out.Choice.Choose("full", "power-reduced"); got != "minimal" {
+		t.Errorf("Choose(full, power-reduced) = %s, want minimal", got)
+	}
+	// Identity entries and safe-involving entries stay.
+	if got, _ := out.Choice.Choose("full", "power-full"); got != "full" {
+		t.Errorf("identity entry rewritten: %s", got)
+	}
+	if got, _ := out.Choice.Choose("minimal", "power-full"); got != "reduced" {
+		t.Errorf("safe-source entry rewritten: %s", got)
+	}
+	// The original is untouched.
+	if got, _ := rs.Choice.Choose("full", "power-reduced"); got != "reduced" {
+		t.Errorf("Interpose mutated its input: %s", got)
+	}
+	// The transformed spec still discharges coverage (full->minimal is
+	// declared in the fixture).
+	r, err := Check(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ob := obligation(t, r, "covering_txns"); !ob.OK {
+		t.Errorf("interposed spec loses coverage: %s", ob.Detail)
+	}
+
+	if _, err := Interpose(rs, "ghost"); err == nil {
+		t.Error("unknown safe config accepted")
+	}
+	if _, err := Interpose(rs, "full"); err == nil {
+		t.Error("non-safe config accepted")
+	}
+}
+
+func TestPhaseWindowEmptyConfiguration(t *testing.T) {
+	rs := threeConfigSpec()
+	rs.Configs = append(rs.Configs, spec.Configuration{
+		ID:         "all-off",
+		Safe:       true,
+		Assignment: map[spec.AppID]spec.SpecID{"ap": spec.SpecOff, "fcs": spec.SpecOff},
+		Placement:  map[spec.AppID]spec.ProcID{},
+	})
+	rs.Transitions = append(rs.Transitions, spec.Transition{From: "minimal", To: "all-off", MaxFrames: 6})
+	// Window: 1 + halt(minimal)=1 + prepare(all-off)=1 + init(all-off)=1.
+	w, err := RequiredWindow(rs, "minimal", "all-off")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 4 {
+		t.Errorf("RequiredWindow(minimal, all-off) = %d, want 4", w)
+	}
+}

@@ -1,0 +1,149 @@
+package statics
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/spec"
+)
+
+func TestPhasePlanOffsets(t *testing.T) {
+	rs := threeConfigSpec()
+	// Multi-frame init for the fcs plus the existing init dependency
+	// (fcs -> ap): fcs occupies offsets [0, 1], ap starts at 2.
+	for i := range rs.Apps {
+		if rs.Apps[i].ID != "fcs" {
+			continue
+		}
+		for j := range rs.Apps[i].Specs {
+			rs.Apps[i].Specs[j].InitFrames = 2
+		}
+	}
+	cfg, _ := rs.Config("reduced")
+	starts, durations, length, err := PhasePlan(rs, cfg, spec.PhaseInit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if length != 3 {
+		t.Errorf("length = %d, want 3 (fcs 2 + ap 1)", length)
+	}
+	if starts["fcs"] != 0 || durations["fcs"] != 2 {
+		t.Errorf("fcs start/dur = %d/%d, want 0/2", starts["fcs"], durations["fcs"])
+	}
+	if starts["ap"] != 2 || durations["ap"] != 1 {
+		t.Errorf("ap start/dur = %d/%d, want 2/1", starts["ap"], durations["ap"])
+	}
+}
+
+func TestPhasePlanParallelWithoutDeps(t *testing.T) {
+	rs := threeConfigSpec()
+	rs.Deps = nil
+	cfg, _ := rs.Config("reduced")
+	starts, _, length, err := PhasePlan(rs, cfg, spec.PhaseInit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if length != 1 {
+		t.Errorf("length = %d, want 1 (parallel)", length)
+	}
+	for id, off := range starts {
+		if off != 0 {
+			t.Errorf("%s offset = %d, want 0", id, off)
+		}
+	}
+}
+
+func TestPhasePlanEmptyConfig(t *testing.T) {
+	rs := threeConfigSpec()
+	cfg := &spec.Configuration{
+		ID:         "empty",
+		Assignment: map[spec.AppID]spec.SpecID{"ap": spec.SpecOff, "fcs": spec.SpecOff},
+	}
+	starts, durations, length, err := PhasePlan(rs, cfg, spec.PhaseInit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if length != 1 || len(starts) != 0 || len(durations) != 0 {
+		t.Errorf("empty plan = %v/%v/%d", starts, durations, length)
+	}
+}
+
+func TestPhasePlanRejectsBadPhase(t *testing.T) {
+	rs := threeConfigSpec()
+	cfg, _ := rs.Config("full")
+	if _, _, _, err := PhasePlan(rs, cfg, spec.PhaseNormal); err == nil {
+		t.Error("normal phase accepted")
+	}
+}
+
+func TestStartConsistentObligation(t *testing.T) {
+	rs := threeConfigSpec()
+	rs.Choice["full"]["power-full"] = "reduced" // boot would reconfigure
+	r := mustCheck(t, rs)
+	if ob := obligation(t, r, "start_consistent"); ob.OK {
+		t.Fatal("inconsistent boot not detected")
+	}
+}
+
+// TestInterposePreservesCoverageProperty: for random specifications, the
+// interposition transform never removes choice-table coverage — every pair
+// covered before is covered after (targets may change, entries never
+// disappear), and safe-involving entries are untouched.
+func TestInterposePreservesCoverageProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rs := randomInterposableSpec(rng)
+		out, err := Interpose(rs, rs.SafeConfigs()[0])
+		if err != nil {
+			return false
+		}
+		for from, row := range rs.Choice {
+			newRow, ok := out.Choice[from]
+			if !ok || len(newRow) != len(row) {
+				return false
+			}
+			for env := range row {
+				if _, ok := newRow[env]; !ok {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// randomInterposableSpec builds a small random spec with one safe config and
+// a total choice table (validity beyond the choice structure is not needed
+// for the Interpose property).
+func randomInterposableSpec(rng *rand.Rand) *spec.ReconfigSpec {
+	rs := threeConfigSpec()
+	// Shuffle choice targets randomly while keeping the table total.
+	configs := []spec.ConfigID{"full", "reduced", "minimal"}
+	for _, from := range configs {
+		for _, env := range rs.Envs {
+			rs.Choice[from][env] = configs[rng.Intn(len(configs))]
+		}
+	}
+	return rs
+}
+
+// TestRequiredWindowLowerBound: every window needs at least 4 frames —
+// trigger, halt, prepare, initialize.
+func TestRequiredWindowLowerBound(t *testing.T) {
+	rs := threeConfigSpec()
+	for _, from := range []spec.ConfigID{"full", "reduced", "minimal"} {
+		for _, to := range []spec.ConfigID{"full", "reduced", "minimal"} {
+			w, err := RequiredWindow(rs, from, to)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if w < 4 {
+				t.Errorf("RequiredWindow(%s, %s) = %d < 4", from, to, w)
+			}
+		}
+	}
+}

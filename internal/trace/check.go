@@ -1,0 +1,181 @@
+package trace
+
+import (
+	"fmt"
+
+	"repro/internal/spec"
+)
+
+// Violation is one failed property instance.
+type Violation struct {
+	// Property is "SP1" through "SP4".
+	Property string `json:"property"`
+	// Reconfig is the reconfiguration the property was evaluated over.
+	Reconfig Reconfiguration `json:"reconfig"`
+	// Cycle is the cycle at which the violation manifests, when one is
+	// identifiable; -1 otherwise.
+	Cycle int64 `json:"cycle"`
+	// Detail is a human-readable explanation.
+	Detail string `json:"detail"`
+}
+
+// String renders the violation for reports.
+func (v Violation) String() string {
+	return fmt.Sprintf("%s violated in reconfiguration [%d,%d] %s->%s (cycle %d): %s",
+		v.Property, v.Reconfig.StartC, v.Reconfig.EndC, v.Reconfig.From, v.Reconfig.To, v.Cycle, v.Detail)
+}
+
+// CheckSP1 verifies, for every reconfiguration R in the trace, the paper's
+// SP1: "R begins at the time any application in the system is no longer
+// operating under Ci and ends when all applications are operating under
+// Cj". Formally:
+//
+//   - some application is interrupted at start_c,
+//   - every application is normal at start_c - 1,
+//   - every application is normal at end_c, and
+//   - at every cycle strictly between start_c and end_c, no application is
+//     normal.
+func CheckSP1(t *Trace) []Violation {
+	var out []Violation
+	for _, r := range t.Reconfigs() {
+		start, _ := t.At(r.StartC)
+		end, _ := t.At(r.EndC)
+		if !start.anyInterrupted() {
+			out = append(out, Violation{
+				Property: "SP1", Reconfig: r, Cycle: r.StartC,
+				Detail: "no application is interrupted at start_c",
+			})
+		}
+		if prev, ok := t.At(r.StartC - 1); ok && !prev.allNormal() {
+			out = append(out, Violation{
+				Property: "SP1", Reconfig: r, Cycle: r.StartC - 1,
+				Detail: "some application is not normal at start_c - 1",
+			})
+		}
+		if !end.allNormal() {
+			out = append(out, Violation{
+				Property: "SP1", Reconfig: r, Cycle: r.EndC,
+				Detail: "some application is not normal at end_c",
+			})
+		}
+		for c := r.StartC + 1; c < r.EndC; c++ {
+			st, _ := t.At(c)
+			for id, app := range st.Apps {
+				if app.Status.Normal() {
+					out = append(out, Violation{
+						Property: "SP1", Reconfig: r, Cycle: c,
+						Detail: fmt.Sprintf("application %q is normal strictly inside the reconfiguration window", id),
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// CheckSP2 verifies the paper's SP2: the configuration reached at end_c is
+// the one the choice function selects for the source configuration and the
+// environment state at some time during the reconfiguration window:
+//
+//	EXISTS c in [start_c, end_c] :
+//	    tr(end_c).svclvl = choose(tr(start_c).svclvl, env(c))
+func CheckSP2(t *Trace, rs *spec.ReconfigSpec) []Violation {
+	var out []Violation
+	for _, r := range t.Reconfigs() {
+		satisfied := false
+		for c := r.StartC; c <= r.EndC && !satisfied; c++ {
+			st, _ := t.At(c)
+			if target, ok := rs.Choice.Choose(r.From, st.Env); ok && target == r.To {
+				satisfied = true
+			}
+		}
+		if !satisfied {
+			out = append(out, Violation{
+				Property: "SP2", Reconfig: r, Cycle: -1,
+				Detail: fmt.Sprintf("no cycle in [%d,%d] has choose(%s, env) = %s",
+					r.StartC, r.EndC, r.From, r.To),
+			})
+		}
+	}
+	return out
+}
+
+// CheckSP3 verifies the paper's SP3: the reconfiguration takes at most
+// T(Ci, Cj) time units:
+//
+//	(end_c - start_c + 1) * cycle_time <= T(tr(start_c).svclvl, tr(end_c).svclvl)
+//
+// with T expressed in frames by the specification's transition table. A
+// reconfiguration along a pair with no declared transition bound is itself a
+// violation (the transition was not statically permitted).
+func CheckSP3(t *Trace, rs *spec.ReconfigSpec) []Violation {
+	var out []Violation
+	for _, r := range t.Reconfigs() {
+		bound, ok := rs.T(r.From, r.To)
+		if !ok {
+			out = append(out, Violation{
+				Property: "SP3", Reconfig: r, Cycle: -1,
+				Detail: fmt.Sprintf("no declared transition bound T(%s, %s)", r.From, r.To),
+			})
+			continue
+		}
+		if frames := r.Frames(); frames > int64(bound) {
+			out = append(out, Violation{
+				Property: "SP3", Reconfig: r, Cycle: r.EndC,
+				Detail: fmt.Sprintf("window is %d frames, bound T(%s, %s) = %d",
+					frames, r.From, r.To, bound),
+			})
+		}
+	}
+	// A window still open at the end of the trace has no final target, but
+	// once it outlives every bound declared from its source configuration
+	// it can no longer satisfy SP3 whatever it ends in — the signature of
+	// a stalled reconfiguration (for example a dead SCRAM).
+	if open, ok := t.OpenReconfig(); ok {
+		worst := 0
+		for _, tr := range rs.Transitions {
+			if tr.From == open.From && tr.MaxFrames > worst {
+				worst = tr.MaxFrames
+			}
+		}
+		if open.Frames() > int64(worst) {
+			out = append(out, Violation{
+				Property: "SP3", Reconfig: open, Cycle: open.EndC,
+				Detail: fmt.Sprintf("open window is already %d frames, exceeding every declared bound from %s (max %d)",
+					open.Frames(), open.From, worst),
+			})
+		}
+	}
+	return out
+}
+
+// CheckSP4 verifies the paper's SP4: the precondition for the target
+// configuration holds at the time the reconfiguration ends — every
+// application reports that the precondition of its assigned specification
+// held when it (re)initialized.
+func CheckSP4(t *Trace) []Violation {
+	var out []Violation
+	for _, r := range t.Reconfigs() {
+		end, _ := t.At(r.EndC)
+		for id, app := range end.Apps {
+			if !app.PreOK {
+				out = append(out, Violation{
+					Property: "SP4", Reconfig: r, Cycle: r.EndC,
+					Detail: fmt.Sprintf("application %q entered specification %q without its precondition", id, app.Spec),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// CheckAll runs all four property checkers and returns the concatenated
+// violations, SP1 first.
+func CheckAll(t *Trace, rs *spec.ReconfigSpec) []Violation {
+	var out []Violation
+	out = append(out, CheckSP1(t)...)
+	out = append(out, CheckSP2(t, rs)...)
+	out = append(out, CheckSP3(t, rs)...)
+	out = append(out, CheckSP4(t)...)
+	return out
+}

@@ -1,0 +1,38 @@
+package trace_test
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/spec"
+	"repro/internal/trace"
+)
+
+// A minimal recorded execution: two normal cycles, one three-cycle
+// reconfiguration window, then normal operation under the new
+// configuration. Reconfigs extracts the window; the checkers evaluate the
+// formal properties over it.
+func ExampleTrace_Reconfigs() {
+	tr := &trace.Trace{System: "example", FrameLen: 20 * time.Millisecond}
+	app := func(st trace.ReconfStatus) map[spec.AppID]trace.AppState {
+		return map[spec.AppID]trace.AppState{"ctl": {Status: st, Spec: "full", PreOK: true}}
+	}
+	states := []trace.SysState{
+		{Cycle: 0, Config: "normal", Env: "ok", Apps: app(trace.StatusNormal)},
+		{Cycle: 1, Config: "normal", Env: "low", Apps: app(trace.StatusInterrupted)},
+		{Cycle: 2, Config: "normal", Env: "low", Apps: app(trace.StatusPreparing)},
+		{Cycle: 3, Config: "fallback", Env: "low", Apps: app(trace.StatusNormal)},
+	}
+	for _, st := range states {
+		if err := tr.Append(st); err != nil {
+			panic(err)
+		}
+	}
+	for _, r := range tr.Reconfigs() {
+		fmt.Printf("window [%d,%d]: %s -> %s (%d frames)\n", r.StartC, r.EndC, r.From, r.To, r.Frames())
+	}
+	fmt.Println("restriction frames:", tr.RestrictionFrames())
+	// Output:
+	// window [1,3]: normal -> fallback (3 frames)
+	// restriction frames: 2
+}

@@ -1,0 +1,560 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/spec"
+)
+
+// twoAppSpec returns the minimal specification the checker tests evaluate
+// against: two configurations, one environment-driven transition each way.
+func twoAppSpec() *spec.ReconfigSpec {
+	return &spec.ReconfigSpec{
+		Name: "trace-test",
+		Apps: []spec.App{
+			{ID: "a", Specs: []spec.Specification{
+				{ID: "full", HaltFrames: 1, PrepareFrames: 1, InitFrames: 1},
+				{ID: "basic", HaltFrames: 1, PrepareFrames: 1, InitFrames: 1},
+			}},
+			{ID: "b", Specs: []spec.Specification{
+				{ID: "full", HaltFrames: 1, PrepareFrames: 1, InitFrames: 1},
+			}},
+		},
+		Configs: []spec.Configuration{
+			{ID: "full",
+				Assignment: map[spec.AppID]spec.SpecID{"a": "full", "b": "full"},
+				Placement:  map[spec.AppID]spec.ProcID{"a": "p1", "b": "p1"}},
+			{ID: "degraded", Safe: true,
+				Assignment: map[spec.AppID]spec.SpecID{"a": "basic", "b": spec.SpecOff},
+				Placement:  map[spec.AppID]spec.ProcID{"a": "p1"}},
+		},
+		Transitions: []spec.Transition{
+			{From: "full", To: "degraded", MaxFrames: 4},
+			{From: "degraded", To: "full", MaxFrames: 4},
+		},
+		Choice: spec.ChoiceTable{
+			"full":     {"env-ok": "full", "env-low": "degraded"},
+			"degraded": {"env-ok": "full", "env-low": "degraded"},
+		},
+		Envs:        []spec.EnvState{"env-ok", "env-low"},
+		StartConfig: "full",
+		StartEnv:    "env-ok",
+		Platform:    spec.Platform{Procs: []spec.Proc{{ID: "p1", Capacity: spec.Resources{CPU: 8}}}},
+		FrameLen:    20 * time.Millisecond,
+		Retarget:    spec.RetargetBuffer,
+	}
+}
+
+// state builds a SysState for apps "a" and "b".
+func state(cycle int64, cfg spec.ConfigID, env spec.EnvState, aSt, bSt ReconfStatus, preOK bool) SysState {
+	return SysState{
+		Cycle:  cycle,
+		Config: cfg,
+		Env:    env,
+		Apps: map[spec.AppID]AppState{
+			"a": {Status: aSt, Spec: "full", PreOK: preOK},
+			"b": {Status: bSt, Spec: "full", PreOK: preOK},
+		},
+	}
+}
+
+// cleanReconfigTrace builds a trace with one well-formed reconfiguration:
+// frames 0-1 normal, frame 2 trigger (a interrupted), frames 3-4 protocol,
+// frame 5 normal under the new configuration. Window = [2,5] = 4 frames.
+func cleanReconfigTrace(t *testing.T) *Trace {
+	t.Helper()
+	tr := &Trace{System: "test", FrameLen: 20 * time.Millisecond}
+	states := []SysState{
+		state(0, "full", "env-ok", StatusNormal, StatusNormal, true),
+		state(1, "full", "env-ok", StatusNormal, StatusNormal, true),
+		state(2, "full", "env-low", StatusInterrupted, StatusHalting, true),
+		state(3, "full", "env-low", StatusHalted, StatusHalted, true),
+		state(4, "full", "env-low", StatusPreparing, StatusPrepared, true),
+		state(5, "degraded", "env-low", StatusNormal, StatusNormal, true),
+		state(6, "degraded", "env-low", StatusNormal, StatusNormal, true),
+	}
+	for _, s := range states {
+		if err := tr.Append(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tr
+}
+
+func TestAppendContiguity(t *testing.T) {
+	tr := &Trace{}
+	if err := tr.Append(state(1, "full", "env-ok", StatusNormal, StatusNormal, true)); err == nil {
+		t.Fatal("non-contiguous append accepted")
+	}
+	if err := tr.Append(state(0, "full", "env-ok", StatusNormal, StatusNormal, true)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Append(state(0, "full", "env-ok", StatusNormal, StatusNormal, true)); err == nil {
+		t.Fatal("duplicate cycle accepted")
+	}
+	if tr.Len() != 1 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+}
+
+func TestAtBounds(t *testing.T) {
+	tr := cleanReconfigTrace(t)
+	if _, ok := tr.At(-1); ok {
+		t.Error("At(-1) ok")
+	}
+	if _, ok := tr.At(tr.Len()); ok {
+		t.Error("At(len) ok")
+	}
+	if s, ok := tr.At(0); !ok || s.Cycle != 0 {
+		t.Error("At(0) wrong")
+	}
+}
+
+func TestReconfigsExtraction(t *testing.T) {
+	tr := cleanReconfigTrace(t)
+	rcs := tr.Reconfigs()
+	if len(rcs) != 1 {
+		t.Fatalf("found %d reconfigurations, want 1", len(rcs))
+	}
+	r := rcs[0]
+	if r.StartC != 2 || r.EndC != 5 || r.From != "full" || r.To != "degraded" {
+		t.Errorf("reconfiguration = %+v", r)
+	}
+	if r.Frames() != 4 {
+		t.Errorf("Frames = %d, want 4", r.Frames())
+	}
+	if _, open := tr.OpenReconfig(); open {
+		t.Error("unexpected open reconfiguration")
+	}
+}
+
+func TestOpenReconfigAtTraceEnd(t *testing.T) {
+	tr := cleanReconfigTrace(t)
+	// Append an unfinished second window.
+	if err := tr.Append(state(7, "degraded", "env-ok", StatusInterrupted, StatusHalting, true)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Append(state(8, "degraded", "env-ok", StatusHalted, StatusHalted, true)); err != nil {
+		t.Fatal(err)
+	}
+	if rcs := tr.Reconfigs(); len(rcs) != 1 {
+		t.Fatalf("complete reconfigurations = %d, want 1", len(rcs))
+	}
+	open, ok := tr.OpenReconfig()
+	if !ok {
+		t.Fatal("open reconfiguration not found")
+	}
+	if open.StartC != 7 || open.EndC != 8 || open.From != "degraded" {
+		t.Errorf("open = %+v", open)
+	}
+}
+
+func TestRestrictionMetrics(t *testing.T) {
+	tr := cleanReconfigTrace(t)
+	if got := tr.RestrictionFrames(); got != 3 {
+		t.Errorf("RestrictionFrames = %d, want 3 (cycles 2-4)", got)
+	}
+	if got := tr.MaxRestrictionRun(); got != 3 {
+		t.Errorf("MaxRestrictionRun = %d, want 3", got)
+	}
+}
+
+func TestAppIDs(t *testing.T) {
+	tr := cleanReconfigTrace(t)
+	ids := tr.AppIDs()
+	if len(ids) != 2 || ids[0] != "a" || ids[1] != "b" {
+		t.Errorf("AppIDs = %v", ids)
+	}
+}
+
+func TestCleanTraceSatisfiesAllProperties(t *testing.T) {
+	tr := cleanReconfigTrace(t)
+	rs := twoAppSpec()
+	if vs := CheckAll(tr, rs); len(vs) != 0 {
+		t.Fatalf("violations on clean trace: %v", vs)
+	}
+}
+
+func TestSP1Violations(t *testing.T) {
+	t.Run("no interrupted app at start", func(t *testing.T) {
+		tr := cleanReconfigTrace(t)
+		st := tr.States[2]
+		st.Apps["a"] = AppState{Status: StatusHalting, Spec: "full", PreOK: true}
+		vs := CheckSP1(tr)
+		if len(vs) != 1 || vs[0].Property != "SP1" {
+			t.Fatalf("violations = %v", vs)
+		}
+	})
+	t.Run("app normal strictly inside window", func(t *testing.T) {
+		tr := cleanReconfigTrace(t)
+		st := tr.States[3]
+		st.Apps["b"] = AppState{Status: StatusNormal, Spec: "full", PreOK: true}
+		vs := CheckSP1(tr)
+		if len(vs) == 0 {
+			t.Fatal("premature-resume not detected")
+		}
+	})
+	// A trace whose window begins at cycle 0 cannot check start_c - 1;
+	// the remaining conjuncts still apply.
+	t.Run("window at trace start", func(t *testing.T) {
+		tr := &Trace{System: "test", FrameLen: time.Millisecond}
+		for i, s := range []SysState{
+			state(0, "full", "env-low", StatusInterrupted, StatusHalting, true),
+			state(1, "full", "env-low", StatusHalted, StatusHalted, true),
+			state(2, "degraded", "env-low", StatusNormal, StatusNormal, true),
+		} {
+			s.Cycle = int64(i)
+			if err := tr.Append(s); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if vs := CheckSP1(tr); len(vs) != 0 {
+			t.Fatalf("violations = %v", vs)
+		}
+	})
+}
+
+func TestSP2Violation(t *testing.T) {
+	tr := cleanReconfigTrace(t)
+	rs := twoAppSpec()
+	// Rewrite the window's environment to env-ok: choose(full, env-ok) =
+	// full, so reaching degraded is not justified by any cycle.
+	for c := 2; c <= 5; c++ {
+		tr.States[c].Env = "env-ok"
+	}
+	vs := CheckSP2(tr, rs)
+	if len(vs) != 1 || vs[0].Property != "SP2" {
+		t.Fatalf("violations = %v", vs)
+	}
+	// SP2 needs only SOME cycle in the window to justify the choice.
+	tr.States[4].Env = "env-low"
+	if vs := CheckSP2(tr, rs); len(vs) != 0 {
+		t.Fatalf("violations after restoring one cycle = %v", vs)
+	}
+}
+
+func TestSP3Violations(t *testing.T) {
+	t.Run("window exceeds bound", func(t *testing.T) {
+		tr := cleanReconfigTrace(t)
+		rs := twoAppSpec()
+		rs.Transitions[0].MaxFrames = 3 // window is 4
+		vs := CheckSP3(tr, rs)
+		if len(vs) != 1 || vs[0].Property != "SP3" {
+			t.Fatalf("violations = %v", vs)
+		}
+	})
+	t.Run("undeclared transition", func(t *testing.T) {
+		tr := cleanReconfigTrace(t)
+		rs := twoAppSpec()
+		rs.Transitions = rs.Transitions[1:] // drop full->degraded
+		vs := CheckSP3(tr, rs)
+		if len(vs) != 1 || vs[0].Property != "SP3" {
+			t.Fatalf("violations = %v", vs)
+		}
+	})
+}
+
+func TestSP4Violation(t *testing.T) {
+	tr := cleanReconfigTrace(t)
+	st := tr.States[5]
+	st.Apps["a"] = AppState{Status: StatusNormal, Spec: "basic", PreOK: false}
+	vs := CheckSP4(tr)
+	if len(vs) != 1 || vs[0].Property != "SP4" {
+		t.Fatalf("violations = %v", vs)
+	}
+}
+
+func TestCheckAllAggregates(t *testing.T) {
+	tr := cleanReconfigTrace(t)
+	rs := twoAppSpec()
+	// Seed an SP3 and an SP4 violation together.
+	rs.Transitions[0].MaxFrames = 2
+	st := tr.States[5]
+	st.Apps["b"] = AppState{Status: StatusNormal, Spec: "full", PreOK: false}
+	vs := CheckAll(tr, rs)
+	props := map[string]int{}
+	for _, v := range vs {
+		props[v.Property]++
+	}
+	if props["SP3"] != 1 || props["SP4"] != 1 {
+		t.Fatalf("violations = %v", vs)
+	}
+}
+
+func TestViolationString(t *testing.T) {
+	v := Violation{
+		Property: "SP3",
+		Reconfig: Reconfiguration{StartC: 2, EndC: 5, From: "full", To: "degraded"},
+		Cycle:    5,
+		Detail:   "too long",
+	}
+	want := "SP3 violated in reconfiguration [2,5] full->degraded (cycle 5): too long"
+	if got := v.String(); got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}
+
+func TestTraceJSONRoundTrip(t *testing.T) {
+	tr := cleanReconfigTrace(t)
+	data, err := json.Marshal(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Trace
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != tr.Len() || back.System != tr.System || back.FrameLen != tr.FrameLen {
+		t.Fatalf("round trip lost shape: %+v", back)
+	}
+	rcs := back.Reconfigs()
+	if len(rcs) != 1 || rcs[0] != tr.Reconfigs()[0] {
+		t.Errorf("round trip lost reconfigurations: %v", rcs)
+	}
+	if vs := CheckAll(&back, twoAppSpec()); len(vs) != 0 {
+		t.Errorf("round-tripped trace has violations: %v", vs)
+	}
+}
+
+func TestTraceJSONRejectsBadCycles(t *testing.T) {
+	bad := `{"system":"x","frame_len_ns":1,"states":[{"cycle":5,"config":"c","env":"e","apps":{}}]}`
+	var tr Trace
+	if err := json.Unmarshal([]byte(bad), &tr); err == nil {
+		t.Fatal("non-contiguous trace decoded without error")
+	}
+}
+
+func TestStatusJSON(t *testing.T) {
+	for st, name := range statusNames {
+		data, err := json.Marshal(st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(data) != `"`+name+`"` {
+			t.Errorf("marshal %v = %s", st, data)
+		}
+		var back ReconfStatus
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatal(err)
+		}
+		if back != st {
+			t.Errorf("round trip %v -> %v", st, back)
+		}
+	}
+	var s ReconfStatus
+	if err := json.Unmarshal([]byte(`"bogus"`), &s); err == nil {
+		t.Error("bogus status decoded")
+	}
+	if got := ReconfStatus(99).String(); got != "status(99)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestMultipleReconfigurations(t *testing.T) {
+	tr := &Trace{System: "multi", FrameLen: time.Millisecond}
+	seq := []SysState{
+		state(0, "full", "env-ok", StatusNormal, StatusNormal, true),
+		state(1, "full", "env-low", StatusInterrupted, StatusHalting, true),
+		state(2, "full", "env-low", StatusPreparing, StatusPreparing, true),
+		state(3, "degraded", "env-low", StatusNormal, StatusNormal, true),
+		state(4, "degraded", "env-ok", StatusInterrupted, StatusHalting, true),
+		state(5, "degraded", "env-ok", StatusPreparing, StatusPreparing, true),
+		state(6, "full", "env-ok", StatusNormal, StatusNormal, true),
+	}
+	for i, s := range seq {
+		s.Cycle = int64(i)
+		if err := tr.Append(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rcs := tr.Reconfigs()
+	if len(rcs) != 2 {
+		t.Fatalf("reconfigurations = %d, want 2", len(rcs))
+	}
+	if rcs[0].From != "full" || rcs[0].To != "degraded" || rcs[1].From != "degraded" || rcs[1].To != "full" {
+		t.Errorf("reconfigs = %+v", rcs)
+	}
+	if vs := CheckAll(tr, twoAppSpec()); len(vs) != 0 {
+		t.Errorf("violations = %v", vs)
+	}
+}
+
+// TestReconfigsPartitionProperty: for random status sequences, the windows
+// get_reconfigs finds (plus any open window) exactly cover the non-normal
+// cycles, never overlap, and are ordered.
+func TestReconfigsPartitionProperty(t *testing.T) {
+	prop := func(pattern []bool) bool {
+		tr := &Trace{System: "prop", FrameLen: time.Millisecond}
+		for c, busy := range pattern {
+			st := StatusNormal
+			if busy {
+				st = StatusHalting
+			}
+			err := tr.Append(SysState{
+				Cycle: int64(c), Config: "full", Env: "e",
+				Apps: map[spec.AppID]AppState{"a": {Status: st, Spec: "s", PreOK: true}},
+			})
+			if err != nil {
+				return false
+			}
+		}
+		windows := tr.Reconfigs()
+		if open, ok := tr.OpenReconfig(); ok {
+			windows = append(windows, open)
+		}
+		// Ordered and non-overlapping.
+		for i := 1; i < len(windows); i++ {
+			if windows[i].StartC <= windows[i-1].EndC {
+				return false
+			}
+		}
+		// Every busy cycle is inside a window; every window interior
+		// (excluding the closing all-normal cycle) is busy.
+		covered := make(map[int64]bool)
+		for _, w := range windows {
+			for c := w.StartC; c <= w.EndC; c++ {
+				covered[c] = true
+			}
+		}
+		for c, busy := range pattern {
+			if busy && !covered[int64(c)] {
+				return false
+			}
+		}
+		// Restriction frames equal the busy count.
+		busyCount := int64(0)
+		for _, b := range pattern {
+			if b {
+				busyCount++
+			}
+		}
+		return tr.RestrictionFrames() == busyCount
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTraceJSONRoundTripProperty: any structurally valid trace survives the
+// JSON round trip with identical reconfiguration structure.
+func TestTraceJSONRoundTripProperty(t *testing.T) {
+	statuses := []ReconfStatus{
+		StatusNormal, StatusInterrupted, StatusHalting, StatusHalted,
+		StatusPreparing, StatusPrepared, StatusInitializing,
+	}
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := &Trace{System: "rt", FrameLen: time.Duration(1+rng.Intn(100)) * time.Millisecond}
+		n := 1 + rng.Intn(40)
+		for c := 0; c < n; c++ {
+			apps := map[spec.AppID]AppState{}
+			for a := 0; a < 1+rng.Intn(3); a++ {
+				apps[spec.AppID(fmt.Sprintf("a%d", a))] = AppState{
+					Status: statuses[rng.Intn(len(statuses))],
+					Spec:   spec.SpecID(fmt.Sprintf("s%d", rng.Intn(3))),
+					PreOK:  rng.Intn(2) == 0,
+				}
+			}
+			if err := tr.Append(SysState{Cycle: int64(c), Config: "c", Env: "e", Apps: apps}); err != nil {
+				return false
+			}
+		}
+		data, err := json.Marshal(tr)
+		if err != nil {
+			return false
+		}
+		var back Trace
+		if err := json.Unmarshal(data, &back); err != nil {
+			return false
+		}
+		if back.Len() != tr.Len() || len(back.Reconfigs()) != len(tr.Reconfigs()) {
+			return false
+		}
+		return back.RestrictionFrames() == tr.RestrictionFrames()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSP1MultipleInterruptedApps(t *testing.T) {
+	// Two applications interrupted in the same trigger frame (e.g. a
+	// processor hosting both): SP1's existential conjunct is satisfied.
+	tr := &Trace{System: "multi-int", FrameLen: time.Millisecond}
+	seq := []SysState{
+		state(0, "full", "env-ok", StatusNormal, StatusNormal, true),
+		state(1, "full", "env-low", StatusInterrupted, StatusInterrupted, true),
+		state(2, "full", "env-low", StatusHalted, StatusHalted, true),
+		state(3, "degraded", "env-low", StatusNormal, StatusNormal, true),
+	}
+	for i, s := range seq {
+		s.Cycle = int64(i)
+		if err := tr.Append(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if vs := CheckSP1(tr); len(vs) != 0 {
+		t.Fatalf("violations = %v", vs)
+	}
+}
+
+func TestSP2EnvOnlyAtStartCycle(t *testing.T) {
+	// The justifying environment appears only in the trigger cycle and
+	// flips back immediately: SP2's existential still holds.
+	tr := cleanReconfigTrace(t)
+	for c := 3; c <= 5; c++ {
+		tr.States[c].Env = "env-ok"
+	}
+	// Cycle 2 (start_c) retains env-low.
+	if vs := CheckSP2(tr, twoAppSpec()); len(vs) != 0 {
+		t.Fatalf("violations = %v", vs)
+	}
+}
+
+func TestMinimalTwoCycleWindow(t *testing.T) {
+	// The shortest possible window: interrupted at f, all normal at f+1.
+	tr := &Trace{System: "min", FrameLen: time.Millisecond}
+	seq := []SysState{
+		state(0, "full", "env-ok", StatusNormal, StatusNormal, true),
+		state(1, "full", "env-low", StatusInterrupted, StatusHalting, true),
+		state(2, "degraded", "env-low", StatusNormal, StatusNormal, true),
+	}
+	for i, s := range seq {
+		s.Cycle = int64(i)
+		if err := tr.Append(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rcs := tr.Reconfigs()
+	if len(rcs) != 1 || rcs[0].Frames() != 2 {
+		t.Fatalf("reconfigs = %v", rcs)
+	}
+	if vs := CheckAll(tr, twoAppSpec()); len(vs) != 0 {
+		t.Fatalf("violations = %v", vs)
+	}
+}
+
+func TestOpenWindowWithinBoundNotFlagged(t *testing.T) {
+	// An open window that has not yet exceeded any declared bound is not
+	// an SP3 violation — the reconfiguration may still complete in time.
+	tr := &Trace{System: "open-ok", FrameLen: time.Millisecond}
+	seq := []SysState{
+		state(0, "full", "env-ok", StatusNormal, StatusNormal, true),
+		state(1, "full", "env-low", StatusInterrupted, StatusHalting, true),
+		state(2, "full", "env-low", StatusHalted, StatusHalted, true),
+	}
+	for i, s := range seq {
+		s.Cycle = int64(i)
+		if err := tr.Append(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if vs := CheckSP3(tr, twoAppSpec()); len(vs) != 0 {
+		t.Fatalf("open window within bound flagged: %v", vs)
+	}
+}
