@@ -10,11 +10,15 @@
 //	e3  §5.3     — dwell guard vs environment churn
 //	e4  §7       — the avionics mission end to end
 //	e5  §7.1     — a second failure in every protocol frame
+//	s1  beyond   — hardened stable storage under torn-write/bit-rot/stuck-read media faults
+//	s2  beyond   — the avionics mission over a lossy, duplicating, delaying bus
 //
 // Usage:
 //
 //	faultsim -experiment all
 //	faultsim -experiment t2 -seeds 50 -frames 500
+//	faultsim -experiment s1 -seeds 25 -storage-faults 0.05
+//	faultsim -experiment s2 -bus-faults 0.1 -json
 package main
 
 import (
@@ -24,7 +28,9 @@ import (
 	"io"
 	"os"
 
+	"repro/internal/bus"
 	"repro/internal/experiments"
+	"repro/internal/stable"
 )
 
 func main() {
@@ -48,10 +54,12 @@ func render(asJSON bool, text string, result any) (string, error) {
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("faultsim", flag.ContinueOnError)
-	which := fs.String("experiment", "all", "experiment to run: t1, t2, t2x, f2, e1, e2, e3, e4, e5, or all")
+	which := fs.String("experiment", "all", "experiment to run: t1, t2, t2x, f2, e1, e2, e3, e4, e5, s1, s2, or all")
 	seeds := fs.Int("seeds", 20, "randomized campaigns for t2")
 	frames := fs.Int("frames", 300, "frames per randomized campaign (t2) / churn run (e3)")
 	asJSON := fs.Bool("json", false, "emit structured results as JSON instead of tables")
+	storageFaults := fs.Float64("storage-faults", 0.05, "s1 base per-medium fault rate (torn writes and stuck reads at half, bit rot at full)")
+	busFaults := fs.Float64("bus-faults", 0.05, "s2 base per-message fault rate (drop at full, duplicate and delay at half)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -119,6 +127,30 @@ func run(args []string, out io.Writer) error {
 		}},
 		{"e5", func() (string, error) {
 			r, err := experiments.FailureSweep()
+			if err != nil {
+				return "", err
+			}
+			return render(*asJSON, r.Text, r)
+		}},
+		{"s1", func() (string, error) {
+			prof := stable.FaultProfile{
+				TornWriteRate: *storageFaults / 2,
+				BitRotRate:    *storageFaults,
+				StuckReadRate: *storageFaults / 2,
+			}
+			r, err := experiments.StorageFaults(*seeds, *frames, prof)
+			if err != nil {
+				return "", err
+			}
+			return render(*asJSON, r.Text, r)
+		}},
+		{"s2", func() (string, error) {
+			rates := bus.FaultRates{
+				Drop:      *busFaults,
+				Duplicate: *busFaults / 2,
+				Delay:     *busFaults / 2,
+			}
+			r, err := experiments.BusFaults(min(*seeds, 5), *frames, rates)
 			if err != nil {
 				return "", err
 			}

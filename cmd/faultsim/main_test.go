@@ -67,3 +67,33 @@ func TestJSONOutput(t *testing.T) {
 		t.Errorf("decoded = %+v", decoded)
 	}
 }
+
+func TestS1StorageFaults(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-experiment", "s1", "-seeds", "3", "-frames", "150"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"shielded", "defeat", "silent wrong data", "total:"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("s1 output missing %q:\n%s", want, s)
+		}
+	}
+	if !strings.Contains(s, "0 silent wrong data") {
+		t.Errorf("s1 reports silent wrong data:\n%s", s)
+	}
+}
+
+func TestS2BusFaults(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-experiment", "s2", "-seeds", "2", "-frames", "100",
+		"-bus-faults", "0.1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"drop", "violations"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("s2 output missing %q:\n%s", want, s)
+		}
+	}
+}

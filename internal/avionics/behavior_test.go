@@ -333,7 +333,9 @@ func TestReconfigurationSurvivesLossyBus(t *testing.T) {
 		t.Fatal(err)
 	}
 	// The bus fails totally at frame 40.
-	sc.Sys.Bus().SetFaultHook(func(bus.Message) bool { return true })
+	plan := bus.NewFaultPlan(1)
+	plan.SetDefault(bus.FaultRates{Drop: 1})
+	sc.Sys.Bus().SetFaultPlan(plan)
 	if err := sc.Sys.Run(160); err != nil {
 		t.Fatal(err)
 	}

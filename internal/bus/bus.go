@@ -74,7 +74,8 @@ type Bus struct {
 	slotOf    map[EndpointID]Slot
 	endpoints map[EndpointID]*Endpoint
 	order     []EndpointID
-	faultHook func(Message) bool
+	fault     *FaultPlan
+	delayed   []Message
 	delivered int64
 	dropped   int64
 }
@@ -142,14 +143,31 @@ func (b *Bus) Endpoint(id EndpointID) (*Endpoint, error) {
 	return ep, nil
 }
 
+// SetFaultPlan installs a seeded fault plan consulted once per staged
+// message at delivery time. The paper assumes an ultra-dependable bus, so a
+// plan exists only for experiments beyond the paper's fault model. Passing
+// nil removes the plan.
+func (b *Bus) SetFaultPlan(plan *FaultPlan) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fault = plan
+}
+
 // SetFaultHook installs a hook consulted once per staged message at delivery
-// time; returning true drops the message. The paper assumes an
-// ultra-dependable bus, so the hook exists only for experiments beyond the
-// paper's fault model. Passing nil removes the hook.
+// time; returning true drops the message. Passing nil removes the hook.
+//
+// Deprecated: SetFaultHook only models message loss. Use SetFaultPlan, which
+// adds seeded drop/duplicate/delay rates with per-topic overrides.
 func (b *Bus) SetFaultHook(hook func(Message) bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	b.faultHook = hook
+	if hook == nil {
+		b.fault = nil
+		return
+	}
+	plan := NewFaultPlan(0)
+	plan.hook = hook
+	b.fault = plan
 }
 
 // Stats returns the counts of delivered and dropped messages.
@@ -166,6 +184,17 @@ func (b *Bus) Stats() (delivered, dropped int64) {
 func (b *Bus) DeliverFrame(frameNum int64) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+
+	// Messages delayed at the previous frame boundary go out first, before
+	// this frame's traffic, restamped with the frame that finally carried
+	// them. A message is delayed at most once: delayed traffic is not run
+	// through the fault plan again.
+	carried := b.delayed
+	b.delayed = nil
+	for _, msg := range carried {
+		msg.SentFrame = frameNum
+		b.broadcast(msg)
+	}
 
 	// Collect sending endpoints in slot order, without duplicates.
 	var senders []*Endpoint
@@ -192,17 +221,32 @@ func (b *Bus) DeliverFrame(frameNum int64) {
 		staged := sender.takeStaged()
 		for _, msg := range staged {
 			msg.SentFrame = frameNum
-			if b.faultHook != nil && b.faultHook(msg) {
+			action := actDeliver
+			if b.fault != nil {
+				action = b.fault.decide(msg)
+			}
+			switch action {
+			case actDrop:
 				b.dropped++
-				continue
+			case actDelay:
+				b.delayed = append(b.delayed, msg)
+			case actDuplicate:
+				b.broadcast(msg)
+				b.broadcast(msg)
+			default:
+				b.broadcast(msg)
 			}
-			for _, id := range b.order {
-				rcpt := b.endpoints[id]
-				if rcpt.subscribed(msg.Topic) {
-					rcpt.deliver(msg)
-					b.delivered++
-				}
-			}
+		}
+	}
+}
+
+// broadcast delivers one message to every subscriber. Callers hold b.mu.
+func (b *Bus) broadcast(msg Message) {
+	for _, id := range b.order {
+		rcpt := b.endpoints[id]
+		if rcpt.subscribed(msg.Topic) {
+			rcpt.deliver(msg)
+			b.delivered++
 		}
 	}
 }

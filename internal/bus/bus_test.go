@@ -212,6 +212,8 @@ func TestPayloadCopied(t *testing.T) {
 	}
 }
 
+// TestFaultHookDrops covers the deprecated boolean-hook wrapper, which now
+// routes through a FaultPlan.
 func TestFaultHookDrops(t *testing.T) {
 	b, a, bb := twoEndpointBus(t)
 	bb.Subscribe("t")
@@ -234,6 +236,122 @@ func TestFaultHookDrops(t *testing.T) {
 	b.DeliverFrame(1)
 	if msgs := bb.Receive(); len(msgs) != 1 {
 		t.Errorf("message dropped after hook removed")
+	}
+}
+
+func TestFaultPlanDropAll(t *testing.T) {
+	b, a, bb := twoEndpointBus(t)
+	bb.Subscribe("t")
+	plan := NewFaultPlan(7)
+	plan.SetDefault(FaultRates{Drop: 1})
+	b.SetFaultPlan(plan)
+	for i := 0; i < 5; i++ {
+		if err := a.Publish("t", nil); err != nil {
+			t.Fatal(err)
+		}
+		b.DeliverFrame(int64(i))
+	}
+	if msgs := bb.Receive(); len(msgs) != 0 {
+		t.Errorf("dropped messages delivered: %d", len(msgs))
+	}
+	if st := plan.Stats(); st.Dropped != 5 {
+		t.Errorf("plan dropped = %d, want 5", st.Dropped)
+	}
+	if _, dropped := b.Stats(); dropped != 5 {
+		t.Errorf("bus dropped = %d, want 5", dropped)
+	}
+}
+
+func TestFaultPlanDuplicateAll(t *testing.T) {
+	b, a, bb := twoEndpointBus(t)
+	bb.Subscribe("t")
+	plan := NewFaultPlan(7)
+	plan.SetDefault(FaultRates{Duplicate: 1})
+	b.SetFaultPlan(plan)
+	if err := a.Publish("t", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	b.DeliverFrame(0)
+	if msgs := bb.Receive(); len(msgs) != 2 {
+		t.Fatalf("duplicated message delivered %d times, want 2", len(msgs))
+	}
+	if st := plan.Stats(); st.Duplicated != 1 {
+		t.Errorf("plan duplicated = %d, want 1", st.Duplicated)
+	}
+}
+
+func TestFaultPlanDelaySlipsOneFrame(t *testing.T) {
+	b, a, bb := twoEndpointBus(t)
+	bb.Subscribe("t")
+	plan := NewFaultPlan(7)
+	plan.SetDefault(FaultRates{Delay: 1})
+	b.SetFaultPlan(plan)
+	if err := a.Publish("t", []byte("late")); err != nil {
+		t.Fatal(err)
+	}
+	b.DeliverFrame(3)
+	if msgs := bb.Receive(); len(msgs) != 0 {
+		t.Fatalf("delayed message delivered in its own frame")
+	}
+	// The delayed message goes out at the next boundary even with a
+	// delay-everything plan: a message slips at most one frame.
+	b.DeliverFrame(4)
+	msgs := bb.Receive()
+	if len(msgs) != 1 {
+		t.Fatalf("delayed message delivered %d times at next frame, want 1", len(msgs))
+	}
+	if msgs[0].SentFrame != 4 {
+		t.Errorf("delayed message SentFrame = %d, want restamped 4", msgs[0].SentFrame)
+	}
+	if st := plan.Stats(); st.Delayed != 1 {
+		t.Errorf("plan delayed = %d, want 1", st.Delayed)
+	}
+}
+
+func TestFaultPlanPerTopicOverride(t *testing.T) {
+	b, a, bb := twoEndpointBus(t)
+	bb.Subscribe("lossy")
+	bb.Subscribe("clean")
+	plan := NewFaultPlan(7)
+	plan.SetDefault(FaultRates{Drop: 1})
+	plan.SetTopic("clean", FaultRates{})
+	b.SetFaultPlan(plan)
+	if err := a.Publish("lossy", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Publish("clean", nil); err != nil {
+		t.Fatal(err)
+	}
+	b.DeliverFrame(0)
+	msgs := bb.Receive()
+	if len(msgs) != 1 || msgs[0].Topic != "clean" {
+		t.Fatalf("messages = %v, want only the clean topic", msgs)
+	}
+}
+
+// TestFaultPlanDeterministic checks that equal seeds and equal traffic give
+// equal fault decisions — the reproducibility contract campaigns rely on.
+func TestFaultPlanDeterministic(t *testing.T) {
+	run := func() FaultStats {
+		b, a, bb := twoEndpointBus(t)
+		bb.Subscribe("t")
+		plan := NewFaultPlan(42)
+		plan.SetDefault(FaultRates{Drop: 0.3, Duplicate: 0.2, Delay: 0.2})
+		b.SetFaultPlan(plan)
+		for i := 0; i < 50; i++ {
+			if err := a.Publish("t", []byte{byte(i)}); err != nil {
+				t.Fatal(err)
+			}
+			b.DeliverFrame(int64(i))
+		}
+		return plan.Stats()
+	}
+	s1, s2 := run(), run()
+	if s1 != s2 {
+		t.Errorf("same seed diverged: %+v vs %+v", s1, s2)
+	}
+	if s1.Dropped == 0 || s1.Duplicated == 0 || s1.Delayed == 0 {
+		t.Errorf("expected all fault kinds at these rates, got %+v", s1)
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 	"repro/internal/frame"
 	"repro/internal/scram"
 	"repro/internal/spec"
+	"repro/internal/stable"
 	"repro/internal/statics"
 	"repro/internal/trace"
 )
@@ -94,6 +95,14 @@ type Options struct {
 	// failure frame, restoring from the failed host's stable storage —
 	// while failures of everything else still trigger reconfiguration.
 	HotStandby map[spec.AppID]spec.ProcID
+	// HardenedStorage, when non-nil, mounts checksummed, replicated stable
+	// storage (built from deliberately unreliable media per the profile) on
+	// every processor instead of the default perfect in-memory store. The
+	// SCRAM's host processors always get fault-free media: the paper
+	// assumes a dependable SCRAM, so storage-fault campaigns target the
+	// application processors. An unrecoverable storage fault halts the
+	// owning processor with fail-stop semantics.
+	HardenedStorage *stable.MediaProfile
 	// Paced runs frames against the wall clock (soft real time) instead
 	// of as fast as possible.
 	Paced bool
@@ -121,7 +130,8 @@ type System struct {
 	events   []ProcEvent
 	tr       *trace.Trace
 
-	lastPowerCfg string
+	lastPowerCfg    string
+	stagedHighWater int
 }
 
 // NewSystem validates the specification, discharges its static obligations,
@@ -161,10 +171,28 @@ func NewSystem(opts Options) (*System, error) {
 		}
 	}
 
+	// SCRAM placement is resolved before the pool is built so hardened
+	// storage can exempt the kernel's hosts from injected media faults.
+	scramProcID := opts.SCRAMProc
+	if scramProcID == "" {
+		scramProcID = rs.Platform.Procs[0].ID
+	}
+	var mkStore func(spec.ProcID) *stable.Store
+	if opts.HardenedStorage != nil {
+		prof := *opts.HardenedStorage
+		mkStore = func(id spec.ProcID) *stable.Store {
+			p := prof
+			if id == scramProcID || (opts.StandbyProc != "" && id == opts.StandbyProc) {
+				p.Faults = stable.FaultProfile{}
+			}
+			return stable.NewHardenedStore(p, string(id))
+		}
+	}
+
 	s := &System{
 		rs:       rs,
 		report:   report,
-		pool:     failstop.NewPool(rs.Platform),
+		pool:     failstop.NewPoolWithStores(rs.Platform, mkStore),
 		classify: opts.Classifier,
 		runtimes: make(map[spec.AppID]*appRuntime),
 		events:   append([]ProcEvent(nil), opts.ProcEvents...),
@@ -185,10 +213,6 @@ func NewSystem(opts Options) (*System, error) {
 	s.script.Init()
 
 	// SCRAM placement.
-	scramProcID := opts.SCRAMProc
-	if scramProcID == "" {
-		scramProcID = rs.Platform.Procs[0].ID
-	}
 	primary, err := s.pool.Proc(scramProcID)
 	if err != nil {
 		return nil, fmt.Errorf("core: SCRAM processor: %w", err)
@@ -283,6 +307,7 @@ func NewSystem(opts Options) (*System, error) {
 		})
 	}
 	s.sched.AddCommitHook(s.commitHook)  // frame-atomic stable-storage commits
+	s.sched.AddCommitHook(s.scrubHook)   // hardened-storage scrub + media fault clock
 	s.sched.AddCommitHook(s.powerHook)   // apply the new configuration's processor modes
 	s.sched.AddCommitHook(s.recordHook)  // append tr(cycle) to the trace
 	s.sched.AddCommitHook(s.injectHook)  // stage next frame's env changes and repairs
@@ -349,6 +374,7 @@ func (s *System) syncProcHealth(ctx frame.Context) error {
 			Source: s.failureSignalSource(),
 			State:  s.classify(s.env.Snapshot()),
 			Frame:  ctx.Frame,
+			Urgent: true,
 		})
 	}
 	return nil
@@ -372,7 +398,29 @@ func (s *System) failureSignalSource() spec.AppID {
 func (s *System) commitHook(frame.Context) error {
 	for _, p := range s.pool.Procs() {
 		if p.Alive() {
+			if n := p.Stable().StagedLen(); n > s.stagedHighWater {
+				s.stagedHighWater = n
+			}
 			p.Stable().Commit()
+		}
+	}
+	return nil
+}
+
+// scrubHook runs the end-of-frame scrub pass over every alive processor's
+// hardened storage: latent corruption is found and repaired from healthy
+// replicas while enough redundancy remains, and each medium's fault clock
+// advances to the next frame. An unrecoverable scrub finding halts the owning
+// processor through its fault sink, which syncProcHealth detects next frame
+// exactly like any other fail-stop processor failure. Plain stores scrub as
+// a no-op.
+func (s *System) scrubHook(frame.Context) error {
+	for _, p := range s.pool.Procs() {
+		if p.Alive() {
+			// The error, if any, was already routed to the store's
+			// fault sink (halting the processor); the scrub report is
+			// for campaigns, which read cumulative stats instead.
+			_, _ = p.Stable().Scrub()
 		}
 	}
 	return nil
@@ -471,6 +519,20 @@ func (s *System) applyProcModes(cfgID spec.ConfigID) {
 	}
 }
 
+// storageHaltPending reports a processor halted by a storage fault during
+// the current frame's commit or scrub — after its applications completed the
+// frame's work and delivered their outputs, but before the health factors
+// were reconciled. The frame's service was rendered, so the trace records
+// this boundary frame as normal; the interruption (and the SCRAM's reaction
+// to it) starts at the next frame, when the failure becomes observable.
+func (s *System) storageHaltPending(p *failstop.Processor) bool {
+	if p.StorageFault() == nil {
+		return false
+	}
+	cur, _ := s.env.Get(ProcHealthFactor(p.ID()))
+	return cur == ProcOK
+}
+
 // recordHook appends the frame's system state to the trace: the formal
 // model's tr(cycle).
 func (s *System) recordHook(ctx frame.Context) error {
@@ -496,7 +558,8 @@ func (s *System) recordHook(ctx frame.Context) error {
 			// complete and awaits system recovery. (The runtime's
 			// host, not the static placement: a hot-standby failover
 			// or a migration may have moved the application.)
-			if status == trace.StatusNormal && appSpec != spec.SpecOff && !rt.proc.Alive() {
+			if status == trace.StatusNormal && appSpec != spec.SpecOff && !rt.proc.Alive() &&
+				!s.storageHaltPending(rt.proc) {
 				status = trace.StatusInterrupted
 			}
 		}
@@ -554,6 +617,11 @@ func (s *System) Report() *statics.Report { return s.report }
 
 // Pool returns the processor pool.
 func (s *System) Pool() *failstop.Pool { return s.pool }
+
+// StagedHighWater returns the largest number of staged stable-storage writes
+// any single processor carried into a frame commit — a sizing diagnostic for
+// the commit batch a real stable store would have to make atomic.
+func (s *System) StagedHighWater() int { return s.stagedHighWater }
 
 // Env returns the environment.
 func (s *System) Env() *envmon.Environment { return s.env }

@@ -13,6 +13,7 @@ import (
 	"repro/internal/scram"
 	"repro/internal/spec"
 	"repro/internal/spectest"
+	"repro/internal/stable"
 	"repro/internal/trace"
 )
 
@@ -992,4 +993,74 @@ func TestCompressionEndToEnd(t *testing.T) {
 	if staged != 8 || compressed != 6 {
 		t.Errorf("windows staged/compressed = %d/%d, want 8/6", staged, compressed)
 	}
+}
+
+// TestHardenedStorageTransparent: with fault-free hardened media the system
+// behaves exactly like the plain-store build — reconfiguration completes,
+// properties hold, and the commit/scrub hooks run.
+func TestHardenedStorageTransparent(t *testing.T) {
+	s, _, _ := buildSystem(t, func(o *Options) {
+		o.HardenedStorage = &stable.MediaProfile{Replicas: 3, Seed: 1, Oracle: true}
+		o.Script = []envmon.Event{{Frame: 5, Factor: "alt1", Value: "failed"}}
+	})
+	if err := s.Run(20); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Kernel().Current(); got != spectest.CfgReduced {
+		t.Fatalf("current = %s, want reduced", got)
+	}
+	mustNoViolations(t, s)
+	if s.StagedHighWater() == 0 {
+		t.Error("StagedHighWater = 0; commit hook never saw staged writes")
+	}
+	for _, p := range s.Pool().Procs() {
+		rep := p.Stable().Hardened()
+		if rep == nil {
+			t.Fatalf("%s: store not hardened", p.ID())
+		}
+		st := rep.Stats()
+		if st.SilentWrongData != 0 || st.Unrecoverable != 0 {
+			t.Errorf("%s: stats %+v on perfect media", p.ID(), st)
+		}
+		if st.ScrubRuns == 0 {
+			t.Errorf("%s: scrub never ran", p.ID())
+		}
+	}
+}
+
+// TestHardenedStorageDefeatHaltsProcessor: a single replica under heavy rot
+// must fail-stop the hosting processor rather than serve wrong data, and the
+// platform reconfigures around the loss.
+func TestHardenedStorageDefeatHaltsProcessor(t *testing.T) {
+	s, _, _ := buildSystem(t, func(o *Options) {
+		o.HardenedStorage = &stable.MediaProfile{
+			Replicas: 1,
+			Seed:     3,
+			Faults:   stable.FaultProfile{BitRotRate: 1},
+			Oracle:   true,
+		}
+		o.Classifier = powerClassifier(true)
+	})
+	if err := s.Run(60); err != nil {
+		t.Fatal(err)
+	}
+	p2, err := s.Pool().Proc("p2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Alive() {
+		t.Fatal("p2 survived a defeated single-replica store")
+	}
+	if p2.StorageFault() == nil {
+		t.Fatal("p2 halted without a recorded storage fault")
+	}
+	// SCRAM hosts run on exempt (fault-free) media and stay up.
+	p1, _ := s.Pool().Proc("p1")
+	if !p1.Alive() {
+		t.Fatal("SCRAM host p1 lost despite media exemption")
+	}
+	if st := p2.Stable().Hardened().Stats(); st.SilentWrongData != 0 {
+		t.Fatalf("silent wrong data = %d", st.SilentWrongData)
+	}
+	mustNoViolations(t, s)
 }

@@ -88,6 +88,12 @@ type Signal struct {
 	State spec.EnvState
 	// Frame is the frame in which the change was observed.
 	Frame int64
+	// Urgent marks a hardware fault signal (a processor loss detected by
+	// the platform's failure detectors, Figure 1's direct path) as opposed
+	// to an environment observation. Urgent signals report that the
+	// current configuration is already broken, so anti-thrash damping
+	// (the dwell guard) must not delay the response.
+	Urgent bool
 }
 
 // Monitor is a virtual application that classifies the environment every

@@ -1,0 +1,182 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/bus"
+	"repro/internal/inject"
+	"repro/internal/stable"
+)
+
+// StorageFaultRow is one storage-fault campaign's outcome.
+type StorageFaultRow struct {
+	Seed            int64
+	Mode            string
+	Replicas        int
+	Injected        stable.MediumStats
+	Storage         stable.ReplStats
+	StorageHalts    int
+	Reconfigs       int
+	Violations      int
+	StagedHighWater int
+}
+
+// StorageFaultResult is the S1 experiment output.
+type StorageFaultResult struct {
+	Rows            []StorageFaultRow
+	TotalInjected   stable.MediumStats
+	TotalRepairs    int64
+	TotalHalts      int
+	SilentWrongData int64
+	TotalViolations int
+	Text            string
+}
+
+// StorageFaults runs the S1 experiment: the canonical system on hardened
+// stable storage under sub-fail-stop media faults, in two modes per seed.
+//
+// "shielded" gives every store three replicas at the supplied fault rates:
+// torn writes and bit rot must be absorbed by read repair and the scrub pass,
+// with (almost) no processor halts. "defeat" strips the store to one replica
+// and multiplies the bit-rot rate, so corruption eventually beats the
+// redundancy: the store must then halt its processor — the fail-stop
+// conversion — and the system must reconfigure around the loss.
+//
+// In both modes the silent-wrong-data oracle count and the SP1-SP4 violation
+// count must be zero: faults may degrade service, never correctness.
+func StorageFaults(seeds int, frames int, faults stable.FaultProfile) (*StorageFaultResult, error) {
+	res := &StorageFaultResult{}
+	var w tableWriter
+	w.row("Seed", "Mode", "Replicas", "Injected t/r/s", "Detected", "Repairs", "Halts", "SilentWrong", "Reconfigs", "SP violations")
+
+	run := func(seed int64, mode string, replicas int, prof stable.FaultProfile) error {
+		m, _, err := inject.StorageCampaign{
+			Seed:      seed,
+			Frames:    frames,
+			EnvEvents: frames / 25,
+			Replicas:  replicas,
+			Faults:    prof,
+		}.Run()
+		if err != nil {
+			return err
+		}
+		row := StorageFaultRow{
+			Seed:            seed,
+			Mode:            mode,
+			Replicas:        replicas,
+			Injected:        m.Injected,
+			Storage:         m.Storage,
+			StorageHalts:    m.StorageHalts,
+			Reconfigs:       m.Reconfigs,
+			Violations:      len(m.Violations),
+			StagedHighWater: m.StagedHighWater,
+		}
+		res.Rows = append(res.Rows, row)
+		res.TotalInjected.Add(m.Injected)
+		res.TotalRepairs += m.Storage.ReadRepairs + m.Storage.ScrubRepairs
+		res.TotalHalts += m.StorageHalts
+		res.SilentWrongData += m.Storage.SilentWrongData
+		res.TotalViolations += len(m.Violations)
+		w.row(fmt.Sprintf("%d", seed), mode, fmt.Sprintf("%d", replicas),
+			fmt.Sprintf("%d/%d/%d", m.Injected.TornWrites, m.Injected.BitFlips, m.Injected.StuckReads),
+			fmt.Sprintf("%d", m.Storage.CorruptionsDetected),
+			fmt.Sprintf("%d", m.Storage.ReadRepairs+m.Storage.ScrubRepairs),
+			fmt.Sprintf("%d", m.StorageHalts),
+			fmt.Sprintf("%d", m.Storage.SilentWrongData),
+			fmt.Sprintf("%d", m.Reconfigs),
+			fmt.Sprintf("%d", len(m.Violations)))
+		return nil
+	}
+
+	defeat := faults
+	defeat.BitRotRate = minFloat(1, faults.BitRotRate*8)
+	for seed := int64(0); seed < int64(seeds); seed++ {
+		if err := run(seed, "shielded", 3, faults); err != nil {
+			return nil, err
+		}
+		if err := run(seed, "defeat", 1, defeat); err != nil {
+			return nil, err
+		}
+	}
+
+	res.Text = fmt.Sprintf("S1: hardened stable storage under media faults (%d seeds x %d frames, rates torn=%.3f rot=%.3f stuck=%.3f)\n",
+		seeds, frames, faults.TornWriteRate, faults.BitRotRate, faults.StuckReadRate) +
+		w.String() +
+		fmt.Sprintf("total: %d/%d/%d faults injected (torn/rot/stuck), %d repairs, %d fail-stop halts, %d silent wrong data, %d SP violations\n",
+			res.TotalInjected.TornWrites, res.TotalInjected.BitFlips, res.TotalInjected.StuckReads,
+			res.TotalRepairs, res.TotalHalts, res.SilentWrongData, res.TotalViolations)
+	return res, nil
+}
+
+// BusFaultRow is one bus-fault campaign's outcome.
+type BusFaultRow struct {
+	Seed       int64
+	Rates      bus.FaultRates
+	Faults     bus.FaultStats
+	Delivered  int64
+	Reconfigs  int
+	Violations int
+	FinalAltFt float64
+}
+
+// BusFaultResult is the S2 experiment output.
+type BusFaultResult struct {
+	Rows            []BusFaultRow
+	TotalViolations int
+	Text            string
+}
+
+// BusFaults runs the S2 experiment: the section 7 avionics mission over a
+// degraded bus, sweeping the supplied base rates from clean to 3x. The
+// reconfiguration protocol travels through stable storage and the direct
+// signal path, not the bus, so every sweep point must reconfigure on the
+// scripted alternator failure with zero SP violations; what degrades is
+// application data flow (and with it flight precision), not assurance.
+func BusFaults(seeds int, frames int, rates bus.FaultRates) (*BusFaultResult, error) {
+	res := &BusFaultResult{}
+	var w tableWriter
+	w.row("Seed", "Drop", "Dup", "Delay", "Injected d/d/d", "Delivered", "Reconfigs", "SP violations", "Final alt (ft)")
+	for _, mult := range []float64{0, 1, 2, 3} {
+		r := bus.FaultRates{
+			Drop:      minFloat(1, rates.Drop*mult),
+			Duplicate: minFloat(1, rates.Duplicate*mult),
+			Delay:     minFloat(1, rates.Delay*mult),
+		}
+		for seed := int64(0); seed < int64(seeds); seed++ {
+			m, _, err := inject.BusCampaign{Seed: seed, Frames: frames, Rates: r}.Run()
+			if err != nil {
+				return nil, err
+			}
+			row := BusFaultRow{
+				Seed:       seed,
+				Rates:      r,
+				Faults:     m.Faults,
+				Delivered:  m.Delivered,
+				Reconfigs:  m.Reconfigs,
+				Violations: len(m.Violations),
+				FinalAltFt: m.FinalAltFt,
+			}
+			res.Rows = append(res.Rows, row)
+			res.TotalViolations += len(m.Violations)
+			w.row(fmt.Sprintf("%d", seed),
+				fmt.Sprintf("%.2f", r.Drop), fmt.Sprintf("%.2f", r.Duplicate), fmt.Sprintf("%.2f", r.Delay),
+				fmt.Sprintf("%d/%d/%d", m.Faults.Dropped, m.Faults.Duplicated, m.Faults.Delayed),
+				fmt.Sprintf("%d", m.Delivered),
+				fmt.Sprintf("%d", row.Reconfigs),
+				fmt.Sprintf("%d", row.Violations),
+				fmt.Sprintf("%.0f", row.FinalAltFt))
+		}
+	}
+	res.Text = fmt.Sprintf("S2: avionics mission over a degraded bus (%d seeds x %d frames, base rates drop=%.2f dup=%.2f delay=%.2f, multipliers 0-3)\n",
+		seeds, frames, rates.Drop, rates.Duplicate, rates.Delay) +
+		w.String() +
+		fmt.Sprintf("total: %d SP violations\n", res.TotalViolations)
+	return res, nil
+}
+
+func minFloat(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

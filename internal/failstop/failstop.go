@@ -90,6 +90,7 @@ type Processor struct {
 	capacity      spec.Resources
 	lowPower      spec.Resources
 	failedAtFrame int64
+	storageFault  error
 }
 
 // NewProcessor returns a running processor with the given identity and
@@ -106,6 +107,17 @@ func NewProcessor(id spec.ProcID, capacity, lowPower spec.Resources, st *stable.
 	}
 	if p.stable == nil {
 		p.stable = stable.NewStore()
+	}
+	if p.stable.Hardened() != nil {
+		// Hardened storage: corruption that defeats every replica halts
+		// the processor. Returning wrong (or silently absent) data would
+		// break fail-stop semantics; halting preserves them, because a
+		// halt is exactly the failure behaviour the rest of the system
+		// is built to survive. The store invokes the sink outside its
+		// lock, so the halt path may discard staged writes safely.
+		p.stable.SetFaultSink(func(err error) {
+			p.FailStorage(int64(p.stable.Version()), err)
+		})
 	}
 	return p
 }
@@ -161,6 +173,32 @@ func (p *Processor) Fail(frame int64) {
 	p.failedAtFrame = frame
 	clear(p.volatile)
 	p.stable.Discard()
+}
+
+// FailStorage halts the processor because its stable storage suffered an
+// unrecoverable fault (corruption that defeated every replica). The fault is
+// recorded for diagnostics; the externally visible behaviour is an ordinary
+// fail-stop failure — detection converts a sub-model storage fault into the
+// clean halt the architecture is built to survive. Committed (still
+// readable) storage remains pollable: the surviving replicas' data is intact
+// for every key except the unrecoverable ones.
+func (p *Processor) FailStorage(frame int64, err error) {
+	p.mu.Lock()
+	if p.state == StateFailed {
+		p.mu.Unlock()
+		return
+	}
+	p.storageFault = err
+	p.mu.Unlock()
+	p.Fail(frame)
+}
+
+// StorageFault returns the unrecoverable stable-storage fault that halted
+// the processor, or nil if it never suffered one.
+func (p *Processor) StorageFault() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.storageFault
 }
 
 // FailedAtFrame returns the frame in which the processor failed; it is only
@@ -293,11 +331,23 @@ type Pool struct {
 }
 
 // NewPool builds a pool from a platform description. Every processor starts
-// running with empty storage.
+// running with empty, assumed-perfect storage.
 func NewPool(platform spec.Platform) *Pool {
+	return NewPoolWithStores(platform, nil)
+}
+
+// NewPoolWithStores builds a pool whose processors use the stores returned
+// by mk — the hook through which hardened (replicated, checksummed) stable
+// storage is mounted. A nil mk (or a nil store from mk) gives the default
+// in-memory store.
+func NewPoolWithStores(platform spec.Platform, mk func(spec.ProcID) *stable.Store) *Pool {
 	pool := &Pool{procs: make(map[spec.ProcID]*Processor, len(platform.Procs))}
 	for _, pd := range platform.Procs {
-		pool.procs[pd.ID] = NewProcessor(pd.ID, pd.Capacity, pd.LowPowerCapacity, nil)
+		var st *stable.Store
+		if mk != nil {
+			st = mk(pd.ID)
+		}
+		pool.procs[pd.ID] = NewProcessor(pd.ID, pd.Capacity, pd.LowPowerCapacity, st)
 		pool.order = append(pool.order, pd.ID)
 	}
 	sort.Slice(pool.order, func(i, j int) bool { return pool.order[i] < pool.order[j] })

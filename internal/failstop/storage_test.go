@@ -1,0 +1,78 @@
+package failstop
+
+import (
+	"testing"
+
+	"repro/internal/spec"
+	"repro/internal/stable"
+)
+
+// corrupt flips a bit in key's record on medium m.
+func corrupt(t *testing.T, m stable.Medium, key string) {
+	t.Helper()
+	raw, ok := m.Read(key)
+	if !ok {
+		t.Fatalf("key %q absent on medium", key)
+	}
+	raw[len(raw)-1] ^= 1
+	if err := m.Write(key, raw); err != nil {
+		t.Fatalf("corrupting write: %v", err)
+	}
+}
+
+// TestStorageFaultHaltsProcessor checks the derived fail-stop property: when
+// the hardened store reports an unrecoverable fault, the processor halts
+// rather than continue on wrong data.
+func TestStorageFaultHaltsProcessor(t *testing.T) {
+	m := stable.NewMemMedium()
+	st := stable.NewHardened(stable.NewReplicatedStore(m))
+	p := NewProcessor("p1", spec.Resources{CPU: 1}, spec.Resources{}, st)
+
+	p.Stable().PutString("alt", "1000")
+	p.Stable().Commit()
+	corrupt(t, m, "alt")
+
+	// The read both fails and halts the processor via the fault sink.
+	if _, ok := p.Stable().Get("alt"); ok {
+		t.Fatal("corrupt single-replica key readable")
+	}
+	if p.State() != StateFailed {
+		t.Fatalf("state = %v, want StateFailed", p.State())
+	}
+	if p.StorageFault() == nil {
+		t.Fatal("StorageFault() = nil after storage halt")
+	}
+	if p.FailedAtFrame() != 1 {
+		t.Errorf("FailedAtFrame = %d, want store version 1", p.FailedAtFrame())
+	}
+}
+
+func TestStorageFaultNilOnOrdinaryFailure(t *testing.T) {
+	p := NewProcessor("p1", spec.Resources{CPU: 1}, spec.Resources{}, nil)
+	p.Fail(3)
+	if p.StorageFault() != nil {
+		t.Errorf("ordinary failure reports storage fault %v", p.StorageFault())
+	}
+}
+
+func TestNewPoolWithStores(t *testing.T) {
+	pool := NewPoolWithStores(testPlatform(), func(id spec.ProcID) *stable.Store {
+		return stable.NewHardenedStore(stable.MediaProfile{Replicas: 3, Seed: 1}, string(id))
+	})
+	for _, id := range []spec.ProcID{"p1", "p2"} {
+		p, err := pool.Proc(id)
+		if err != nil {
+			t.Fatalf("Proc(%s): %v", id, err)
+		}
+		if p.Stable().Hardened() == nil {
+			t.Errorf("%s: store not hardened", id)
+		}
+	}
+
+	// Plain pool keeps plain stores; nil factory likewise.
+	plain := NewPool(testPlatform())
+	p, _ := plain.Proc("p1")
+	if p.Stable().Hardened() != nil {
+		t.Error("NewPool produced a hardened store")
+	}
+}

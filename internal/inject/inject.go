@@ -141,32 +141,10 @@ func (c CanonicalCampaign) Run() (Metrics, *trace.Trace, error) {
 		)
 	}
 
-	classifier := func(f map[envmon.Factor]string) spec.EnvState {
-		ok := 0
-		for _, alt := range []envmon.Factor{"alt1", "alt2"} {
-			if f[alt] == "ok" {
-				ok++
-			}
-		}
-		state := spectest.EnvBattery
-		switch ok {
-		case 2:
-			state = spectest.EnvFull
-		case 1:
-			state = spectest.EnvReduced
-		}
-		// Loss of the FCS's processor forces at least reduced service
-		// (the applications must share p1).
-		if f[core.ProcHealthFactor("p2")] == core.ProcFailed && state == spectest.EnvFull {
-			state = spectest.EnvReduced
-		}
-		return state
-	}
-
 	opts := core.Options{
 		Spec:           rs,
 		Apps:           basicApps(rs),
-		Classifier:     classifier,
+		Classifier:     threeConfigClassifier,
 		InitialFactors: map[envmon.Factor]string{"alt1": altState["alt1"], "alt2": altState["alt2"]},
 		Script:         script,
 		ProcEvents:     procEvents,
@@ -225,6 +203,31 @@ func (c RandomCampaign) Run() (Metrics, *trace.Trace, error) {
 		Script:         script,
 	}
 	return runCampaign(opts, c.Frames, int64(rs.DwellFrames))
+}
+
+// threeConfigClassifier maps alternator and processor health to the canonical
+// specification's environment states: two healthy alternators give full
+// service, one gives reduced, none leaves the battery. Loss of the FCS's
+// processor (p2) forces at least reduced service — the applications must
+// share p1.
+func threeConfigClassifier(f map[envmon.Factor]string) spec.EnvState {
+	ok := 0
+	for _, alt := range []envmon.Factor{"alt1", "alt2"} {
+		if f[alt] == "ok" {
+			ok++
+		}
+	}
+	state := spectest.EnvBattery
+	switch ok {
+	case 2:
+		state = spectest.EnvFull
+	case 1:
+		state = spectest.EnvReduced
+	}
+	if f[core.ProcHealthFactor("p2")] == core.ProcFailed && state == spectest.EnvFull {
+		state = spectest.EnvReduced
+	}
+	return state
 }
 
 // basicApps builds a reference implementation for every real application.

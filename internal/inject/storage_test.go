@@ -1,0 +1,119 @@
+package inject
+
+import (
+	"testing"
+
+	"repro/internal/bus"
+	"repro/internal/stable"
+)
+
+func TestStorageCampaignShieldedRepairsTransparently(t *testing.T) {
+	c := StorageCampaign{
+		Seed:      1,
+		Frames:    200,
+		EnvEvents: 4,
+		Replicas:  3,
+		Faults:    stable.FaultProfile{TornWriteRate: 0.02, BitRotRate: 0.05, StuckReadRate: 0.02},
+	}
+	m, _, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Storage.SilentWrongData != 0 {
+		t.Fatalf("silent wrong data = %d", m.Storage.SilentWrongData)
+	}
+	if len(m.Violations) != 0 {
+		t.Fatalf("SP violations: %v", m.Violations)
+	}
+	if m.Injected == (stable.MediumStats{}) {
+		t.Fatal("no faults injected; campaign is vacuous")
+	}
+	if m.Storage.CorruptionsDetected == 0 {
+		t.Error("faults injected but none detected")
+	}
+	if m.StagedHighWater == 0 {
+		t.Error("staged high-water mark never moved")
+	}
+}
+
+// TestStorageCampaignDefeatHaltsNotLies: with one replica and heavy rot the
+// store cannot repair, so processors must halt (fail-stop) and never serve
+// wrong data silently.
+func TestStorageCampaignDefeatHaltsNotLies(t *testing.T) {
+	c := StorageCampaign{
+		Seed:     2,
+		Frames:   200,
+		Replicas: 1,
+		Faults:   stable.FaultProfile{BitRotRate: 0.5},
+	}
+	m, _, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Storage.SilentWrongData != 0 {
+		t.Fatalf("silent wrong data = %d", m.Storage.SilentWrongData)
+	}
+	if m.StorageHalts == 0 {
+		t.Fatal("single-replica store under heavy rot never halted a processor")
+	}
+	if len(m.Violations) != 0 {
+		t.Fatalf("SP violations: %v", m.Violations)
+	}
+}
+
+func TestStorageCampaignDeterminism(t *testing.T) {
+	c := StorageCampaign{
+		Seed:      7,
+		Frames:    150,
+		EnvEvents: 3,
+		Replicas:  3,
+		Faults:    stable.FaultProfile{TornWriteRate: 0.05, BitRotRate: 0.1, StuckReadRate: 0.05},
+	}
+	a, _, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Storage != b.Storage || a.Injected != b.Injected || a.StorageHalts != b.StorageHalts {
+		t.Errorf("same seed diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestBusCampaignHoldsPropertiesUnderLoss(t *testing.T) {
+	c := BusCampaign{
+		Seed:   1,
+		Frames: 120,
+		Rates:  bus.FaultRates{Drop: 0.1, Duplicate: 0.05, Delay: 0.05},
+	}
+	m, _, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Violations) != 0 {
+		t.Fatalf("SP violations: %v", m.Violations)
+	}
+	if m.Reconfigs == 0 {
+		t.Fatal("scripted alternator failure produced no reconfiguration")
+	}
+	if m.Faults.Dropped == 0 || m.Faults.Duplicated == 0 || m.Faults.Delayed == 0 {
+		t.Errorf("fault plan idle: %+v", m.Faults)
+	}
+}
+
+func TestBusCampaignDeterminism(t *testing.T) {
+	c := BusCampaign{Seed: 5, Frames: 100, Rates: bus.FaultRates{Drop: 0.2, Duplicate: 0.1, Delay: 0.1}}
+	a, _, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Faults != b.Faults || a.Delivered != b.Delivered || a.FinalAltFt != b.FinalAltFt {
+		t.Errorf("same seed diverged:\n%+v\n%+v", a, b)
+	}
+}

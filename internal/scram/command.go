@@ -74,6 +74,18 @@ func WriteCommand(st *stable.Store, app spec.AppID, cmd Command) error {
 	return nil
 }
 
+// validateCommandRecord checks that a snapshotted configuration_status
+// record decodes as a command. Restore uses it to reject snapshots carrying
+// corrupt command variables: a standby taking over from such a snapshot
+// would command applications from garbage, so takeover must fail instead.
+func validateCommandRecord(app spec.AppID, raw []byte) error {
+	var cmd Command
+	if err := json.Unmarshal(raw, &cmd); err != nil {
+		return fmt.Errorf("scram: snapshot holds corrupt command record for %q: %w", app, err)
+	}
+	return nil
+}
+
 // unmarshalState decodes a persisted kernel state.
 func unmarshalState(raw []byte, st *kernelState) error {
 	if err := json.Unmarshal(raw, st); err != nil {

@@ -68,6 +68,7 @@ type kernelState struct {
 	LastEnd    int64         `json:"last_end"`
 	LastSource spec.AppID    `json:"last_source,omitempty"`
 	TriggerApp spec.AppID    `json:"trigger_app,omitempty"`
+	Urgent     bool          `json:"urgent,omitempty"`
 	Plan       *plan         `json:"plan,omitempty"`
 }
 
@@ -118,6 +119,16 @@ func Restore(rs *spec.ReconfigSpec, store *stable.Store, snapshot map[string][]b
 	}
 	if err := unmarshalState(raw, &k.st); err != nil {
 		return nil, err
+	}
+	// Every configuration_status record present in the snapshot must decode:
+	// commanding applications from a corrupt record would violate fail-stop
+	// semantics, so the takeover is refused instead.
+	for _, a := range rs.Apps {
+		if raw, ok := snapshot[commandKey(a.ID)]; ok {
+			if err := validateCommandRecord(a.ID, raw); err != nil {
+				return nil, err
+			}
+		}
 	}
 	return k, nil
 }
@@ -170,6 +181,9 @@ func (k *Kernel) EndOfFrame(ctx frame.Context) error {
 	for _, sig := range k.drainSignals() {
 		k.st.Env = sig.State
 		k.st.LastSource = sig.Source
+		if sig.Urgent {
+			k.st.Urgent = true
+		}
 		k.logf(f, EventSignal, "", "%s reports %s", sig.Source, sig.State)
 	}
 
@@ -189,17 +203,22 @@ func (k *Kernel) EndOfFrame(ctx frame.Context) error {
 }
 
 // maybeTrigger starts a reconfiguration if the choice table demands one for
-// the current environment and the dwell guard allows it.
+// the current environment and the dwell guard allows it. An urgent
+// (hardware-fault) signal bypasses the dwell guard: dwell damps environment
+// churn, but a processor loss has already broken the current configuration
+// and deferring the response would extend the outage unboundedly.
 func (k *Kernel) maybeTrigger(f int64) error {
 	target, ok := k.rs.Choice.Choose(k.st.Current, k.st.Env)
 	if !ok || target == k.st.Current {
+		k.st.Urgent = false
 		return nil
 	}
-	if dwell := int64(k.rs.DwellFrames); f-k.st.LastEnd < dwell {
+	if dwell := int64(k.rs.DwellFrames); f-k.st.LastEnd < dwell && !k.st.Urgent {
 		k.logf(f, EventDeferred, target, "dwell guard: %d of %d frames since last reconfiguration",
 			f-k.st.LastEnd, dwell)
 		return nil
 	}
+	k.st.Urgent = false
 	k.st.Seq++
 	p, err := buildPlan(k.rs, k.st.Seq, k.st.Current, target, f)
 	if err != nil {

@@ -578,3 +578,35 @@ func TestRestoreRejectsCorruptState(t *testing.T) {
 		t.Error("bad spec restored")
 	}
 }
+
+// TestRestoreRejectsCorruptCommandRecord: a standby taking over must refuse
+// a snapshot whose configuration_status records do not decode — commanding
+// applications from corrupt records would break fail-stop semantics.
+func TestRestoreRejectsCorruptCommandRecord(t *testing.T) {
+	rs := spectest.ThreeConfig()
+	k, st := newTestKernel(t, rs)
+	step(t, k, st, 0)
+	k.Signal(envmon.Signal{Source: spectest.AppMonitor, State: spectest.EnvReduced, Frame: 1})
+	step(t, k, st, 1) // plan written: command records present
+
+	snapshot := st.Snapshot()
+	var corrupted string
+	for _, a := range rs.Apps {
+		if _, ok := snapshot[commandKey(a.ID)]; ok {
+			snapshot[commandKey(a.ID)] = []byte("{torn mid-write")
+			corrupted = string(a.ID)
+			break
+		}
+	}
+	if corrupted == "" {
+		t.Fatal("no command record in snapshot; test setup wrong")
+	}
+	if _, err := Restore(rs, stable.NewStore(), snapshot); err == nil {
+		t.Fatalf("Restore accepted corrupt command record for %q", corrupted)
+	}
+
+	// The intact snapshot still restores.
+	if _, err := Restore(rs, stable.NewStore(), st.Snapshot()); err != nil {
+		t.Fatalf("Restore of intact snapshot: %v", err)
+	}
+}

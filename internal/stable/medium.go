@@ -1,0 +1,71 @@
+package stable
+
+import "sort"
+
+// Medium is one raw storage device under the hardened store: the unreliable
+// physical component from which dependable stable storage is constructed.
+// A Medium stores opaque record bytes; it knows nothing about checksums or
+// commits. Implementations need not be concurrency-safe — the ReplicatedStore
+// serializes all access.
+type Medium interface {
+	// Read returns the raw bytes stored under key. The returned slice must
+	// be a copy (or otherwise safe for the caller to inspect).
+	Read(key string) ([]byte, bool)
+	// Write stores raw bytes under key. A non-nil error models a device
+	// write fault: the write did not happen, and the store must assume
+	// nothing about subsequent writes until the frame ends.
+	Write(key string, raw []byte) error
+	// Delete removes key, if present.
+	Delete(key string)
+	// Keys returns every stored key, sorted.
+	Keys() []string
+	// EndFrame advances the medium's fault clock at the frame boundary:
+	// transient fault state (a torn-write outage) clears, and wear faults
+	// (bit rot) for the next frame are applied.
+	EndFrame()
+}
+
+// MemMedium is a perfect in-memory Medium.
+type MemMedium struct {
+	data map[string][]byte
+}
+
+// NewMemMedium returns an empty perfect medium.
+func NewMemMedium() *MemMedium {
+	return &MemMedium{data: make(map[string][]byte)}
+}
+
+// Read implements Medium.
+func (m *MemMedium) Read(key string) ([]byte, bool) {
+	raw, ok := m.data[key]
+	if !ok {
+		return nil, false
+	}
+	cp := make([]byte, len(raw))
+	copy(cp, raw)
+	return cp, true
+}
+
+// Write implements Medium; a perfect medium never fails a write.
+func (m *MemMedium) Write(key string, raw []byte) error {
+	cp := make([]byte, len(raw))
+	copy(cp, raw)
+	m.data[key] = cp
+	return nil
+}
+
+// Delete implements Medium.
+func (m *MemMedium) Delete(key string) { delete(m.data, key) }
+
+// Keys implements Medium.
+func (m *MemMedium) Keys() []string {
+	keys := make([]string, 0, len(m.data))
+	for k := range m.data {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// EndFrame implements Medium; a perfect medium has no fault clock.
+func (m *MemMedium) EndFrame() {}

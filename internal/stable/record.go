@@ -1,0 +1,122 @@
+package stable
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// The hardened storage layer derives dependable stable storage from
+// unreliable media, following the construction Schlichting and Schneider
+// describe for stable storage and the paper's section 3 assumption that the
+// platform provides it: every committed value is encoded as a self-checking
+// record (magic, commit version, CRC32C) so that corruption is *detected*
+// rather than returned, and a per-medium commit record pins the version a
+// medium has fully absorbed so torn (partially applied) commits are
+// detectable after the fact.
+
+// ErrCorrupt reports a record that failed its integrity check: the medium
+// returned bytes, but they are not a well-formed checksummed record.
+var ErrCorrupt = errors.New("stable: corrupt record")
+
+// ErrUnrecoverable reports corruption that defeated every replica. The owner
+// of the store must treat this as a fail-stop failure: halting is the only
+// response that preserves the fail-stop abstraction, because returning a
+// value would risk silent wrong data.
+var ErrUnrecoverable = errors.New("stable: unrecoverable storage fault")
+
+// recordMagic marks the start of an encoded record.
+const recordMagic uint32 = 0x57AB1E01
+
+// record flag bits.
+const flagTombstone byte = 1 << 0
+
+// recordHeaderLen is magic(4) + flags(1) + version(8) + len(4) + crc(4).
+const recordHeaderLen = 4 + 1 + 8 + 4 + 4
+
+// crcTable is the Castagnoli polynomial, the usual choice for storage
+// integrity checks.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// record is one decoded stable-storage record: a committed value (or a
+// deletion tombstone) stamped with the commit version that wrote it.
+type record struct {
+	version   uint64
+	tombstone bool
+	payload   []byte
+}
+
+// encodeRecord serializes a record with its integrity header.
+func encodeRecord(r record) []byte {
+	out := make([]byte, recordHeaderLen+len(r.payload))
+	binary.BigEndian.PutUint32(out[0:4], recordMagic)
+	if r.tombstone {
+		out[4] = flagTombstone
+	}
+	binary.BigEndian.PutUint64(out[5:13], r.version)
+	binary.BigEndian.PutUint32(out[13:17], uint32(len(r.payload)))
+	copy(out[recordHeaderLen:], r.payload)
+	crc := crc32.Checksum(out[4:17], crcTable)
+	crc = crc32.Update(crc, crcTable, r.payload)
+	binary.BigEndian.PutUint32(out[17:21], crc)
+	return out
+}
+
+// decodeRecord parses and verifies an encoded record. Any mismatch — bad
+// magic, short buffer, wrong length, checksum failure — returns ErrCorrupt:
+// the detection half of the fail-stop storage construction.
+func decodeRecord(raw []byte) (record, error) {
+	if len(raw) < recordHeaderLen {
+		return record{}, fmt.Errorf("%w: %d bytes, need at least %d", ErrCorrupt, len(raw), recordHeaderLen)
+	}
+	if binary.BigEndian.Uint32(raw[0:4]) != recordMagic {
+		return record{}, fmt.Errorf("%w: bad magic %#x", ErrCorrupt, binary.BigEndian.Uint32(raw[0:4]))
+	}
+	plen := binary.BigEndian.Uint32(raw[13:17])
+	if uint64(len(raw)) != uint64(recordHeaderLen)+uint64(plen) {
+		return record{}, fmt.Errorf("%w: payload length %d does not match buffer %d", ErrCorrupt, plen, len(raw))
+	}
+	want := binary.BigEndian.Uint32(raw[17:21])
+	crc := crc32.Checksum(raw[4:17], crcTable)
+	crc = crc32.Update(crc, crcTable, raw[recordHeaderLen:])
+	if crc != want {
+		return record{}, fmt.Errorf("%w: checksum %#x, want %#x", ErrCorrupt, crc, want)
+	}
+	r := record{
+		version:   binary.BigEndian.Uint64(raw[5:13]),
+		tombstone: raw[4]&flagTombstone != 0,
+	}
+	if plen > 0 {
+		r.payload = make([]byte, plen)
+		copy(r.payload, raw[recordHeaderLen:])
+	}
+	return r, nil
+}
+
+// commitRecordKey is the reserved medium key of the commit record. Store
+// keys are application strings and never begin with NUL, so the namespace
+// cannot collide.
+const commitRecordKey = "\x00commit"
+
+// encodeCommitRecord builds the commit record for a version: a record whose
+// payload is the version, written last in every commit batch. A medium whose
+// commit record is behind the store's version did not absorb the latest
+// commit completely (a torn write).
+func encodeCommitRecord(version uint64) []byte {
+	payload := make([]byte, 8)
+	binary.BigEndian.PutUint64(payload, version)
+	return encodeRecord(record{version: version, payload: payload})
+}
+
+// decodeCommitRecord returns the version a commit record pins.
+func decodeCommitRecord(raw []byte) (uint64, error) {
+	rec, err := decodeRecord(raw)
+	if err != nil {
+		return 0, err
+	}
+	if len(rec.payload) != 8 {
+		return 0, fmt.Errorf("%w: commit record payload %d bytes", ErrCorrupt, len(rec.payload))
+	}
+	return binary.BigEndian.Uint64(rec.payload), nil
+}

@@ -1,0 +1,494 @@
+package stable
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// ReplStats counts the hardened store's fault handling. The invariant the
+// fault-injection campaigns check: SilentWrongData is always zero — every
+// injected fault is either repaired from a surviving replica or surfaces as
+// an unrecoverable fault that halts the owning processor.
+type ReplStats struct {
+	// Commits is the number of commit batches applied.
+	Commits int64 `json:"commits"`
+	// TornReplicaCommits counts replica commit batches lost mid-way to a
+	// torn write (the replica fell behind and was later repaired).
+	TornReplicaCommits int64 `json:"torn_replica_commits"`
+	// CorruptionsDetected counts records that failed their integrity
+	// check on read or scrub.
+	CorruptionsDetected int64 `json:"corruptions_detected"`
+	// ReadRepairs counts replica records rewritten from a surviving
+	// replica during reads.
+	ReadRepairs int64 `json:"read_repairs"`
+	// ScrubRepairs counts replica records rewritten by the end-of-frame
+	// scrub pass.
+	ScrubRepairs int64 `json:"scrub_repairs"`
+	// ScrubRuns counts scrub passes.
+	ScrubRuns int64 `json:"scrub_runs"`
+	// StaleCommitRecords counts media whose commit record was found
+	// behind (or corrupt) and rewritten by the scrub pass.
+	StaleCommitRecords int64 `json:"stale_commit_records"`
+	// Unrecoverable counts faults that defeated every replica: the events
+	// that must halt the processor to preserve fail-stop semantics.
+	Unrecoverable int64 `json:"unrecoverable"`
+	// SilentWrongData counts reads that returned data disagreeing with
+	// the oracle without raising a fault. It must be zero; a nonzero
+	// count means the fail-stop abstraction was violated.
+	SilentWrongData int64 `json:"silent_wrong_data"`
+}
+
+// add accumulates counts from another store.
+func (s *ReplStats) Add(o ReplStats) {
+	s.Commits += o.Commits
+	s.TornReplicaCommits += o.TornReplicaCommits
+	s.CorruptionsDetected += o.CorruptionsDetected
+	s.ReadRepairs += o.ReadRepairs
+	s.ScrubRepairs += o.ScrubRepairs
+	s.ScrubRuns += o.ScrubRuns
+	s.StaleCommitRecords += o.StaleCommitRecords
+	s.Unrecoverable += o.Unrecoverable
+	s.SilentWrongData += o.SilentWrongData
+}
+
+// ScrubReport summarizes one end-of-frame scrub pass.
+type ScrubReport struct {
+	// Checked is the number of logical keys examined.
+	Checked int
+	// Corrupt is the number of invalid replica records found.
+	Corrupt int
+	// Repaired is the number of replica records rewritten.
+	Repaired int
+	// StaleCommits is the number of media whose commit record needed
+	// rewriting.
+	StaleCommits int
+	// Unrecoverable lists keys whose every replica was corrupt.
+	Unrecoverable []string
+}
+
+// ReplicatedStore mirrors commits across N backing media, each holding
+// checksummed, versioned records. Reads consult every replica and return the
+// newest valid record, repairing divergent replicas in passing (read
+// repair); a scrub pass re-verifies everything at the frame boundary. It is
+// the constructive realization of the stable storage the paper assumes:
+// corruption a checksum catches on some replica is repaired transparently,
+// corruption that defeats all replicas surfaces as ErrUnrecoverable — which
+// the owning fail-stop processor converts into a halt.
+//
+// A ReplicatedStore is safe for concurrent use.
+type ReplicatedStore struct {
+	mu      sync.Mutex
+	media   []Medium
+	version uint64
+	oracle  map[string][]byte // nil unless EnableOracle
+	stats   ReplStats
+}
+
+// NewReplicatedStore builds a replicated store over the given media. At
+// least one medium is required; one medium gives checksummed (detecting but
+// not self-repairing) storage.
+func NewReplicatedStore(media ...Medium) *ReplicatedStore {
+	if len(media) == 0 {
+		media = []Medium{NewMemMedium()}
+	}
+	return &ReplicatedStore{media: media}
+}
+
+// EnableOracle turns on silent-wrong-data accounting: every commit is
+// mirrored into a perfect shadow map and every read compared against it.
+// Enable it before the first commit.
+func (r *ReplicatedStore) EnableOracle() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.oracle == nil {
+		r.oracle = make(map[string][]byte)
+	}
+}
+
+// Stats returns a copy of the fault-handling counters.
+func (r *ReplicatedStore) Stats() ReplStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}
+
+// InjectedStats sums the injected-fault counts of every backing FaultyMedium.
+func (r *ReplicatedStore) InjectedStats() MediumStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out MediumStats
+	for _, m := range r.media {
+		if fm, ok := m.(*FaultyMedium); ok {
+			out.Add(fm.Stats())
+		}
+	}
+	return out
+}
+
+// Replicas returns the number of backing media.
+func (r *ReplicatedStore) Replicas() int { return len(r.media) }
+
+// Version returns the last fully committed version.
+func (r *ReplicatedStore) Version() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.version
+}
+
+// candidate is one replica's view of a key during a read.
+type candidate struct {
+	rec     record
+	valid   bool
+	present bool // medium returned bytes (valid or not)
+}
+
+// readCandidates reads key from every medium. A record is valid when it
+// decodes, its checksum holds, and its version is committed (a version ahead
+// of the store is a leftover of a commit that failed everywhere).
+func (r *ReplicatedStore) readCandidates(key string) []candidate {
+	cands := make([]candidate, len(r.media))
+	for i, m := range r.media {
+		raw, ok := m.Read(key)
+		if !ok {
+			continue
+		}
+		cands[i].present = true
+		rec, err := decodeRecord(raw)
+		if err != nil || rec.version > r.version {
+			r.stats.CorruptionsDetected++
+			continue
+		}
+		cands[i].rec = rec
+		cands[i].valid = true
+	}
+	return cands
+}
+
+// caughtUp reports, per medium, whether its commit record matches the
+// store's version. Commit and Scrub both write a medium's data records
+// before its commit record, so a matching commit record proves the medium
+// absorbed every batch up to the current version — its copy of any key is
+// the key's true newest committed write (unless rot damaged it since).
+// Before the first commit every medium is trivially caught up.
+func (r *ReplicatedStore) caughtUp() (up []bool, any bool) {
+	up = make([]bool, len(r.media))
+	if r.version == 0 {
+		for i := range up {
+			up[i] = true
+		}
+		return up, true
+	}
+	for i, m := range r.media {
+		raw, ok := m.Read(commitRecordKey)
+		if !ok {
+			continue
+		}
+		if v, err := decodeCommitRecord(raw); err == nil && v == r.version {
+			up[i] = true
+			any = true
+		}
+	}
+	return up, any
+}
+
+// selectBest picks the candidate a read may trust, or reports that none can
+// be (fatal). Only caught-up media are authoritative: a replica left behind
+// by a torn write holds valid-looking records that may predate later
+// updates, so when every caught-up copy of a key is corrupt the newest
+// committed version is unknowable and returning a stale survivor would be
+// silent wrong data — exactly the failure a fail-stop store must convert
+// into a halt. The fallback to stale media applies only when no caught-up
+// medium knows the key at all (the key predates every surviving replica's
+// last tear, so no newer write can be masked).
+func selectBest(cands []candidate, up []bool, anyUp bool) (best int, fatal bool) {
+	best = -1
+	for i, c := range cands {
+		if up[i] && c.valid && (best < 0 || c.rec.version > cands[best].rec.version) {
+			best = i
+		}
+	}
+	if best >= 0 {
+		return best, false
+	}
+	if anyUp {
+		for i, c := range cands {
+			if up[i] && c.present {
+				return -1, true
+			}
+		}
+	}
+	for i, c := range cands {
+		if c.valid && (best < 0 || c.rec.version > cands[best].rec.version) {
+			best = i
+		}
+	}
+	if best >= 0 {
+		return best, false
+	}
+	for _, c := range cands {
+		if c.present {
+			return -1, true
+		}
+	}
+	return -1, false
+}
+
+// repairFrom rewrites every replica that disagrees with the winning record.
+// Write faults during repair are tolerated: the replica stays behind and the
+// next scrub retries. Returns the number of successful repairs.
+func (r *ReplicatedStore) repairFrom(key string, cands []candidate, best int) int {
+	win := cands[best].rec
+	raw := encodeRecord(win)
+	repaired := 0
+	for i, c := range cands {
+		if i == best || (c.valid && c.rec.version == win.version) {
+			continue
+		}
+		if err := r.media[i].Write(key, raw); err == nil {
+			repaired++
+		}
+	}
+	return repaired
+}
+
+// Get returns the committed value for key, consulting every replica. A
+// divergent or corrupt replica is repaired from the newest valid copy on a
+// caught-up replica. When no trustworthy copy survives — every caught-up
+// replica's copy is corrupt, or no replica holds a valid record at all —
+// Get returns ErrUnrecoverable: the caller must halt, because the committed
+// data cannot be proven current, absent, or reconstructed.
+func (r *ReplicatedStore) Get(key string) ([]byte, bool, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	val, ok, err := r.get(key)
+	if r.oracle != nil && err == nil {
+		want, wok := r.oracle[key]
+		if ok != wok || !bytes.Equal(val, want) {
+			r.stats.SilentWrongData++
+		}
+	}
+	return val, ok, err
+}
+
+func (r *ReplicatedStore) get(key string) ([]byte, bool, error) {
+	up, anyUp := r.caughtUp()
+	cands := r.readCandidates(key)
+	best, fatal := selectBest(cands, up, anyUp)
+	if fatal {
+		r.stats.Unrecoverable++
+		return nil, false, fmt.Errorf("%w: key %q has no trustworthy copy on any of %d replicas", ErrUnrecoverable, key, len(r.media))
+	}
+	if best < 0 {
+		return nil, false, nil
+	}
+	r.stats.ReadRepairs += int64(r.repairFrom(key, cands, best))
+	win := cands[best].rec
+	if win.tombstone {
+		return nil, false, nil
+	}
+	out := make([]byte, len(win.payload))
+	copy(out, win.payload)
+	return out, true, nil
+}
+
+// Commit applies a staged batch as version v to every replica: the batch's
+// records in sorted key order, then the commit record. A replica whose
+// medium tears mid-batch is left behind (and repaired later); if every
+// replica tears before absorbing a non-empty batch, the commit is lost and
+// Commit returns ErrUnrecoverable.
+func (r *ReplicatedStore) Commit(v uint64, batch map[string]stagedVal) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	keys := make([]string, 0, len(batch))
+	for k := range batch {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	okReplicas := 0
+	for _, m := range r.media {
+		good := true
+		for _, k := range keys {
+			sv := batch[k]
+			rec := record{version: v, tombstone: sv.deleted, payload: sv.val}
+			if err := m.Write(k, encodeRecord(rec)); err != nil {
+				r.stats.TornReplicaCommits++
+				good = false
+				break
+			}
+		}
+		if good {
+			if err := m.Write(commitRecordKey, encodeCommitRecord(v)); err != nil {
+				r.stats.TornReplicaCommits++
+				good = false
+			}
+		}
+		if good {
+			okReplicas++
+		}
+	}
+	r.stats.Commits++
+	if okReplicas == 0 && len(keys) > 0 {
+		r.stats.Unrecoverable++
+		return fmt.Errorf("%w: commit %d lost on all %d replicas", ErrUnrecoverable, v, len(r.media))
+	}
+	r.version = v
+	if r.oracle != nil {
+		for _, k := range keys {
+			if sv := batch[k]; sv.deleted {
+				delete(r.oracle, k)
+			} else {
+				cp := make([]byte, len(sv.val))
+				copy(cp, sv.val)
+				r.oracle[k] = cp
+			}
+		}
+	}
+	return nil
+}
+
+// unionKeys returns every logical key stored on any medium, sorted.
+func (r *ReplicatedStore) unionKeys() []string {
+	seen := make(map[string]bool)
+	for _, m := range r.media {
+		for _, k := range m.Keys() {
+			if k != commitRecordKey {
+				seen[k] = true
+			}
+		}
+	}
+	keys := make([]string, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Scrub is the end-of-frame integrity pass: it re-verifies every record on
+// every replica, repairs divergent or corrupt copies from the newest valid
+// one, refreshes stale commit records, and advances each medium's fault
+// clock. skip (optional) exempts keys with a staged deletion this frame —
+// repairing a record that the next commit tombstones is wasted work. A key
+// corrupt on every replica makes Scrub return ErrUnrecoverable after
+// finishing the pass.
+func (r *ReplicatedStore) Scrub(skip func(key string) bool) (ScrubReport, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var rep ScrubReport
+	up, anyUp := r.caughtUp()
+	for _, key := range r.unionKeys() {
+		if skip != nil && skip(key) {
+			continue
+		}
+		rep.Checked++
+		cands := r.readCandidates(key)
+		for _, c := range cands {
+			if c.present && !c.valid {
+				rep.Corrupt++
+			}
+		}
+		best, fatal := selectBest(cands, up, anyUp)
+		if fatal {
+			rep.Unrecoverable = append(rep.Unrecoverable, key)
+			continue
+		}
+		if best < 0 {
+			continue
+		}
+		for _, c := range cands {
+			if c.valid && c.rec.version < cands[best].rec.version {
+				rep.Corrupt++ // stale, not damaged, but still divergent
+			}
+		}
+		n := r.repairFrom(key, cands, best)
+		rep.Repaired += n
+		r.stats.ScrubRepairs += int64(n)
+	}
+	for _, m := range r.media {
+		raw, ok := m.Read(commitRecordKey)
+		v, err := uint64(0), error(nil)
+		if ok {
+			v, err = decodeCommitRecord(raw)
+		}
+		if !ok || err != nil || v != r.version {
+			rep.StaleCommits++
+			r.stats.StaleCommitRecords++
+			_ = m.Write(commitRecordKey, encodeCommitRecord(r.version))
+		}
+	}
+	for _, m := range r.media {
+		m.EndFrame()
+	}
+	r.stats.ScrubRuns++
+	if len(rep.Unrecoverable) > 0 {
+		r.stats.Unrecoverable += int64(len(rep.Unrecoverable))
+		return rep, fmt.Errorf("%w: scrub found %d keys corrupt on all replicas: %v",
+			ErrUnrecoverable, len(rep.Unrecoverable), rep.Unrecoverable)
+	}
+	return rep, nil
+}
+
+// Snapshot merges every replica into the committed view: for each key the
+// newest valid record wins. It returns ErrUnrecoverable if any key is
+// corrupt on all replicas; the snapshot is then partial.
+func (r *ReplicatedStore) Snapshot() (map[string][]byte, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string][]byte)
+	var lost []string
+	up, anyUp := r.caughtUp()
+	for _, key := range r.unionKeys() {
+		cands := r.readCandidates(key)
+		best, fatal := selectBest(cands, up, anyUp)
+		if fatal {
+			lost = append(lost, key)
+			continue
+		}
+		if best < 0 {
+			continue
+		}
+		if win := cands[best].rec; !win.tombstone {
+			cp := make([]byte, len(win.payload))
+			copy(cp, win.payload)
+			out[key] = cp
+		}
+	}
+	if len(lost) > 0 {
+		r.stats.Unrecoverable += int64(len(lost))
+		return out, fmt.Errorf("%w: %d keys corrupt on all replicas in snapshot: %v",
+			ErrUnrecoverable, len(lost), lost)
+	}
+	return out, nil
+}
+
+// KeysWithPrefix returns the committed keys having the given prefix, sorted.
+// Keys corrupt on every replica make it return ErrUnrecoverable.
+func (r *ReplicatedStore) KeysWithPrefix(prefix string) ([]string, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var keys []string
+	var lost []string
+	up, anyUp := r.caughtUp()
+	for _, key := range r.unionKeys() {
+		if len(key) < len(prefix) || key[:len(prefix)] != prefix {
+			continue
+		}
+		cands := r.readCandidates(key)
+		best, fatal := selectBest(cands, up, anyUp)
+		if fatal {
+			lost = append(lost, key)
+			continue
+		}
+		if best >= 0 && !cands[best].rec.tombstone {
+			keys = append(keys, key)
+		}
+	}
+	if len(lost) > 0 {
+		r.stats.Unrecoverable += int64(len(lost))
+		return keys, fmt.Errorf("%w: %d keys corrupt on all replicas: %v", ErrUnrecoverable, len(lost), lost)
+	}
+	return keys, nil
+}

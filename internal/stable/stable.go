@@ -15,6 +15,16 @@
 // frame scheduler invokes at the end of each frame. A processor failure
 // discards the staged writes (they were volatile) but never the committed
 // state.
+//
+// The paper assumes stable storage is ultra-dependable; Schlichting and
+// Schneider's original fail-stop construction instead derives it from
+// unreliable parts. This package provides both: NewStore returns the
+// assumed-perfect in-memory store, while NewHardened mounts the same
+// staged-commit interface on a ReplicatedStore — N checksummed replicas
+// with read repair and an end-of-frame scrub pass over injectable Media —
+// so that sub-fail-stop storage faults (torn writes, bit rot, stuck reads)
+// are either repaired transparently or converted into a fail-stop halt via
+// the store's fault sink, never into silently wrong data.
 package stable
 
 import (
@@ -34,9 +44,11 @@ import (
 // concurrently.
 type Store struct {
 	mu        sync.Mutex
-	committed map[string][]byte
+	committed map[string][]byte // plain in-memory backend; nil when hardened
+	rep       *ReplicatedStore  // hardened backend; nil when plain
 	staged    map[string]stagedVal
 	version   uint64
+	onFault   func(error) // invoked (outside the lock) on unrecoverable faults
 }
 
 // stagedVal is a staged write: a pending value or a tombstone.
@@ -45,7 +57,8 @@ type stagedVal struct {
 	deleted bool
 }
 
-// NewStore returns an empty store at version 0.
+// NewStore returns an empty store at version 0 over the assumed-perfect
+// in-memory backend.
 func NewStore() *Store {
 	return &Store{
 		committed: make(map[string][]byte),
@@ -53,11 +66,60 @@ func NewStore() *Store {
 	}
 }
 
+// NewHardened returns a store whose committed state lives on the given
+// replicated, checksummed backend instead of a perfect in-memory map. Use
+// SetFaultSink to receive unrecoverable-fault notifications; without a sink,
+// unrecoverable corruption silently reads as absence, which weakens the
+// fail-stop guarantee.
+func NewHardened(rep *ReplicatedStore) *Store {
+	return &Store{
+		rep:    rep,
+		staged: make(map[string]stagedVal),
+	}
+}
+
+// Hardened returns the replicated backend, or nil for a plain store. It is
+// how campaign instrumentation reaches the fault-handling counters.
+func (s *Store) Hardened() *ReplicatedStore {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rep
+}
+
+// SetFaultSink installs the unrecoverable-fault handler. The sink is called
+// outside the store's lock, so it may call back into the store (the
+// fail-stop processor's halt path does: halting discards staged writes).
+func (s *Store) SetFaultSink(fn func(error)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.onFault = fn
+}
+
+// fault dispatches an unrecoverable fault to the sink. Call without holding
+// the lock.
+func (s *Store) fault(sink func(error), err error) {
+	if err != nil && sink != nil {
+		sink(err)
+	}
+}
+
 // Get returns the committed value for key. Staged (uncommitted) writes are
 // never visible, matching the read-committed semantics of frame-boundary
-// stable-storage access. The returned slice is a copy.
+// stable-storage access. The returned slice is a copy. On a hardened store,
+// corruption that defeats all replicas reports through the fault sink and
+// reads as absent — never as wrong data.
 func (s *Store) Get(key string) ([]byte, bool) {
 	s.mu.Lock()
+	if s.rep != nil {
+		sink := s.onFault
+		s.mu.Unlock()
+		v, ok, err := s.rep.Get(key)
+		if err != nil {
+			s.fault(sink, err)
+			return nil, false
+		}
+		return v, ok
+	}
 	defer s.mu.Unlock()
 	v, ok := s.committed[key]
 	if !ok {
@@ -88,8 +150,26 @@ func (s *Store) Delete(key string) {
 // Commit atomically applies all staged writes and returns the new version.
 // Commit with nothing staged still advances the version: every frame ends
 // with a commit, and the version doubles as a frame-aligned logical clock.
+// On a hardened store a commit lost on every replica reports through the
+// fault sink and does not advance the version — the owning processor is
+// expected to halt.
 func (s *Store) Commit() uint64 {
 	s.mu.Lock()
+	if s.rep != nil {
+		next := s.version + 1
+		batch := s.staged
+		s.staged = make(map[string]stagedVal)
+		sink := s.onFault
+		s.mu.Unlock()
+		if err := s.rep.Commit(next, batch); err != nil {
+			s.fault(sink, err)
+			return s.Version()
+		}
+		s.mu.Lock()
+		s.version = next
+		s.mu.Unlock()
+		return next
+	}
 	defer s.mu.Unlock()
 	for k, sv := range s.staged {
 		if sv.deleted {
@@ -101,6 +181,31 @@ func (s *Store) Commit() uint64 {
 	clear(s.staged)
 	s.version++
 	return s.version
+}
+
+// Scrub runs the hardened backend's end-of-frame integrity pass, skipping
+// keys with a staged deletion (per Dirty, repairing a record the next commit
+// tombstones is wasted work). It is a no-op on a plain store. Unrecoverable
+// corruption reports through the fault sink and is also returned.
+func (s *Store) Scrub() (ScrubReport, error) {
+	s.mu.Lock()
+	if s.rep == nil {
+		s.mu.Unlock()
+		return ScrubReport{}, nil
+	}
+	doomed := make(map[string]bool)
+	for k, sv := range s.staged {
+		if sv.deleted {
+			doomed[k] = true
+		}
+	}
+	sink := s.onFault
+	s.mu.Unlock()
+	rep, err := s.rep.Scrub(func(key string) bool { return doomed[key] })
+	if err != nil {
+		s.fault(sink, err)
+	}
+	return rep, err
 }
 
 // Discard drops all staged writes without committing them. The frame
@@ -132,6 +237,13 @@ func (s *Store) PendingWrites() int {
 // reconfiguration.
 func (s *Store) Snapshot() map[string][]byte {
 	s.mu.Lock()
+	if s.rep != nil {
+		sink := s.onFault
+		s.mu.Unlock()
+		snap, err := s.rep.Snapshot()
+		s.fault(sink, err)
+		return snap
+	}
 	defer s.mu.Unlock()
 	out := make(map[string][]byte, len(s.committed))
 	for k, v := range s.committed {
@@ -153,6 +265,13 @@ func (s *Store) Restore(snap map[string][]byte) {
 // Keys returns the committed keys having the given prefix, sorted.
 func (s *Store) Keys(prefix string) []string {
 	s.mu.Lock()
+	if s.rep != nil {
+		sink := s.onFault
+		s.mu.Unlock()
+		keys, err := s.rep.KeysWithPrefix(prefix)
+		s.fault(sink, err)
+		return keys
+	}
 	defer s.mu.Unlock()
 	var keys []string
 	for k := range s.committed {
@@ -162,6 +281,25 @@ func (s *Store) Keys(prefix string) []string {
 	}
 	sort.Strings(keys)
 	return keys
+}
+
+// StagedLen returns the number of staged, uncommitted operations, counting
+// deletions as well as writes — the committed view cannot distinguish "key
+// absent" from "key deleted this frame", but diagnostics (commit-hook
+// logging, the scrub pass) can via StagedLen and Dirty.
+func (s *Store) StagedLen() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.staged)
+}
+
+// Dirty reports whether key has a staged, uncommitted operation this frame
+// and whether that operation is a deletion.
+func (s *Store) Dirty(key string) (staged, deleted bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sv, ok := s.staged[key]
+	return ok, ok && sv.deleted
 }
 
 // PutString stages a string value.

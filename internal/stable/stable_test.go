@@ -343,3 +343,32 @@ func TestCommitAppliesAllProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestStagedLenAndDirty(t *testing.T) {
+	s := NewStore()
+	if s.StagedLen() != 0 {
+		t.Fatalf("fresh store StagedLen = %d", s.StagedLen())
+	}
+	s.Put("a", []byte("1"))
+	s.Put("b", []byte("2"))
+	s.Delete("c")
+	if got := s.StagedLen(); got != 3 {
+		t.Errorf("StagedLen = %d, want 3", got)
+	}
+	if staged, deleted := s.Dirty("a"); !staged || deleted {
+		t.Errorf("Dirty(a) = %v, %v; want staged put", staged, deleted)
+	}
+	if staged, deleted := s.Dirty("c"); !staged || !deleted {
+		t.Errorf("Dirty(c) = %v, %v; want staged delete", staged, deleted)
+	}
+	if staged, _ := s.Dirty("nope"); staged {
+		t.Error("Dirty reports untouched key as staged")
+	}
+	s.Commit()
+	if s.StagedLen() != 0 {
+		t.Errorf("StagedLen after commit = %d", s.StagedLen())
+	}
+	if staged, _ := s.Dirty("a"); staged {
+		t.Error("Dirty(a) still staged after commit")
+	}
+}
