@@ -687,13 +687,11 @@ func TestImmediateRetargetEndToEnd(t *testing.T) {
 	s, _, _ := buildSystem(t, func(o *Options) {
 		o.Spec.Retarget = spec.RetargetImmediate
 		o.Spec.DwellFrames = 1
-		for _, c := range []spec.ConfigID{spectest.CfgFull, spectest.CfgReduced, spectest.CfgMinimal} {
-			o.Spec.Transitions = append(o.Spec.Transitions,
-				spec.Transition{From: c, To: c, MaxFrames: 12})
-		}
-		// Immediate policy inflates required windows by the worst
-		// prepare; the fixture's bounds of 8 still hold (required 6),
-		// so obligations discharge.
+		// The canonical spec already declares the self-transition
+		// bounds the immediate policy obliges. Immediate policy
+		// inflates required windows by the worst prepare; the
+		// fixture's bounds of 8 still hold (required 6), so
+		// obligations discharge.
 		o.Script = []envmon.Event{
 			{Frame: 5, Factor: "alt1", Value: "failed"},
 			{Frame: 6, Factor: "alt2", Value: "failed"}, // during the halt frame

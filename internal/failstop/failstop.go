@@ -202,7 +202,10 @@ func (p *Processor) StorageFault() error {
 }
 
 // FailedAtFrame returns the frame in which the processor failed; it is only
-// meaningful when State is StateFailed.
+// meaningful when State is StateFailed. For a storage-fault halt raised
+// through the store's fault sink the processor has no frame counter, so the
+// recorded value is the store's commit version at the halt — which tracks
+// the number of frames the processor spent alive, not the wall-clock frame.
 func (p *Processor) FailedAtFrame() int64 {
 	p.mu.Lock()
 	defer p.mu.Unlock()

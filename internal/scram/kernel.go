@@ -224,6 +224,12 @@ func (k *Kernel) maybeTrigger(f int64) error {
 	if err != nil {
 		return err
 	}
+	return k.startPlan(f, p)
+}
+
+// startPlan installs a built plan and logs its Table 1 schedule.
+func (k *Kernel) startPlan(f int64, p *plan) error {
+	target := p.Target
 	k.st.Plan = p
 	k.st.TriggerApp = k.st.LastSource
 	k.logf(f, EventTrigger, target, "%s -> %s, window [%d,%d]", p.Source, p.Target, p.TriggerFrame, p.InitEnd)
@@ -238,6 +244,9 @@ func (k *Kernel) advancePlan(f int64) error {
 	p := k.st.Plan
 	// Immediate retargeting: permitted once per window, and only while
 	// initialization has not begun (after that, new triggers buffer).
+	// Retargeting back to the plan's source is allowed and yields a
+	// self-transition window, which is why the immediate policy carries
+	// the self-transition-bound static obligation.
 	if k.rs.Retarget == spec.RetargetImmediate && !p.Retargeted && f+1 <= p.InitStart {
 		if newTarget, ok := k.rs.Choice.Choose(p.Source, k.st.Env); ok && newTarget != p.Target {
 			k.st.Seq++
@@ -254,8 +263,47 @@ func (k *Kernel) advancePlan(f int64) error {
 		k.st.TriggerApp = ""
 		k.logf(f, EventComplete, p.Target, "window [%d,%d], %d frames",
 			p.TriggerFrame, p.InitEnd, p.InitEnd-p.TriggerFrame+1)
+		return k.maybeChain(f, p)
 	}
 	return nil
+}
+
+// maybeChain handles an urgent (hardware-fault) signal that arrived too
+// late in the window for retargeting: the plan just completed into a
+// configuration the choice function already rejects — typically because a
+// processor the target places applications on failed mid-window. Resting
+// there is impossible (the lost applications can never report normal), so
+// the kernel chains straight into the follow-up transition in the same
+// frame, with no intervening cycle of normal operation. In the trace the
+// two transitions fuse into one reconfiguration window running from the
+// original source to the final target; chaining therefore requires that
+// composite pair to be declared with a bound the fused window fits — for a
+// window that returns to its own source, that is the self-transition bound
+// the retargeting machinery also relies on. An undeclared or overrun
+// composite falls back to completing normally (the follow-up then runs as
+// an ordinary buffered trigger next frame).
+func (k *Kernel) maybeChain(f int64, p *plan) error {
+	if !k.st.Urgent {
+		return nil
+	}
+	newTarget, ok := k.rs.Choice.Choose(p.Target, k.st.Env)
+	if !ok || newTarget == p.Target {
+		return nil
+	}
+	np, err := buildPlan(k.rs, k.st.Seq+1, p.Target, newTarget, f)
+	if err != nil {
+		return nil // undeclared follow-up transition: buffer instead
+	}
+	bound, declared := k.rs.T(p.ChainSource, newTarget)
+	if !declared || np.InitEnd-p.ChainStart+1 > int64(bound) {
+		return nil
+	}
+	k.st.Urgent = false
+	k.st.Seq++
+	np.Chained = true
+	np.ChainStart = p.ChainStart
+	np.ChainSource = p.ChainSource
+	return k.startPlan(f, np)
 }
 
 // writeCommands stages every application's command for frame f+1.
@@ -313,7 +361,12 @@ func (k *Kernel) StatusOf(app spec.AppID, frameNum int64) trace.ReconfStatus {
 	if p == nil {
 		return trace.StatusNormal
 	}
-	if frameNum == p.TriggerFrame {
+	// The trigger frame of an ordinary window is the last frame of normal
+	// operation: only the application attributed with the failure shows
+	// interrupted. A chained plan's trigger frame is mid-window (the frame
+	// its predecessor completed in), so every application is already in
+	// the protocol and reports its phase status instead.
+	if frameNum == p.TriggerFrame && !p.Chained {
 		if app == k.st.TriggerApp {
 			return trace.StatusInterrupted
 		}

@@ -342,6 +342,55 @@ func TestImmediateRetarget(t *testing.T) {
 	}
 }
 
+// TestRetargetToSource: when the environment returns to the plan's source
+// state mid-window, the immediate policy retargets back to the source — a
+// self-transition window, legal because the policy's static obligations
+// require every reachable configuration to declare T(c, c).
+func TestRetargetToSource(t *testing.T) {
+	rs := spectest.ThreeConfig()
+	rs.DwellFrames = 0
+	rs.Retarget = spec.RetargetImmediate
+	k, st := newTestKernel(t, rs)
+	step(t, k, st, 0)
+
+	// Trigger at 1 toward reduced: halt [2,2], prep [3,3], init [4,5].
+	k.Signal(envmon.Signal{Source: spectest.AppMonitor, State: spectest.EnvReduced, Frame: 1})
+	step(t, k, st, 1)
+	// The environment recovers during the halt frame: choose(full, full)
+	// is the plan's source, so the window retargets back to full.
+	k.Signal(envmon.Signal{Source: spectest.AppMonitor, State: spectest.EnvFull, Frame: 2})
+	step(t, k, st, 2)
+	retargeted := false
+	for _, e := range k.Events() {
+		if e.Kind == EventRetarget {
+			retargeted = true
+			if e.Config != spectest.CfgFull {
+				t.Fatalf("retargeted to %s, want full", e.Config)
+			}
+		}
+	}
+	if !retargeted {
+		t.Fatalf("no retarget back to source; events: %v", k.Events())
+	}
+	target, _, ok := k.PlanTarget()
+	if !ok || target != spectest.CfgFull {
+		t.Fatalf("plan target = %s (ok=%v), want full", target, ok)
+	}
+	bound, _ := rs.T(spectest.CfgFull, spectest.CfgFull)
+	for f := int64(3); f <= int64(bound); f++ {
+		step(t, k, st, f)
+		if !k.Reconfiguring() {
+			break
+		}
+	}
+	if k.Reconfiguring() {
+		t.Fatalf("self-transition window still open past its declared bound %d", bound)
+	}
+	if k.Current() != spectest.CfgFull {
+		t.Fatalf("window ended in %s, want full (the source)", k.Current())
+	}
+}
+
 func TestPersistAndRestoreMidPlan(t *testing.T) {
 	rs := spectest.ThreeConfig()
 	k, st := newTestKernel(t, rs)

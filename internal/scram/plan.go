@@ -38,6 +38,16 @@ type plan struct {
 	InitEnd      int64                      `json:"init_end"`
 	Apps         map[spec.AppID]*appWindows `json:"apps"`
 	Retargeted   bool                       `json:"retargeted"`
+	// Chained marks a plan started in the same frame its predecessor
+	// completed in (the urgent chain-through path): its trigger frame is
+	// mid-window, not a frame of normal operation.
+	Chained bool `json:"chained,omitempty"`
+	// ChainStart and ChainSource identify the fused trace window a chain
+	// of plans forms: the trigger frame and source configuration of the
+	// first plan in the chain. For an unchained plan they equal
+	// TriggerFrame and Source.
+	ChainStart  int64         `json:"chain_start"`
+	ChainSource spec.ConfigID `json:"chain_source"`
 }
 
 // buildPlan schedules a reconfiguration triggered at triggerFrame from
@@ -60,6 +70,8 @@ func buildPlan(rs *spec.ReconfigSpec, seq int64, source, target spec.ConfigID, t
 		TriggerFrame: triggerFrame,
 		HaltStart:    triggerFrame + 1,
 		Apps:         make(map[spec.AppID]*appWindows),
+		ChainStart:   triggerFrame,
+		ChainSource:  source,
 	}
 	for _, app := range rs.Apps {
 		aw := &appWindows{

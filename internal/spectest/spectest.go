@@ -80,6 +80,16 @@ func ThreeConfig() *spec.ReconfigSpec {
 			{From: CfgReduced, To: CfgMinimal, MaxFrames: 8},
 			{From: CfgReduced, To: CfgFull, MaxFrames: 8},
 			{From: CfgMinimal, To: CfgReduced, MaxFrames: 8},
+			// Self-transition bounds: never chosen in normal operation
+			// (choice returning the current configuration triggers no
+			// window), they bound windows that return to their own
+			// source — an immediate retarget back to source, or a
+			// mid-window processor loss chaining a follow-up transition
+			// onto the completing one. Sized for two back-to-back
+			// transitions sharing the trigger/completion frame.
+			{From: CfgFull, To: CfgFull, MaxFrames: 16},
+			{From: CfgReduced, To: CfgReduced, MaxFrames: 16},
+			{From: CfgMinimal, To: CfgMinimal, MaxFrames: 16},
 		},
 		Choice: spec.ChoiceTable{
 			CfgFull:    {EnvFull: CfgFull, EnvReduced: CfgReduced, EnvBattery: CfgMinimal},

@@ -24,13 +24,17 @@ type ReplStats struct {
 	// replica during reads.
 	ReadRepairs int64 `json:"read_repairs"`
 	// ScrubRepairs counts replica records rewritten by the end-of-frame
-	// scrub pass.
+	// scrub pass or by a commit-time rescue.
 	ScrubRepairs int64 `json:"scrub_repairs"`
 	// ScrubRuns counts scrub passes.
 	ScrubRuns int64 `json:"scrub_runs"`
 	// StaleCommitRecords counts media whose commit record was found
 	// behind (or corrupt) and rewritten by the scrub pass.
 	StaleCommitRecords int64 `json:"stale_commit_records"`
+	// CommitRescues counts commits salvaged by verify-and-repair promotion
+	// of a replica that absorbed the batch but was not caught up when no
+	// caught-up replica absorbed it.
+	CommitRescues int64 `json:"commit_rescues"`
 	// Unrecoverable counts faults that defeated every replica: the events
 	// that must halt the processor to preserve fail-stop semantics.
 	Unrecoverable int64 `json:"unrecoverable"`
@@ -49,6 +53,7 @@ func (s *ReplStats) Add(o ReplStats) {
 	s.ScrubRepairs += o.ScrubRepairs
 	s.ScrubRuns += o.ScrubRuns
 	s.StaleCommitRecords += o.StaleCommitRecords
+	s.CommitRescues += o.CommitRescues
 	s.Unrecoverable += o.Unrecoverable
 	s.SilentWrongData += o.SilentWrongData
 }
@@ -61,8 +66,8 @@ type ScrubReport struct {
 	Corrupt int
 	// Repaired is the number of replica records rewritten.
 	Repaired int
-	// StaleCommits is the number of media whose commit record needed
-	// rewriting.
+	// StaleCommits is the number of media whose behind (or corrupt) commit
+	// record was successfully rewritten.
 	StaleCommits int
 	// Unrecoverable lists keys whose every replica was corrupt.
 	Unrecoverable []string
@@ -181,16 +186,39 @@ func (r *ReplicatedStore) caughtUp() (up []bool, any bool) {
 		return up, true
 	}
 	for i, m := range r.media {
-		raw, ok := m.Read(commitRecordKey)
-		if !ok {
-			continue
-		}
-		if v, err := decodeCommitRecord(raw); err == nil && v == r.version {
-			up[i] = true
-			any = true
+		// A corrupt read is retried once: a stuck read is transient and must
+		// not demote a current medium to stale for the whole pass.
+		for attempt := 0; attempt < 2; attempt++ {
+			raw, ok := m.Read(commitRecordKey)
+			if !ok {
+				break
+			}
+			v, err := decodeCommitRecord(raw)
+			if err != nil {
+				continue
+			}
+			if v == r.version {
+				up[i] = true
+				any = true
+			}
+			break
 		}
 	}
 	return up, any
+}
+
+// bestOf reads key's replicas and picks the copy a read may trust. A fatal
+// first pass is re-read once before being believed: a stuck read is a
+// transient fault that does not damage the stored record, so a second read
+// separates it from persistent corruption — which stays fatal.
+func (r *ReplicatedStore) bestOf(key string, up []bool, anyUp bool) ([]candidate, int, bool) {
+	cands := r.readCandidates(key)
+	best, fatal := selectBest(cands, up, anyUp)
+	if fatal {
+		cands = r.readCandidates(key)
+		best, fatal = selectBest(cands, up, anyUp)
+	}
+	return cands, best, fatal
 }
 
 // selectBest picks the candidate a read may trust, or reports that none can
@@ -199,9 +227,11 @@ func (r *ReplicatedStore) caughtUp() (up []bool, any bool) {
 // updates, so when every caught-up copy of a key is corrupt the newest
 // committed version is unknowable and returning a stale survivor would be
 // silent wrong data — exactly the failure a fail-stop store must convert
-// into a halt. The fallback to stale media applies only when no caught-up
-// medium knows the key at all (the key predates every surviving replica's
-// last tear, so no newer write can be masked).
+// into a halt. The fallback to stale media applies only when some medium is
+// provably caught up yet none of the caught-up media knows the key at all
+// (the key predates every surviving replica's last tear, so no newer write
+// can be masked). With no caught-up medium whatsoever, no record can be
+// proven current, and any surviving copy is fatal rather than trusted.
 func selectBest(cands []candidate, up []bool, anyUp bool) (best int, fatal bool) {
 	best = -1
 	for i, c := range cands {
@@ -218,14 +248,14 @@ func selectBest(cands []candidate, up []bool, anyUp bool) (best int, fatal bool)
 				return -1, true
 			}
 		}
-	}
-	for i, c := range cands {
-		if c.valid && (best < 0 || c.rec.version > cands[best].rec.version) {
-			best = i
+		for i, c := range cands {
+			if c.valid && (best < 0 || c.rec.version > cands[best].rec.version) {
+				best = i
+			}
 		}
-	}
-	if best >= 0 {
-		return best, false
+		if best >= 0 {
+			return best, false
+		}
 	}
 	for _, c := range cands {
 		if c.present {
@@ -237,8 +267,9 @@ func selectBest(cands []candidate, up []bool, anyUp bool) (best int, fatal bool)
 
 // repairFrom rewrites every replica that disagrees with the winning record.
 // Write faults during repair are tolerated: the replica stays behind and the
-// next scrub retries. Returns the number of successful repairs.
-func (r *ReplicatedStore) repairFrom(key string, cands []candidate, best int) int {
+// next scrub retries. Returns the number of successful repairs; when failed
+// is non-nil, any medium whose repair write faulted is marked in it.
+func (r *ReplicatedStore) repairFrom(key string, cands []candidate, best int, failed []bool) int {
 	win := cands[best].rec
 	raw := encodeRecord(win)
 	repaired := 0
@@ -248,6 +279,8 @@ func (r *ReplicatedStore) repairFrom(key string, cands []candidate, best int) in
 		}
 		if err := r.media[i].Write(key, raw); err == nil {
 			repaired++
+		} else if failed != nil {
+			failed[i] = true
 		}
 	}
 	return repaired
@@ -274,8 +307,7 @@ func (r *ReplicatedStore) Get(key string) ([]byte, bool, error) {
 
 func (r *ReplicatedStore) get(key string) ([]byte, bool, error) {
 	up, anyUp := r.caughtUp()
-	cands := r.readCandidates(key)
-	best, fatal := selectBest(cands, up, anyUp)
+	cands, best, fatal := r.bestOf(key, up, anyUp)
 	if fatal {
 		r.stats.Unrecoverable++
 		return nil, false, fmt.Errorf("%w: key %q has no trustworthy copy on any of %d replicas", ErrUnrecoverable, key, len(r.media))
@@ -283,7 +315,7 @@ func (r *ReplicatedStore) get(key string) ([]byte, bool, error) {
 	if best < 0 {
 		return nil, false, nil
 	}
-	r.stats.ReadRepairs += int64(r.repairFrom(key, cands, best))
+	r.stats.ReadRepairs += int64(r.repairFrom(key, cands, best, nil))
 	win := cands[best].rec
 	if win.tombstone {
 		return nil, false, nil
@@ -294,10 +326,20 @@ func (r *ReplicatedStore) get(key string) ([]byte, bool, error) {
 }
 
 // Commit applies a staged batch as version v to every replica: the batch's
-// records in sorted key order, then the commit record. A replica whose
-// medium tears mid-batch is left behind (and repaired later); if every
-// replica tears before absorbing a non-empty batch, the commit is lost and
-// Commit returns ErrUnrecoverable.
+// records in sorted key order, then the commit record. Only a medium that
+// was caught up (its commit record pinning v-1) may be stamped with the new
+// commit record: a medium that missed an earlier batch receives this batch's
+// data records but keeps its old commit record — stamping it would declare
+// its stale copies of keys outside the batch authoritative — and stays
+// behind until a scrub pass fully repairs it. A replica whose medium tears
+// mid-batch is likewise left behind (and repaired later). When no caught-up
+// replica fully absorbs the commit, Commit tries to salvage it by promoting
+// a replica that did absorb the whole batch: every record outside the batch
+// is verified against — and repaired from — the still-readable pre-commit
+// authoritative copies, and only on full success is that replica stamped. If
+// neither a caught-up replica nor a promotion lands the commit, the new
+// version cannot be trusted on any medium and Commit returns
+// ErrUnrecoverable without advancing the version.
 func (r *ReplicatedStore) Commit(v uint64, batch map[string]stagedVal) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -307,8 +349,10 @@ func (r *ReplicatedStore) Commit(v uint64, batch map[string]stagedVal) error {
 	}
 	sort.Strings(keys)
 
+	up, anyUp := r.caughtUp()
 	okReplicas := 0
-	for _, m := range r.media {
+	absorbed := make([]bool, len(r.media))
+	for i, m := range r.media {
 		good := true
 		for _, k := range keys {
 			sv := batch[k]
@@ -318,6 +362,10 @@ func (r *ReplicatedStore) Commit(v uint64, batch map[string]stagedVal) error {
 				good = false
 				break
 			}
+		}
+		absorbed[i] = good
+		if !up[i] {
+			continue
 		}
 		if good {
 			if err := m.Write(commitRecordKey, encodeCommitRecord(v)); err != nil {
@@ -330,9 +378,20 @@ func (r *ReplicatedStore) Commit(v uint64, batch map[string]stagedVal) error {
 		}
 	}
 	r.stats.Commits++
-	if okReplicas == 0 && len(keys) > 0 {
+	if okReplicas == 0 {
+		for i := range r.media {
+			if absorbed[i] && r.rescueCommit(i, batch, up, anyUp) {
+				if r.media[i].Write(commitRecordKey, encodeCommitRecord(v)) == nil {
+					r.stats.CommitRescues++
+					okReplicas = 1
+					break
+				}
+			}
+		}
+	}
+	if okReplicas == 0 {
 		r.stats.Unrecoverable++
-		return fmt.Errorf("%w: commit %d lost on all %d replicas", ErrUnrecoverable, v, len(r.media))
+		return fmt.Errorf("%w: commit %d absorbed by no caught-up replica (of %d)", ErrUnrecoverable, v, len(r.media))
 	}
 	r.version = v
 	if r.oracle != nil {
@@ -347,6 +406,36 @@ func (r *ReplicatedStore) Commit(v uint64, batch map[string]stagedVal) error {
 		}
 	}
 	return nil
+}
+
+// rescueCommit verifies and repairs every record of medium i outside the
+// batch just written, against the replicas that were authoritative before
+// this commit (a torn medium rejects writes but still reads). It reports
+// whether medium i is provably fully current — only then may the caller
+// stamp it with the new commit record. Batch keys are exempt: the caller
+// proved them by completing their writes, and their new records are a
+// version ahead of r.version, which readCandidates would misread as corrupt.
+func (r *ReplicatedStore) rescueCommit(i int, batch map[string]stagedVal, up []bool, anyUp bool) bool {
+	for _, key := range r.unionKeys() {
+		if _, inBatch := batch[key]; inBatch {
+			continue
+		}
+		cands, best, fatal := r.bestOf(key, up, anyUp)
+		if fatal {
+			return false
+		}
+		if best < 0 || best == i {
+			continue
+		}
+		if c := cands[i]; c.valid && c.rec.version == cands[best].rec.version {
+			continue
+		}
+		if r.media[i].Write(key, encodeRecord(cands[best].rec)) != nil {
+			return false
+		}
+		r.stats.ScrubRepairs++
+	}
+	return true
 }
 
 // unionKeys returns every logical key stored on any medium, sorted.
@@ -374,25 +463,56 @@ func (r *ReplicatedStore) unionKeys() []string {
 // repairing a record that the next commit tombstones is wasted work. A key
 // corrupt on every replica makes Scrub return ErrUnrecoverable after
 // finishing the pass.
+//
+// A stale commit record is refreshed only for a medium whose every record
+// this pass brought (or verified) current: a medium with a failed repair —
+// or a divergent copy of a skipped or unrecoverable key — must stay
+// non-authoritative, or its unrepaired records would masquerade as the
+// newest committed writes once the commit record declares it caught up.
 func (r *ReplicatedStore) Scrub(skip func(key string) bool) (ScrubReport, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	var rep ScrubReport
 	up, anyUp := r.caughtUp()
+	allUp := true
+	for _, u := range up {
+		allUp = allUp && u
+	}
+	unrepaired := make([]bool, len(r.media))
 	for _, key := range r.unionKeys() {
-		if skip != nil && skip(key) {
+		doomed := skip != nil && skip(key)
+		if doomed && allUp {
+			continue
+		}
+		cands, best, fatal := r.bestOf(key, up, anyUp)
+		if doomed {
+			// The next commit tombstones the key everywhere, so it is not
+			// worth repairing — but a stale medium holding a divergent copy
+			// of it has not been brought current either.
+			for i, c := range cands {
+				if up[i] || !c.present {
+					continue
+				}
+				if best >= 0 && c.valid && c.rec.version == cands[best].rec.version {
+					continue
+				}
+				unrepaired[i] = true
+			}
 			continue
 		}
 		rep.Checked++
-		cands := r.readCandidates(key)
 		for _, c := range cands {
 			if c.present && !c.valid {
 				rep.Corrupt++
 			}
 		}
-		best, fatal := selectBest(cands, up, anyUp)
 		if fatal {
 			rep.Unrecoverable = append(rep.Unrecoverable, key)
+			for i, c := range cands {
+				if !up[i] && c.present {
+					unrepaired[i] = true
+				}
+			}
 			continue
 		}
 		if best < 0 {
@@ -403,20 +523,25 @@ func (r *ReplicatedStore) Scrub(skip func(key string) bool) (ScrubReport, error)
 				rep.Corrupt++ // stale, not damaged, but still divergent
 			}
 		}
-		n := r.repairFrom(key, cands, best)
+		n := r.repairFrom(key, cands, best, unrepaired)
 		rep.Repaired += n
 		r.stats.ScrubRepairs += int64(n)
 	}
-	for _, m := range r.media {
+	for i, m := range r.media {
 		raw, ok := m.Read(commitRecordKey)
 		v, err := uint64(0), error(nil)
 		if ok {
 			v, err = decodeCommitRecord(raw)
 		}
-		if !ok || err != nil || v != r.version {
+		if ok && err == nil && v == r.version {
+			continue
+		}
+		if unrepaired[i] {
+			continue
+		}
+		if m.Write(commitRecordKey, encodeCommitRecord(r.version)) == nil {
 			rep.StaleCommits++
 			r.stats.StaleCommitRecords++
-			_ = m.Write(commitRecordKey, encodeCommitRecord(r.version))
 		}
 	}
 	for _, m := range r.media {
@@ -441,8 +566,7 @@ func (r *ReplicatedStore) Snapshot() (map[string][]byte, error) {
 	var lost []string
 	up, anyUp := r.caughtUp()
 	for _, key := range r.unionKeys() {
-		cands := r.readCandidates(key)
-		best, fatal := selectBest(cands, up, anyUp)
+		cands, best, fatal := r.bestOf(key, up, anyUp)
 		if fatal {
 			lost = append(lost, key)
 			continue
@@ -476,8 +600,7 @@ func (r *ReplicatedStore) KeysWithPrefix(prefix string) ([]string, error) {
 		if len(key) < len(prefix) || key[:len(prefix)] != prefix {
 			continue
 		}
-		cands := r.readCandidates(key)
-		best, fatal := selectBest(cands, up, anyUp)
+		cands, best, fatal := r.bestOf(key, up, anyUp)
 		if fatal {
 			lost = append(lost, key)
 			continue

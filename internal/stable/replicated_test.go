@@ -3,6 +3,7 @@ package stable
 import (
 	"bytes"
 	"errors"
+	"sync"
 	"testing"
 )
 
@@ -284,6 +285,144 @@ func TestCommitLostOnAllReplicasHalts(t *testing.T) {
 	// Committed state survives at the old version.
 	if v, ok := st.Get("k"); !ok || string(v) != "v1" {
 		t.Fatalf("Get after lost commit = %q, %v; want v1", v, ok)
+	}
+}
+
+// TestCommitDoesNotStampStaleReplica: a replica that missed an earlier
+// batch must not be stamped caught up by a later commit it fully absorbs —
+// it may still hold stale records for keys outside that batch. If it were
+// stamped, rot on the genuinely current copies would let the stale record
+// read back as current (silent wrong data); instead the store must halt.
+func TestCommitDoesNotStampStaleReplica(t *testing.T) {
+	fm := NewFaultyMedium(1, FaultProfile{})
+	good := NewMemMedium()
+	rep := NewReplicatedStore(good, fm)
+	st := NewHardened(rep)
+	var sunk error
+	st.SetFaultSink(func(err error) { sunk = err })
+
+	st.Put("y", []byte("old"))
+	st.Commit() // v1: both replicas hold y
+	fm.torn = true
+	st.Put("y", []byte("new"))
+	st.Commit() // v2 tears on fm: it keeps y@1 and commit record @1
+	fm.torn = false
+
+	// v3's batch has no y; fm absorbs it fully yet must stay unstamped.
+	st.Put("z", []byte("3"))
+	st.Commit()
+	raw, ok := fm.inner.Read(commitRecordKey)
+	if !ok {
+		t.Fatal("stale replica has no commit record")
+	}
+	if v, err := decodeCommitRecord(raw); err != nil || v != 1 {
+		t.Fatalf("stale replica's commit record = %d, %v; want 1", v, err)
+	}
+
+	// The current copy of y rots: a read must halt, not serve fm's y@1.
+	corruptOn(t, good, "y")
+	if v, ok := st.Get("y"); ok {
+		t.Fatalf("stale data served as current: %q", v)
+	}
+	if !errors.Is(sunk, ErrUnrecoverable) {
+		t.Fatalf("fault sink got %v, want ErrUnrecoverable", sunk)
+	}
+}
+
+// TestScrubDoesNotStampUnrepairedReplica: a scrub pass whose repair writes
+// fault on a medium must leave that medium's commit record behind (and not
+// count a refresh), or its unrepaired records would become authoritative.
+func TestScrubDoesNotStampUnrepairedReplica(t *testing.T) {
+	fm := NewFaultyMedium(1, FaultProfile{})
+	good := NewMemMedium()
+	rep := NewReplicatedStore(good, fm)
+	st := NewHardened(rep)
+	st.Put("k", []byte("v1"))
+	st.Commit()
+	fm.torn = true
+	st.Put("k", []byte("v2"))
+	st.Commit() // fm left behind at v1
+
+	// The scrub runs while fm still rejects writes: the repair fails, so
+	// the stale commit record must not be refreshed or counted.
+	if _, err := st.Scrub(); err != nil {
+		t.Fatalf("scrub: %v", err)
+	}
+	raw, ok := fm.inner.Read(commitRecordKey)
+	if !ok {
+		t.Fatal("fm lost its commit record")
+	}
+	if v, err := decodeCommitRecord(raw); err != nil || v != 1 {
+		t.Fatalf("unrepaired replica stamped: commit record = %d, %v", v, err)
+	}
+	if got := rep.Stats().StaleCommitRecords; got != 0 {
+		t.Errorf("failed refresh counted as performed: %d", got)
+	}
+
+	// Next frame the device recovers: the scrub repairs, then stamps.
+	if _, err := st.Scrub(); err != nil {
+		t.Fatalf("second scrub: %v", err)
+	}
+	raw, _ = fm.inner.Read(commitRecordKey)
+	if v, err := decodeCommitRecord(raw); err != nil || v != rep.Version() {
+		t.Fatalf("recovered replica not stamped: commit record = %d, %v; want %d", v, err, rep.Version())
+	}
+	if got := rep.Stats().StaleCommitRecords; got != 1 {
+		t.Errorf("StaleCommitRecords = %d, want 1", got)
+	}
+}
+
+// TestScrubSkippedKeyBlocksStamp: a key exempted from scrub repair by a
+// staged deletion still blocks the caught-up stamp of a stale medium whose
+// copy of it diverges.
+func TestScrubSkippedKeyBlocksStamp(t *testing.T) {
+	fm := NewFaultyMedium(1, FaultProfile{})
+	good := NewMemMedium()
+	rep := NewReplicatedStore(good, fm)
+	st := NewHardened(rep)
+	st.Put("k", []byte("v1"))
+	st.Commit()
+	fm.torn = true
+	st.Put("k", []byte("v2"))
+	st.Commit() // fm stale, its copy of k divergent
+	fm.torn = false
+
+	st.Delete("k") // k is doomed: the scrub skips repairing it
+	if _, err := st.Scrub(); err != nil {
+		t.Fatalf("scrub: %v", err)
+	}
+	raw, ok := fm.inner.Read(commitRecordKey)
+	if !ok {
+		t.Fatal("fm has no commit record")
+	}
+	if v, err := decodeCommitRecord(raw); err != nil || v != 1 {
+		t.Fatalf("stale replica stamped past a divergent doomed key: commit record = %d, %v", v, err)
+	}
+}
+
+// TestConcurrentCommitsSerialize drives Commit from several goroutines; the
+// commit-serializing lock must hand each one a distinct version (run under
+// -race to check the backend never sees duplicate version numbers).
+func TestConcurrentCommitsSerialize(t *testing.T) {
+	rep := NewReplicatedStore(NewMemMedium(), NewMemMedium())
+	st := NewHardened(rep)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				st.Put("k", []byte{byte(g), byte(i)})
+				st.Commit()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if v := st.Version(); v != 100 {
+		t.Fatalf("store version = %d, want 100", v)
+	}
+	if v := rep.Version(); v != 100 {
+		t.Fatalf("backend version = %d, want 100", v)
 	}
 }
 

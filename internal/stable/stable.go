@@ -43,7 +43,12 @@ import (
 // hosted on the same processor may stage writes and read the committed view
 // concurrently.
 type Store struct {
-	mu        sync.Mutex
+	mu sync.Mutex
+	// commitMu serializes Commit end to end: on the hardened path the
+	// backend commit happens outside mu (the fault sink may re-enter the
+	// store), so without it two concurrent Commits would derive the same
+	// next version and race duplicate version numbers into the backend.
+	commitMu  sync.Mutex
 	committed map[string][]byte // plain in-memory backend; nil when hardened
 	rep       *ReplicatedStore  // hardened backend; nil when plain
 	staged    map[string]stagedVal
@@ -89,6 +94,8 @@ func (s *Store) Hardened() *ReplicatedStore {
 // SetFaultSink installs the unrecoverable-fault handler. The sink is called
 // outside the store's lock, so it may call back into the store (the
 // fail-stop processor's halt path does: halting discards staged writes).
+// It must not call Commit: a sink fired by a failed commit runs while the
+// commit-serializing lock is held.
 func (s *Store) SetFaultSink(fn func(error)) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -150,10 +157,12 @@ func (s *Store) Delete(key string) {
 // Commit atomically applies all staged writes and returns the new version.
 // Commit with nothing staged still advances the version: every frame ends
 // with a commit, and the version doubles as a frame-aligned logical clock.
-// On a hardened store a commit lost on every replica reports through the
-// fault sink and does not advance the version — the owning processor is
-// expected to halt.
+// On a hardened store a commit absorbed by no caught-up replica reports
+// through the fault sink and does not advance the version — the owning
+// processor is expected to halt.
 func (s *Store) Commit() uint64 {
+	s.commitMu.Lock()
+	defer s.commitMu.Unlock()
 	s.mu.Lock()
 	if s.rep != nil {
 		next := s.version + 1
