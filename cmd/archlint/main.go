@@ -1,0 +1,108 @@
+// Command archlint statically enforces the repository's fail-stop and
+// frame-determinism invariants on the Go source itself.
+//
+// The spec-level assurance layer (internal/statics) discharges the paper's
+// proof obligations against the reconfiguration specification; archlint is
+// the implementation-level counterpart, checking that the Go code cannot
+// drift from the model those obligations were proved against. It runs four
+// analyzers (see internal/lint): framedet, stableerr, nofreegoroutine and
+// statusdiscipline.
+//
+// Usage:
+//
+//	archlint [-analyzers=a,b,...] [-json] [packages]
+//
+// Packages default to ./... relative to the working directory. The exit
+// status is 0 when the tree is clean, 1 when any analyzer reported a
+// diagnostic, and 2 on a loading or usage error. Individual findings are
+// suppressed in source with `//lint:allow <analyzer> <reason>`.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("archlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	analyzers := fs.String("analyzers", "", "comma-separated analyzer names to run (default: all)")
+	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array")
+	list := fs.Bool("list", false, "list available analyzers and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: archlint [-analyzers=a,b,...] [-json] [packages]\n\n")
+		fmt.Fprintf(stderr, "Statically enforces the fail-stop and frame-determinism invariants.\n\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Fprintf(stdout, "%-18s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	selected, err := lint.Select(*analyzers)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	loader := lint.NewLoader("")
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	diags, err := lint.Run(selected, pkgs)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []lint.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d.String())
+		}
+	}
+	if len(diags) > 0 {
+		if !*jsonOut {
+			names := make(map[string]int)
+			for _, d := range diags {
+				names[d.Analyzer]++
+			}
+			var parts []string
+			for _, a := range lint.Analyzers() {
+				if n := names[a.Name]; n > 0 {
+					parts = append(parts, fmt.Sprintf("%s: %d", a.Name, n))
+				}
+			}
+			fmt.Fprintf(stderr, "archlint: %d finding(s) (%s)\n", len(diags), strings.Join(parts, ", "))
+		}
+		return 1
+	}
+	return 0
+}

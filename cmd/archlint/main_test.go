@@ -1,0 +1,116 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+func TestListAnalyzers(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("run(-list) = %d, stderr: %s", code, errb.String())
+	}
+	for _, name := range []string{"framedet", "stableerr", "nofreegoroutine", "statusdiscipline"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing analyzer %q", name)
+		}
+	}
+}
+
+func TestUnknownAnalyzerIsUsageError(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-analyzers=nosuch"}, &out, &errb); code != 2 {
+		t.Errorf("run(-analyzers=nosuch) = %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "unknown analyzer") {
+		t.Errorf("stderr = %q, want unknown analyzer message", errb.String())
+	}
+}
+
+func TestModuleIsClean(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"repro/..."}, &out, &errb); code != 0 {
+		t.Errorf("run(repro/...) = %d, want 0\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("clean tree should print nothing, got:\n%s", out.String())
+	}
+}
+
+// chdirModule builds a throwaway module with one violation and runs archlint
+// inside it, so the findings path (exit 1, text and JSON rendering) is
+// exercised without planting a violation in the real tree.
+func chdirModule(t *testing.T) {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module tmpfix\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	src := `package core
+
+import "time"
+
+// Stamp is frame-nondeterministic on purpose.
+func Stamp() int64 { return time.Now().UnixNano() }
+`
+	if err := os.WriteFile(filepath.Join(dir, "bad.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	old, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := os.Chdir(old); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestFindingsExitOne(t *testing.T) {
+	chdirModule(t)
+	var out, errb bytes.Buffer
+	if code := run([]string{"./..."}, &out, &errb); code != 1 {
+		t.Fatalf("run on dirty module = %d, want 1\nstderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "[framedet]") || !strings.Contains(out.String(), "time.Now") {
+		t.Errorf("stdout = %q, want a framedet time.Now finding", out.String())
+	}
+	if !strings.Contains(errb.String(), "finding(s)") {
+		t.Errorf("stderr = %q, want a summary line", errb.String())
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	chdirModule(t)
+	var out, errb bytes.Buffer
+	if code := run([]string{"-json", "./..."}, &out, &errb); code != 1 {
+		t.Fatalf("run -json on dirty module = %d, want 1\nstderr: %s", code, errb.String())
+	}
+	var diags []lint.Diagnostic
+	if err := json.Unmarshal(out.Bytes(), &diags); err != nil {
+		t.Fatalf("stdout is not a JSON diagnostic array: %v\n%s", err, out.String())
+	}
+	if len(diags) != 1 || diags[0].Analyzer != "framedet" || diags[0].Line == 0 {
+		t.Errorf("diagnostics = %+v, want one framedet finding with a position", diags)
+	}
+}
+
+// TestSingleAnalyzerSelection checks that -analyzers narrows the run: the
+// dirty module is clean under stableerr alone.
+func TestSingleAnalyzerSelection(t *testing.T) {
+	chdirModule(t)
+	var out, errb bytes.Buffer
+	if code := run([]string{"-analyzers=stableerr", "./..."}, &out, &errb); code != 0 {
+		t.Errorf("run -analyzers=stableerr = %d, want 0\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+}

@@ -41,6 +41,7 @@ func (a *BasicApp) Steps() int64 { return a.stepCount }
 func (a *BasicApp) Step(env *FrameEnv) error {
 	a.stepCount++
 	a.halted = false
+	//lint:allow stableerr a missing counter restarts at zero by design; store faults surface at commit
 	n, _ := env.Store.GetInt64("work")
 	env.Store.PutInt64("work", n+1)
 	return nil

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"repro/internal/bus"
+	"repro/internal/det"
 	"repro/internal/envmon"
 	"repro/internal/failstop"
 	"repro/internal/frame"
@@ -160,12 +161,14 @@ func NewSystem(opts Options) (*System, error) {
 			return nil, fmt.Errorf("core: no implementation provided for application %q", a.ID)
 		}
 	}
-	for id := range opts.Apps {
+	// Sorted iteration keeps the error reported for a bad Options map the
+	// same on every run (framedet: map order must not pick the failure).
+	for _, id := range det.SortedKeys(opts.Apps) {
 		if a, ok := rs.AppByID(id); !ok || a.Virtual {
 			return nil, fmt.Errorf("core: implementation provided for unknown or virtual application %q", id)
 		}
 	}
-	for id := range opts.HotStandby {
+	for _, id := range det.SortedKeys(opts.HotStandby) {
 		if a, ok := rs.AppByID(id); !ok || a.Virtual {
 			return nil, fmt.Errorf("core: hot standby declared for unknown or virtual application %q", id)
 		}
@@ -202,8 +205,8 @@ func NewSystem(opts Options) (*System, error) {
 
 	// Environment: user factors plus processor health.
 	factors := make(map[envmon.Factor]string, len(opts.InitialFactors)+len(rs.Platform.Procs))
-	for k, v := range opts.InitialFactors {
-		factors[k] = v
+	for _, k := range det.SortedKeys(opts.InitialFactors) {
+		factors[k] = opts.InitialFactors[k]
 	}
 	for _, p := range rs.Platform.Procs {
 		factors[ProcHealthFactor(p.ID)] = ProcOK
@@ -420,6 +423,7 @@ func (s *System) scrubHook(frame.Context) error {
 			// The error, if any, was already routed to the store's
 			// fault sink (halting the processor); the scrub report is
 			// for campaigns, which read cumulative stats instead.
+			//lint:allow stableerr scrub faults reach the halt path via the store's fault sink
 			_, _ = p.Stable().Scrub()
 		}
 	}
@@ -465,7 +469,7 @@ func (s *System) applyTransitionModes(source, target spec.ConfigID) {
 	needed := make(map[spec.ProcID]bool)
 	for _, id := range []spec.ConfigID{source, target} {
 		if cfg, ok := s.rs.Config(id); ok {
-			for _, p := range cfg.Placement {
+			for _, p := range cfg.PlacedProcs() {
 				needed[p] = true
 			}
 		}
@@ -494,7 +498,7 @@ func (s *System) applyProcModes(cfgID spec.ConfigID) {
 		return
 	}
 	needed := make(map[spec.ProcID]bool)
-	for _, p := range cfg.Placement {
+	for _, p := range cfg.PlacedProcs() {
 		needed[p] = true
 	}
 	s.scramProcs(needed)

@@ -1,0 +1,26 @@
+// Package det provides determinism helpers for the frame-deterministic
+// packages: map iteration in Go is deliberately randomized, so any loop
+// whose effects can leak iteration order must walk keys in sorted order to
+// keep system construction, planning, and validation replay-stable. The
+// archlint framedet analyzer (internal/lint) enforces the discipline; this
+// package makes complying one call.
+package det
+
+import "sort"
+
+// Ordered matches the key types used across the specification: string-based
+// identifiers and the numeric indexes of schedules.
+type Ordered interface {
+	~string | ~int | ~int32 | ~int64 | ~uint | ~uint32 | ~uint64 | ~float64
+}
+
+// SortedKeys returns m's keys in ascending order, giving map iteration a
+// deterministic, replay-stable sequence.
+func SortedKeys[K Ordered, V any](m map[K]V) []K {
+	keys := make([]K, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}

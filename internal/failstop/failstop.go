@@ -308,6 +308,7 @@ func (sc *SelfCheckingPair) Run(frame int64, replicaA, replicaB Computation) ([]
 		err error
 	}
 	resB := make(chan result, 1)
+	//lint:allow nofreegoroutine audited launch: replica B runs for exactly one computation and is joined on resB before Run returns
 	go func() {
 		out, err := replicaB()
 		resB <- result{out, err}

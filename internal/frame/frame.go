@@ -173,6 +173,7 @@ func (s *Scheduler) AddTask(t Task) error {
 	s.byID[id] = r
 	if !s.sequential {
 		s.runners.Add(1)
+		//lint:allow nofreegoroutine audited launch: one runner per task, lockstepped by start/done channels and joined via s.runners
 		go func() {
 			defer s.runners.Done()
 			for ctx := range r.start {

@@ -1,0 +1,139 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// wantRe extracts the expectation comment from a fixture line and quotedRe
+// the quoted (or backquoted) regular expressions inside it. The convention
+// follows golang.org/x/tools/go/analysis/analysistest: a comment
+//
+//	// want "regexp" `regexp`
+//
+// on a line declares that each regexp must match the message of exactly one
+// diagnostic reported on that line, and that the line reports no other
+// diagnostics.
+var (
+	wantRe   = regexp.MustCompile(`//\s*want\s+(.+)$`)
+	quotedRe = regexp.MustCompile("\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`")
+)
+
+// expectation is one unsatisfied want: a regexp awaiting a diagnostic.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// parseWants scans every fixture file for want comments.
+func parseWants(t *testing.T, dir string) []*expectation {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wants []*expectation
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRe.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			quoted := quotedRe.FindAllStringSubmatch(m[1], -1)
+			if len(quoted) == 0 {
+				t.Fatalf("%s:%d: want comment with no quoted regexp", e.Name(), i+1)
+			}
+			for _, q := range quoted {
+				src := q[1]
+				if src == "" {
+					src = q[2]
+				}
+				re, err := regexp.Compile(src)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp %q: %v", e.Name(), i+1, src, err)
+				}
+				wants = append(wants, &expectation{file: e.Name(), line: i + 1, re: re})
+			}
+		}
+	}
+	return wants
+}
+
+// runFixture type-checks testdata/src/<fixture> with the real module's
+// packages importable, runs one analyzer, and checks the diagnostics against
+// the fixture's want comments — every want matched, nothing unexpected.
+func runFixture(t *testing.T, a *Analyzer, fixture string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", fixture)
+	wants := parseWants(t, dir)
+
+	loader := NewLoader(".")
+	pkg, err := loader.LoadDir(dir)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", fixture, err)
+	}
+	diags, err := Run([]*Analyzer{a}, []*Package{pkg})
+	if err != nil {
+		t.Fatalf("running %s on fixture %s: %v", a.Name, fixture, err)
+	}
+
+	var problems []string
+	for _, d := range diags {
+		base := filepath.Base(d.File)
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == base && w.line == d.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			problems = append(problems, fmt.Sprintf("unexpected diagnostic at %s:%d: %s", base, d.Line, d.Message))
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			problems = append(problems, fmt.Sprintf("no diagnostic at %s:%d matched %q", w.file, w.line, w.re))
+		}
+	}
+	if len(problems) > 0 {
+		t.Errorf("fixture %s:\n  %s", fixture, strings.Join(problems, "\n  "))
+	}
+}
+
+func TestFrameDetFixture(t *testing.T)         { runFixture(t, FrameDet, "framedet") }
+func TestStableErrFixture(t *testing.T)        { runFixture(t, StableErr, "stableerr") }
+func TestNoFreeGoroutineFixture(t *testing.T)  { runFixture(t, NoFreeGoroutine, "nofreegoroutine") }
+func TestStatusDisciplineFixture(t *testing.T) { runFixture(t, StatusDiscipline, "statusdiscipline") }
+
+// TestFrameDetSkipsOtherPackages pins the package-name gate: the same
+// nondeterminism that fires inside a frame-deterministic package is legal in
+// packages outside the frame abstraction (campaign drivers, tooling).
+func TestFrameDetSkipsOtherPackages(t *testing.T) {
+	loader := NewLoader(".")
+	pkg, err := loader.LoadDir(filepath.Join("testdata", "src", "freepkg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Run([]*Analyzer{FrameDet, NoFreeGoroutine}, []*Package{pkg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Errorf("packages outside the frame model must not be flagged, got %d diagnostics: %v", len(diags), diags)
+	}
+}

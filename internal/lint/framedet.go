@@ -1,0 +1,368 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// frameDetPkgs names the frame-deterministic packages: code in them
+// executes inside the frame-synchronous abstraction (or computes the static
+// schedules that abstraction replays), so its behaviour must be a pure
+// function of committed state and frame inputs.
+var frameDetPkgs = map[string]bool{
+	"core":     true,
+	"scram":    true,
+	"fta":      true,
+	"spec":     true,
+	"statics":  true,
+	"avionics": true,
+	"masking":  true,
+}
+
+// FrameDet flags nondeterminism inside frame-deterministic packages: wall
+// clock reads, the global math/rand generator, and map iteration whose
+// order leaks into state, stable storage, or an output.
+var FrameDet = &Analyzer{
+	Name: "framedet",
+	Doc: "In frame-deterministic packages (core, scram, fta, spec, statics, " +
+		"avionics, masking) flag time.Now/time.Since, global math/rand use, and " +
+		"range over a map whose body writes state, calls a mutator, or returns — " +
+		"iteration-order nondeterminism breaks replay and replica agreement.",
+	Run: runFrameDet,
+}
+
+// mutatorPrefixes classify method names that (by repository convention)
+// mutate their receiver or an external resource. A call to one of these on
+// a variable declared outside a map-range loop makes the loop's effect
+// order-dependent.
+var mutatorPrefixes = []string{
+	"put", "set", "add", "append", "delete", "remove", "write", "publish",
+	"signal", "commit", "restore", "discard", "stage", "push", "insert",
+	"emit", "record", "fail", "halt",
+}
+
+func isMutatorName(name string) bool {
+	lower := strings.ToLower(name)
+	for _, p := range mutatorPrefixes {
+		if strings.HasPrefix(lower, p) {
+			return true
+		}
+	}
+	return false
+}
+
+func runFrameDet(pass *Pass) error {
+	if !frameDetPkgs[pass.Pkg.Name()] {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkWallClock(pass, n)
+			case *ast.SelectorExpr:
+				checkGlobalRand(pass, n)
+			case *ast.RangeStmt:
+				checkMapRange(pass, n, file)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkWallClock flags calls to time.Now and time.Since: frame-deterministic
+// code must take time from the frame counter, never the wall clock.
+func checkWallClock(pass *Pass, call *ast.CallExpr) {
+	fn := calleeFunc(pass, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+		return
+	}
+	if fn.Name() == "Now" || fn.Name() == "Since" {
+		pass.Reportf(call.Pos(), "call to time.%s in frame-deterministic package %q: take time from the frame counter, not the wall clock", fn.Name(), pass.Pkg.Name())
+	}
+}
+
+// checkGlobalRand flags package-level math/rand functions (the implicitly
+// seeded global generator). Explicitly seeded generators via rand.New /
+// rand.NewSource stay legal: they are how campaigns get reproducible
+// randomness.
+func checkGlobalRand(pass *Pass, sel *ast.SelectorExpr) {
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	path := fn.Pkg().Path()
+	if path != "math/rand" && path != "math/rand/v2" {
+		return
+	}
+	if fn.Type().(*types.Signature).Recv() != nil || strings.HasPrefix(fn.Name(), "New") {
+		return
+	}
+	pass.Reportf(sel.Pos(), "use of global math/rand generator %s.%s in frame-deterministic package %q: use an explicitly seeded rand.New(rand.NewSource(seed))", path, fn.Name(), pass.Pkg.Name())
+}
+
+// checkMapRange flags a range over a map whose body makes the iteration
+// order observable: writing through a variable declared outside the loop,
+// calling a mutator method on one, appending to an output slice that is
+// not sorted afterwards, or returning out of the loop.
+func checkMapRange(pass *Pass, rng *ast.RangeStmt, file *ast.File) {
+	t := pass.TypesInfo.TypeOf(rng.X)
+	if t == nil {
+		return
+	}
+	if _, isMap := t.Underlying().(*types.Map); !isMap {
+		return
+	}
+	constReturns := onlyConstantReturns(pass, rng)
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			if !constReturns {
+				pass.Reportf(n.Pos(), "return inside range over map %s: which iteration returns first is nondeterministic; iterate sorted keys", exprString(pass, rng.X))
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				id := rootIdent(lhs)
+				v := outerVar(pass, id, rng)
+				if v == nil {
+					continue
+				}
+				if isAppendTo(n, lhs) && sortedAfter(pass, file, v, rng) {
+					continue
+				}
+				if constMapInsert(pass, n, lhs) {
+					continue
+				}
+				pass.Reportf(n.Pos(), "range over map %s writes %s declared outside the loop: iteration order is nondeterministic; iterate sorted keys", exprString(pass, rng.X), v.Name())
+			}
+		case *ast.IncDecStmt:
+			if v := outerVar(pass, rootIdent(n.X), rng); v != nil {
+				pass.Reportf(n.Pos(), "range over map %s writes %s declared outside the loop: iteration order is nondeterministic; iterate sorted keys", exprString(pass, rng.X), v.Name())
+			}
+		case *ast.CallExpr:
+			sel, ok := n.Fun.(*ast.SelectorExpr)
+			if !ok || !isMutatorName(sel.Sel.Name) {
+				return true
+			}
+			if v := outerVar(pass, rootIdent(sel.X), rng); v != nil {
+				pass.Reportf(n.Pos(), "range over map %s calls mutator %s.%s: effect order is nondeterministic; iterate sorted keys", exprString(pass, rng.X), v.Name(), sel.Sel.Name)
+			}
+		}
+		return true
+	})
+}
+
+// onlyConstantReturns reports whether every return statement directly inside
+// the range body returns the same tuple of compile-time constants (or nil).
+// Such loops implement any/all-style predicates: the early exit yields an
+// identical result no matter which iteration triggers it, so iteration
+// order never becomes observable through the return value.
+func onlyConstantReturns(pass *Pass, rng *ast.RangeStmt) bool {
+	ok := true
+	seen := ""
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if !ok {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			sig := ""
+			for _, res := range n.Results {
+				tv, found := pass.TypesInfo.Types[res]
+				switch {
+				case found && tv.Value != nil:
+					sig += tv.Value.ExactString() + ";"
+				case found && tv.IsNil():
+					sig += "nil;"
+				default:
+					ok = false
+					return false
+				}
+			}
+			if seen == "" {
+				seen = sig
+			} else if seen != sig {
+				ok = false
+			}
+		}
+		return true
+	})
+	return ok
+}
+
+// isAppendTo reports whether the assignment writes `lhs = append(lhs-ish,
+// ...)` — the collecting half of the collect-then-sort idiom.
+func isAppendTo(assign *ast.AssignStmt, lhs ast.Expr) bool {
+	if len(assign.Rhs) != len(assign.Lhs) {
+		return false
+	}
+	var rhs ast.Expr
+	for i, l := range assign.Lhs {
+		if l == lhs {
+			rhs = assign.Rhs[i]
+		}
+	}
+	call, ok := rhs.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := call.Fun.(*ast.Ident)
+	return ok && fn.Name == "append"
+}
+
+// constMapInsert reports whether the assignment stores a compile-time
+// constant into a map element (`seen[k] = true`). Constant inserts commute:
+// the map's final contents are the same whatever order the loop visits keys
+// in, so iteration order never becomes observable.
+func constMapInsert(pass *Pass, assign *ast.AssignStmt, lhs ast.Expr) bool {
+	if assign.Tok != token.ASSIGN || len(assign.Lhs) != len(assign.Rhs) {
+		return false
+	}
+	idx, ok := lhs.(*ast.IndexExpr)
+	if !ok {
+		return false
+	}
+	t := pass.TypesInfo.TypeOf(idx.X)
+	if t == nil {
+		return false
+	}
+	if _, isMap := t.Underlying().(*types.Map); !isMap {
+		return false
+	}
+	for i, l := range assign.Lhs {
+		if l == lhs {
+			tv, found := pass.TypesInfo.Types[assign.Rhs[i]]
+			return found && tv.Value != nil
+		}
+	}
+	return false
+}
+
+// sortedAfter reports whether a sort.* or slices.* call with v as first
+// argument appears after the range statement ends — the sorting half of the
+// collect-then-sort idiom, which re-establishes determinism no matter what
+// order the loop appended in. The search is positional within the file:
+// loop variables are function-scoped, so a later sort of the same variable
+// object can only be in the same function, after the loop completes.
+func sortedAfter(pass *Pass, file *ast.File, v *types.Var, rng *ast.RangeStmt) bool {
+	found := false
+	ast.Inspect(file, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 || call.Pos() < rng.End() {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkg, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if pkgName, isPkg := pass.TypesInfo.Uses[pkg].(*types.PkgName); !isPkg ||
+			(pkgName.Imported().Path() != "sort" && pkgName.Imported().Path() != "slices") {
+			return true
+		}
+		if arg := rootIdent(call.Args[0]); arg != nil && pass.TypesInfo.Uses[arg] == v {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// rootIdent returns the identifier at the base of an lvalue-ish expression
+// (s.f, m[k], *p, (x)), or nil when the base is not a plain identifier.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// outerVar returns the variable id refers to when it is declared outside
+// the range statement (an enclosing local, parameter, receiver, or package
+// variable), or nil for loop-local variables and non-variables.
+func outerVar(pass *Pass, id *ast.Ident, rng *ast.RangeStmt) *types.Var {
+	if id == nil {
+		return nil
+	}
+	obj := pass.TypesInfo.ObjectOf(id)
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return nil
+	}
+	if v.Pos() >= rng.Pos() && v.Pos() <= rng.End() {
+		return nil
+	}
+	return v
+}
+
+// calleeFunc resolves the function or method a call invokes, when it is a
+// direct call through an identifier or selector.
+func calleeFunc(pass *Pass, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = pass.TypesInfo.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = pass.TypesInfo.Uses[fun.Sel]
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+// exprString renders a short source form of an expression for diagnostics.
+func exprString(pass *Pass, e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprString(pass, x.X) + "." + x.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(pass, x.X) + "[...]"
+	case *ast.CallExpr:
+		return exprString(pass, x.Fun) + "()"
+	case *ast.ParenExpr:
+		return exprString(pass, x.X)
+	case *ast.StarExpr:
+		return "*" + exprString(pass, x.X)
+	default:
+		return "expression"
+	}
+}
+
+// constString returns the compile-time string value of an expression, if it
+// has one.
+func constString(pass *Pass, e ast.Expr) (string, bool) {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}

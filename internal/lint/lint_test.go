@@ -1,0 +1,93 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestLoaderLoadsModule checks the source-based loader end to end: every
+// package in the module resolves, parses, and type-checks, with syntax and
+// type information recorded for analysis.
+func TestLoaderLoadsModule(t *testing.T) {
+	l := NewLoader("")
+	pkgs, err := l.Load("repro/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("loader returned no packages for repro/...")
+	}
+	byPath := make(map[string]*Package, len(pkgs))
+	for _, p := range pkgs {
+		if p.TypesInfo == nil || p.Types == nil || len(p.Files) == 0 {
+			t.Errorf("package %s loaded without syntax or type information", p.PkgPath)
+		}
+		byPath[p.PkgPath] = p
+	}
+	for _, want := range []string{
+		"repro/internal/core",
+		"repro/internal/scram",
+		"repro/internal/stable",
+	} {
+		if byPath[want] == nil {
+			t.Errorf("package %s missing from repro/... load", want)
+		}
+	}
+}
+
+// TestModuleClean is the self-application gate: the archlint suite must
+// report nothing on the repository's own production code. Every audited
+// exception carries a //lint:allow annotation, so a regression here means
+// either new nondeterminism or a missing justification.
+func TestModuleClean(t *testing.T) {
+	l := NewLoader("")
+	pkgs, err := l.Load("repro/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Run(Analyzers(), pkgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("module is not archlint-clean: %s", d)
+	}
+}
+
+// TestSelect covers analyzer selection for the -analyzers flag.
+func TestSelect(t *testing.T) {
+	all, err := Select("")
+	if err != nil || len(all) != len(Analyzers()) {
+		t.Fatalf("Select(\"\") = %d analyzers, err %v; want the full suite", len(all), err)
+	}
+	two, err := Select("framedet, stableerr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(two) != 2 || two[0].Name != "framedet" || two[1].Name != "stableerr" {
+		t.Errorf("Select(\"framedet, stableerr\") = %v", two)
+	}
+	if _, err := Select("nosuch"); err == nil || !strings.Contains(err.Error(), "unknown analyzer") {
+		t.Errorf("Select(\"nosuch\") error = %v; want unknown analyzer", err)
+	}
+}
+
+// TestAllowRequiresReason pins the design rule that a bare //lint:allow
+// directive with no justification suppresses nothing.
+func TestAllowRequiresReason(t *testing.T) {
+	l := NewLoader(".")
+	pkg, err := l.LoadDir("testdata/src/allowbare")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Run([]*Analyzer{NoFreeGoroutine}, []*Package{pkg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want 1 (a reason-less allow directive must not suppress)", len(diags))
+	}
+	if !strings.Contains(diags[0].Message, "go statement") {
+		t.Errorf("unexpected diagnostic: %s", diags[0])
+	}
+}

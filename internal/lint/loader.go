@@ -1,0 +1,283 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Package is one parsed, type-checked package ready for analysis.
+type Package struct {
+	PkgPath   string
+	Name      string
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Standard   bool
+	Error      *struct{ Err string }
+}
+
+// A Loader resolves and type-checks packages from Go source alone. It
+// shells out to `go list` for build-constraint and module resolution but
+// performs all type checking itself with go/types, so it needs no
+// pre-compiled export data and works in offline environments where
+// golang.org/x/tools is unavailable.
+type Loader struct {
+	// Dir is the working directory for `go list` invocations (any
+	// directory inside the module). Empty means the process directory.
+	Dir string
+
+	fset     *token.FileSet
+	checked  map[string]*checkedPackage
+	listed   map[string]*listedPackage
+	wantInfo map[string]*types.Info
+}
+
+// checkedPackage records one completed type check. Every package is
+// checked exactly once per loader, so importers always observe a single
+// types.Package identity for each path.
+type checkedPackage struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+}
+
+// NewLoader returns a loader rooted at dir.
+func NewLoader(dir string) *Loader {
+	return &Loader{
+		Dir:      dir,
+		fset:     token.NewFileSet(),
+		checked:  make(map[string]*checkedPackage),
+		listed:   make(map[string]*listedPackage),
+		wantInfo: make(map[string]*types.Info),
+	}
+}
+
+// Fset returns the loader's shared file set.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// goList runs `go list` with the given arguments and returns its stdout.
+func (l *Loader) goList(args ...string) ([]byte, error) {
+	cmd := exec.Command("go", append([]string{"list"}, args...)...)
+	cmd.Dir = l.Dir
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("lint: go list %s: %v\n%s", strings.Join(args, " "), err, errb.String())
+	}
+	return out.Bytes(), nil
+}
+
+// listDeps resolves the given patterns and records every package in their
+// dependency closure. `go list -deps` emits dependencies before dependents,
+// so recording preserves a valid type-checking order.
+func (l *Loader) listDeps(patterns []string) error {
+	out, err := l.goList(append([]string{"-deps", "-json=ImportPath,Name,Dir,GoFiles,Standard,Error"}, patterns...)...)
+	if err != nil {
+		return err
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			return nil
+		} else if err != nil {
+			return fmt.Errorf("lint: decoding go list output: %w", err)
+		}
+		if p.Error != nil {
+			return fmt.Errorf("lint: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if _, dup := l.listed[p.ImportPath]; !dup {
+			l.listed[p.ImportPath] = &p
+		}
+	}
+}
+
+// Import makes the loader a types.Importer, so fixture packages and
+// dependents can resolve their imports against it.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if cp, ok := l.checked[path]; ok {
+		return cp.pkg, nil
+	}
+	if _, ok := l.listed[path]; !ok {
+		// A path outside every closure listed so far (a fixture importing
+		// a package no target depends on): resolve its closure on demand.
+		if err := l.listDeps([]string{path}); err != nil {
+			return nil, err
+		}
+	}
+	cp, err := l.check(path)
+	if err != nil {
+		return nil, err
+	}
+	return cp.pkg, nil
+}
+
+// parseFiles parses the named files with comments.
+func (l *Loader) parseFiles(dir string, names []string) ([]*ast.File, error) {
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// newInfo returns a types.Info with every map the analyzers consult.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+}
+
+// check type-checks the listed package at path exactly once (dependencies
+// first, via the loader acting as its own importer). Packages registered in
+// wantInfo — analysis targets and fixtures' module imports — get their
+// syntax recorded for later inspection.
+func (l *Loader) check(path string) (*checkedPackage, error) {
+	if cp, ok := l.checked[path]; ok {
+		return cp, nil
+	}
+	p, ok := l.listed[path]
+	if !ok {
+		return nil, fmt.Errorf("lint: package %q not listed", path)
+	}
+	files, err := l.parseFiles(p.Dir, p.GoFiles)
+	if err != nil {
+		return nil, err
+	}
+	info := l.wantInfo[path]
+	conf := types.Config{Importer: l}
+	pkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
+	}
+	cp := &checkedPackage{pkg: pkg, files: files, info: info}
+	l.checked[path] = cp
+	return cp, nil
+}
+
+// Load resolves the patterns, type-checks every matching package (and,
+// transitively, everything it imports), and returns the matching packages
+// ready for analysis. Test files are never included: the invariants govern
+// production code, and test-only nondeterminism is legal.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	out, err := l.goList(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var targets []string
+	for _, line := range strings.Split(strings.TrimSpace(string(out)), "\n") {
+		if line != "" {
+			targets = append(targets, line)
+		}
+	}
+	if err := l.listDeps(patterns); err != nil {
+		return nil, err
+	}
+	sort.Strings(targets)
+	// Register every target's info request before checking anything, so a
+	// target reached first as another target's dependency is still checked
+	// with syntax recording — each package is checked exactly once.
+	for _, path := range targets {
+		if _, done := l.checked[path]; !done && l.wantInfo[path] == nil {
+			l.wantInfo[path] = newInfo()
+		}
+	}
+	pkgs := make([]*Package, 0, len(targets))
+	for _, path := range targets {
+		p, ok := l.listed[path]
+		if !ok {
+			return nil, fmt.Errorf("lint: target %q missing from dependency listing", path)
+		}
+		if len(p.GoFiles) == 0 {
+			continue
+		}
+		cp, err := l.check(path)
+		if err != nil {
+			return nil, err
+		}
+		if cp.info == nil {
+			return nil, fmt.Errorf("lint: target %q was checked without syntax recording", path)
+		}
+		pkgs = append(pkgs, &Package{
+			PkgPath:   path,
+			Name:      cp.pkg.Name(),
+			Fset:      l.fset,
+			Files:     cp.files,
+			Types:     cp.pkg,
+			TypesInfo: cp.info,
+		})
+	}
+	return pkgs, nil
+}
+
+// LoadDir parses and type-checks a single directory of Go files that `go
+// list` cannot see (an analysistest fixture under testdata). Imports
+// resolve against the loader, so fixtures may import the real module
+// packages whose APIs the analyzers recognize.
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	sort.Strings(names)
+	files, err := l.parseFiles(dir, names)
+	if err != nil {
+		return nil, err
+	}
+	info := newInfo()
+	conf := types.Config{Importer: l}
+	name := files[0].Name.Name
+	tpkg, err := conf.Check(name, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking fixture %s: %w", dir, err)
+	}
+	return &Package{
+		PkgPath:   name,
+		Name:      name,
+		Fset:      l.fset,
+		Files:     files,
+		Types:     tpkg,
+		TypesInfo: info,
+	}, nil
+}

@@ -1,0 +1,42 @@
+package lint
+
+import "go/ast"
+
+// frameSyncPkgs names the packages implementing the frame-synchronous
+// model. The model has no free-running concurrency: everything executes in
+// lock step with the frame, so a `go` statement in these packages is either
+// a bug or an audited exception (the frame scheduler's worker launches, the
+// fail-stop pool's monitored goroutines) that must carry a //lint:allow
+// annotation naming its justification.
+var frameSyncPkgs = map[string]bool{
+	"scram":    true,
+	"core":     true,
+	"fta":      true,
+	"frame":    true,
+	"failstop": true,
+}
+
+// NoFreeGoroutine forbids goroutine launches in the frame-synchronous
+// packages.
+var NoFreeGoroutine = &Analyzer{
+	Name: "nofreegoroutine",
+	Doc: "Forbid go statements in the frame-synchronous packages (scram, core, " +
+		"fta, frame, failstop): the model has no free-running concurrency; " +
+		"audited launches carry a //lint:allow nofreegoroutine annotation.",
+	Run: runNoFreeGoroutine,
+}
+
+func runNoFreeGoroutine(pass *Pass) error {
+	if !frameSyncPkgs[pass.Pkg.Name()] {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				pass.Reportf(g.Pos(), "go statement in frame-synchronous package %q: the fail-stop frame model has no free-running concurrency", pass.Pkg.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,8 @@
+// Fixture: an allow directive without a reason is inert, so the launch
+// below is still flagged.
+package core
+
+func launch(f func()) {
+	//lint:allow nofreegoroutine
+	go f()
+}

@@ -1,0 +1,119 @@
+// Fixture for the framedet analyzer. The package is named core so the
+// analyzer's frame-deterministic gate admits it; it never builds as part of
+// the module (testdata is invisible to go list).
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Options mirrors the shape that motivated the analyzer: per-application
+// settings keyed by identifier, whose iteration order must never become
+// observable.
+type Options struct {
+	Apps map[string]int
+}
+
+// System accumulates state outside the loops below.
+type System struct {
+	apps  map[string]int
+	log   []string
+	total int
+}
+
+func (s *System) record(id string) { s.log = append(s.log, id) }
+
+// build reproduces the opts.Apps pattern from internal/core/system.go before
+// it was fixed: which bad entry gets reported, and the order state is built
+// in, both depend on map iteration order.
+func (s *System) build(opts Options) error {
+	for id, n := range opts.Apps {
+		if n < 0 {
+			return fmt.Errorf("bad app %q", id) // want `return inside range over map`
+		}
+		s.apps[id] = n // want `writes s declared outside the loop`
+	}
+	return nil
+}
+
+func (s *System) observe(opts Options) {
+	for id := range opts.Apps {
+		s.record(id) // want `calls mutator s.record`
+	}
+	for _, n := range opts.Apps {
+		s.total += n // want `writes s declared outside the loop`
+	}
+}
+
+// countBad shows the analyzer's conservatism: the count itself is
+// order-independent, but increments through an outer variable are flagged
+// uniformly — iterate sorted keys or annotate.
+func countBad(opts Options) int {
+	bad := 0
+	for _, n := range opts.Apps {
+		if n < 0 {
+			bad++ // want `writes bad declared outside the loop`
+		}
+	}
+	return bad
+}
+
+func stamp() int64 {
+	return time.Now().UnixNano() // want `call to time.Now`
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `call to time.Since`
+}
+
+// pacing exercises the escape hatch: an audited wall-clock read with an
+// in-tree justification is legal.
+func pacing() time.Time {
+	//lint:allow framedet audited pacing clock for the host-side scheduler
+	return time.Now()
+}
+
+func roll() int {
+	return rand.Intn(6) // want `global math/rand`
+}
+
+// seeded randomness is how campaigns stay reproducible; it is not flagged.
+func seeded() int {
+	r := rand.New(rand.NewSource(1))
+	return r.Intn(6)
+}
+
+// runningApps is the collect-then-sort idiom: appending in arbitrary order
+// is fine because the sort re-establishes determinism.
+func runningApps(m map[string]int) []string {
+	var ids []string
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// placedSet builds a set with constant inserts, which commute: iteration
+// order cannot reach the result.
+func placedSet(m map[string]string) map[string]bool {
+	seen := make(map[string]bool, len(m))
+	for _, p := range m {
+		seen[p] = true
+	}
+	return seen
+}
+
+// anyNegative is the any/all predicate pattern: every return in the body
+// yields the same constant, so the early exit is order-independent.
+func anyNegative(m map[string]int) bool {
+	for _, n := range m {
+		if n < 0 {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,24 @@
+// Fixture proving the package gates: a package outside the frame model may
+// use wall clocks, global randomness, goroutines, and raw map iteration —
+// none of the frame-determinism analyzers apply to it.
+package tooling
+
+import (
+	"math/rand"
+	"time"
+)
+
+type campaign struct {
+	seeds map[string]int64
+}
+
+func (c *campaign) sample() []int64 {
+	var out []int64
+	for _, s := range c.seeds {
+		out = append(out, s+rand.Int63()+time.Now().UnixNano())
+	}
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+	return out
+}

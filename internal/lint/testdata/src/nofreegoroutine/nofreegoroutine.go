@@ -1,0 +1,21 @@
+// Fixture for the nofreegoroutine analyzer. The package is named scram so
+// the frame-synchronous gate admits it.
+package scram
+
+func fanOut(work []func()) {
+	for _, w := range work {
+		go w() // want `go statement in frame-synchronous package .scram.`
+	}
+}
+
+func launch(f func()) {
+	go f() // want `go statement in frame-synchronous package .scram.`
+}
+
+// audited exercises the escape hatch: a launch that is joined before return
+// and carries its justification in-tree is legal.
+func audited(done chan struct{}) {
+	//lint:allow nofreegoroutine audited launch: joined on done before return
+	go func() { close(done) }()
+	<-done
+}

@@ -1,0 +1,37 @@
+// Fixture for the statusdiscipline analyzer: raw writes to the kernel's
+// scram/ stable-storage namespace from outside the scram package. The
+// package is named app — any name but scram is subject to the discipline.
+package app
+
+import "repro/internal/stable"
+
+func forge(st *stable.Store) {
+	st.PutString("scram/cmd/nav", "halt") // want `raw PutString of kernel key .scram/cmd/nav.`
+	st.Delete("scram/state")              // want `raw Delete of kernel key .scram/state.`
+	r := st.Region("scram/")              // want `Region\(.scram/.\) from package .app. grants write access`
+	// Writes through an already-obtained region use keys relative to its
+	// prefix, which is why the construction above is what gets flagged.
+	r.Put("cmd/nav", nil)
+	// Keys outside the kernel namespace are the package's own business.
+	st.PutString("app/own-key", "ok")
+	st.PutInt64("scram-adjacent", 1)
+}
+
+const kernelState = "scram/state"
+
+// forgeConst shows the key check is by constant value, not literal syntax.
+func forgeConst(st *stable.Store) {
+	st.Put(kernelState, nil) // want `raw Put of kernel key .scram/state.`
+}
+
+// reads of the kernel namespace stay legal: surviving processors poll a
+// failed processor's command variables during recovery.
+func poll(st *stable.Store) (int64, error) {
+	return st.GetInt64("scram/state")
+}
+
+// audited exercises the escape hatch.
+func audited(st *stable.Store) {
+	//lint:allow statusdiscipline recovery tooling rewrites a failed processor's command outside the kernel
+	st.Delete("scram/cmd/nav")
+}

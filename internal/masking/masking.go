@@ -184,6 +184,7 @@ func (m *MaskedFTASystem) Tick() {
 		return
 	}
 	p := m.procs[m.active]
+	//lint:allow stableerr the masking baseline tolerates a lost counter (reads as zero) by construction
 	n, _ := p.store.GetInt64("work")
 	p.store.PutInt64("work", n+1)
 	p.store.Commit()
@@ -242,6 +243,7 @@ func (m *MaskedFTASystem) Work() int64 {
 	if m.stats.Exhausted {
 		return m.stats.WorkDone
 	}
+	//lint:allow stableerr the masking baseline tolerates a lost counter (reads as zero) by construction
 	n, _ := m.procs[m.active].store.GetInt64("work")
 	return n
 }

@@ -3,6 +3,7 @@ package scram
 import (
 	"fmt"
 
+	"repro/internal/det"
 	"repro/internal/spec"
 	"repro/internal/statics"
 )
@@ -126,7 +127,10 @@ func (p *plan) scheduleCompressed(rs *spec.ReconfigSpec, srcCfg, tgtCfg *spec.Co
 	p.InitStart = base + int64(length) // lowered below by participants
 	p.InitEnd = p.TriggerFrame + int64(length)
 	p.PrepStart = p.InitEnd // informational only under compression
-	for id, s := range sched {
+	// Sorted iteration keeps plan construction replay-stable (framedet:
+	// map order must not shape the envelope computation below).
+	for _, id := range det.SortedKeys(sched) {
+		s := sched[id]
 		aw, ok := p.Apps[id]
 		if !ok {
 			continue
@@ -226,16 +230,16 @@ func (p *plan) retarget(rs *spec.ReconfigSpec, newTarget spec.ConfigID, seq, fra
 		// already-executed halt windows, and uniformly shift the entry
 		// windows so none starts before frameNow+1.
 		halts := make(map[spec.AppID]*appWindows, len(p.Apps))
-		for id, aw := range p.Apps {
-			cp := *aw
+		for _, id := range det.SortedKeys(p.Apps) {
+			cp := *p.Apps[id]
 			halts[id] = &cp
 		}
 		if err := p.scheduleCompressed(rs, srcCfg, tgtCfg); err != nil {
 			return err
 		}
 		var shift int64
-		for _, aw := range p.Apps {
-			if aw.PrepStart >= 0 && frameNow+1-aw.PrepStart > shift {
+		for _, id := range det.SortedKeys(p.Apps) {
+			if aw := p.Apps[id]; aw.PrepStart >= 0 && frameNow+1-aw.PrepStart > shift {
 				shift = frameNow + 1 - aw.PrepStart
 			}
 		}

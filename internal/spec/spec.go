@@ -213,6 +213,21 @@ func (c *Configuration) RunningApps() []AppID {
 	return apps
 }
 
+// PlacedProcs returns the processors this configuration places applications
+// on, deduplicated, in deterministic (sorted) order.
+func (c *Configuration) PlacedProcs() []ProcID {
+	seen := make(map[ProcID]bool, len(c.Placement))
+	for _, p := range c.Placement {
+		seen[p] = true
+	}
+	procs := make([]ProcID, 0, len(seen))
+	for p := range seen {
+		procs = append(procs, p)
+	}
+	sort.Slice(procs, func(i, j int) bool { return procs[i] < procs[j] })
+	return procs
+}
+
 // Transition is one statically-permitted system transition together with its
 // worst-case duration bound T(from, to), expressed in frames. The bound
 // covers the full reconfiguration window as observed in a system trace

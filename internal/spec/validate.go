@@ -2,6 +2,8 @@ package spec
 
 import (
 	"fmt"
+
+	"repro/internal/det"
 )
 
 // Validate checks the local well-formedness of the specification: identifier
@@ -181,7 +183,10 @@ func (v *validator) configAssignment(rs *ReconfigSpec, c *Configuration) {
 			v.addf("configuration %q does not assign application %q", c.ID, a.ID)
 		}
 	}
-	for appID, specID := range c.Assignment {
+	// Sorted iteration keeps the problem list identical run to run
+	// (framedet: map order must not shape validator output).
+	for _, appID := range det.SortedKeys(c.Assignment) {
+		specID := c.Assignment[appID]
 		a, ok := rs.AppByID(appID)
 		if !ok {
 			v.addf("configuration %q assigns undeclared application %q", c.ID, appID)
@@ -208,7 +213,7 @@ func (v *validator) configAssignment(rs *ReconfigSpec, c *Configuration) {
 			v.addf("configuration %q places application %q on undeclared processor %q", c.ID, appID, proc)
 		}
 	}
-	for appID := range c.Placement {
+	for _, appID := range det.SortedKeys(c.Placement) {
 		if s, ok := c.Assignment[appID]; !ok || s == SpecOff {
 			v.addf("configuration %q places unassigned application %q", c.ID, appID)
 		}
@@ -258,11 +263,13 @@ func (v *validator) choice(rs *ReconfigSpec) {
 		}
 		seenEnv[e] = true
 	}
-	for from, row := range rs.Choice {
+	for _, from := range det.SortedKeys(rs.Choice) {
+		row := rs.Choice[from]
 		if _, ok := rs.Config(from); !ok {
 			v.addf("choice table row for undeclared configuration %q", from)
 		}
-		for env, to := range row {
+		for _, env := range det.SortedKeys(row) {
+			to := row[env]
 			if !seenEnv[env] {
 				v.addf("choice table entry (%q, %q): undeclared environment state", from, env)
 			}

@@ -132,6 +132,7 @@ func (f *FaultyMedium) EndFrame() {
 	f.stats.BitFlips++
 	// Write through the perfect inner medium: rot damages storage even
 	// while the device rejects commit writes.
+	//lint:allow stableerr fault injection damages the medium on purpose; MemMedium.Write cannot fail
 	_ = f.inner.Write(key, raw)
 }
 

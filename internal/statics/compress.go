@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/det"
 	"repro/internal/spec"
 )
 
@@ -129,7 +130,8 @@ func CompressedSchedule(rs *spec.ReconfigSpec, from, to *spec.Configuration) (ma
 	}
 
 	length := 1 // even an empty transition spends one acknowledgement frame
-	for _, s := range out {
+	for _, id := range det.SortedKeys(out) {
+		s := out[id]
 		for _, end := range []int{s.HaltEnd, s.PrepEnd, s.InitEnd} {
 			if end+1 > length {
 				length = end + 1
@@ -144,7 +146,7 @@ func CompressedSchedule(rs *spec.ReconfigSpec, from, to *spec.Configuration) (ma
 func topoOrder(weights map[spec.AppID]int, deps []spec.Dependency) ([]spec.AppID, error) {
 	indeg := make(map[spec.AppID]int, len(weights))
 	adj := make(map[spec.AppID][]spec.AppID)
-	for id := range weights {
+	for _, id := range det.SortedKeys(weights) {
 		indeg[id] = 0
 	}
 	for _, d := range deps {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/det"
 	"repro/internal/spec"
 )
 
@@ -98,8 +99,8 @@ func PhasePlan(rs *spec.ReconfigSpec, cfg *spec.Configuration, phase spec.Phase)
 		return nil, nil, 0, err
 	}
 	starts = make(map[spec.AppID]int, len(weights))
-	for id, d := range dist {
-		starts[id] = d - weights[id]
+	for _, id := range det.SortedKeys(dist) {
+		starts[id] = dist[id] - weights[id]
 	}
 	return starts, weights, length, nil
 }
@@ -146,7 +147,7 @@ func phaseWeights(rs *spec.ReconfigSpec, cfg *spec.Configuration, phase spec.Pha
 func dagLongestPath(weights map[spec.AppID]int, deps []spec.Dependency) (map[spec.AppID]int, int, error) {
 	adj := make(map[spec.AppID][]spec.AppID)
 	indeg := make(map[spec.AppID]int)
-	for id := range weights {
+	for _, id := range det.SortedKeys(weights) {
 		indeg[id] = 0
 	}
 	for _, d := range deps {
@@ -333,10 +334,11 @@ func Interpose(rs *spec.ReconfigSpec, s spec.ConfigID) (*spec.ReconfigSpec, erro
 	}
 	out := *rs
 	out.Choice = make(spec.ChoiceTable, len(rs.Choice))
-	for from, row := range rs.Choice {
+	for _, from := range det.SortedKeys(rs.Choice) {
+		row := rs.Choice[from]
 		newRow := make(map[spec.EnvState]spec.ConfigID, len(row))
-		for env, to := range row {
-			if from != to && !isSafe[from] && !isSafe[to] {
+		for _, env := range det.SortedKeys(row) {
+			if to := row[env]; from != to && !isSafe[from] && !isSafe[to] {
 				newRow[env] = s
 			} else {
 				newRow[env] = to
