@@ -19,6 +19,12 @@
 //	faultsim -experiment t2 -seeds 50 -frames 500
 //	faultsim -experiment s1 -seeds 25 -storage-faults 0.05
 //	faultsim -experiment s2 -bus-faults 0.1 -json
+//	faultsim -experiment s1 -ring-out ring.jsonl   # export the black-box journal
+//
+// The s1 and s2 campaigns recover the flight-recorder ring from the SCRAM
+// host's stable storage after each run; -ring-out writes the most
+// interesting ring (for s1, a defeat-mode run that halted a processor) as a
+// JSONL journal readable by cmd/flightrec.
 package main
 
 import (
@@ -31,6 +37,7 @@ import (
 	"repro/internal/bus"
 	"repro/internal/experiments"
 	"repro/internal/stable"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -60,9 +67,11 @@ func run(args []string, out io.Writer) error {
 	asJSON := fs.Bool("json", false, "emit structured results as JSON instead of tables")
 	storageFaults := fs.Float64("storage-faults", 0.05, "s1 base per-medium fault rate (torn writes and stuck reads at half, bit rot at full)")
 	busFaults := fs.Float64("bus-faults", 0.05, "s2 base per-message fault rate (drop at full, duplicate and delay at half)")
+	ringOut := fs.String("ring-out", "", "write the s1/s2 flight-recorder journal (JSONL) to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	var exportRing []telemetry.Event
 
 	type experiment struct {
 		id  string
@@ -142,6 +151,9 @@ func run(args []string, out io.Writer) error {
 			if err != nil {
 				return "", err
 			}
+			if r.LastRing != nil {
+				exportRing = r.LastRing
+			}
 			return render(*asJSON, r.Text, r)
 		}},
 		{"s2", func() (string, error) {
@@ -153,6 +165,9 @@ func run(args []string, out io.Writer) error {
 			r, err := experiments.BusFaults(min(*seeds, 5), *frames, rates)
 			if err != nil {
 				return "", err
+			}
+			if r.LastRing != nil {
+				exportRing = r.LastRing
 			}
 			return render(*asJSON, r.Text, r)
 		}},
@@ -172,6 +187,23 @@ func run(args []string, out io.Writer) error {
 	}
 	if !ran {
 		return fmt.Errorf("unknown experiment %q", *which)
+	}
+	if *ringOut != "" {
+		if exportRing == nil {
+			return fmt.Errorf("-ring-out: no flight-recorder ring produced (only s1 and s2 export rings)")
+		}
+		f, err := os.Create(*ringOut)
+		if err != nil {
+			return err
+		}
+		if err := telemetry.WriteJournal(f, exportRing); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %d flight-recorder events to %s\n", len(exportRing), *ringOut)
 	}
 	return nil
 }

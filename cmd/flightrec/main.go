@@ -1,0 +1,213 @@
+// Command flightrec reads a flight-recorder journal — the black-box event
+// ring recovered from a fail-stop system's stable storage (faultsim
+// -ring-out, or telemetry.WriteJournal) — and renders it for post-mortem
+// analysis.
+//
+// Usage:
+//
+//	flightrec -ring ring.jsonl                       # dump every event
+//	flightrec -ring ring.jsonl -app fcs -since-frame 40
+//	flightrec -ring ring.jsonl -phase prepare
+//	flightrec -ring ring.jsonl -summary -canonical   # timeline + SP checks
+//	flightrec -ring ring.jsonl -summary -spec system.json
+//
+// The default mode dumps the (filtered) events one per line. -summary
+// assembles the reconfiguration timeline — each window's halt, prepare and
+// initialize phases with their frame budgets against the specification's
+// transition bound — plus the fault-handling tallies, then reconstructs the
+// system trace from the ring's frame-state samples and reruns the SP1-SP4
+// checkers over it. SP1 and SP4 need only the trace; SP2 and SP3 also need
+// the specification (-spec, -canonical for the built-in three-configuration
+// system, or -avionics). The exit status is 1 if any checked property is
+// violated, so a recovered black box re-certifies the run it survived.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/avionics"
+	"repro/internal/spec"
+	"repro/internal/spectest"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "flightrec:", err)
+		os.Exit(1)
+	}
+}
+
+var errViolations = errors.New("property violations found")
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("flightrec", flag.ContinueOnError)
+	ringPath := fs.String("ring", "", "path to a flight-recorder journal (JSONL)")
+	app := fs.String("app", "", "dump only events for this application")
+	phase := fs.String("phase", "", "dump only events with this phase (halt, prepare, initialize, schedule, window, ...)")
+	sinceFrame := fs.Int64("since-frame", -1, "dump only events at or after this frame")
+	summary := fs.Bool("summary", false, "print the reconfiguration timeline and rerun the SP checkers")
+	specPath := fs.String("spec", "", "path to the reconfiguration specification (JSON), for SP2/SP3")
+	canonical := fs.Bool("canonical", false, "check against the built-in three-configuration specification")
+	useAvionics := fs.Bool("avionics", false, "check against the built-in avionics specification")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *ringPath == "" {
+		return errors.New("provide -ring <file>")
+	}
+
+	f, err := os.Open(*ringPath)
+	if err != nil {
+		return err
+	}
+	events, err := telemetry.ReadJournal(f)
+	f.Close()
+	if err != nil {
+		return fmt.Errorf("reading %s: %w", *ringPath, err)
+	}
+	if len(events) == 0 {
+		return fmt.Errorf("%s: empty journal", *ringPath)
+	}
+
+	var rs *spec.ReconfigSpec
+	switch {
+	case *useAvionics:
+		rs = avionics.Spec()
+	case *canonical:
+		rs = spectest.ThreeConfig()
+	case *specPath != "":
+		data, err := os.ReadFile(*specPath)
+		if err != nil {
+			return err
+		}
+		rs = new(spec.ReconfigSpec)
+		if err := json.Unmarshal(data, rs); err != nil {
+			return fmt.Errorf("parsing %s: %w", *specPath, err)
+		}
+	}
+
+	if !*summary {
+		dump(out, events, *app, *phase, *sinceFrame)
+		return nil
+	}
+	return summarize(out, events, rs)
+}
+
+// dump prints the filtered events one per line.
+func dump(out io.Writer, events []telemetry.Event, app, phase string, sinceFrame int64) {
+	for _, e := range events {
+		if app != "" && e.App != app {
+			continue
+		}
+		if phase != "" && e.Phase != phase {
+			continue
+		}
+		if sinceFrame >= 0 && e.Frame < sinceFrame {
+			continue
+		}
+		fmt.Fprintln(out, e.String())
+	}
+}
+
+// span renders one protocol phase's frame window.
+func span(name string, p telemetry.PhaseSpan) string {
+	if p.Start < 0 {
+		return fmt.Sprintf("      %-10s (not scheduled)", name)
+	}
+	return fmt.Sprintf("      %-10s f%d-f%d (%d frame(s))", name, p.Start, p.End, p.Frames())
+}
+
+// summarize prints the flight-recorder report and reruns the SP checkers
+// over the trace reconstructed from the ring.
+func summarize(out io.Writer, events []telemetry.Event, rs *spec.ReconfigSpec) error {
+	s := telemetry.Summarize(events)
+
+	fmt.Fprintf(out, "flight recorder: %d events, frames %d-%d", len(events), s.FirstFrame, s.LastFrame)
+	if s.DroppedEvents > 0 {
+		fmt.Fprintf(out, " (%d evicted before ring start)", s.DroppedEvents)
+	}
+	fmt.Fprintln(out)
+	fmt.Fprintf(out, "signals %d, deferred %d, retargets %d, takeovers %d\n",
+		s.Signals, s.Deferred, s.Retargets, s.Takeovers)
+	fmt.Fprintf(out, "storage: %d repairs, %d commit rescues, %d unrecoverable; bus faults: %d\n",
+		s.StorageRepairs, s.StorageRescues, s.StorageUnrecoverable, s.BusFaults)
+	if len(s.ProcHalts) > 0 {
+		fmt.Fprintln(out, "processor halts:")
+		for _, e := range s.ProcHalts {
+			detail := e.Detail
+			if detail == "" {
+				detail = "fail-stop halt"
+			}
+			fmt.Fprintf(out, "  f%-4d %-4s %s\n", e.Frame, e.Host, detail)
+		}
+	}
+
+	fmt.Fprintf(out, "reconfigurations: %d\n", len(s.Reconfigs))
+	for i, r := range s.Reconfigs {
+		flags := ""
+		if r.Retargeted {
+			flags += " [retargeted]"
+		}
+		if r.Chained {
+			flags += " [chained]"
+		}
+		lat := ""
+		if r.SignalLatency >= 0 {
+			lat = fmt.Sprintf(", signal latency %d frame(s)", r.SignalLatency)
+		}
+		fmt.Fprintf(out, "  #%d seq %d %s -> %s: trigger f%d%s%s\n",
+			i+1, r.Seq, r.Source, r.Target, r.TriggerFrame, lat, flags)
+		fmt.Fprintln(out, span("halt", r.Halt))
+		fmt.Fprintln(out, span("prepare", r.Prepare))
+		fmt.Fprintln(out, span("initialize", r.Init))
+		if !r.Complete() {
+			fmt.Fprintln(out, "      open at end of ring (incomplete window)")
+			continue
+		}
+		bound := "no declared bound"
+		if r.BoundFrames > 0 {
+			bound = fmt.Sprintf("bound %d, margin %d", r.BoundFrames, r.MarginFrames)
+		}
+		fmt.Fprintf(out, "      complete   f%d, window %d frame(s), %s\n", r.CompleteFrame, r.WindowFrames, bound)
+	}
+
+	frameLen := time.Millisecond
+	if rs != nil {
+		frameLen = rs.FrameLen
+	}
+	tr, base, err := telemetry.ReconstructTrace("flightrec", frameLen, events)
+	if err != nil {
+		return fmt.Errorf("reconstructing trace: %w", err)
+	}
+
+	var violations []trace.Violation
+	checked := "SP1, SP4"
+	violations = append(violations, trace.CheckSP1(tr)...)
+	violations = append(violations, trace.CheckSP4(tr)...)
+	if rs != nil {
+		checked = "SP1-SP4"
+		violations = append(violations, trace.CheckSP2(tr, rs)...)
+		violations = append(violations, trace.CheckSP3(tr, rs)...)
+	}
+	if len(violations) == 0 {
+		fmt.Fprintf(out, "%s: all properties hold over the reconstructed trace (%d cycles, base frame %d)\n",
+			checked, tr.Len(), base)
+		if rs == nil {
+			fmt.Fprintln(out, "(no specification given: pass -spec, -canonical or -avionics to also check SP2/SP3)")
+		}
+		return nil
+	}
+	fmt.Fprintf(out, "%s: %d violation(s) over the reconstructed trace\n", checked, len(violations))
+	for _, v := range violations {
+		fmt.Fprintf(out, "  %s\n", v)
+	}
+	return errViolations
+}

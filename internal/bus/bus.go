@@ -17,6 +17,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"repro/internal/telemetry"
 )
 
 // Errors reported by this package.
@@ -76,8 +78,18 @@ type Bus struct {
 	order     []EndpointID
 	fault     *FaultPlan
 	delayed   []Message
-	delivered int64
-	dropped   int64
+	// Delivery and fault accounting lives in a telemetry registry (a
+	// private one until Instrument attaches the system's); per-topic
+	// fault counters are resolved lazily as topics appear.
+	reg                *telemetry.Registry
+	tel                *telemetry.Recorder
+	delivered, dropped *telemetry.Counter
+	topicFaults        map[string]*topicFaultCounters
+}
+
+// topicFaultCounters are one topic's injected-fault counters.
+type topicFaultCounters struct {
+	drop, duplicate, delay *telemetry.Counter
 }
 
 // New returns a bus with the given static schedule. Multiple slots per owner
@@ -93,11 +105,68 @@ func New(schedule Schedule) *Bus {
 		cur.MaxMessages += s.MaxMessages
 		slotOf[s.Owner] = cur
 	}
-	return &Bus{
+	b := &Bus{
 		schedule:  schedule,
 		slotOf:    slotOf,
 		endpoints: make(map[EndpointID]*Endpoint),
 	}
+	b.bindMetrics(telemetry.NewRegistry())
+	return b
+}
+
+// bindMetrics (re)resolves the bus counters in reg. Callers hold b.mu or
+// own the bus exclusively.
+func (b *Bus) bindMetrics(reg *telemetry.Registry) {
+	prevDelivered, prevDropped := int64(0), int64(0)
+	if b.delivered != nil {
+		prevDelivered, prevDropped = b.delivered.Value(), b.dropped.Value()
+	}
+	b.reg = reg
+	b.delivered = reg.Counter("bus/delivered")
+	b.dropped = reg.Counter("bus/dropped")
+	b.delivered.Add(prevDelivered)
+	b.dropped.Add(prevDropped)
+	b.topicFaults = make(map[string]*topicFaultCounters)
+}
+
+// Instrument re-points the bus counters at the shared registry (carrying
+// over counts accumulated so far) and attaches the flight recorder, which
+// subsequently receives one event per injected fault action.
+func (b *Bus) Instrument(reg *telemetry.Registry, rec *telemetry.Recorder) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.bindMetrics(reg)
+	b.tel = rec
+}
+
+// topicFault returns the per-topic fault counters, resolving them on first
+// use. Callers hold b.mu.
+func (b *Bus) topicFault(topic string) *topicFaultCounters {
+	tc, ok := b.topicFaults[topic]
+	if !ok {
+		tc = &topicFaultCounters{
+			drop:      b.reg.Counter("bus/fault/" + topic + "/drop"),
+			duplicate: b.reg.Counter("bus/fault/" + topic + "/duplicate"),
+			delay:     b.reg.Counter("bus/fault/" + topic + "/delay"),
+		}
+		b.topicFaults[topic] = tc
+	}
+	return tc
+}
+
+// recordFault mirrors one injected fault action into the flight recorder.
+// Callers hold b.mu.
+func (b *Bus) recordFault(action string, msg Message, frameNum int64) {
+	if b.tel == nil {
+		return
+	}
+	b.tel.Record(telemetry.Event{
+		Frame:  frameNum,
+		Kind:   telemetry.KindBusFault,
+		Phase:  action,
+		Host:   string(msg.From),
+		Detail: "topic " + msg.Topic,
+	})
 }
 
 // Attach creates and registers an endpoint.
@@ -170,11 +239,12 @@ func (b *Bus) SetFaultHook(hook func(Message) bool) {
 	b.fault = plan
 }
 
-// Stats returns the counts of delivered and dropped messages.
+// Stats returns the counts of delivered and dropped messages, read from the
+// telemetry registry backing the bus.
 func (b *Bus) Stats() (delivered, dropped int64) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	return b.delivered, b.dropped
+	return b.delivered.Value(), b.dropped.Value()
 }
 
 // DeliverFrame moves every message staged during the given frame into the
@@ -227,12 +297,18 @@ func (b *Bus) DeliverFrame(frameNum int64) {
 			}
 			switch action {
 			case actDrop:
-				b.dropped++
+				b.dropped.Inc()
+				b.topicFault(msg.Topic).drop.Inc()
+				b.recordFault("drop", msg, frameNum)
 			case actDelay:
 				b.delayed = append(b.delayed, msg)
+				b.topicFault(msg.Topic).delay.Inc()
+				b.recordFault("delay", msg, frameNum)
 			case actDuplicate:
 				b.broadcast(msg)
 				b.broadcast(msg)
+				b.topicFault(msg.Topic).duplicate.Inc()
+				b.recordFault("duplicate", msg, frameNum)
 			default:
 				b.broadcast(msg)
 			}
@@ -246,7 +322,7 @@ func (b *Bus) broadcast(msg Message) {
 		rcpt := b.endpoints[id]
 		if rcpt.subscribed(msg.Topic) {
 			rcpt.deliver(msg)
-			b.delivered++
+			b.delivered.Inc()
 		}
 	}
 }

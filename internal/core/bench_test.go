@@ -1,0 +1,212 @@
+package core
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/envmon"
+	"repro/internal/spec"
+	"repro/internal/spectest"
+)
+
+// buildBenchSystem wires the canonical system for the frame-loop benchmarks.
+// churnEvery > 0 scripts an alternator fault/repair cycle at that period, so
+// reconfigurations — and the telemetry they generate — are part of the
+// measured loop; churnEvery 0 leaves the environment quiet, measuring the
+// steady state the system spends almost all of its life in.
+func buildBenchSystem(tb testing.TB, telemetryCapacity int, churnEvery int64) *System {
+	tb.Helper()
+	var script []envmon.Event
+	if churnEvery > 0 {
+		for f, val := churnEvery/2, "failed"; f < 1_000_000; f += churnEvery {
+			script = append(script, envmon.Event{Frame: f, Factor: "alt1", Value: val})
+			if val == "failed" {
+				val = "ok"
+			} else {
+				val = "failed"
+			}
+		}
+	}
+	sys, err := NewSystem(Options{
+		Spec: spectest.ThreeConfig(),
+		Apps: map[spec.AppID]App{
+			spectest.AppAP:  &testApp{id: spectest.AppAP},
+			spectest.AppFCS: &testApp{id: spectest.AppFCS},
+		},
+		Classifier:        powerClassifier(false),
+		InitialFactors:    map[envmon.Factor]string{"alt1": "ok", "alt2": "ok"},
+		Script:            script,
+		TelemetryCapacity: telemetryCapacity,
+	})
+	if err != nil {
+		tb.Fatalf("NewSystem: %v", err)
+	}
+	tb.Cleanup(sys.Close)
+	return sys
+}
+
+func benchFrames(b *testing.B, telemetryCapacity int, churnEvery int64) {
+	sys := buildBenchSystem(b, telemetryCapacity, churnEvery)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sys.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFrameTelemetryOn measures the steady-state frame loop with the
+// default telemetry layer: recorder stamping, run-length-encoded state
+// sampling, and the (no-op on quiet frames) ring-persistence check.
+func BenchmarkFrameTelemetryOn(b *testing.B) { benchFrames(b, 0, 0) }
+
+// BenchmarkFrameTelemetryOff is the steady-state ablation arm: the identical
+// system with the telemetry layer disabled.
+func BenchmarkFrameTelemetryOff(b *testing.B) { benchFrames(b, -1, 0) }
+
+// BenchmarkFrameChurnTelemetryOn stresses the expensive path: alternator
+// churn every 20 frames keeps the system reconfiguring, so protocol events,
+// frame-state samples and the per-frame journal staging are all live.
+func BenchmarkFrameChurnTelemetryOn(b *testing.B) { benchFrames(b, 0, 20) }
+
+// BenchmarkFrameChurnTelemetryOff is the churn ablation arm.
+func BenchmarkFrameChurnTelemetryOff(b *testing.B) { benchFrames(b, -1, 20) }
+
+// armSample is one fixed-frame measurement of one benchmark arm.
+type armSample struct {
+	nsPerFrame     float64
+	allocsPerFrame float64
+	bytesPerFrame  float64
+}
+
+// measureArm times exactly `frames` frames of one arm after a short warmup.
+// Running a fixed frame count in every arm keeps frame-count-dependent costs
+// (notably the live trace's slice growth, which testing.Benchmark's varying
+// b.N spreads unevenly across arms) identical on both sides of the
+// comparison, so they cancel in the subtraction.
+func measureArm(tb testing.TB, frames int, telemetryCapacity int, churnEvery int64) armSample {
+	tb.Helper()
+	sys := buildBenchSystem(tb, telemetryCapacity, churnEvery)
+	for i := 0; i < 1000; i++ {
+		if err := sys.Step(); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < frames; i++ {
+		if err := sys.Step(); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	return armSample{
+		nsPerFrame:     float64(elapsed.Nanoseconds()) / float64(frames),
+		allocsPerFrame: float64(after.Mallocs-before.Mallocs) / float64(frames),
+		bytesPerFrame:  float64(after.TotalAlloc-before.TotalAlloc) / float64(frames),
+	}
+}
+
+// measurePair measures the instrumented and ablation arms back to back n
+// times and returns the fastest sample of each plus the median of the
+// pairwise overheads. Interleaving the arms keeps slow machine drift
+// (thermal throttling, noisy CI neighbours) out of the comparison — each
+// overhead sample comes from two runs executed moments apart — and the
+// median discards the pairs a scheduling hiccup landed in.
+func measurePair(tb testing.TB, n, frames int, churnEvery int64) (on, off armSample, medianPct float64) {
+	pcts := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		son := measureArm(tb, frames, 0, churnEvery)
+		soff := measureArm(tb, frames, -1, churnEvery)
+		if i == 0 || son.nsPerFrame < on.nsPerFrame {
+			on = son
+		}
+		if i == 0 || soff.nsPerFrame < off.nsPerFrame {
+			off = soff
+		}
+		pcts = append(pcts, (son.nsPerFrame-soff.nsPerFrame)/soff.nsPerFrame*100)
+	}
+	sort.Float64s(pcts)
+	return on, off, pcts[len(pcts)/2]
+}
+
+// benchResult is one row of BENCH_observability.json.
+type benchResult struct {
+	Name        string  `json:"name"`
+	NsPerFrame  float64 `json:"ns_per_frame"`
+	AllocsPerOp float64 `json:"allocs_per_frame"`
+	BytesPerOp  float64 `json:"bytes_per_frame"`
+}
+
+func row(name string, s armSample) benchResult {
+	return benchResult{
+		Name:        name,
+		NsPerFrame:  s.nsPerFrame,
+		AllocsPerOp: s.allocsPerFrame,
+		BytesPerOp:  s.bytesPerFrame,
+	}
+}
+
+// TestTelemetryOverheadBench measures both benchmark pairs under plain
+// `go test` and records the telemetry overhead in BENCH_observability.json
+// at the repository root. The steady-state pair is the headline number — the
+// target is < 5% ns/frame there, asserted with CI-jitter headroom at 15%.
+// The churn pair documents the cost while the system is actively
+// reconfiguring (every 20 frames, far denser than any fault campaign): that
+// overhead is real work — journal staging for every protocol event — and is
+// recorded, with a loose 75% ceiling so a regression to the pre-ring-buffer
+// costs still fails.
+func TestTelemetryOverheadBench(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark harness skipped in -short mode")
+	}
+	const frames = 20_000
+	steadyOn, steadyOff, steadyPct := measurePair(t, 5, frames, 0)
+	churnOn, churnOff, churnPct := measurePair(t, 3, frames, 20)
+
+	out := struct {
+		Benchmark        string        `json:"benchmark"`
+		Target           string        `json:"target"`
+		Results          []benchResult `json:"results"`
+		OverheadPct      float64       `json:"telemetry_overhead_pct"`
+		ChurnOverheadPct float64       `json:"telemetry_churn_overhead_pct"`
+	}{
+		Benchmark: "telemetry overhead: canonical three-config frame loop, steady state (headline) and alternator churn every 20 frames (stress)",
+		Target:    "steady-state telemetry overhead < 5% ns/frame",
+		Results: []benchResult{
+			row("frame/steady/telemetry=on", steadyOn),
+			row("frame/steady/telemetry=off", steadyOff),
+			row("frame/churn20/telemetry=on", churnOn),
+			row("frame/churn20/telemetry=off", churnOff),
+		},
+		OverheadPct:      steadyPct,
+		ChurnOverheadPct: churnPct,
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("../../BENCH_observability.json", append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("steady: on %.0f ns/frame (%.1f allocs) vs off %.0f (%.1f) = %.2f%% median overhead",
+		steadyOn.nsPerFrame, steadyOn.allocsPerFrame,
+		steadyOff.nsPerFrame, steadyOff.allocsPerFrame, steadyPct)
+	t.Logf("churn20: on %.0f ns/frame (%.1f allocs) vs off %.0f (%.1f) = %.2f%% median overhead",
+		churnOn.nsPerFrame, churnOn.allocsPerFrame,
+		churnOff.nsPerFrame, churnOff.allocsPerFrame, churnPct)
+	if steadyPct > 15 {
+		t.Errorf("steady-state telemetry overhead %.2f%% ns/frame exceeds the 15%% ceiling (target < 5%%)", steadyPct)
+	}
+	if churnPct > 75 {
+		t.Errorf("churn telemetry overhead %.2f%% ns/frame exceeds the 75%% ceiling", churnPct)
+	}
+}

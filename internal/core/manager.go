@@ -10,6 +10,7 @@ import (
 	"repro/internal/scram"
 	"repro/internal/spec"
 	"repro/internal/stable"
+	"repro/internal/telemetry"
 )
 
 // scramManager hosts the SCRAM kernel on a fail-stop processor and,
@@ -39,6 +40,11 @@ type scramManager struct {
 	tookOver     bool
 	takeoverAt   int64
 	takeoverSeen bool
+
+	// telReg and telRec, when set, are re-attached to the restored kernel
+	// on takeover; nil when telemetry is disabled.
+	telReg *telemetry.Registry
+	telRec *telemetry.Recorder
 }
 
 // newSCRAMManager builds the manager with a fresh kernel on the primary.
@@ -54,6 +60,14 @@ func newSCRAMManager(rs *spec.ReconfigSpec, primary, standby *failstop.Processor
 		active:     k,
 		activeProc: primary,
 	}, nil
+}
+
+// setTelemetry attaches the telemetry layer to the manager and its active
+// kernel. Called once during system construction, before any frame runs.
+func (m *scramManager) setTelemetry(reg *telemetry.Registry, rec *telemetry.Recorder) {
+	m.telReg = reg
+	m.telRec = rec
+	m.active.SetTelemetry(reg, rec)
 }
 
 // Signal enqueues a monitor signal for delivery at the commit step. Safe for
@@ -92,6 +106,20 @@ func (m *scramManager) hook(ctx frame.Context) error {
 		m.tookOver = true
 		m.takeoverAt = ctx.Frame
 		m.takeoverSeen = true
+		if m.telRec != nil {
+			// The standby's stable storage has never held the journal:
+			// reset the persistence markers so the next persist rewrites
+			// the full ring, then keep recording on the restored kernel.
+			m.telRec.ResetPersistence()
+			m.active.SetTelemetry(m.telReg, m.telRec)
+			m.telRec.Record(telemetry.Event{
+				Frame: ctx.Frame,
+				Kind:  telemetry.KindTakeover,
+				Host:  string(m.standby.ID()),
+				Detail: fmt.Sprintf("standby %s restored SCRAM state from failed %s",
+					m.standby.ID(), m.primary.ID()),
+			})
+		}
 	}
 	m.mu.Lock()
 	sigs := m.pending

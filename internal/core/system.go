@@ -14,6 +14,7 @@ import (
 	"repro/internal/spec"
 	"repro/internal/stable"
 	"repro/internal/statics"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -104,6 +105,11 @@ type Options struct {
 	// application processors. An unrecoverable storage fault halts the
 	// owning processor with fail-stop semantics.
 	HardenedStorage *stable.MediaProfile
+	// TelemetryCapacity sizes the flight-recorder ring. Zero selects the
+	// default capacity; a negative value disables the telemetry layer
+	// entirely (no registry, no recorder, no per-frame persistence) —
+	// the ablation arm of the observability-overhead benchmark.
+	TelemetryCapacity int
 	// Paced runs frames against the wall clock (soft real time) instead
 	// of as fast as possible.
 	Paced bool
@@ -131,8 +137,54 @@ type System struct {
 	events   []ProcEvent
 	tr       *trace.Trace
 
+	// telReg and telRec are the system's metrics registry and
+	// flight-recorder ring; nil when telemetry is disabled. lastFS and
+	// lastFSFrame run-length-encode the frame-state samples: a sample is
+	// recorded only when the state differs from the previous frame's, and
+	// telFrame tracks the last frame the telemetry hook observed so
+	// FlushTelemetry can close the final run with one last sample.
+	telReg      *telemetry.Registry
+	telRec      *telemetry.Recorder
+	lastFS      *telemetry.FrameState
+	lastFSFrame int64
+	telFrame    int64
+
 	lastPowerCfg    string
 	stagedHighWater int
+}
+
+// telObserver feeds the frame scheduler's per-frame reports into the
+// telemetry layer: it stamps the recorder with the current frame at each
+// frame start and counts barrier activity at each frame end. All counts are
+// frame-synchronous — no wall-clock quantities cross into telemetry.
+type telObserver struct {
+	rec      *telemetry.Recorder
+	frames   *telemetry.Counter
+	taskErrs *telemetry.Counter
+	hookErrs *telemetry.Counter
+	tasks    *telemetry.Gauge
+	hooks    *telemetry.Gauge
+}
+
+func newTelObserver(reg *telemetry.Registry, rec *telemetry.Recorder) *telObserver {
+	return &telObserver{
+		rec:      rec,
+		frames:   reg.Counter("frame/frames"),
+		taskErrs: reg.Counter("frame/task_errors"),
+		hookErrs: reg.Counter("frame/hook_errors"),
+		tasks:    reg.Gauge("frame/tasks"),
+		hooks:    reg.Gauge("frame/hooks"),
+	}
+}
+
+func (o *telObserver) BeginFrame(ctx frame.Context) { o.rec.SetFrame(ctx.Frame) }
+
+func (o *telObserver) EndFrame(rep frame.Report) {
+	o.frames.Inc()
+	o.taskErrs.Add(int64(rep.TaskErrs))
+	o.hookErrs.Add(int64(rep.HookErrs))
+	o.tasks.Set(int64(rep.Tasks))
+	o.hooks.Set(int64(rep.Hooks))
 }
 
 // NewSystem validates the specification, discharges its static obligations,
@@ -240,6 +292,37 @@ func NewSystem(opts Options) (*System, error) {
 		s.bus = bus.New(opts.BusSchedule)
 	}
 
+	// Telemetry: one registry and one flight-recorder ring for the whole
+	// system, persisted through the SCRAM host's stable storage (which is
+	// exempt from injected media faults) so the journal survives any
+	// application processor's fail-stop halt — the black box.
+	if opts.TelemetryCapacity >= 0 {
+		s.telReg = telemetry.NewRegistry()
+		s.telRec = telemetry.NewRecorder(opts.TelemetryCapacity)
+		s.manager.setTelemetry(s.telReg, s.telRec)
+		if s.bus != nil {
+			s.bus.Instrument(s.telReg, s.telRec)
+		}
+		for _, p := range s.pool.Procs() {
+			p := p
+			if h := p.Stable().Hardened(); h != nil {
+				h.Instrument(s.telReg, s.telRec, string(p.ID()))
+			}
+			p.SetFailObserver(func(frameNum int64, storageFault error) {
+				e := telemetry.Event{
+					Kind:  telemetry.KindProcHalt,
+					Host:  string(p.ID()),
+					Attrs: map[string]int64{"halt_frame": frameNum},
+				}
+				if storageFault != nil {
+					e.Detail = storageFault.Error()
+				}
+				s.telRec.Record(e)
+				s.telReg.Counter("failstop/halts").Inc()
+			})
+		}
+	}
+
 	// Scheduler, tasks, hooks.
 	var schedOpts []frame.Option
 	if opts.Paced {
@@ -315,6 +398,10 @@ func NewSystem(opts Options) (*System, error) {
 	s.sched.AddCommitHook(s.recordHook)  // append tr(cycle) to the trace
 	s.sched.AddCommitHook(s.injectHook)  // stage next frame's env changes and repairs
 	s.sched.AddCommitHook(s.script.Hook) // scripted env events for the next frame
+	if s.telRec != nil {
+		s.sched.AddCommitHook(s.telemetryHook) // sample tr(cycle) into the ring; stage ring + metrics
+		s.sched.SetObserver(newTelObserver(s.telReg, s.telRec))
+	}
 
 	s.lastPowerCfg = "cfg:" + string(rs.StartConfig)
 	s.applyProcModes(rs.StartConfig)
@@ -571,6 +658,98 @@ func (s *System) recordHook(ctx frame.Context) error {
 	}
 	return s.tr.Append(st)
 }
+
+// metricsPersistEvery is the frame cadence of metrics-snapshot staging. The
+// flight-recorder ring is the authoritative black box and is staged every
+// frame it changes; the metrics snapshot is a convenience export, so staging
+// it every frame would spend a full JSON marshal per frame for freshness
+// nobody reads. After a halt the recovered snapshot may trail the ring by up
+// to this many frames.
+const metricsPersistEvery = 128
+
+// telemetryHook is the last built-in hook: it samples the frame's recorded
+// system state into the flight-recorder ring and stages the ring delta
+// (plus, periodically, a metrics snapshot) onto the SCRAM host's stable
+// storage. Samples are run-length-encoded — recorded only when the state
+// differs from the previous frame's — and because the hook runs after
+// commitHook, frame k's staging commits with frame k+1: the recovered black
+// box trails the live system by at most one frame, exactly matching the
+// fail-stop model (writes staged in the halt frame die with the halt).
+func (s *System) telemetryHook(ctx frame.Context) error {
+	s.telFrame = ctx.Frame
+	if n := len(s.tr.States); n > 0 {
+		if st := s.tr.States[n-1]; st.Cycle == ctx.Frame {
+			if !s.lastFS.EqualState(st) {
+				fs := telemetry.CaptureState(st)
+				s.telRec.Record(telemetry.Event{
+					Frame:  ctx.Frame,
+					Kind:   telemetry.KindFrameState,
+					Config: string(st.Config),
+					State:  fs,
+				})
+				s.lastFS = fs
+				s.lastFSFrame = ctx.Frame
+			}
+		}
+	}
+	persistMetrics := ctx.Frame%metricsPersistEvery == metricsPersistEvery-1
+	return s.persistTelemetry(persistMetrics)
+}
+
+// persistTelemetry stages the ring delta (and, when asked, the metrics
+// snapshot) onto the active SCRAM host's stable storage. Skipped while no
+// SCRAM host is alive: with the kernel gone there is nowhere dependable to
+// write, and the last committed journal already records everything up to
+// the halt.
+func (s *System) persistTelemetry(metrics bool) error {
+	if s.telRec == nil || !s.manager.activeProc.Alive() {
+		return nil
+	}
+	store := s.manager.store()
+	if metrics {
+		if err := s.telReg.Persist(store); err != nil {
+			return err
+		}
+	}
+	return s.telRec.Persist(store)
+}
+
+// FlushTelemetry persists any un-staged telemetry and commits the SCRAM
+// host's stable storage, making the full journal — including the final
+// frame's events, which the one-frame staging lag would otherwise leave
+// uncommitted — recoverable via PollStable. It also closes the run-length
+// encoding with a final frame-state sample, so the reconstructed trace
+// covers every executed frame. Call it after the last frame of a run; it is
+// a no-op when telemetry is disabled or the SCRAM host is down.
+func (s *System) FlushTelemetry() error {
+	if s.telRec == nil || !s.manager.activeProc.Alive() {
+		return nil
+	}
+	if s.lastFS != nil && s.telFrame > s.lastFSFrame {
+		s.telRec.Record(telemetry.Event{
+			Frame:  s.telFrame,
+			Kind:   telemetry.KindFrameState,
+			Config: string(s.lastFS.Config),
+			State:  s.lastFS,
+		})
+		s.lastFSFrame = s.telFrame
+	}
+	if err := s.persistTelemetry(true); err != nil {
+		return err
+	}
+	s.manager.store().Commit()
+	return nil
+}
+
+// Telemetry returns the system's metrics registry and flight recorder; both
+// are nil when Options.TelemetryCapacity is negative.
+func (s *System) Telemetry() (*telemetry.Registry, *telemetry.Recorder) {
+	return s.telReg, s.telRec
+}
+
+// SCRAMProc returns the processor currently hosting the SCRAM kernel (the
+// standby after a takeover). Its stable storage holds the black box.
+func (s *System) SCRAMProc() spec.ProcID { return s.manager.activeProc.ID() }
 
 // injectHook applies, at the end of frame k, the health-factor changes and
 // repairs that must be visible in frame k+1.

@@ -6,7 +6,26 @@ import (
 	"repro/internal/bus"
 	"repro/internal/inject"
 	"repro/internal/stable"
+	"repro/internal/telemetry"
 )
+
+// flightRecorderLine renders a one-line digest of a recovered flight-recorder
+// ring for an experiment's text report.
+func flightRecorderLine(ring []telemetry.Event) string {
+	if len(ring) == 0 {
+		return "flight recorder: no ring recovered"
+	}
+	s := telemetry.Summarize(ring)
+	complete := 0
+	for _, r := range s.Reconfigs {
+		if r.Complete() {
+			complete++
+		}
+	}
+	return fmt.Sprintf("flight recorder: %d events (frames %d-%d, %d evicted), %d reconfig windows (%d complete), %d signals, %d storage repairs, %d proc halts, %d takeovers",
+		len(ring), s.FirstFrame, s.LastFrame, s.DroppedEvents,
+		len(s.Reconfigs), complete, s.Signals, s.StorageRepairs, len(s.ProcHalts), s.Takeovers)
+}
 
 // StorageFaultRow is one storage-fault campaign's outcome.
 type StorageFaultRow struct {
@@ -19,6 +38,9 @@ type StorageFaultRow struct {
 	Reconfigs       int
 	Violations      int
 	StagedHighWater int
+	// Recorder is the flight-recorder summary assembled from the ring
+	// recovered off the SCRAM host's stable storage after the campaign.
+	Recorder telemetry.Summary
 }
 
 // StorageFaultResult is the S1 experiment output.
@@ -30,6 +52,10 @@ type StorageFaultResult struct {
 	SilentWrongData int64
 	TotalViolations int
 	Text            string
+	// LastRing is the black-box journal of the most interesting campaign:
+	// the last defeat-mode run that halted a processor, or failing that the
+	// last run with a ring at all. faultsim -ring-out exports it.
+	LastRing []telemetry.Event `json:"-"`
 }
 
 // StorageFaults runs the S1 experiment: the canonical system on hardened
@@ -70,8 +96,12 @@ func StorageFaults(seeds int, frames int, faults stable.FaultProfile) (*StorageF
 			Reconfigs:       m.Reconfigs,
 			Violations:      len(m.Violations),
 			StagedHighWater: m.StagedHighWater,
+			Recorder:        telemetry.Summarize(m.Ring),
 		}
 		res.Rows = append(res.Rows, row)
+		if len(m.Ring) > 0 && (res.LastRing == nil || (mode == "defeat" && m.StorageHalts > 0)) {
+			res.LastRing = m.Ring
+		}
 		res.TotalInjected.Add(m.Injected)
 		res.TotalRepairs += m.Storage.ReadRepairs + m.Storage.ScrubRepairs
 		res.TotalHalts += m.StorageHalts
@@ -104,7 +134,8 @@ func StorageFaults(seeds int, frames int, faults stable.FaultProfile) (*StorageF
 		w.String() +
 		fmt.Sprintf("total: %d/%d/%d faults injected (torn/rot/stuck), %d repairs, %d fail-stop halts, %d silent wrong data, %d SP violations\n",
 			res.TotalInjected.TornWrites, res.TotalInjected.BitFlips, res.TotalInjected.StuckReads,
-			res.TotalRepairs, res.TotalHalts, res.SilentWrongData, res.TotalViolations)
+			res.TotalRepairs, res.TotalHalts, res.SilentWrongData, res.TotalViolations) +
+		flightRecorderLine(res.LastRing) + "\n"
 	return res, nil
 }
 
@@ -117,6 +148,8 @@ type BusFaultRow struct {
 	Reconfigs  int
 	Violations int
 	FinalAltFt float64
+	// Recorder is the flight-recorder summary recovered after the campaign.
+	Recorder telemetry.Summary
 }
 
 // BusFaultResult is the S2 experiment output.
@@ -124,6 +157,9 @@ type BusFaultResult struct {
 	Rows            []BusFaultRow
 	TotalViolations int
 	Text            string
+	// LastRing is the last campaign's recovered black-box journal;
+	// faultsim -ring-out exports it.
+	LastRing []telemetry.Event `json:"-"`
 }
 
 // BusFaults runs the S2 experiment: the section 7 avionics mission over a
@@ -155,8 +191,12 @@ func BusFaults(seeds int, frames int, rates bus.FaultRates) (*BusFaultResult, er
 				Reconfigs:  m.Reconfigs,
 				Violations: len(m.Violations),
 				FinalAltFt: m.FinalAltFt,
+				Recorder:   telemetry.Summarize(m.Ring),
 			}
 			res.Rows = append(res.Rows, row)
+			if len(m.Ring) > 0 {
+				res.LastRing = m.Ring
+			}
 			res.TotalViolations += len(m.Violations)
 			w.row(fmt.Sprintf("%d", seed),
 				fmt.Sprintf("%.2f", r.Drop), fmt.Sprintf("%.2f", r.Duplicate), fmt.Sprintf("%.2f", r.Delay),
@@ -170,7 +210,8 @@ func BusFaults(seeds int, frames int, rates bus.FaultRates) (*BusFaultResult, er
 	res.Text = fmt.Sprintf("S2: avionics mission over a degraded bus (%d seeds x %d frames, base rates drop=%.2f dup=%.2f delay=%.2f, multipliers 0-3)\n",
 		seeds, frames, rates.Drop, rates.Duplicate, rates.Delay) +
 		w.String() +
-		fmt.Sprintf("total: %d SP violations\n", res.TotalViolations)
+		fmt.Sprintf("total: %d SP violations\n", res.TotalViolations) +
+		flightRecorderLine(res.LastRing) + "\n"
 	return res, nil
 }
 

@@ -91,6 +91,17 @@ type Processor struct {
 	lowPower      spec.Resources
 	failedAtFrame int64
 	storageFault  error
+	failObserver  func(frame int64, storageFault error)
+}
+
+// SetFailObserver installs a callback invoked once when the processor
+// fail-stops, outside the processor's lock, with the halt frame and the
+// unrecoverable storage fault that caused the halt (nil for an ordinary
+// failure). The telemetry layer uses it to journal processor halts.
+func (p *Processor) SetFailObserver(fn func(frame int64, storageFault error)) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.failObserver = fn
 }
 
 // NewProcessor returns a running processor with the given identity and
@@ -165,14 +176,19 @@ func (p *Processor) EffectiveCapacity() spec.Resources {
 // preserved. Failing an already-failed processor is a no-op.
 func (p *Processor) Fail(frame int64) {
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	if p.state == StateFailed {
+		p.mu.Unlock()
 		return
 	}
 	p.state = StateFailed
 	p.failedAtFrame = frame
 	clear(p.volatile)
 	p.stable.Discard()
+	observer, fault := p.failObserver, p.storageFault
+	p.mu.Unlock()
+	if observer != nil {
+		observer(frame, fault)
+	}
 }
 
 // FailStorage halts the processor because its stable storage suffered an

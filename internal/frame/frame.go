@@ -69,6 +69,29 @@ type Task interface {
 // is registered as a commit hook.
 type CommitHook func(ctx Context) error
 
+// Report is one frame's execution summary, passed to the observer after the
+// commit hooks finish. All quantities are frame-synchronous counts — no
+// wall-clock timings — so an observer feeding the telemetry layer stays
+// deterministic.
+type Report struct {
+	// Frame is the frame number just executed.
+	Frame int64
+	// Tasks and TaskErrs count the tasks run and the tasks that returned
+	// errors.
+	Tasks, TaskErrs int
+	// Hooks and HookErrs count the commit hooks run and the hooks that
+	// returned errors.
+	Hooks, HookErrs int
+}
+
+// Observer watches frame execution: BeginFrame before the start broadcast,
+// EndFrame after the commit hooks. The telemetry layer registers one to
+// stamp recorded events with the current frame and count barrier activity.
+type Observer interface {
+	BeginFrame(ctx Context)
+	EndFrame(rep Report)
+}
+
 // Option configures a Scheduler.
 type Option func(*Scheduler)
 
@@ -107,15 +130,16 @@ type Scheduler struct {
 	pace       bool
 	sequential bool
 
-	frame   int64
-	epoch   time.Time // wall-clock epoch for pacing; set at first Step
-	tasks   []*runner
-	byID    map[string]*runner
-	hooks   []CommitHook
-	done    chan taskResult
-	stats   Stats
-	closed  bool
-	runners sync.WaitGroup
+	frame    int64
+	epoch    time.Time // wall-clock epoch for pacing; set at first Step
+	tasks    []*runner
+	byID     map[string]*runner
+	hooks    []CommitHook
+	done     chan taskResult
+	stats    Stats
+	observer Observer
+	closed   bool
+	runners  sync.WaitGroup
 }
 
 // runner is the persistent goroutine wrapper around one task.
@@ -222,6 +246,12 @@ func (s *Scheduler) AddCommitHook(h CommitHook) {
 	s.hooks = append(s.hooks, h)
 }
 
+// SetObserver installs the frame observer (nil removes it). Set it between
+// frames, not during Step.
+func (s *Scheduler) SetObserver(o Observer) {
+	s.observer = o
+}
+
 // Step executes one frame: broadcast the frame context to every task, wait
 // for all of them, then run the commit hooks. Task and hook errors are
 // collected and joined; the frame counter advances regardless so that a
@@ -235,11 +265,16 @@ func (s *Scheduler) Step() error {
 	}
 	ctx := Context{Frame: s.frame, Len: s.frameLen}
 	workStart := time.Now()
+	if s.observer != nil {
+		s.observer.BeginFrame(ctx)
+	}
+	rep := Report{Frame: ctx.Frame, Tasks: len(s.tasks), Hooks: len(s.hooks)}
 
 	var errs []error
 	if s.sequential {
 		for _, r := range s.tasks {
 			if err := r.task.Tick(ctx); err != nil {
+				rep.TaskErrs++
 				errs = append(errs, fmt.Errorf("task %q frame %d: %w", r.task.TaskID(), ctx.Frame, err))
 			}
 		}
@@ -250,6 +285,7 @@ func (s *Scheduler) Step() error {
 		for range s.tasks {
 			res := <-s.done
 			if res.err != nil {
+				rep.TaskErrs++
 				errs = append(errs, fmt.Errorf("task %q frame %d: %w", res.id, ctx.Frame, res.err))
 			}
 		}
@@ -257,8 +293,12 @@ func (s *Scheduler) Step() error {
 
 	for _, h := range s.hooks {
 		if err := h(ctx); err != nil {
+			rep.HookErrs++
 			errs = append(errs, fmt.Errorf("commit hook frame %d: %w", ctx.Frame, err))
 		}
+	}
+	if s.observer != nil {
+		s.observer.EndFrame(rep)
 	}
 
 	work := time.Since(workStart)

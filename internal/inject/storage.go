@@ -10,8 +10,28 @@ import (
 	"repro/internal/envmon"
 	"repro/internal/spectest"
 	"repro/internal/stable"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
+
+// recoverRing flushes the system's telemetry and recovers the flight-recorder
+// ring from the SCRAM host's committed stable storage — the same poll a
+// post-mortem reader would perform after a fail-stop halt. A nil slice means
+// telemetry was disabled or the SCRAM host (and any standby) was down.
+func recoverRing(sys *core.System) []telemetry.Event {
+	if err := sys.FlushTelemetry(); err != nil {
+		return nil
+	}
+	snap, err := sys.Pool().PollStable(sys.SCRAMProc())
+	if err != nil {
+		return nil
+	}
+	ring, err := telemetry.RecoverRing(snap)
+	if err != nil {
+		return nil
+	}
+	return ring
+}
 
 // StorageCampaign runs the canonical three-configuration system on hardened
 // stable storage backed by deliberately faulty media: torn writes, bit rot
@@ -51,6 +71,10 @@ type StorageMetrics struct {
 	// StagedHighWater is the largest per-frame commit batch any processor
 	// staged.
 	StagedHighWater int
+	// Ring is the flight-recorder journal recovered from the SCRAM host's
+	// committed stable storage after the campaign — the black box a
+	// post-mortem reader would poll.
+	Ring []telemetry.Event `json:"-"`
 }
 
 // Run executes the campaign and returns its metrics and trace.
@@ -99,6 +123,7 @@ func (c StorageCampaign) Run() (StorageMetrics, *trace.Trace, error) {
 	out := StorageMetrics{
 		Metrics:         Collect(tr, rs, int64(rs.DwellFrames)+2),
 		StagedHighWater: sys.StagedHighWater(),
+		Ring:            recoverRing(sys),
 	}
 	for _, p := range sys.Pool().Procs() {
 		if rep := p.Stable().Hardened(); rep != nil {
@@ -139,6 +164,9 @@ type BusMetrics struct {
 	// FinalAltFt is the aircraft's altitude when the campaign ends; the
 	// flight starts (and holds) 5000 ft.
 	FinalAltFt float64
+	// Ring is the flight-recorder journal recovered from the SCRAM host's
+	// committed stable storage after the campaign.
+	Ring []telemetry.Event `json:"-"`
 }
 
 // Run executes the campaign and returns its metrics and trace.
@@ -172,5 +200,6 @@ func (c BusCampaign) Run() (BusMetrics, *trace.Trace, error) {
 		FinalAltFt: sc.Dyn.State().AltFt,
 	}
 	out.Delivered, out.Dropped = sc.Sys.Bus().Stats()
+	out.Ring = recoverRing(sc.Sys)
 	return out, tr, nil
 }

@@ -73,9 +73,10 @@ func parseWants(t *testing.T, dir string) []*expectation {
 }
 
 // runFixture type-checks testdata/src/<fixture> with the real module's
-// packages importable, runs one analyzer, and checks the diagnostics against
-// the fixture's want comments — every want matched, nothing unexpected.
-func runFixture(t *testing.T, a *Analyzer, fixture string) {
+// packages importable, runs the given analyzers together, and checks the
+// diagnostics against the fixture's want comments — every want matched,
+// nothing unexpected.
+func runFixture(t *testing.T, as []*Analyzer, fixture string) {
 	t.Helper()
 	dir := filepath.Join("testdata", "src", fixture)
 	wants := parseWants(t, dir)
@@ -85,9 +86,9 @@ func runFixture(t *testing.T, a *Analyzer, fixture string) {
 	if err != nil {
 		t.Fatalf("loading fixture %s: %v", fixture, err)
 	}
-	diags, err := Run([]*Analyzer{a}, []*Package{pkg})
+	diags, err := Run(as, []*Package{pkg})
 	if err != nil {
-		t.Fatalf("running %s on fixture %s: %v", a.Name, fixture, err)
+		t.Fatalf("running analyzers on fixture %s: %v", fixture, err)
 	}
 
 	var problems []string
@@ -115,10 +116,22 @@ func runFixture(t *testing.T, a *Analyzer, fixture string) {
 	}
 }
 
-func TestFrameDetFixture(t *testing.T)         { runFixture(t, FrameDet, "framedet") }
-func TestStableErrFixture(t *testing.T)        { runFixture(t, StableErr, "stableerr") }
-func TestNoFreeGoroutineFixture(t *testing.T)  { runFixture(t, NoFreeGoroutine, "nofreegoroutine") }
-func TestStatusDisciplineFixture(t *testing.T) { runFixture(t, StatusDiscipline, "statusdiscipline") }
+func TestFrameDetFixture(t *testing.T)  { runFixture(t, []*Analyzer{FrameDet}, "framedet") }
+func TestStableErrFixture(t *testing.T) { runFixture(t, []*Analyzer{StableErr}, "stableerr") }
+func TestNoFreeGoroutineFixture(t *testing.T) {
+	runFixture(t, []*Analyzer{NoFreeGoroutine}, "nofreegoroutine")
+}
+func TestStatusDisciplineFixture(t *testing.T) {
+	runFixture(t, []*Analyzer{StatusDiscipline}, "statusdiscipline")
+}
+
+// TestTelemetryFixture pins the telemetry package's membership in both the
+// frame-deterministic and the frame-synchronous scopes: an event-recording
+// helper that ranges over an attribute map, reads the wall clock, or spawns
+// a goroutine must be flagged exactly as in the kernel packages.
+func TestTelemetryFixture(t *testing.T) {
+	runFixture(t, []*Analyzer{FrameDet, NoFreeGoroutine}, "telemetry")
+}
 
 // TestFrameDetSkipsOtherPackages pins the package-name gate: the same
 // nondeterminism that fires inside a frame-deterministic package is legal in

@@ -9,11 +9,12 @@ import "go/ast"
 // fail-stop pool's monitored goroutines) that must carry a //lint:allow
 // annotation naming its justification.
 var frameSyncPkgs = map[string]bool{
-	"scram":    true,
-	"core":     true,
-	"fta":      true,
-	"frame":    true,
-	"failstop": true,
+	"scram":     true,
+	"core":      true,
+	"fta":       true,
+	"frame":     true,
+	"failstop":  true,
+	"telemetry": true,
 }
 
 // NoFreeGoroutine forbids goroutine launches in the frame-synchronous
@@ -21,7 +22,7 @@ var frameSyncPkgs = map[string]bool{
 var NoFreeGoroutine = &Analyzer{
 	Name: "nofreegoroutine",
 	Doc: "Forbid go statements in the frame-synchronous packages (scram, core, " +
-		"fta, frame, failstop): the model has no free-running concurrency; " +
+		"fta, frame, failstop, telemetry): the model has no free-running concurrency; " +
 		"audited launches carry a //lint:allow nofreegoroutine annotation.",
 	Run: runNoFreeGoroutine,
 }

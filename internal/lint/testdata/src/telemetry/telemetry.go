@@ -1,0 +1,78 @@
+// Fixture for the telemetry package's lint scope. The package is named
+// telemetry so both the framedet and nofreegoroutine gates admit it; it
+// never builds as part of the module (testdata is invisible to go list).
+// The patterns mirror the flight recorder: event records carrying attribute
+// maps, a ring buffer, and exporters — all of which must stay deterministic
+// and frame-synchronous.
+package telemetry
+
+import (
+	"sort"
+	"time"
+)
+
+// Event mirrors the flight recorder's event record: an attribute map whose
+// iteration order must never reach the ring, an exporter, or a return value.
+type Event struct {
+	Frame int64
+	Kind  string
+	Attrs map[string]int64
+}
+
+// Recorder mirrors the bounded ring.
+type Recorder struct {
+	buf   []Event
+	frame int64
+}
+
+func (r *Recorder) Record(e Event) { r.buf = append(r.buf, e) }
+
+// stampNow is the tempting bug the scope exists to catch: wall-clock
+// timestamps on events. Only frame numbers may stamp the black box.
+func stampNow() int64 {
+	return time.Now().UnixNano() // want `call to time.Now`
+}
+
+// flushAttrs renders an event's attributes by ranging over the map and
+// appending through an outer variable: the journal's byte order would then
+// depend on map iteration order.
+func flushAttrs(e Event) []string {
+	var out []string
+	for k := range e.Attrs {
+		out = append(out, k) // want `writes out declared outside the loop`
+	}
+	return out
+}
+
+// recordEach forwards each attribute as its own event: the mutator call
+// inside the map range makes ring order nondeterministic.
+func recordEach(r *Recorder, e Event) {
+	for k, v := range e.Attrs {
+		r.Record(Event{Frame: e.Frame, Kind: k, Attrs: map[string]int64{k: v}}) // want `calls mutator r.Record`
+	}
+}
+
+// asyncPersist is the concurrency bug the nofreegoroutine scope catches: a
+// background flusher would race the frame barrier and could write a ring
+// state no frame ever observed.
+func asyncPersist(r *Recorder) {
+	go func() { // want `go statement in frame-synchronous package "telemetry"`
+		r.buf = nil
+	}()
+}
+
+// sortedAttrs is the required idiom: collect, sort, then emit.
+func sortedAttrs(e Event) []string {
+	keys := make([]string, 0, len(e.Attrs))
+	for k := range e.Attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// pacedFlush shows the audited escape hatch for host-side pacing code.
+func pacedFlush() time.Time {
+	//lint:allow framedet audited wall-clock read: host-side export pacing, never stamped into events
+	return time.Now()
+}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/frame"
 	"repro/internal/spec"
 	"repro/internal/stable"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -85,6 +86,40 @@ type Kernel struct {
 
 	st     kernelState
 	events []Event
+
+	// tel and met mirror the protocol log into the flight recorder and
+	// the metrics registry; nil until SetTelemetry.
+	tel *telemetry.Recorder
+	met *kernelMetrics
+	// lastSignal is the frame of the most recent signal, feeding the
+	// signal-to-trigger latency histogram; -1 before any signal.
+	lastSignal int64
+}
+
+// kernelMetrics holds the kernel's pre-resolved metric handles.
+type kernelMetrics struct {
+	signals, triggers, deferred, retargets, completes, chained *telemetry.Counter
+	windowFrames, signalLatency                                *telemetry.Histogram
+}
+
+// SetTelemetry attaches the kernel to a metrics registry and flight
+// recorder: every protocol log entry is mirrored as a flight-recorder
+// event, and plan starts/completions additionally record their Table 1
+// phase windows and budget margins.
+func (k *Kernel) SetTelemetry(reg *telemetry.Registry, rec *telemetry.Recorder) {
+	k.tel = rec
+	if reg != nil {
+		k.met = &kernelMetrics{
+			signals:       reg.Counter("scram/signals"),
+			triggers:      reg.Counter("scram/triggers"),
+			deferred:      reg.Counter("scram/deferred"),
+			retargets:     reg.Counter("scram/retargets"),
+			completes:     reg.Counter("scram/completes"),
+			chained:       reg.Counter("scram/chained"),
+			windowFrames:  reg.Histogram("scram/window_frames"),
+			signalLatency: reg.Histogram("scram/signal_latency_frames"),
+		}
+	}
 }
 
 // NewKernel returns a kernel for the given specification, persisting its
@@ -95,8 +130,9 @@ func NewKernel(rs *spec.ReconfigSpec, store *stable.Store) (*Kernel, error) {
 		return nil, fmt.Errorf("scram: start configuration %q not declared", rs.StartConfig)
 	}
 	return &Kernel{
-		rs:    rs,
-		store: store,
+		rs:         rs,
+		store:      store,
+		lastSignal: -1,
 		st: kernelState{
 			Current: rs.StartConfig,
 			Env:     rs.StartEnv,
@@ -184,6 +220,7 @@ func (k *Kernel) EndOfFrame(ctx frame.Context) error {
 		if sig.Urgent {
 			k.st.Urgent = true
 		}
+		k.lastSignal = f
 		k.logf(f, EventSignal, "", "%s reports %s", sig.Source, sig.State)
 	}
 
@@ -236,6 +273,10 @@ func (k *Kernel) startPlan(f int64, p *plan) error {
 	k.logf(f, EventHalt, target, "halt commanded for frames [%d,%d]", p.HaltStart, p.HaltEnd)
 	k.logf(f, EventPrepare, target, "prepare(%s) scheduled for frames [%d,%d]", target, p.PrepStart, p.PrepEnd)
 	k.logf(f, EventInitialize, target, "initialize scheduled for frames [%d,%d]", p.InitStart, p.InitEnd)
+	k.recordSchedule(f, p)
+	if k.met != nil && !p.Chained && k.lastSignal >= 0 {
+		k.met.signalLatency.Observe(p.TriggerFrame - k.lastSignal)
+	}
 	return nil
 }
 
@@ -254,6 +295,7 @@ func (k *Kernel) advancePlan(f int64) error {
 				return err
 			}
 			k.logf(f, EventRetarget, newTarget, "window extended to [%d,%d]", p.TriggerFrame, p.InitEnd)
+			k.recordSchedule(f, p)
 		}
 	}
 	if f == p.InitEnd {
@@ -263,7 +305,13 @@ func (k *Kernel) advancePlan(f int64) error {
 		k.st.TriggerApp = ""
 		k.logf(f, EventComplete, p.Target, "window [%d,%d], %d frames",
 			p.TriggerFrame, p.InitEnd, p.InitEnd-p.TriggerFrame+1)
-		return k.maybeChain(f, p)
+		err := k.maybeChain(f, p)
+		// The budget-window event closes the fused chain window, so it is
+		// recorded only when no chained follow-up plan kept it open.
+		if k.st.Plan == nil {
+			k.recordWindow(f, p)
+		}
+		return err
 	}
 	return nil
 }
@@ -303,6 +351,9 @@ func (k *Kernel) maybeChain(f int64, p *plan) error {
 	np.Chained = true
 	np.ChainStart = p.ChainStart
 	np.ChainSource = p.ChainSource
+	if k.met != nil {
+		k.met.chained.Inc()
+	}
 	return k.startPlan(f, np)
 }
 
@@ -426,11 +477,108 @@ func (k *Kernel) drainSignals() []envmon.Signal {
 }
 
 func (k *Kernel) logf(f int64, kind EventKind, cfg spec.ConfigID, format string, args ...any) {
+	detail := fmt.Sprintf(format, args...)
 	k.events = append(k.events, Event{
 		Frame:  f,
 		Kind:   kind,
 		Config: cfg,
-		Detail: fmt.Sprintf(format, args...),
+		Detail: detail,
+	})
+	if k.tel != nil {
+		k.tel.Record(telemetry.Event{
+			Frame:  f,
+			Kind:   telemetry.Kind(kind),
+			Config: string(cfg),
+			Detail: detail,
+		})
+	}
+	if k.met != nil {
+		switch kind {
+		case EventSignal:
+			k.met.signals.Inc()
+		case EventTrigger:
+			k.met.triggers.Inc()
+		case EventDeferred:
+			k.met.deferred.Inc()
+		case EventRetarget:
+			k.met.retargets.Inc()
+		case EventComplete:
+			k.met.completes.Inc()
+		}
+	}
+}
+
+// recordSchedule emits the plan's Table 1 phase windows as a budget event:
+// the scheduled halt/prepare/initialize frame ranges plus the declared
+// transition bound the window must fit, keyed to the fused chain window so
+// a summary reassembles chained plans into one reconfiguration.
+func (k *Kernel) recordSchedule(f int64, p *plan) {
+	if k.tel == nil {
+		return
+	}
+	attrs := map[string]int64{
+		"seq":           p.Seq,
+		"trigger_frame": p.ChainStart,
+		"halt_start":    p.HaltStart,
+		"halt_end":      p.HaltEnd,
+		"prep_start":    p.PrepStart,
+		"prep_end":      p.PrepEnd,
+		"init_start":    p.InitStart,
+		"init_end":      p.InitEnd,
+	}
+	if p.Chained {
+		attrs["chained"] = 1
+	}
+	if p.Retargeted {
+		attrs["retargeted"] = 1
+	}
+	if bound, ok := k.rs.T(p.ChainSource, p.Target); ok {
+		attrs["bound"] = int64(bound)
+	}
+	k.tel.Record(telemetry.Event{
+		Frame:  f,
+		Kind:   telemetry.KindBudget,
+		Phase:  "schedule",
+		Config: string(p.Target),
+		From:   string(p.ChainSource),
+		Attrs:  attrs,
+	})
+}
+
+// recordWindow emits the completed reconfiguration's budget consumption:
+// the realized window length against the declared bound, with the margin
+// left over. It also feeds the window and signal-latency histograms.
+func (k *Kernel) recordWindow(f int64, p *plan) {
+	window := f - p.ChainStart + 1
+	if k.met != nil {
+		k.met.windowFrames.Observe(window)
+	}
+	if k.tel == nil {
+		return
+	}
+	attrs := map[string]int64{
+		"seq":    p.Seq,
+		"start":  p.ChainStart,
+		"end":    f,
+		"window": window,
+	}
+	if bound, ok := k.rs.T(p.ChainSource, p.Target); ok {
+		attrs["bound"] = int64(bound)
+		attrs["margin"] = int64(bound) - window
+	}
+	if p.Chained {
+		attrs["chained"] = 1
+	}
+	if p.Retargeted {
+		attrs["retargeted"] = 1
+	}
+	k.tel.Record(telemetry.Event{
+		Frame:  f,
+		Kind:   telemetry.KindBudget,
+		Phase:  "window",
+		Config: string(p.Target),
+		From:   string(p.ChainSource),
+		Attrs:  attrs,
 	})
 }
 

@@ -5,12 +5,17 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"repro/internal/telemetry"
 )
 
-// ReplStats counts the hardened store's fault handling. The invariant the
-// fault-injection campaigns check: SilentWrongData is always zero — every
-// injected fault is either repaired from a surviving replica or surfaces as
-// an unrecoverable fault that halts the owning processor.
+// ReplStats is a point-in-time view of the hardened store's fault-handling
+// counters. The counters themselves live in a telemetry registry (a private
+// one until Instrument points the store at the system registry); ReplStats
+// is assembled on demand, so there is no duplicated bookkeeping. The
+// invariant the fault-injection campaigns check: SilentWrongData is always
+// zero — every injected fault is either repaired from a surviving replica
+// or surfaces as an unrecoverable fault that halts the owning processor.
 type ReplStats struct {
 	// Commits is the number of commit batches applied.
 	Commits int64 `json:"commits"`
@@ -88,17 +93,97 @@ type ReplicatedStore struct {
 	media   []Medium
 	version uint64
 	oracle  map[string][]byte // nil unless EnableOracle
-	stats   ReplStats
+	c       *replCounters
+	tel     *telemetry.Recorder // nil until Instrument
+	name    string              // host label for flight-recorder events
+}
+
+// replCounters holds the store's pre-resolved metric handles, one per
+// ReplStats field.
+type replCounters struct {
+	commits, tornReplicaCommits, corruptionsDetected, readRepairs,
+	scrubRepairs, scrubRuns, staleCommitRecords, commitRescues,
+	unrecoverable, silentWrongData *telemetry.Counter
+}
+
+// resolveReplCounters binds the store's counters in reg under prefix.
+func resolveReplCounters(reg *telemetry.Registry, prefix string) *replCounters {
+	return &replCounters{
+		commits:             reg.Counter(prefix + "commits"),
+		tornReplicaCommits:  reg.Counter(prefix + "torn_replica_commits"),
+		corruptionsDetected: reg.Counter(prefix + "corruptions_detected"),
+		readRepairs:         reg.Counter(prefix + "read_repairs"),
+		scrubRepairs:        reg.Counter(prefix + "scrub_repairs"),
+		scrubRuns:           reg.Counter(prefix + "scrub_runs"),
+		staleCommitRecords:  reg.Counter(prefix + "stale_commit_records"),
+		commitRescues:       reg.Counter(prefix + "commit_rescues"),
+		unrecoverable:       reg.Counter(prefix + "unrecoverable"),
+		silentWrongData:     reg.Counter(prefix + "silent_wrong_data"),
+	}
+}
+
+// view assembles the point-in-time ReplStats.
+func (c *replCounters) view() ReplStats {
+	return ReplStats{
+		Commits:             c.commits.Value(),
+		TornReplicaCommits:  c.tornReplicaCommits.Value(),
+		CorruptionsDetected: c.corruptionsDetected.Value(),
+		ReadRepairs:         c.readRepairs.Value(),
+		ScrubRepairs:        c.scrubRepairs.Value(),
+		ScrubRuns:           c.scrubRuns.Value(),
+		StaleCommitRecords:  c.staleCommitRecords.Value(),
+		CommitRescues:       c.commitRescues.Value(),
+		Unrecoverable:       c.unrecoverable.Value(),
+		SilentWrongData:     c.silentWrongData.Value(),
+	}
 }
 
 // NewReplicatedStore builds a replicated store over the given media. At
 // least one medium is required; one medium gives checksummed (detecting but
-// not self-repairing) storage.
+// not self-repairing) storage. The store counts its fault handling in a
+// private registry until Instrument attaches it to the system's.
 func NewReplicatedStore(media ...Medium) *ReplicatedStore {
 	if len(media) == 0 {
 		media = []Medium{NewMemMedium()}
 	}
-	return &ReplicatedStore{media: media}
+	return &ReplicatedStore{
+		media: media,
+		c:     resolveReplCounters(telemetry.NewRegistry(), "stable/"),
+	}
+}
+
+// Instrument re-points the store's counters at the shared registry under
+// "stable/<name>/" (carrying over counts accumulated so far) and attaches
+// the flight recorder, which subsequently receives repair, rescue, scrub
+// and unrecoverable-fault events labeled with the host name.
+func (r *ReplicatedStore) Instrument(reg *telemetry.Registry, rec *telemetry.Recorder, name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	old := r.c.view()
+	r.c = resolveReplCounters(reg, "stable/"+name+"/")
+	r.c.commits.Add(old.Commits)
+	r.c.tornReplicaCommits.Add(old.TornReplicaCommits)
+	r.c.corruptionsDetected.Add(old.CorruptionsDetected)
+	r.c.readRepairs.Add(old.ReadRepairs)
+	r.c.scrubRepairs.Add(old.ScrubRepairs)
+	r.c.scrubRuns.Add(old.ScrubRuns)
+	r.c.staleCommitRecords.Add(old.StaleCommitRecords)
+	r.c.commitRescues.Add(old.CommitRescues)
+	r.c.unrecoverable.Add(old.Unrecoverable)
+	r.c.silentWrongData.Add(old.SilentWrongData)
+	r.tel = rec
+	r.name = name
+}
+
+// record mirrors a storage event into the flight recorder, when attached.
+// Called with r.mu held; the recorder has its own lock and never calls back
+// into the store.
+func (r *ReplicatedStore) record(e telemetry.Event) {
+	if r.tel == nil {
+		return
+	}
+	e.Host = r.name
+	r.tel.Record(e)
 }
 
 // EnableOracle turns on silent-wrong-data accounting: every commit is
@@ -112,11 +197,11 @@ func (r *ReplicatedStore) EnableOracle() {
 	}
 }
 
-// Stats returns a copy of the fault-handling counters.
+// Stats assembles the fault-handling counters into a point-in-time view.
 func (r *ReplicatedStore) Stats() ReplStats {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return r.stats
+	return r.c.view()
 }
 
 // InjectedStats sums the injected-fault counts of every backing FaultyMedium.
@@ -162,7 +247,7 @@ func (r *ReplicatedStore) readCandidates(key string) []candidate {
 		cands[i].present = true
 		rec, err := decodeRecord(raw)
 		if err != nil || rec.version > r.version {
-			r.stats.CorruptionsDetected++
+			r.c.corruptionsDetected.Inc()
 			continue
 		}
 		cands[i].rec = rec
@@ -299,7 +384,7 @@ func (r *ReplicatedStore) Get(key string) ([]byte, bool, error) {
 	if r.oracle != nil && err == nil {
 		want, wok := r.oracle[key]
 		if ok != wok || !bytes.Equal(val, want) {
-			r.stats.SilentWrongData++
+			r.c.silentWrongData.Inc()
 		}
 	}
 	return val, ok, err
@@ -309,13 +394,24 @@ func (r *ReplicatedStore) get(key string) ([]byte, bool, error) {
 	up, anyUp := r.caughtUp()
 	cands, best, fatal := r.bestOf(key, up, anyUp)
 	if fatal {
-		r.stats.Unrecoverable++
+		r.c.unrecoverable.Inc()
+		r.record(telemetry.Event{
+			Kind:   telemetry.KindStorageUnrecoverable,
+			Detail: fmt.Sprintf("read of %q: no trustworthy copy on %d replicas", key, len(r.media)),
+		})
 		return nil, false, fmt.Errorf("%w: key %q has no trustworthy copy on any of %d replicas", ErrUnrecoverable, key, len(r.media))
 	}
 	if best < 0 {
 		return nil, false, nil
 	}
-	r.stats.ReadRepairs += int64(r.repairFrom(key, cands, best, nil))
+	if n := r.repairFrom(key, cands, best, nil); n > 0 {
+		r.c.readRepairs.Add(int64(n))
+		r.record(telemetry.Event{
+			Kind:   telemetry.KindStorageRepair,
+			Detail: fmt.Sprintf("read repair of %q", key),
+			Attrs:  map[string]int64{"repaired": int64(n)},
+		})
+	}
 	win := cands[best].rec
 	if win.tombstone {
 		return nil, false, nil
@@ -358,7 +454,7 @@ func (r *ReplicatedStore) Commit(v uint64, batch map[string]stagedVal) error {
 			sv := batch[k]
 			rec := record{version: v, tombstone: sv.deleted, payload: sv.val}
 			if err := m.Write(k, encodeRecord(rec)); err != nil {
-				r.stats.TornReplicaCommits++
+				r.c.tornReplicaCommits.Inc()
 				good = false
 				break
 			}
@@ -369,7 +465,7 @@ func (r *ReplicatedStore) Commit(v uint64, batch map[string]stagedVal) error {
 		}
 		if good {
 			if err := m.Write(commitRecordKey, encodeCommitRecord(v)); err != nil {
-				r.stats.TornReplicaCommits++
+				r.c.tornReplicaCommits.Inc()
 				good = false
 			}
 		}
@@ -377,12 +473,17 @@ func (r *ReplicatedStore) Commit(v uint64, batch map[string]stagedVal) error {
 			okReplicas++
 		}
 	}
-	r.stats.Commits++
+	r.c.commits.Inc()
 	if okReplicas == 0 {
 		for i := range r.media {
 			if absorbed[i] && r.rescueCommit(i, batch, up, anyUp) {
 				if r.media[i].Write(commitRecordKey, encodeCommitRecord(v)) == nil {
-					r.stats.CommitRescues++
+					r.c.commitRescues.Inc()
+					r.record(telemetry.Event{
+						Kind:   telemetry.KindStorageRescue,
+						Detail: fmt.Sprintf("commit %d salvaged by promoting replica %d", v, i),
+						Attrs:  map[string]int64{"version": int64(v), "replica": int64(i)},
+					})
 					okReplicas = 1
 					break
 				}
@@ -390,7 +491,12 @@ func (r *ReplicatedStore) Commit(v uint64, batch map[string]stagedVal) error {
 		}
 	}
 	if okReplicas == 0 {
-		r.stats.Unrecoverable++
+		r.c.unrecoverable.Inc()
+		r.record(telemetry.Event{
+			Kind:   telemetry.KindStorageUnrecoverable,
+			Detail: fmt.Sprintf("commit %d absorbed by no caught-up replica", v),
+			Attrs:  map[string]int64{"version": int64(v)},
+		})
 		return fmt.Errorf("%w: commit %d absorbed by no caught-up replica (of %d)", ErrUnrecoverable, v, len(r.media))
 	}
 	r.version = v
@@ -433,7 +539,7 @@ func (r *ReplicatedStore) rescueCommit(i int, batch map[string]stagedVal, up []b
 		if r.media[i].Write(key, encodeRecord(cands[best].rec)) != nil {
 			return false
 		}
-		r.stats.ScrubRepairs++
+		r.c.scrubRepairs.Inc()
 	}
 	return true
 }
@@ -525,7 +631,7 @@ func (r *ReplicatedStore) Scrub(skip func(key string) bool) (ScrubReport, error)
 		}
 		n := r.repairFrom(key, cands, best, unrepaired)
 		rep.Repaired += n
-		r.stats.ScrubRepairs += int64(n)
+		r.c.scrubRepairs.Add(int64(n))
 	}
 	for i, m := range r.media {
 		raw, ok := m.Read(commitRecordKey)
@@ -541,15 +647,32 @@ func (r *ReplicatedStore) Scrub(skip func(key string) bool) (ScrubReport, error)
 		}
 		if m.Write(commitRecordKey, encodeCommitRecord(r.version)) == nil {
 			rep.StaleCommits++
-			r.stats.StaleCommitRecords++
+			r.c.staleCommitRecords.Inc()
 		}
 	}
 	for _, m := range r.media {
 		m.EndFrame()
 	}
-	r.stats.ScrubRuns++
+	r.c.scrubRuns.Inc()
+	if rep.Corrupt > 0 || rep.Repaired > 0 || rep.StaleCommits > 0 {
+		r.record(telemetry.Event{
+			Kind:   telemetry.KindStorageScrub,
+			Detail: "scrub pass found work",
+			Attrs: map[string]int64{
+				"checked":       int64(rep.Checked),
+				"corrupt":       int64(rep.Corrupt),
+				"repaired":      int64(rep.Repaired),
+				"stale_commits": int64(rep.StaleCommits),
+			},
+		})
+	}
 	if len(rep.Unrecoverable) > 0 {
-		r.stats.Unrecoverable += int64(len(rep.Unrecoverable))
+		r.c.unrecoverable.Add(int64(len(rep.Unrecoverable)))
+		r.record(telemetry.Event{
+			Kind:   telemetry.KindStorageUnrecoverable,
+			Detail: fmt.Sprintf("scrub found %d keys corrupt on all replicas", len(rep.Unrecoverable)),
+			Attrs:  map[string]int64{"keys": int64(len(rep.Unrecoverable))},
+		})
 		return rep, fmt.Errorf("%w: scrub found %d keys corrupt on all replicas: %v",
 			ErrUnrecoverable, len(rep.Unrecoverable), rep.Unrecoverable)
 	}
@@ -581,7 +704,42 @@ func (r *ReplicatedStore) Snapshot() (map[string][]byte, error) {
 		}
 	}
 	if len(lost) > 0 {
-		r.stats.Unrecoverable += int64(len(lost))
+		r.c.unrecoverable.Add(int64(len(lost)))
+		return out, fmt.Errorf("%w: %d keys corrupt on all replicas in snapshot: %v",
+			ErrUnrecoverable, len(lost), lost)
+	}
+	return out, nil
+}
+
+// SnapshotPrefix is Snapshot restricted to keys carrying the given prefix:
+// only matching keys are read, verified and copied, so snapshotting one
+// region does not pay for the rest of the store.
+func (r *ReplicatedStore) SnapshotPrefix(prefix string) (map[string][]byte, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string][]byte)
+	var lost []string
+	up, anyUp := r.caughtUp()
+	for _, key := range r.unionKeys() {
+		if len(key) < len(prefix) || key[:len(prefix)] != prefix {
+			continue
+		}
+		cands, best, fatal := r.bestOf(key, up, anyUp)
+		if fatal {
+			lost = append(lost, key)
+			continue
+		}
+		if best < 0 {
+			continue
+		}
+		if win := cands[best].rec; !win.tombstone {
+			cp := make([]byte, len(win.payload))
+			copy(cp, win.payload)
+			out[key] = cp
+		}
+	}
+	if len(lost) > 0 {
+		r.c.unrecoverable.Add(int64(len(lost)))
 		return out, fmt.Errorf("%w: %d keys corrupt on all replicas in snapshot: %v",
 			ErrUnrecoverable, len(lost), lost)
 	}
@@ -610,7 +768,7 @@ func (r *ReplicatedStore) KeysWithPrefix(prefix string) ([]string, error) {
 		}
 	}
 	if len(lost) > 0 {
-		r.stats.Unrecoverable += int64(len(lost))
+		r.c.unrecoverable.Add(int64(len(lost)))
 		return keys, fmt.Errorf("%w: %d keys corrupt on all replicas: %v", ErrUnrecoverable, len(lost), lost)
 	}
 	return keys, nil

@@ -50,10 +50,25 @@ type Store struct {
 	// next version and race duplicate version numbers into the backend.
 	commitMu  sync.Mutex
 	committed map[string][]byte // plain in-memory backend; nil when hardened
-	rep       *ReplicatedStore  // hardened backend; nil when plain
-	staged    map[string]stagedVal
-	version   uint64
-	onFault   func(error) // invoked (outside the lock) on unrecoverable faults
+	// buckets indexes committed keys by their top-level path segment
+	// ("app/", "telemetry/", ...), so prefix scans — notably region
+	// snapshots during application migration — touch only the keys of one
+	// subsystem instead of everything resident on the store. Nil when
+	// hardened.
+	buckets map[string]map[string]bool
+	rep     *ReplicatedStore // hardened backend; nil when plain
+	staged  map[string]stagedVal
+	version uint64
+	onFault func(error) // invoked (outside the lock) on unrecoverable faults
+}
+
+// bucketOf returns the bucket-index key for a store key: the path up to and
+// including the first '/', or "" for keys without one.
+func bucketOf(key string) string {
+	if i := strings.IndexByte(key, '/'); i >= 0 {
+		return key[:i+1]
+	}
+	return ""
 }
 
 // stagedVal is a staged write: a pending value or a tombstone.
@@ -67,6 +82,7 @@ type stagedVal struct {
 func NewStore() *Store {
 	return &Store{
 		committed: make(map[string][]byte),
+		buckets:   make(map[string]map[string]bool),
 		staged:    make(map[string]stagedVal),
 	}
 }
@@ -182,8 +198,26 @@ func (s *Store) Commit() uint64 {
 	defer s.mu.Unlock()
 	for k, sv := range s.staged {
 		if sv.deleted {
-			delete(s.committed, k)
+			if _, ok := s.committed[k]; ok {
+				delete(s.committed, k)
+				bk := bucketOf(k)
+				if b := s.buckets[bk]; b != nil {
+					delete(b, k)
+					if len(b) == 0 {
+						delete(s.buckets, bk)
+					}
+				}
+			}
 		} else {
+			if _, ok := s.committed[k]; !ok {
+				bk := bucketOf(k)
+				b := s.buckets[bk]
+				if b == nil {
+					b = make(map[string]bool)
+					s.buckets[bk] = b
+				}
+				b[k] = true
+			}
 			s.committed[k] = sv.val
 		}
 	}
@@ -263,6 +297,43 @@ func (s *Store) Snapshot() map[string][]byte {
 	return out
 }
 
+// SnapshotPrefix returns a deep copy of the committed entries whose keys
+// carry the given prefix. Migration of a single region uses it so the cost
+// scales with the region, not with everything else resident on the store
+// (notably the flight-recorder journal on the SCRAM host).
+func (s *Store) SnapshotPrefix(prefix string) map[string][]byte {
+	s.mu.Lock()
+	if s.rep != nil {
+		sink := s.onFault
+		s.mu.Unlock()
+		snap, err := s.rep.SnapshotPrefix(prefix)
+		s.fault(sink, err)
+		return snap
+	}
+	defer s.mu.Unlock()
+	out := make(map[string][]byte)
+	copyKey := func(k string) {
+		if !strings.HasPrefix(k, prefix) {
+			return
+		}
+		v := s.committed[k]
+		cp := make([]byte, len(v))
+		copy(cp, v)
+		out[k] = cp
+	}
+	if i := strings.IndexByte(prefix, '/'); i >= 0 {
+		// The prefix pins a top-level segment: only that bucket can match.
+		for k := range s.buckets[prefix[:i+1]] {
+			copyKey(k)
+		}
+		return out
+	}
+	for k := range s.committed {
+		copyKey(k)
+	}
+	return out
+}
+
 // Restore stages every entry of snap (it still requires a Commit to become
 // visible, preserving frame atomicity during migration).
 func (s *Store) Restore(snap map[string][]byte) {
@@ -283,9 +354,17 @@ func (s *Store) Keys(prefix string) []string {
 	}
 	defer s.mu.Unlock()
 	var keys []string
-	for k := range s.committed {
-		if strings.HasPrefix(k, prefix) {
-			keys = append(keys, k)
+	if i := strings.IndexByte(prefix, '/'); i >= 0 {
+		for k := range s.buckets[prefix[:i+1]] {
+			if strings.HasPrefix(k, prefix) {
+				keys = append(keys, k)
+			}
+		}
+	} else {
+		for k := range s.committed {
+			if strings.HasPrefix(k, prefix) {
+				keys = append(keys, k)
+			}
 		}
 	}
 	sort.Strings(keys)
@@ -412,12 +491,10 @@ func (r *Region) GetJSON(key string, out any) (bool, error) {
 // Snapshot returns a deep copy of the committed entries in the region, with
 // the region prefix stripped.
 func (r *Region) Snapshot() map[string][]byte {
-	full := r.store.Snapshot()
-	out := make(map[string][]byte)
-	for k, v := range full {
-		if strings.HasPrefix(k, r.prefix) {
-			out[strings.TrimPrefix(k, r.prefix)] = v
-		}
+	scoped := r.store.SnapshotPrefix(r.prefix)
+	out := make(map[string][]byte, len(scoped))
+	for k, v := range scoped {
+		out[strings.TrimPrefix(k, r.prefix)] = v
 	}
 	return out
 }

@@ -1,0 +1,369 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Kind classifies a flight-recorder event.
+type Kind string
+
+// Flight-recorder event kinds. The reconfiguration-protocol kinds mirror the
+// SCRAM kernel's Table 1 vocabulary; the storage, bus and processor kinds
+// record the fault-handling activity of the hardened platform.
+const (
+	// KindSignal records a failure or environment-change signal reaching
+	// the kernel.
+	KindSignal Kind = "signal"
+	// KindTrigger records the decision to reconfigure.
+	KindTrigger Kind = "trigger"
+	// KindHalt records the halt command being scheduled.
+	KindHalt Kind = "halt"
+	// KindPrepare records the prepare command being scheduled.
+	KindPrepare Kind = "prepare"
+	// KindInitialize records the initialize command being scheduled.
+	KindInitialize Kind = "initialize"
+	// KindComplete records the end of a reconfiguration.
+	KindComplete Kind = "complete"
+	// KindRetarget records a mid-window target change.
+	KindRetarget Kind = "retarget"
+	// KindDeferred records a trigger deferred by the dwell guard.
+	KindDeferred Kind = "deferred"
+	// KindBudget records a plan's phase windows against the Table 1
+	// bounds: Phase "schedule" at plan start, Phase "window" at
+	// completion with the consumed frames and remaining margin in Attrs.
+	KindBudget Kind = "budget"
+	// KindFrameState is the per-frame system-state sample the trace
+	// reconstruction is built from.
+	KindFrameState Kind = "frame-state"
+	// KindStorageRepair records replica records rewritten by read repair
+	// or a scrub pass.
+	KindStorageRepair Kind = "storage-repair"
+	// KindStorageRescue records a commit salvaged by promoting a replica.
+	KindStorageRescue Kind = "storage-rescue"
+	// KindStorageScrub records a scrub pass that found work to do.
+	KindStorageScrub Kind = "storage-scrub"
+	// KindStorageUnrecoverable records a storage fault that defeated
+	// every replica — the event that halts the owning processor.
+	KindStorageUnrecoverable Kind = "storage-unrecoverable"
+	// KindBusFault records an injected bus fault acting on a message.
+	KindBusFault Kind = "bus-fault"
+	// KindProcHalt records a fail-stop processor halt.
+	KindProcHalt Kind = "proc-halt"
+	// KindTakeover records a standby SCRAM kernel assuming control.
+	KindTakeover Kind = "takeover"
+)
+
+// Event is one flight-recorder entry. Frame is the only timestamp: the
+// recorder never touches a wall clock.
+type Event struct {
+	// Seq is the recorder-assigned sequence number, monotone across the
+	// whole execution (it keeps counting past ring evictions).
+	Seq int64 `json:"seq"`
+	// Frame is the frame the event was recorded in.
+	Frame int64 `json:"frame"`
+	// Kind classifies the event.
+	Kind Kind `json:"kind"`
+	// App names the application the event concerns, when any.
+	App string `json:"app,omitempty"`
+	// Host names the processor (or store) the event concerns, when any.
+	Host string `json:"host,omitempty"`
+	// Config names the (target) configuration the event concerns.
+	Config string `json:"config,omitempty"`
+	// From names the source configuration, for reconfiguration events.
+	From string `json:"from,omitempty"`
+	// Phase qualifies the event within its kind ("schedule", "window",
+	// a protocol phase name, a bus fault action).
+	Phase string `json:"phase,omitempty"`
+	// Detail is a human-readable elaboration.
+	Detail string `json:"detail,omitempty"`
+	// Attrs carries structured numeric attributes (frame windows, bounds,
+	// counts).
+	Attrs map[string]int64 `json:"attrs,omitempty"`
+	// State is the per-frame system-state sample of a KindFrameState
+	// event.
+	State *FrameState `json:"state,omitempty"`
+}
+
+// String renders the event for the journal dump.
+func (e Event) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "f%-5d #%-5d %-21s", e.Frame, e.Seq, e.Kind)
+	if e.Phase != "" {
+		fmt.Fprintf(&b, " %s", e.Phase)
+	}
+	if e.From != "" && e.Config != "" {
+		fmt.Fprintf(&b, " %s->%s", e.From, e.Config)
+	} else if e.Config != "" {
+		fmt.Fprintf(&b, " %s", e.Config)
+	}
+	if e.App != "" {
+		fmt.Fprintf(&b, " app=%s", e.App)
+	}
+	if e.Host != "" {
+		fmt.Fprintf(&b, " host=%s", e.Host)
+	}
+	if e.Detail != "" {
+		fmt.Fprintf(&b, " (%s)", e.Detail)
+	}
+	if len(e.Attrs) > 0 {
+		keys := make([]string, 0, len(e.Attrs))
+		for k := range e.Attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		b.WriteString(" [")
+		for i, k := range keys {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%s=%d", k, e.Attrs[k])
+		}
+		b.WriteByte(']')
+	}
+	return b.String()
+}
+
+// DefaultCapacity is the default ring size. At one frame-state event plus a
+// handful of protocol events per frame, it covers on the order of a
+// thousand frames of history — enough for every campaign in the repository
+// while keeping the per-frame persistence delta small.
+const DefaultCapacity = 4096
+
+const (
+	eventKeyPrefix = "telemetry/ev/"
+	ringMetaKey    = "telemetry/flightrec"
+)
+
+// ringMeta is the persisted ring bookkeeping.
+type ringMeta struct {
+	// NextSeq is the sequence number the next event will receive.
+	NextSeq int64 `json:"next_seq"`
+	// Dropped counts events evicted from the ring so far.
+	Dropped int64 `json:"dropped"`
+	// Capacity is the ring capacity.
+	Capacity int64 `json:"capacity"`
+}
+
+// eventKey returns the stable-storage key for one event. Sequence numbers
+// are zero-padded hex so lexicographic key order is recovery order.
+func eventKey(seq int64) string {
+	return fmt.Sprintf("%s%016x", eventKeyPrefix, seq)
+}
+
+// Recorder is the bounded flight-recorder ring. Record appends; when the
+// ring is full the oldest event is evicted (and its stable-storage key
+// deleted at the next Persist). A Recorder is safe for concurrent use
+// within a frame; persistence happens from the frame-commit path only.
+//
+// The buffer is circular: buf[head] is the oldest surviving event and
+// eviction overwrites in place, so Record stays O(1) once the ring fills.
+type Recorder struct {
+	mu       sync.Mutex
+	capacity int
+	buf      []Event
+	head     int   // index of the oldest event
+	count    int   // number of live events
+	seq      int64 // next sequence number
+	frame    int64
+	dropped  int64
+	// persistLo/persistHi delimit the seq range currently staged or
+	// committed in the backing KV: [persistLo, persistHi).
+	persistLo int64
+	persistHi int64
+}
+
+// NewRecorder returns a recorder with the given ring capacity;
+// non-positive means DefaultCapacity.
+func NewRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Recorder{capacity: capacity}
+}
+
+// SetFrame sets the frame number stamped on subsequently recorded events.
+// The scheduler's frame observer calls it at each frame start.
+func (r *Recorder) SetFrame(f int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.frame = f
+}
+
+// FrameNum returns the current frame number.
+func (r *Recorder) FrameNum() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.frame
+}
+
+// Record appends an event, assigning its sequence number. A zero Frame is
+// stamped with the recorder's current frame; an explicit non-zero Frame is
+// kept.
+func (r *Recorder) Record(e Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e.Seq = r.seq
+	r.seq++
+	if e.Frame == 0 {
+		e.Frame = r.frame
+	}
+	if len(r.buf) < r.capacity {
+		// Still growing: plain append, so a quiet system never pays for
+		// the full ring allocation. head is 0 throughout this phase.
+		r.buf = append(r.buf, e)
+		r.count++
+		return
+	}
+	if r.count < r.capacity {
+		r.buf[(r.head+r.count)%r.capacity] = e
+		r.count++
+		return
+	}
+	r.buf[r.head] = e
+	r.head = (r.head + 1) % r.capacity
+	r.dropped++
+}
+
+// Len returns the number of events currently in the ring.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.count
+}
+
+// Dropped returns the number of events evicted so far.
+func (r *Recorder) Dropped() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// Events returns a copy of the ring contents in sequence order.
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, r.count)
+	for i := 0; i < r.count; i++ {
+		out[i] = r.buf[(r.head+i)%r.capacity]
+	}
+	return out
+}
+
+// Persist stages the ring delta into kv: events recorded since the last
+// Persist are written under their sequence keys, evicted events' keys are
+// deleted, and the ring bookkeeping record is refreshed. The writes become
+// durable at the owning processor's next frame-boundary commit, so after a
+// fail-stop halt the recovered ring reflects the last committed frame — the
+// black box trails the live ring by at most one frame, exactly the staged
+// writes the halt destroys.
+func (r *Recorder) Persist(kv KV) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	lo := r.seq - int64(r.count)
+	if lo == r.persistLo && r.seq == r.persistHi && r.persistHi > 0 {
+		// Nothing recorded or evicted since the last Persist: the staged
+		// journal is already current, so frames without events cost no
+		// stable-storage traffic at all.
+		return nil
+	}
+	for s := r.persistLo; s < lo && s < r.persistHi; s++ {
+		kv.Delete(eventKey(s))
+	}
+	start := r.persistHi
+	if start < lo {
+		start = lo
+	}
+	for s := start; s < r.seq; s++ {
+		e := r.buf[(r.head+int(s-lo))%r.capacity]
+		raw, err := json.Marshal(e)
+		if err != nil {
+			return fmt.Errorf("telemetry: encoding event %d: %w", e.Seq, err)
+		}
+		kv.Put(eventKey(e.Seq), raw)
+	}
+	meta, err := json.Marshal(ringMeta{NextSeq: r.seq, Dropped: r.dropped, Capacity: int64(r.capacity)})
+	if err != nil {
+		return fmt.Errorf("telemetry: encoding ring meta: %w", err)
+	}
+	kv.Put(ringMetaKey, meta)
+	r.persistLo = lo
+	r.persistHi = r.seq
+	return nil
+}
+
+// ResetPersistence forgets which events have been persisted, so the next
+// Persist rewrites the whole ring. A standby processor taking over the
+// SCRAM calls it: the standby's stable store holds none of the primary's
+// journal, and the rewrite seeds it with the full surviving ring.
+func (r *Recorder) ResetPersistence() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.persistLo = 0
+	r.persistHi = 0
+}
+
+// RecoverRing reads the flight-recorder journal out of a stable-storage
+// snapshot (as returned by polling a halted processor's stable storage) and
+// returns the events in sequence order.
+func RecoverRing(snap map[string][]byte) ([]Event, error) {
+	keys := make([]string, 0, len(snap))
+	for k := range snap {
+		if strings.HasPrefix(k, eventKeyPrefix) {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	events := make([]Event, 0, len(keys))
+	for _, k := range keys {
+		var e Event
+		if err := json.Unmarshal(snap[k], &e); err != nil {
+			return nil, fmt.Errorf("telemetry: decoding recovered event %q: %w", k, err)
+		}
+		events = append(events, e)
+	}
+	sort.Slice(events, func(i, j int) bool { return events[i].Seq < events[j].Seq })
+	return events, nil
+}
+
+// WriteJournal writes events as a JSONL journal: one JSON-encoded event per
+// line.
+func WriteJournal(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, e := range events {
+		if err := enc.Encode(e); err != nil {
+			return fmt.Errorf("telemetry: writing journal: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJournal reads a JSONL journal written by WriteJournal.
+func ReadJournal(rd io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	var events []Event
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal([]byte(text), &e); err != nil {
+			return nil, fmt.Errorf("telemetry: journal line %d: %w", line, err)
+		}
+		events = append(events, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("telemetry: reading journal: %w", err)
+	}
+	return events, nil
+}
