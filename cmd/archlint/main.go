@@ -26,6 +26,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/cli"
 	"repro/internal/lint"
 )
 
@@ -39,14 +40,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 	analyzers := fs.String("analyzers", "", "comma-separated analyzer names to run (default: all)")
 	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array")
 	list := fs.Bool("list", false, "list available analyzers and exit")
+	outPath := fs.String("out", "", "write the diagnostics to this file instead of stdout")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: archlint [-analyzers=a,b,...] [-json] [packages]\n\n")
+		fmt.Fprintf(stderr, "usage: archlint [-analyzers=a,b,...] [-json] [-out file] [packages]\n\n")
 		fmt.Fprintf(stderr, "Statically enforces the fail-stop and frame-determinism invariants.\n\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	stdout, closeOut, err := cli.Output(*outPath, stdout)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	defer func() {
+		if cerr := closeOut(); cerr != nil {
+			fmt.Fprintln(stderr, cerr)
+		}
+	}()
 	if *list {
 		for _, a := range lint.Analyzers() {
 			fmt.Fprintf(stdout, "%-18s %s\n", a.Name, a.Doc)

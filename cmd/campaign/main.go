@@ -1,0 +1,200 @@
+// Command campaign fans a fault-injection matrix — arms of fault
+// configurations crossed with seeds — over a bounded worker pool and
+// merges the results into a deterministic aggregate report: the same
+// matrix yields a byte-identical report for any -workers value.
+//
+// Usage:
+//
+//	campaign -preset s1 -runs 25 -frames 300 -workers 8
+//	campaign -preset s2 -json -out report.json
+//	campaign -matrix matrix.json -workers 4
+//	campaign -preset s1 -ring-out ring.jsonl   # export the black-box journal
+//
+// A matrix file is the JSON form of campaign.Matrix: seeds, frames, an
+// optional base seed and expansion order, and a list of arms ({"name",
+// "kind": "storage"|"bus", "replicas", "faults": {...}} or {"rates":
+// {...}}). The -preset flag supplies the built-in s1 (hardened storage
+// under media faults) and s2 (avionics mission over a degraded bus)
+// matrices instead; -runs, -frames, -seed, -storage-faults and -bus-faults
+// parameterize them.
+//
+// Progress lines go to stderr as runs complete (completion order is
+// scheduling-dependent; the report is not). The exit status is nonzero if
+// any run fails, violates an SP property, or lets silently corrupted data
+// through its storage oracle.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/bus"
+	"repro/internal/campaign"
+	"repro/internal/cli"
+	"repro/internal/stable"
+	"repro/internal/telemetry"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "campaign:", err)
+		os.Exit(1)
+	}
+}
+
+// loadMatrix resolves the campaign configuration from -matrix or -preset.
+// Explicitly set flags override the matching matrix-file fields, so a
+// stored matrix can be re-run at a different scale without editing it.
+func loadMatrix(fs *flag.FlagSet, matrixPath, preset string, runs, frames int, seed int64, storageFaults, busFaults float64) (campaign.Matrix, error) {
+	var m campaign.Matrix
+	switch {
+	case matrixPath != "":
+		data, err := os.ReadFile(matrixPath)
+		if err != nil {
+			return m, err
+		}
+		if err := json.Unmarshal(data, &m); err != nil {
+			return m, fmt.Errorf("parsing %s: %w", matrixPath, err)
+		}
+		set := map[string]bool{}
+		fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		if set["runs"] || set["seeds"] {
+			m.Seeds = runs
+		}
+		if set["frames"] {
+			m.Frames = frames
+		}
+		if set["seed"] {
+			m.BaseSeed = seed
+		}
+	case preset == "s1":
+		m = campaign.S1Matrix(runs, frames, stable.FaultProfile{
+			TornWriteRate: storageFaults / 2,
+			BitRotRate:    storageFaults,
+			StuckReadRate: storageFaults / 2,
+		})
+		m.BaseSeed = seed
+	case preset == "s2":
+		m = campaign.S2Matrix(runs, frames, bus.FaultRates{
+			Drop:      busFaults,
+			Duplicate: busFaults / 2,
+			Delay:     busFaults / 2,
+		})
+		m.BaseSeed = seed
+	default:
+		return m, fmt.Errorf("unknown preset %q (want s1 or s2, or pass -matrix <file>)", preset)
+	}
+	return m, nil
+}
+
+// textReport renders the per-run table and the aggregate tallies.
+func textReport(out io.Writer, rep campaign.Report) {
+	fmt.Fprintf(out, "campaign %s: %d runs (%d seeds x %d arms, %d frames)\n",
+		rep.Matrix.Name, len(rep.Results), rep.Matrix.Seeds, len(rep.Matrix.Arms), rep.Matrix.Frames)
+	for _, r := range rep.Results {
+		if r.Err != "" {
+			fmt.Fprintf(out, "  run %-3d %-10s seed %-3d ERROR %s\n", r.Run.ID, r.Run.Arm, r.Run.Seed, r.Err)
+			continue
+		}
+		fmt.Fprintf(out, "  run %-3d %-10s seed %-3d reconfigs %-3d halts %-2d silent-wrong %-2d SP violations %d\n",
+			r.Run.ID, r.Run.Arm, r.Run.Seed, r.Reconfigs, r.StorageHalts, r.SilentWrongData, r.Violations)
+	}
+	t := rep.Totals
+	fmt.Fprintf(out, "totals: %d reconfigs, %d storage halts, %d silent wrong data, %d SP violations, %d errors\n",
+		t.Reconfigs, t.StorageHalts, t.SilentWrongData, t.Violations, t.Errors)
+	if t.WindowFrames.Count > 0 {
+		fmt.Fprintf(out, "recovery latency: %d windows, mean %.1f frames, max %d\n",
+			t.WindowFrames.Count, float64(t.WindowFrames.Sum)/float64(t.WindowFrames.Count), t.WindowFrames.Max)
+	}
+}
+
+func run(args []string, out, errOut io.Writer) error {
+	fs := flag.NewFlagSet("campaign", flag.ContinueOnError)
+	matrixPath := fs.String("matrix", "", "campaign matrix configuration (JSON); overrides -preset")
+	preset := fs.String("preset", "s1", "built-in matrix: s1 (storage faults) or s2 (bus faults)")
+	runs := fs.Int("runs", 5, "seeds per arm")
+	seed := fs.Int64("seed", 0, "base seed; run i of an arm uses seed+i")
+	frames := fs.Int("frames", 300, "frames per run")
+	workers := fs.Int("workers", 4, "worker pool size (the report is identical for any value)")
+	asJSON := fs.Bool("json", false, "emit the full aggregate report as JSON instead of the table")
+	outPath := fs.String("out", "", "write the report to this file instead of stdout")
+	ringOut := fs.String("ring-out", "", "write the most interesting run's flight-recorder journal (JSONL) to this file")
+	quiet := fs.Bool("quiet", false, "suppress per-run progress lines on stderr")
+	storageFaults := fs.Float64("storage-faults", 0.05, "s1 preset base per-medium fault rate (torn writes and stuck reads at half, bit rot at full)")
+	busFaults := fs.Float64("bus-faults", 0.05, "s2 preset base per-message fault rate (drop at full, duplicate and delay at half)")
+	cli.Alias(fs, "runs", "seeds")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	m, err := loadMatrix(fs, *matrixPath, *preset, *runs, *frames, *seed, *storageFaults, *busFaults)
+	if err != nil {
+		return err
+	}
+	if err := m.Validate(); err != nil {
+		return err
+	}
+
+	eng := campaign.Engine{Workers: *workers}
+	if !*quiet {
+		eng.Progress = func(done, total int, res campaign.Result) {
+			status := fmt.Sprintf("%d reconfigs, %d violations", res.Reconfigs, res.Violations)
+			if res.Err != "" {
+				status = "ERROR " + res.Err
+			}
+			fmt.Fprintf(errOut, "campaign: %d/%d %s seed %d: %s\n", done, total, res.Run.Arm, res.Run.Seed, status)
+		}
+	}
+	rep := campaign.BuildReport(m, eng.Execute(m.Expand()))
+
+	w, closeOut, err := cli.Output(*outPath, out)
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		raw, err := rep.JSON()
+		if err == nil {
+			_, err = w.Write(raw)
+		}
+		if err != nil {
+			closeOut()
+			return err
+		}
+	} else {
+		textReport(w, rep)
+	}
+	if err := closeOut(); err != nil {
+		return err
+	}
+
+	if *ringOut != "" {
+		ring := rep.LastRing()
+		if ring == nil {
+			return errors.New("-ring-out: no flight-recorder ring recovered")
+		}
+		f, err := os.Create(*ringOut)
+		if err != nil {
+			return err
+		}
+		if err := telemetry.WriteJournal(f, ring); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(errOut, "campaign: wrote %d flight-recorder events to %s\n", len(ring), *ringOut)
+	}
+
+	if err := rep.FirstError(); err != nil {
+		return err
+	}
+	if rep.Totals.Violations > 0 || rep.Totals.SilentWrongData > 0 {
+		return fmt.Errorf("%d SP violations, %d silent wrong data", rep.Totals.Violations, rep.Totals.SilentWrongData)
+	}
+	return nil
+}

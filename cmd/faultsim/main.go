@@ -16,10 +16,15 @@
 // Usage:
 //
 //	faultsim -experiment all
-//	faultsim -experiment t2 -seeds 50 -frames 500
-//	faultsim -experiment s1 -seeds 25 -storage-faults 0.05
-//	faultsim -experiment s2 -bus-faults 0.1 -json
+//	faultsim -experiment t2 -runs 50 -frames 500
+//	faultsim -experiment s1 -runs 25 -storage-faults 0.05 -workers 8
+//	faultsim -experiment s2 -bus-faults 0.1 -json -out report.json
 //	faultsim -experiment s1 -ring-out ring.jsonl   # export the black-box journal
+//
+// -runs (formerly -seeds, kept as a deprecated alias) sizes the randomized
+// campaigns; -seed offsets the s1/s2 campaign seeds; -workers fans the
+// s1/s2 campaigns over the campaign engine's pool (the report is identical
+// for any value).
 //
 // The s1 and s2 campaigns recover the flight-recorder ring from the SCRAM
 // host's stable storage after each run; -ring-out writes the most
@@ -35,6 +40,7 @@ import (
 	"os"
 
 	"repro/internal/bus"
+	"repro/internal/cli"
 	"repro/internal/experiments"
 	"repro/internal/stable"
 	"repro/internal/telemetry"
@@ -59,18 +65,31 @@ func render(asJSON bool, text string, result any) (string, error) {
 	return string(data), nil
 }
 
-func run(args []string, out io.Writer) error {
+func run(args []string, out io.Writer) (err error) {
 	fs := flag.NewFlagSet("faultsim", flag.ContinueOnError)
 	which := fs.String("experiment", "all", "experiment to run: t1, t2, t2x, f2, e1, e2, e3, e4, e5, s1, s2, or all")
-	seeds := fs.Int("seeds", 20, "randomized campaigns for t2")
+	runs := fs.Int("runs", 20, "randomized campaigns per experiment arm (t2, s1, s2)")
+	seed := fs.Int64("seed", 0, "base seed for the s1/s2 campaigns; run i uses seed+i")
 	frames := fs.Int("frames", 300, "frames per randomized campaign (t2) / churn run (e3)")
 	asJSON := fs.Bool("json", false, "emit structured results as JSON instead of tables")
+	outPath := fs.String("out", "", "write the report to this file instead of stdout")
 	storageFaults := fs.Float64("storage-faults", 0.05, "s1 base per-medium fault rate (torn writes and stuck reads at half, bit rot at full)")
 	busFaults := fs.Float64("bus-faults", 0.05, "s2 base per-message fault rate (drop at full, duplicate and delay at half)")
 	ringOut := fs.String("ring-out", "", "write the s1/s2 flight-recorder journal (JSONL) to this file")
+	workers := fs.Int("workers", 1, "worker pool size for the s1/s2 campaigns (results are identical for any value)")
+	cli.Alias(fs, "runs", "seeds")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	out, closeOut, err := cli.Output(*outPath, out)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := closeOut(); err == nil {
+			err = cerr
+		}
+	}()
 	var exportRing []telemetry.Event
 
 	type experiment struct {
@@ -86,7 +105,7 @@ func run(args []string, out io.Writer) error {
 			return render(*asJSON, r.Text, r)
 		}},
 		{"t2", func() (string, error) {
-			r, err := experiments.Table2(*seeds, *frames)
+			r, err := experiments.Table2(*runs, *frames)
 			if err != nil {
 				return "", err
 			}
@@ -147,7 +166,7 @@ func run(args []string, out io.Writer) error {
 				BitRotRate:    *storageFaults,
 				StuckReadRate: *storageFaults / 2,
 			}
-			r, err := experiments.StorageFaults(*seeds, *frames, prof)
+			r, err := experiments.StorageFaults(experiments.CampaignOpts{Seeds: *runs, Frames: *frames, BaseSeed: *seed, Workers: *workers}, prof)
 			if err != nil {
 				return "", err
 			}
@@ -162,7 +181,7 @@ func run(args []string, out io.Writer) error {
 				Duplicate: *busFaults / 2,
 				Delay:     *busFaults / 2,
 			}
-			r, err := experiments.BusFaults(min(*seeds, 5), *frames, rates)
+			r, err := experiments.BusFaults(experiments.CampaignOpts{Seeds: min(*runs, 5), Frames: *frames, BaseSeed: *seed, Workers: *workers}, rates)
 			if err != nil {
 				return "", err
 			}

@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"repro/internal/avionics"
+	"repro/internal/cli"
 	"repro/internal/spec"
 	"repro/internal/spectest"
 	"repro/internal/telemetry"
@@ -47,7 +48,7 @@ func main() {
 
 var errViolations = errors.New("property violations found")
 
-func run(args []string, out io.Writer) error {
+func run(args []string, out io.Writer) (err error) {
 	fs := flag.NewFlagSet("flightrec", flag.ContinueOnError)
 	ringPath := fs.String("ring", "", "path to a flight-recorder journal (JSONL)")
 	app := fs.String("app", "", "dump only events for this application")
@@ -57,12 +58,23 @@ func run(args []string, out io.Writer) error {
 	specPath := fs.String("spec", "", "path to the reconfiguration specification (JSON), for SP2/SP3")
 	canonical := fs.Bool("canonical", false, "check against the built-in three-configuration specification")
 	useAvionics := fs.Bool("avionics", false, "check against the built-in avionics specification")
+	asJSON := fs.Bool("json", false, "emit the events (or the -summary report) as JSON")
+	outPath := fs.String("out", "", "write the output to this file instead of stdout")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *ringPath == "" {
 		return errors.New("provide -ring <file>")
 	}
+	out, closeOut, err := cli.Output(*outPath, out)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := closeOut(); err == nil {
+			err = cerr
+		}
+	}()
 
 	f, err := os.Open(*ringPath)
 	if err != nil {
@@ -95,14 +107,21 @@ func run(args []string, out io.Writer) error {
 	}
 
 	if !*summary {
-		dump(out, events, *app, *phase, *sinceFrame)
+		filtered := filter(events, *app, *phase, *sinceFrame)
+		if *asJSON {
+			return cli.WriteJSON(out, filtered)
+		}
+		for _, e := range filtered {
+			fmt.Fprintln(out, e.String())
+		}
 		return nil
 	}
-	return summarize(out, events, rs)
+	return summarize(out, *asJSON, events, rs)
 }
 
-// dump prints the filtered events one per line.
-func dump(out io.Writer, events []telemetry.Event, app, phase string, sinceFrame int64) {
+// filter selects the events the dump flags ask for.
+func filter(events []telemetry.Event, app, phase string, sinceFrame int64) []telemetry.Event {
+	kept := make([]telemetry.Event, 0, len(events))
 	for _, e := range events {
 		if app != "" && e.App != app {
 			continue
@@ -113,8 +132,9 @@ func dump(out io.Writer, events []telemetry.Event, app, phase string, sinceFrame
 		if sinceFrame >= 0 && e.Frame < sinceFrame {
 			continue
 		}
-		fmt.Fprintln(out, e.String())
+		kept = append(kept, e)
 	}
+	return kept
 }
 
 // span renders one protocol phase's frame window.
@@ -125,10 +145,48 @@ func span(name string, p telemetry.PhaseSpan) string {
 	return fmt.Sprintf("      %-10s f%d-f%d (%d frame(s))", name, p.Start, p.End, p.Frames())
 }
 
+// summaryReport is the -summary -json output: the assembled timeline plus
+// the rerun SP checks over the reconstructed trace.
+type summaryReport struct {
+	Summary    telemetry.Summary `json:"summary"`
+	Checked    string            `json:"checked"`
+	Cycles     int64             `json:"cycles"`
+	BaseFrame  int64             `json:"base_frame"`
+	Violations []trace.Violation `json:"violations"`
+}
+
 // summarize prints the flight-recorder report and reruns the SP checkers
 // over the trace reconstructed from the ring.
-func summarize(out io.Writer, events []telemetry.Event, rs *spec.ReconfigSpec) error {
+func summarize(out io.Writer, asJSON bool, events []telemetry.Event, rs *spec.ReconfigSpec) error {
 	s := telemetry.Summarize(events)
+
+	if asJSON {
+		rep := summaryReport{Summary: s, Violations: []trace.Violation{}}
+		frameLen := time.Millisecond
+		if rs != nil {
+			frameLen = rs.FrameLen
+		}
+		tr, base, err := telemetry.ReconstructTrace("flightrec", frameLen, events)
+		if err != nil {
+			return fmt.Errorf("reconstructing trace: %w", err)
+		}
+		rep.Cycles, rep.BaseFrame = tr.Len(), base
+		rep.Checked = "SP1, SP4"
+		rep.Violations = append(rep.Violations, trace.CheckSP1(tr)...)
+		rep.Violations = append(rep.Violations, trace.CheckSP4(tr)...)
+		if rs != nil {
+			rep.Checked = "SP1-SP4"
+			rep.Violations = append(rep.Violations, trace.CheckSP2(tr, rs)...)
+			rep.Violations = append(rep.Violations, trace.CheckSP3(tr, rs)...)
+		}
+		if err := cli.WriteJSON(out, rep); err != nil {
+			return err
+		}
+		if len(rep.Violations) > 0 {
+			return errViolations
+		}
+		return nil
+	}
 
 	fmt.Fprintf(out, "flight recorder: %d events, frames %d-%d", len(events), s.FirstFrame, s.LastFrame)
 	if s.DroppedEvents > 0 {

@@ -24,6 +24,7 @@ import (
 	"os"
 
 	"repro/internal/avionics"
+	"repro/internal/cli"
 	"repro/internal/spec"
 	"repro/internal/statics"
 )
@@ -39,16 +40,26 @@ func main() {
 // operational errors; both exit 1, but the former prints a report first.
 var errObligations = errors.New("obligations failed")
 
-func run(args []string, out io.Writer) error {
+func run(args []string, out io.Writer) (err error) {
 	fs := flag.NewFlagSet("scramcheck", flag.ContinueOnError)
 	specPath := fs.String("spec", "", "path to a reconfiguration specification (JSON)")
 	useAvionics := fs.Bool("avionics", false, "analyze the built-in avionics specification")
 	dump := fs.Bool("dump", false, "print the selected specification as JSON and exit")
 	pvs := fs.Bool("pvs", false, "print the specification as a PVS theory skeleton and exit")
 	asJSON := fs.Bool("json", false, "emit the report as JSON")
+	outPath := fs.String("out", "", "write the output to this file instead of stdout")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	out, closeOut, err := cli.Output(*outPath, out)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := closeOut(); err == nil {
+			err = cerr
+		}
+	}()
 
 	var rs *spec.ReconfigSpec
 	switch {

@@ -19,6 +19,7 @@ import (
 	"os"
 
 	"repro/internal/avionics"
+	"repro/internal/cli"
 	"repro/internal/spec"
 	"repro/internal/trace"
 )
@@ -32,17 +33,40 @@ func main() {
 
 var errViolations = errors.New("property violations found")
 
-func run(args []string, out io.Writer) error {
+// report is the -json output: the trace digest the text mode prints, plus
+// every SP1-SP4 violation.
+type report struct {
+	System            string                  `json:"system"`
+	Cycles            int64                   `json:"cycles"`
+	Reconfigs         []trace.Reconfiguration `json:"reconfigs"`
+	Open              *trace.Reconfiguration  `json:"open,omitempty"`
+	RestrictionFrames int64                   `json:"restriction_frames"`
+	MaxRestrictionRun int64                   `json:"max_restriction_run"`
+	Violations        []trace.Violation       `json:"violations"`
+}
+
+func run(args []string, out io.Writer) (err error) {
 	fs := flag.NewFlagSet("tracecheck", flag.ContinueOnError)
 	tracePath := fs.String("trace", "", "path to a recorded trace (JSON)")
 	specPath := fs.String("spec", "", "path to the reconfiguration specification (JSON)")
 	useAvionics := fs.Bool("avionics", false, "check against the built-in avionics specification")
+	asJSON := fs.Bool("json", false, "emit the report as JSON")
+	outPath := fs.String("out", "", "write the report to this file instead of stdout")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *tracePath == "" {
 		return errors.New("provide -trace <file>")
 	}
+	out, closeOut, err := cli.Output(*outPath, out)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := closeOut(); err == nil {
+			err = cerr
+		}
+	}()
 
 	var rs *spec.ReconfigSpec
 	switch {
@@ -68,6 +92,28 @@ func run(args []string, out io.Writer) error {
 	var tr trace.Trace
 	if err := json.Unmarshal(data, &tr); err != nil {
 		return fmt.Errorf("parsing %s: %w", *tracePath, err)
+	}
+
+	if *asJSON {
+		rep := report{
+			System:            tr.System,
+			Cycles:            tr.Len(),
+			Reconfigs:         tr.Reconfigs(),
+			RestrictionFrames: tr.RestrictionFrames(),
+			MaxRestrictionRun: tr.MaxRestrictionRun(),
+			Violations:        []trace.Violation{},
+		}
+		if open, ok := tr.OpenReconfig(); ok {
+			rep.Open = &open
+		}
+		rep.Violations = append(rep.Violations, trace.CheckAll(&tr, rs)...)
+		if err := cli.WriteJSON(out, rep); err != nil {
+			return err
+		}
+		if len(rep.Violations) > 0 {
+			return errViolations
+		}
+		return nil
 	}
 
 	fmt.Fprintf(out, "trace: %s, %d cycles, frame length %v\n", tr.System, tr.Len(), tr.FrameLen)

@@ -82,7 +82,7 @@ type Bus struct {
 	// private one until Instrument attaches the system's); per-topic
 	// fault counters are resolved lazily as topics appear.
 	reg                *telemetry.Registry
-	tel                *telemetry.Recorder
+	tel                telemetry.Sink
 	delivered, dropped *telemetry.Counter
 	topicFaults        map[string]*topicFaultCounters
 }
@@ -109,6 +109,7 @@ func New(schedule Schedule) *Bus {
 		schedule:  schedule,
 		slotOf:    slotOf,
 		endpoints: make(map[EndpointID]*Endpoint),
+		tel:       telemetry.NopSink{},
 	}
 	b.bindMetrics(telemetry.NewRegistry())
 	return b
@@ -136,7 +137,7 @@ func (b *Bus) Instrument(reg *telemetry.Registry, rec *telemetry.Recorder) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.bindMetrics(reg)
-	b.tel = rec
+	b.tel = telemetry.OrNop(rec)
 }
 
 // topicFault returns the per-topic fault counters, resolving them on first
@@ -157,7 +158,7 @@ func (b *Bus) topicFault(topic string) *topicFaultCounters {
 // recordFault mirrors one injected fault action into the flight recorder.
 // Callers hold b.mu.
 func (b *Bus) recordFault(action string, msg Message, frameNum int64) {
-	if b.tel == nil {
+	if !b.tel.Enabled() {
 		return
 	}
 	b.tel.Record(telemetry.Event{

@@ -1,0 +1,215 @@
+// Package campaign fans independent fault-injection runs over a bounded
+// worker pool and merges their results into a deterministic aggregate
+// report.
+//
+// A campaign is a matrix: a set of arms (fault configurations) crossed with
+// a set of seeds. Every run in the expanded matrix is an independent
+// core.System execution — its randomness comes from a run-local RNG seeded
+// by the run descriptor, never from the global math/rand state — so runs
+// can execute in any order, on any number of workers, and the merged report
+// is byte-identical regardless of scheduling. The engine writes each result
+// into a slice slot indexed by the run's position in the expanded matrix;
+// completion order never leaks into the report.
+//
+// The worker pool lives outside every frame-synchronous package: campaign
+// goroutines each own a whole system (scheduler, pool, kernel) and never
+// share one frame boundary, so the nofreegoroutine invariant of the
+// fail-stop packages is untouched. The pool's launches carry audited
+// //lint:allow annotations and the archlint nofreegoroutine analyzer is
+// scoped to cover this package.
+package campaign
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/bus"
+	"repro/internal/inject"
+	"repro/internal/stable"
+)
+
+// Kind selects the system a run drives.
+type Kind string
+
+const (
+	// KindStorage runs the canonical three-configuration system on
+	// hardened stable storage over faulty media (the S1 workload).
+	KindStorage Kind = "storage"
+	// KindBus flies the section 7 avionics mission over a degraded bus
+	// (the S2 workload).
+	KindBus Kind = "bus"
+)
+
+// Order fixes how Matrix.Expand crosses seeds with arms. Both orders are
+// deterministic; they only choose which axis varies fastest, i.e. how rows
+// group in the report.
+type Order string
+
+const (
+	// SeedMajor emits every arm for seed 0, then every arm for seed 1, ...
+	// — paired comparison of arms under identical seeds (the S1 layout).
+	SeedMajor Order = "seed-major"
+	// ArmMajor emits every seed for arm 0, then every seed for arm 1, ...
+	// — a sweep across arms (the S2 layout).
+	ArmMajor Order = "arm-major"
+)
+
+// Arm is one fault configuration of the matrix. Exactly the fields for its
+// Kind are meaningful: Replicas/EnvEvents/Faults for storage arms, Rates
+// for bus arms.
+type Arm struct {
+	// Name labels the arm in reports; it must be unique within a matrix.
+	Name string `json:"name"`
+	// Kind selects the workload.
+	Kind Kind `json:"kind"`
+	// Replicas is the number of backing media per hardened store
+	// (0 defaults to 3). Storage arms only.
+	Replicas int `json:"replicas,omitempty"`
+	// EnvEvents is the number of scripted alternator changes (0 defaults
+	// to Frames/25). Storage arms only.
+	EnvEvents int `json:"env_events,omitempty"`
+	// Faults is the per-medium fault model. Storage arms only.
+	Faults stable.FaultProfile `json:"faults,omitempty"`
+	// Rates is the per-message bus fault model. Bus arms only.
+	Rates bus.FaultRates `json:"rates,omitempty"`
+}
+
+// Matrix is a campaign configuration: arms crossed with seeds.
+type Matrix struct {
+	// Name labels the campaign in reports.
+	Name string `json:"name,omitempty"`
+	// Seeds is the number of seeds per arm.
+	Seeds int `json:"seeds"`
+	// BaseSeed offsets every run's seed: run i of an arm uses
+	// BaseSeed+i. Arms share seeds, so arms compare under identical
+	// randomness.
+	BaseSeed int64 `json:"base_seed,omitempty"`
+	// Frames is the length of every run.
+	Frames int `json:"frames"`
+	// Order fixes the expansion order (default SeedMajor).
+	Order Order `json:"order,omitempty"`
+	// Arms are the fault configurations.
+	Arms []Arm `json:"arms"`
+}
+
+// Run is one cell of the expanded matrix: a fully resolved, independent
+// system execution. The zero-based ID is the run's position in the
+// expansion and its slot in the engine's result slice.
+type Run struct {
+	ID     int    `json:"id"`
+	Arm    string `json:"arm"`
+	Kind   Kind   `json:"kind"`
+	Seed   int64  `json:"seed"`
+	Frames int    `json:"frames"`
+
+	Replicas  int                 `json:"replicas,omitempty"`
+	EnvEvents int                 `json:"env_events,omitempty"`
+	Faults    stable.FaultProfile `json:"faults,omitempty"`
+	Rates     bus.FaultRates      `json:"rates,omitempty"`
+}
+
+// resolve turns an arm and a seed into a run descriptor (ID is assigned by
+// Expand).
+func (m Matrix) resolve(a Arm, seed int64) Run {
+	r := Run{
+		Arm:    a.Name,
+		Kind:   a.Kind,
+		Seed:   seed,
+		Frames: m.Frames,
+	}
+	if a.Kind == KindStorage {
+		r.Replicas = a.Replicas
+		r.EnvEvents = a.EnvEvents
+		if r.EnvEvents == 0 {
+			r.EnvEvents = m.Frames / 25
+		}
+		r.Faults = a.Faults
+	} else {
+		r.Rates = a.Rates
+	}
+	return r
+}
+
+// Expand crosses arms with seeds in the matrix's order and returns the run
+// list. Expansion is pure: the same matrix always yields the same runs in
+// the same order, which is what pins the report layout independently of
+// execution scheduling.
+func (m Matrix) Expand() []Run {
+	runs := make([]Run, 0, m.Seeds*len(m.Arms))
+	add := func(a Arm, seed int64) {
+		r := m.resolve(a, seed)
+		r.ID = len(runs)
+		runs = append(runs, r)
+	}
+	if m.Order == ArmMajor {
+		for _, a := range m.Arms {
+			for s := 0; s < m.Seeds; s++ {
+				add(a, m.BaseSeed+int64(s))
+			}
+		}
+		return runs
+	}
+	for s := 0; s < m.Seeds; s++ {
+		for _, a := range m.Arms {
+			add(a, m.BaseSeed+int64(s))
+		}
+	}
+	return runs
+}
+
+// Validate rejects a defective matrix before any frames are spent. Beyond
+// the matrix's own shape it builds each storage arm's core.Options and runs
+// the typed Options.Validate, so a bad arm reports the same per-field error
+// a NewSystem call would — but up front, for the whole matrix at once.
+func (m Matrix) Validate() error {
+	if m.Seeds < 1 {
+		return fmt.Errorf("campaign: matrix needs at least one seed (got %d)", m.Seeds)
+	}
+	if m.Frames < 1 {
+		return fmt.Errorf("campaign: matrix needs at least one frame (got %d)", m.Frames)
+	}
+	if len(m.Arms) == 0 {
+		return errors.New("campaign: matrix has no arms")
+	}
+	if m.Order != "" && m.Order != SeedMajor && m.Order != ArmMajor {
+		return fmt.Errorf("campaign: unknown order %q", m.Order)
+	}
+	seen := make(map[string]bool, len(m.Arms))
+	for i, a := range m.Arms {
+		if a.Name == "" {
+			return fmt.Errorf("campaign: arm %d has no name", i)
+		}
+		if seen[a.Name] {
+			return fmt.Errorf("campaign: duplicate arm name %q", a.Name)
+		}
+		seen[a.Name] = true
+		switch a.Kind {
+		case KindStorage:
+			r := m.resolve(a, m.BaseSeed)
+			opts := inject.StorageCampaign{
+				Seed:      r.Seed,
+				Frames:    r.Frames,
+				EnvEvents: r.EnvEvents,
+				Replicas:  r.Replicas,
+				Faults:    r.Faults,
+			}.Options()
+			if err := opts.Validate(); err != nil {
+				return fmt.Errorf("campaign: arm %q: %w", a.Name, err)
+			}
+			for _, rate := range []float64{a.Faults.TornWriteRate, a.Faults.BitRotRate, a.Faults.StuckReadRate} {
+				if rate < 0 || rate > 1 {
+					return fmt.Errorf("campaign: arm %q: fault rate %v outside [0,1]", a.Name, rate)
+				}
+			}
+		case KindBus:
+			for _, rate := range []float64{a.Rates.Drop, a.Rates.Duplicate, a.Rates.Delay} {
+				if rate < 0 || rate > 1 {
+					return fmt.Errorf("campaign: arm %q: bus fault rate %v outside [0,1]", a.Name, rate)
+				}
+			}
+		default:
+			return fmt.Errorf("campaign: arm %q has unknown kind %q", a.Name, a.Kind)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,218 @@
+package campaign
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/bus"
+	"repro/internal/stable"
+)
+
+// testProfile is a fault load heavy enough to exercise repair and (on the
+// one-replica defeat arm) fail-stop conversion within a short run.
+var testProfile = stable.FaultProfile{
+	TornWriteRate: 0.025,
+	BitRotRate:    0.05,
+	StuckReadRate: 0.025,
+}
+
+func smallStorageMatrix() Matrix {
+	return S1Matrix(2, 120, testProfile)
+}
+
+func TestExpandSeedMajor(t *testing.T) {
+	runs := smallStorageMatrix().Expand()
+	if len(runs) != 4 {
+		t.Fatalf("expanded %d runs, want 4", len(runs))
+	}
+	want := []struct {
+		arm  string
+		seed int64
+	}{{"shielded", 0}, {"defeat", 0}, {"shielded", 1}, {"defeat", 1}}
+	for i, r := range runs {
+		if r.ID != i {
+			t.Errorf("run %d has ID %d", i, r.ID)
+		}
+		if r.Arm != want[i].arm || r.Seed != want[i].seed {
+			t.Errorf("run %d = %s/%d, want %s/%d", i, r.Arm, r.Seed, want[i].arm, want[i].seed)
+		}
+		if r.EnvEvents != 120/25 {
+			t.Errorf("run %d EnvEvents = %d, want default %d", i, r.EnvEvents, 120/25)
+		}
+	}
+}
+
+func TestExpandArmMajor(t *testing.T) {
+	m := S2Matrix(2, 80, bus.FaultRates{Drop: 0.1})
+	runs := m.Expand()
+	if len(runs) != 8 {
+		t.Fatalf("expanded %d runs, want 8", len(runs))
+	}
+	// Arm-major: both seeds of the clean sweep point come first.
+	if runs[0].Arm != "x0" || runs[1].Arm != "x0" || runs[2].Arm != "x1" {
+		t.Errorf("arm-major order broken: %s %s %s", runs[0].Arm, runs[1].Arm, runs[2].Arm)
+	}
+	if runs[0].Seed != 0 || runs[1].Seed != 1 {
+		t.Errorf("seeds within arm = %d,%d, want 0,1", runs[0].Seed, runs[1].Seed)
+	}
+}
+
+func TestMatrixValidate(t *testing.T) {
+	ok := smallStorageMatrix()
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid matrix rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Matrix)
+		want   string
+	}{
+		{"no seeds", func(m *Matrix) { m.Seeds = 0 }, "at least one seed"},
+		{"no frames", func(m *Matrix) { m.Frames = 0 }, "at least one frame"},
+		{"no arms", func(m *Matrix) { m.Arms = nil }, "no arms"},
+		{"bad order", func(m *Matrix) { m.Order = "zigzag" }, "unknown order"},
+		{"unnamed arm", func(m *Matrix) { m.Arms[0].Name = "" }, "has no name"},
+		{"duplicate arm", func(m *Matrix) { m.Arms[1].Name = m.Arms[0].Name }, "duplicate arm"},
+		{"unknown kind", func(m *Matrix) { m.Arms[0].Kind = "quantum" }, "unknown kind"},
+		{"storage rate out of range", func(m *Matrix) { m.Arms[0].Faults.BitRotRate = 1.5 }, "outside [0,1]"},
+		{"bus rate out of range", func(m *Matrix) {
+			m.Arms = []Arm{{Name: "hot", Kind: KindBus, Rates: bus.FaultRates{Drop: -0.1}}}
+		}, "outside [0,1]"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := smallStorageMatrix()
+			tc.mutate(&m)
+			err := m.Validate()
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Validate = %v, want error containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestEngineDeterminism is the engine's core contract: the aggregate JSON
+// report is byte-identical for any worker count, because results land in
+// run-ID slots and the report never reads completion order.
+func TestEngineDeterminism(t *testing.T) {
+	m := smallStorageMatrix()
+	runs := m.Expand()
+	var reports [][]byte
+	for _, workers := range []int{1, 2, 8} {
+		results := Engine{Workers: workers}.Execute(runs)
+		rep := BuildReport(m, results)
+		if err := rep.FirstError(); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		raw, err := rep.JSON()
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		reports = append(reports, raw)
+	}
+	for i := 1; i < len(reports); i++ {
+		if !bytes.Equal(reports[0], reports[i]) {
+			t.Fatalf("report for workers=%d differs from workers=1", []int{1, 2, 8}[i])
+		}
+	}
+}
+
+// TestReportCapture checks the per-run capture: zero SP violations and
+// silent corruption, recovery-latency histograms lifted from the registry,
+// and a recovered flight-recorder ring summarized per run.
+func TestReportCapture(t *testing.T) {
+	m := smallStorageMatrix()
+	results := Engine{Workers: 2}.Execute(m.Expand())
+	rep := BuildReport(m, results)
+	if err := rep.FirstError(); err != nil {
+		t.Fatal(err)
+	}
+	tot := rep.Totals
+	if tot.Runs != 4 || tot.Errors != 0 {
+		t.Fatalf("totals runs/errors = %d/%d, want 4/0", tot.Runs, tot.Errors)
+	}
+	if tot.Violations != 0 || tot.SilentWrongData != 0 {
+		t.Fatalf("correctness breached: %d violations, %d silent wrong data", tot.Violations, tot.SilentWrongData)
+	}
+	if tot.Injected.TornWrites+tot.Injected.BitFlips+tot.Injected.StuckReads == 0 {
+		t.Error("no media faults injected")
+	}
+	if tot.Reconfigs == 0 {
+		t.Error("no reconfigurations completed")
+	}
+	if tot.WindowFrames.Count != int64(tot.Reconfigs) {
+		t.Errorf("merged window histogram has %d observations, want one per reconfig (%d)",
+			tot.WindowFrames.Count, tot.Reconfigs)
+	}
+	for _, res := range rep.Results {
+		if res.Recorder.LastFrame == 0 && len(res.Ring) == 0 && res.StorageHalts == 0 {
+			t.Errorf("run %d recovered no ring without a halt", res.Run.ID)
+		}
+	}
+	if rep.LastRing() == nil {
+		t.Error("no exportable ring")
+	}
+}
+
+// TestBusRun drives one bus cell end to end through the engine.
+func TestBusRun(t *testing.T) {
+	m := S2Matrix(1, 60, bus.FaultRates{Drop: 0.1, Duplicate: 0.05, Delay: 0.05})
+	m.Arms = m.Arms[1:2] // just the x1 sweep point
+	results := Engine{Workers: 1}.Execute(m.Expand())
+	rep := BuildReport(m, results)
+	if err := rep.FirstError(); err != nil {
+		t.Fatal(err)
+	}
+	res := rep.Results[0]
+	if res.Bus == nil {
+		t.Fatal("bus metrics missing")
+	}
+	if res.Violations != 0 {
+		t.Errorf("%d SP violations", res.Violations)
+	}
+	if res.Bus.Delivered == 0 {
+		t.Error("bus delivered nothing")
+	}
+}
+
+// TestProgress checks the ticker fires once per run, reaches the total,
+// and is serialized (the race detector guards the lock discipline).
+func TestProgress(t *testing.T) {
+	m := smallStorageMatrix()
+	var mu sync.Mutex
+	calls := 0
+	maxDone := 0
+	e := Engine{Workers: 4, Progress: func(done, total int, res Result) {
+		mu.Lock()
+		defer mu.Unlock()
+		calls++
+		if done > maxDone {
+			maxDone = done
+		}
+		if total != 4 {
+			t.Errorf("total = %d, want 4", total)
+		}
+	}}
+	e.Execute(m.Expand())
+	if calls != 4 || maxDone != 4 {
+		t.Errorf("progress calls/maxDone = %d/%d, want 4/4", calls, maxDone)
+	}
+}
+
+// TestUnknownKindErr pins that a defective run surfaces as a result error,
+// not a panic, and counts as an engine error in the totals.
+func TestUnknownKindErr(t *testing.T) {
+	results := Engine{}.Execute([]Run{{ID: 0, Kind: "quantum"}})
+	if results[0].Err == "" {
+		t.Fatal("unknown kind did not error")
+	}
+	rep := BuildReport(Matrix{}, results)
+	if rep.Totals.Errors != 1 {
+		t.Fatalf("totals errors = %d, want 1", rep.Totals.Errors)
+	}
+	if rep.FirstError() == nil {
+		t.Fatal("FirstError = nil")
+	}
+}

@@ -1,0 +1,172 @@
+package campaign
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/inject"
+	"repro/internal/telemetry"
+)
+
+// Result is one run's captured outcome. The common fields (violations,
+// silent corruption, recovery-latency histograms, recovered flight-recorder
+// ring) are populated for every kind; the kind-specific metrics ride along
+// in Storage or Bus.
+type Result struct {
+	// Run echoes the descriptor that produced this result.
+	Run Run `json:"run"`
+	// Err is the run's failure, if the system could not be built or run.
+	// A failed run contributes nothing else.
+	Err string `json:"err,omitempty"`
+
+	// Violations is the number of SP1-SP4 violations in the run's trace.
+	Violations int `json:"sp_violations"`
+	// SilentWrongData is the storage oracle's silent-corruption count;
+	// it must be zero on every run.
+	SilentWrongData int64 `json:"silent_wrong_data"`
+	// StorageHalts counts processors halted by unrecoverable storage
+	// faults (the fail-stop conversion firing).
+	StorageHalts int `json:"storage_halts"`
+	// Reconfigs is the number of completed reconfigurations.
+	Reconfigs int `json:"reconfigs"`
+	// WindowFrames is the recovery-latency histogram: completed
+	// reconfiguration window lengths, from the run's telemetry registry.
+	WindowFrames telemetry.HistogramSnapshot `json:"window_frames"`
+	// SignalLatency is the trigger-to-start latency histogram from the
+	// run's telemetry registry.
+	SignalLatency telemetry.HistogramSnapshot `json:"signal_latency"`
+	// Recorder summarizes the flight-recorder ring recovered from the
+	// SCRAM host's committed stable storage after the run.
+	Recorder telemetry.Summary `json:"recorder"`
+	// Ring is the recovered ring itself. It is kept out of the JSON
+	// report (rings repeat what Recorder summarizes) but callers can
+	// export the journal of an interesting run.
+	Ring []telemetry.Event `json:"-"`
+
+	// Storage carries the full storage-campaign metrics (KindStorage).
+	Storage *inject.StorageMetrics `json:"storage,omitempty"`
+	// Bus carries the full bus-campaign metrics (KindBus).
+	Bus *inject.BusMetrics `json:"bus,omitempty"`
+}
+
+// execute runs one cell of the matrix. It is pure with respect to the
+// descriptor: equal runs give equal results, whatever goroutine calls it.
+func (r Run) execute() Result {
+	res := Result{Run: r}
+	switch r.Kind {
+	case KindStorage:
+		m, _, err := inject.StorageCampaign{
+			Seed:      r.Seed,
+			Frames:    r.Frames,
+			EnvEvents: r.EnvEvents,
+			Replicas:  r.Replicas,
+			Faults:    r.Faults,
+		}.Run()
+		if err != nil {
+			res.Err = err.Error()
+			return res
+		}
+		res.Storage = &m
+		res.Violations = len(m.Violations)
+		res.SilentWrongData = m.Storage.SilentWrongData
+		res.StorageHalts = m.StorageHalts
+		res.Reconfigs = m.Reconfigs
+		res.Ring = m.Ring
+		res.fillTelemetry(m.Registry, m.Ring)
+	case KindBus:
+		m, _, err := inject.BusCampaign{
+			Seed:   r.Seed,
+			Frames: r.Frames,
+			Rates:  r.Rates,
+		}.Run()
+		if err != nil {
+			res.Err = err.Error()
+			return res
+		}
+		res.Bus = &m
+		res.Violations = len(m.Violations)
+		res.Reconfigs = m.Reconfigs
+		res.Ring = m.Ring
+		res.fillTelemetry(m.Registry, m.Ring)
+	default:
+		res.Err = fmt.Sprintf("campaign: run %d has unknown kind %q", r.ID, r.Kind)
+	}
+	return res
+}
+
+// fillTelemetry lifts the recovery-latency histograms out of the run's
+// registry snapshot and summarizes the recovered ring.
+func (res *Result) fillTelemetry(reg telemetry.Snapshot, ring []telemetry.Event) {
+	res.WindowFrames = reg.Histograms["scram/window_frames"]
+	res.SignalLatency = reg.Histograms["scram/signal_latency_frames"]
+	res.Recorder = telemetry.Summarize(ring)
+}
+
+// Engine executes expanded runs over a bounded worker pool.
+//
+// Determinism: every run is independent and seeded by its descriptor, and
+// each worker writes its result into the slot indexed by the run's ID. The
+// returned slice is therefore identical — element for element — for any
+// worker count and any completion order; only the Progress callback (a
+// human-facing ticker) observes scheduling.
+type Engine struct {
+	// Workers bounds the number of concurrently executing runs. Values
+	// below 1 (and 1 itself) execute sequentially on the caller's
+	// goroutine, launching nothing.
+	Workers int
+	// Progress, when non-nil, is called after each run completes with
+	// the number of finished runs, the total, and the finished result.
+	// Calls are serialized but arrive in completion order, which is
+	// scheduling-dependent; do not build reports from them.
+	Progress func(done, total int, res Result)
+}
+
+// Execute runs every cell and returns the results indexed by run ID.
+func (e Engine) Execute(runs []Run) []Result {
+	results := make([]Result, len(runs))
+	if e.Workers <= 1 {
+		for i, r := range runs {
+			results[i] = r.execute()
+			if e.Progress != nil {
+				e.Progress(i+1, len(runs), results[i])
+			}
+		}
+		return results
+	}
+
+	workers := e.Workers
+	if workers > len(runs) {
+		workers = len(runs)
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	var mu sync.Mutex // serializes Progress and the done counter
+	done := 0
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		// The pool is the one sanctioned goroutine source in this
+		// package: each worker owns entire systems (scheduler, pool,
+		// kernel) end to end, shares no frame boundary with anything,
+		// and is joined by wg.Wait before Execute returns.
+		//lint:allow nofreegoroutine audited pool: workers run whole systems outside any frame boundary and are joined via wg.Wait before Execute returns
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				res := runs[i].execute()
+				results[i] = res
+				if e.Progress != nil {
+					mu.Lock()
+					done++
+					e.Progress(done, len(runs), res)
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := range runs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return results
+}

@@ -1,0 +1,61 @@
+package campaign
+
+import (
+	"fmt"
+
+	"repro/internal/bus"
+	"repro/internal/stable"
+)
+
+// S1Matrix is the S1 experiment as a campaign matrix: the canonical system
+// on hardened stable storage, every seed run twice — a "shielded" arm with
+// three replicas at the base fault rates, and a "defeat" arm stripped to
+// one replica with bit rot multiplied until it beats the redundancy and
+// forces fail-stop conversions. Seed-major order pairs the two arms under
+// identical seeds, the layout the faultsim s1 table prints.
+func S1Matrix(seeds, frames int, faults stable.FaultProfile) Matrix {
+	defeat := faults
+	defeat.BitRotRate = minFloat(1, faults.BitRotRate*8)
+	return Matrix{
+		Name:   "s1-storage-faults",
+		Seeds:  seeds,
+		Frames: frames,
+		Order:  SeedMajor,
+		Arms: []Arm{
+			{Name: "shielded", Kind: KindStorage, Replicas: 3, Faults: faults},
+			{Name: "defeat", Kind: KindStorage, Replicas: 1, Faults: defeat},
+		},
+	}
+}
+
+// S2Matrix is the S2 experiment as a campaign matrix: the avionics mission
+// over a degraded bus, sweeping the base rates through multipliers 0-3.
+// Arm-major order groups rows by sweep point, the layout the faultsim s2
+// table prints.
+func S2Matrix(seeds, frames int, rates bus.FaultRates) Matrix {
+	m := Matrix{
+		Name:   "s2-bus-faults",
+		Seeds:  seeds,
+		Frames: frames,
+		Order:  ArmMajor,
+	}
+	for _, mult := range []float64{0, 1, 2, 3} {
+		m.Arms = append(m.Arms, Arm{
+			Name: fmt.Sprintf("x%.0f", mult),
+			Kind: KindBus,
+			Rates: bus.FaultRates{
+				Drop:      minFloat(1, rates.Drop*mult),
+				Duplicate: minFloat(1, rates.Duplicate*mult),
+				Delay:     minFloat(1, rates.Delay*mult),
+			},
+		})
+	}
+	return m
+}
+
+func minFloat(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,140 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/stable"
+	"repro/internal/telemetry"
+)
+
+// Totals aggregates every run of a campaign.
+type Totals struct {
+	// Runs is the number of cells executed; Errors the number that
+	// failed to build or run.
+	Runs   int `json:"runs"`
+	Errors int `json:"errors"`
+	// Violations sums SP1-SP4 violations; SilentWrongData sums the
+	// storage oracle's silent-corruption counts. A fail-stop system
+	// must hold both at zero under every fault plan.
+	Violations      int   `json:"sp_violations"`
+	SilentWrongData int64 `json:"silent_wrong_data"`
+	// StorageHalts and Reconfigs sum the fail-stop conversions and the
+	// completed reconfigurations.
+	StorageHalts int `json:"storage_halts"`
+	Reconfigs    int `json:"reconfigs"`
+	// Injected and Storage sum the storage runs' media-fault injection
+	// and fault-handling counters.
+	Injected stable.MediumStats `json:"injected"`
+	Storage  stable.ReplStats   `json:"storage"`
+	// WindowFrames and SignalLatency merge every run's recovery-latency
+	// histograms: reconfiguration window lengths and trigger-to-start
+	// latencies, in frames.
+	WindowFrames  telemetry.HistogramSnapshot `json:"window_frames"`
+	SignalLatency telemetry.HistogramSnapshot `json:"signal_latency"`
+}
+
+// Report is the campaign's aggregate output. Building it only reads the
+// result slice in run-ID order, so for a given matrix the marshaled report
+// is byte-identical whatever worker count or completion order produced the
+// results.
+type Report struct {
+	Matrix  Matrix   `json:"matrix"`
+	Results []Result `json:"results"`
+	Totals  Totals   `json:"totals"`
+}
+
+// mergeHist folds src into dst. Histograms with equal bounds add bucket by
+// bucket; an empty dst adopts src's bounds. Mismatched bounds cannot merge
+// and are dropped (every kernel histogram uses the default frame buckets,
+// so this does not arise in practice).
+func mergeHist(dst *telemetry.HistogramSnapshot, src telemetry.HistogramSnapshot) {
+	if src.Count == 0 && len(src.Bounds) == 0 {
+		return
+	}
+	if len(dst.Bounds) == 0 {
+		dst.Bounds = append([]int64(nil), src.Bounds...)
+		dst.Counts = append([]int64(nil), src.Counts...)
+		dst.Count = src.Count
+		dst.Sum = src.Sum
+		dst.Max = src.Max
+		return
+	}
+	if len(dst.Bounds) != len(src.Bounds) {
+		return
+	}
+	for i, b := range dst.Bounds {
+		if src.Bounds[i] != b {
+			return
+		}
+	}
+	for i := range src.Counts {
+		dst.Counts[i] += src.Counts[i]
+	}
+	dst.Count += src.Count
+	dst.Sum += src.Sum
+	if src.Max > dst.Max {
+		dst.Max = src.Max
+	}
+}
+
+// BuildReport merges the results (indexed by run ID, as Execute returns
+// them) into the aggregate report.
+func BuildReport(m Matrix, results []Result) Report {
+	rep := Report{Matrix: m, Results: results}
+	t := &rep.Totals
+	t.Runs = len(results)
+	for _, res := range results {
+		if res.Err != "" {
+			t.Errors++
+			continue
+		}
+		t.Violations += res.Violations
+		t.SilentWrongData += res.SilentWrongData
+		t.StorageHalts += res.StorageHalts
+		t.Reconfigs += res.Reconfigs
+		mergeHist(&t.WindowFrames, res.WindowFrames)
+		mergeHist(&t.SignalLatency, res.SignalLatency)
+		if res.Storage != nil {
+			t.Injected.Add(res.Storage.Injected)
+			t.Storage.Add(res.Storage.Storage)
+		}
+	}
+	return rep
+}
+
+// JSON renders the report in its canonical byte-stable form: indented,
+// map keys sorted by encoding/json, rings omitted.
+func (r Report) JSON() ([]byte, error) {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("campaign: encoding report: %w", err)
+	}
+	return append(data, '\n'), nil
+}
+
+// FirstError returns the first failed run's error in run-ID order, or nil.
+func (r Report) FirstError() error {
+	for _, res := range r.Results {
+		if res.Err != "" {
+			return fmt.Errorf("campaign: run %d (%s seed %d): %s", res.Run.ID, res.Run.Arm, res.Run.Seed, res.Err)
+		}
+	}
+	return nil
+}
+
+// LastRing picks the journal worth exporting: the last ring from a run
+// that halted a processor, or failing that the last non-empty ring, in
+// run-ID order. Deterministic for the same results.
+func (r Report) LastRing() []telemetry.Event {
+	var ring []telemetry.Event
+	for _, res := range r.Results {
+		if len(res.Ring) == 0 {
+			continue
+		}
+		if ring == nil || res.StorageHalts > 0 {
+			ring = res.Ring
+		}
+	}
+	return ring
+}

@@ -1,0 +1,56 @@
+// Package cli carries the shared command-line conventions of the cmd
+// tools. Every tool exposes the same canonical flag names where the
+// concept applies — -json for structured output, -out for the report
+// destination, -seed for the base seed, -frames for run length — and keeps
+// any older spelling alive as a deprecated alias, so scripts written
+// against one tool transfer to the others.
+package cli
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Alias registers old as a deprecated alias for an already-registered
+// canonical flag. The alias shares the canonical flag's value: setting
+// either name sets both.
+func Alias(fs *flag.FlagSet, canonical, old string) {
+	f := fs.Lookup(canonical)
+	if f == nil {
+		panic("cli: alias for unregistered flag -" + canonical)
+	}
+	fs.Var(f.Value, old, "deprecated alias for -"+canonical)
+}
+
+// nopClose is the close function for the fallback writer.
+func nopClose() error { return nil }
+
+// Output resolves the canonical -out flag. An empty path (or "-") keeps
+// the fallback writer — the command's stdout; anything else creates the
+// file. The returned close function must be called when the report is
+// written; it closes the file (and is a no-op for the fallback).
+func Output(path string, fallback io.Writer) (io.Writer, func() error, error) {
+	if path == "" || path == "-" {
+		return fallback, nopClose, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("creating -out %s: %w", path, err)
+	}
+	return f, f.Close, nil
+}
+
+// WriteJSON writes v as indented JSON with a trailing newline — the byte
+// layout every tool's -json mode shares.
+func WriteJSON(w io.Writer, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}

@@ -1,0 +1,74 @@
+package cli
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestAliasSharesValue(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	n := fs.Int("runs", 5, "campaigns per arm")
+	Alias(fs, "runs", "seeds")
+	if err := fs.Parse([]string{"-seeds", "9"}); err != nil {
+		t.Fatal(err)
+	}
+	if *n != 9 {
+		t.Fatalf("alias did not set canonical flag: runs = %d", *n)
+	}
+	var usage bytes.Buffer
+	fs.SetOutput(&usage)
+	fs.PrintDefaults()
+	if !strings.Contains(usage.String(), "deprecated alias for -runs") {
+		t.Errorf("alias usage missing deprecation note:\n%s", usage.String())
+	}
+}
+
+func TestAliasUnregisteredPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for unregistered canonical flag")
+		}
+	}()
+	Alias(flag.NewFlagSet("t", flag.ContinueOnError), "nope", "old")
+}
+
+func TestOutputFallback(t *testing.T) {
+	var buf bytes.Buffer
+	for _, path := range []string{"", "-"} {
+		w, close, err := Output(path, &buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w != &buf {
+			t.Fatalf("Output(%q) did not return fallback", path)
+		}
+		if err := close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestOutputFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "report.json")
+	w, close, err := Output(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteJSON(w, map[string]int{"runs": 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := "{\n  \"runs\": 4\n}\n"; string(data) != want {
+		t.Errorf("file = %q, want %q", data, want)
+	}
+}

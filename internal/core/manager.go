@@ -41,10 +41,13 @@ type scramManager struct {
 	takeoverAt   int64
 	takeoverSeen bool
 
-	// telReg and telRec, when set, are re-attached to the restored kernel
-	// on takeover; nil when telemetry is disabled.
-	telReg *telemetry.Registry
-	telRec *telemetry.Recorder
+	// telReg and telRec are re-attached to the restored kernel on
+	// takeover; nil when telemetry is disabled. telSink is the always
+	// non-nil recording surface the takeover path itself uses — the no-op
+	// sink until setTelemetry, so the hook carries no nil checks.
+	telReg  *telemetry.Registry
+	telRec  *telemetry.Recorder
+	telSink telemetry.Sink
 }
 
 // newSCRAMManager builds the manager with a fresh kernel on the primary.
@@ -59,6 +62,7 @@ func newSCRAMManager(rs *spec.ReconfigSpec, primary, standby *failstop.Processor
 		standby:    standby,
 		active:     k,
 		activeProc: primary,
+		telSink:    telemetry.NopSink{},
 	}, nil
 }
 
@@ -67,6 +71,7 @@ func newSCRAMManager(rs *spec.ReconfigSpec, primary, standby *failstop.Processor
 func (m *scramManager) setTelemetry(reg *telemetry.Registry, rec *telemetry.Recorder) {
 	m.telReg = reg
 	m.telRec = rec
+	m.telSink = telemetry.OrNop(rec)
 	m.active.SetTelemetry(reg, rec)
 }
 
@@ -106,20 +111,19 @@ func (m *scramManager) hook(ctx frame.Context) error {
 		m.tookOver = true
 		m.takeoverAt = ctx.Frame
 		m.takeoverSeen = true
-		if m.telRec != nil {
-			// The standby's stable storage has never held the journal:
-			// reset the persistence markers so the next persist rewrites
-			// the full ring, then keep recording on the restored kernel.
-			m.telRec.ResetPersistence()
-			m.active.SetTelemetry(m.telReg, m.telRec)
-			m.telRec.Record(telemetry.Event{
-				Frame: ctx.Frame,
-				Kind:  telemetry.KindTakeover,
-				Host:  string(m.standby.ID()),
-				Detail: fmt.Sprintf("standby %s restored SCRAM state from failed %s",
-					m.standby.ID(), m.primary.ID()),
-			})
-		}
+		// The standby's stable storage has never held the journal: reset
+		// the persistence markers so the next persist rewrites the full
+		// ring, then keep recording on the restored kernel. With telemetry
+		// disabled every call lands on the no-op sink.
+		m.telSink.ResetPersistence()
+		m.active.SetTelemetry(m.telReg, m.telRec)
+		m.telSink.Record(telemetry.Event{
+			Frame: ctx.Frame,
+			Kind:  telemetry.KindTakeover,
+			Host:  string(m.standby.ID()),
+			Detail: fmt.Sprintf("standby %s restored SCRAM state from failed %s",
+				m.standby.ID(), m.primary.ID()),
+		})
 	}
 	m.mu.Lock()
 	sigs := m.pending

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/det"
+	"repro/internal/spec"
+)
+
+// Typed per-field validation errors. Validate wraps each with the offending
+// field's context, so callers test them with errors.Is — a campaign driver
+// can validate a whole run matrix up front and report which arm carries
+// which defect instead of failing one NewSystem call at a time.
+var (
+	// ErrMissingSpec reports a nil Options.Spec.
+	ErrMissingSpec = errors.New("core: Options.Spec is required")
+	// ErrMissingClassifier reports a nil Options.Classifier.
+	ErrMissingClassifier = errors.New("core: Options.Classifier is required")
+	// ErrMissingApp reports a declared real application with no entry in
+	// Options.Apps.
+	ErrMissingApp = errors.New("core: no implementation provided for application")
+	// ErrUnknownApp reports an Options.Apps or Options.HotStandby entry
+	// naming an application the specification does not declare (or declares
+	// virtual — monitors take no implementation and no standby).
+	ErrUnknownApp = errors.New("core: unknown or virtual application")
+	// ErrUnknownProc reports an Options field naming a processor the
+	// platform does not declare.
+	ErrUnknownProc = errors.New("core: unknown processor")
+	// ErrStandbyConflict reports Options.StandbyProc equal to the SCRAM's
+	// primary processor: a standby on the same hardware masks nothing.
+	ErrStandbyConflict = errors.New("core: SCRAM standby must differ from primary")
+)
+
+// hasProc reports whether the platform declares the processor.
+func hasProc(rs *spec.ReconfigSpec, id spec.ProcID) bool {
+	for _, p := range rs.Platform.Procs {
+		if p.ID == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Validate checks the per-field consistency of the options without building
+// anything: required fields are present, every declared real application has
+// an implementation, no implementation or hot standby names an undeclared or
+// virtual application, and every named processor exists on the platform.
+// Each failure wraps one of the exported sentinel errors, so callers can
+// dispatch with errors.Is. NewSystem delegates to it; campaign drivers call
+// it directly to reject a whole run matrix before spending any frames.
+//
+// Validate does not discharge the specification's static proof obligations
+// (transition coverage, timing, resources); those concern the specification
+// rather than the options and remain NewSystem's job, reported via
+// ObligationError.
+func (o Options) Validate() error {
+	if o.Spec == nil {
+		return ErrMissingSpec
+	}
+	if o.Classifier == nil {
+		return ErrMissingClassifier
+	}
+	rs := o.Spec
+	for _, a := range rs.RealApps() {
+		if _, ok := o.Apps[a.ID]; !ok {
+			return fmt.Errorf("%w: %q", ErrMissingApp, a.ID)
+		}
+	}
+	// Sorted iteration keeps the error reported for a bad Options map the
+	// same on every run (framedet: map order must not pick the failure).
+	for _, id := range det.SortedKeys(o.Apps) {
+		if a, ok := rs.AppByID(id); !ok || a.Virtual {
+			return fmt.Errorf("%w: implementation provided for %q", ErrUnknownApp, id)
+		}
+	}
+	for _, id := range det.SortedKeys(o.HotStandby) {
+		if a, ok := rs.AppByID(id); !ok || a.Virtual {
+			return fmt.Errorf("%w: hot standby declared for %q", ErrUnknownApp, id)
+		}
+		if procID := o.HotStandby[id]; !hasProc(rs, procID) {
+			return fmt.Errorf("%w: hot standby for %q names %q", ErrUnknownProc, id, procID)
+		}
+	}
+	scramProc := o.SCRAMProc
+	if scramProc == "" && len(rs.Platform.Procs) > 0 {
+		scramProc = rs.Platform.Procs[0].ID
+	}
+	if o.SCRAMProc != "" && !hasProc(rs, o.SCRAMProc) {
+		return fmt.Errorf("%w: SCRAM processor %q", ErrUnknownProc, o.SCRAMProc)
+	}
+	if o.StandbyProc != "" {
+		if !hasProc(rs, o.StandbyProc) {
+			return fmt.Errorf("%w: SCRAM standby processor %q", ErrUnknownProc, o.StandbyProc)
+		}
+		if o.StandbyProc == scramProc {
+			return ErrStandbyConflict
+		}
+	}
+	return nil
+}

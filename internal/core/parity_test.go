@@ -1,0 +1,77 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/envmon"
+	"repro/internal/frame"
+)
+
+// runParityScenario executes the degradation-chain scenario — two alternator
+// losses, two repairs, four reconfigurations — in the given scheduler mode
+// and returns every observable artifact, JSON-encoded: the recorded trace,
+// the kernel protocol log, the flight-recorder ring, the metrics snapshot,
+// and the commit-hook invocation log.
+func runParityScenario(t *testing.T, sequential bool) (tr, kernel, ring, metrics, hooks []byte) {
+	t.Helper()
+	var hookLog []int64
+	s, _, _ := buildSystem(t, func(o *Options) {
+		o.Sequential = sequential
+		o.Spec.DwellFrames = 2
+		o.Script = []envmon.Event{
+			{Frame: 5, Factor: "alt1", Value: "failed"},
+			{Frame: 20, Factor: "alt2", Value: "failed"},
+			{Frame: 40, Factor: "alt1", Value: "ok"},
+			{Frame: 60, Factor: "alt2", Value: "ok"},
+		}
+	})
+	// User hooks run after every built-in hook; the log pins the frame
+	// sequence the hook chain observed in both modes.
+	s.AddCommitHook(func(ctx frame.Context) error {
+		hookLog = append(hookLog, ctx.Frame)
+		return nil
+	})
+	if err := s.Run(80); err != nil {
+		t.Fatal(err)
+	}
+	mustNoViolations(t, s)
+
+	enc := func(v any) []byte {
+		raw, err := json.Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return raw
+	}
+	reg, rec := s.Telemetry()
+	return enc(s.Trace()), enc(s.Kernel().Events()), enc(rec.Events()), enc(reg.Snapshot()), enc(hookLog)
+}
+
+// TestSchedulerModeParity holds the goroutine scheduler and the sequential
+// (ablation) scheduler to identical observable behavior on the same script:
+// same trace, same kernel protocol log, same flight-recorder ring, same
+// metrics, same commit-hook order. The frame barrier serializes all
+// observable effects, so per-task goroutines must not be able to leak
+// scheduling nondeterminism into any report.
+func TestSchedulerModeParity(t *testing.T) {
+	gTr, gKernel, gRing, gMetrics, gHooks := runParityScenario(t, false)
+	sTr, sKernel, sRing, sMetrics, sHooks := runParityScenario(t, true)
+
+	for _, cmp := range []struct {
+		name     string
+		gor, seq []byte
+	}{
+		{"trace", gTr, sTr},
+		{"kernel events", gKernel, sKernel},
+		{"flight-recorder ring", gRing, sRing},
+		{"metrics snapshot", gMetrics, sMetrics},
+		{"commit-hook log", gHooks, sHooks},
+	} {
+		if !bytes.Equal(cmp.gor, cmp.seq) {
+			t.Errorf("%s differs between goroutine and sequential mode:\n goroutine:  %.400s\n sequential: %.400s",
+				cmp.name, cmp.gor, cmp.seq)
+		}
+	}
+}

@@ -113,6 +113,12 @@ type Options struct {
 	// Paced runs frames against the wall clock (soft real time) instead
 	// of as fast as possible.
 	Paced bool
+	// Sequential runs frame tasks one after another inside the scheduler's
+	// goroutine instead of on per-task goroutines — the scheduler ablation
+	// mode. Both modes must produce identical traces, reports and
+	// telemetry on the same script (the frame barrier already serializes
+	// observable effects); the parity tests hold them to that.
+	Sequential bool
 	// SkipObligations builds the system even if static obligations fail.
 	// It exists so tests can execute deliberately broken specifications
 	// and watch the runtime property checkers catch them; production
@@ -138,13 +144,16 @@ type System struct {
 	tr       *trace.Trace
 
 	// telReg and telRec are the system's metrics registry and
-	// flight-recorder ring; nil when telemetry is disabled. lastFS and
-	// lastFSFrame run-length-encode the frame-state samples: a sample is
-	// recorded only when the state differs from the previous frame's, and
-	// telFrame tracks the last frame the telemetry hook observed so
-	// FlushTelemetry can close the final run with one last sample.
+	// flight-recorder ring; nil when telemetry is disabled. telSink is the
+	// always non-nil recording surface (the no-op sink under ablation),
+	// selected once at construction. lastFS and lastFSFrame run-length-
+	// encode the frame-state samples: a sample is recorded only when the
+	// state differs from the previous frame's, and telFrame tracks the
+	// last frame the telemetry hook observed so FlushTelemetry can close
+	// the final run with one last sample.
 	telReg      *telemetry.Registry
 	telRec      *telemetry.Recorder
+	telSink     telemetry.Sink
 	lastFS      *telemetry.FrameState
 	lastFSFrame int64
 	telFrame    int64
@@ -191,11 +200,11 @@ func (o *telObserver) EndFrame(rep frame.Report) {
 // and wires the full architecture. The returned system has executed no
 // frames yet.
 func NewSystem(opts Options) (*System, error) {
-	if opts.Spec == nil {
-		return nil, errors.New("core: Options.Spec is required")
-	}
-	if opts.Classifier == nil {
-		return nil, errors.New("core: Options.Classifier is required")
+	// Per-field options validation is delegated to Validate so callers
+	// (notably the campaign engine) can run the same checks up front over a
+	// whole run matrix and dispatch on the typed errors.
+	if err := opts.Validate(); err != nil {
+		return nil, err
 	}
 	report, err := statics.Check(opts.Spec)
 	if err != nil {
@@ -205,26 +214,6 @@ func NewSystem(opts Options) (*System, error) {
 		return nil, &ObligationError{Report: report}
 	}
 	rs := opts.Spec
-
-	// Applications: every real app needs an implementation; unknown
-	// implementations are rejected.
-	for _, a := range rs.RealApps() {
-		if _, ok := opts.Apps[a.ID]; !ok {
-			return nil, fmt.Errorf("core: no implementation provided for application %q", a.ID)
-		}
-	}
-	// Sorted iteration keeps the error reported for a bad Options map the
-	// same on every run (framedet: map order must not pick the failure).
-	for _, id := range det.SortedKeys(opts.Apps) {
-		if a, ok := rs.AppByID(id); !ok || a.Virtual {
-			return nil, fmt.Errorf("core: implementation provided for unknown or virtual application %q", id)
-		}
-	}
-	for _, id := range det.SortedKeys(opts.HotStandby) {
-		if a, ok := rs.AppByID(id); !ok || a.Virtual {
-			return nil, fmt.Errorf("core: hot standby declared for unknown or virtual application %q", id)
-		}
-	}
 
 	// SCRAM placement is resolved before the pool is built so hardened
 	// storage can exempt the kernel's hosts from injected media faults.
@@ -252,6 +241,7 @@ func NewSystem(opts Options) (*System, error) {
 		runtimes: make(map[spec.AppID]*appRuntime),
 		events:   append([]ProcEvent(nil), opts.ProcEvents...),
 		tr:       &trace.Trace{System: rs.Name, FrameLen: rs.FrameLen},
+		telSink:  telemetry.NopSink{},
 	}
 	sort.SliceStable(s.events, func(i, j int) bool { return s.events[i].Frame < s.events[j].Frame })
 
@@ -299,6 +289,7 @@ func NewSystem(opts Options) (*System, error) {
 	if opts.TelemetryCapacity >= 0 {
 		s.telReg = telemetry.NewRegistry()
 		s.telRec = telemetry.NewRecorder(opts.TelemetryCapacity)
+		s.telSink = s.telRec
 		s.manager.setTelemetry(s.telReg, s.telRec)
 		if s.bus != nil {
 			s.bus.Instrument(s.telReg, s.telRec)
@@ -327,6 +318,9 @@ func NewSystem(opts Options) (*System, error) {
 	var schedOpts []frame.Option
 	if opts.Paced {
 		schedOpts = append(schedOpts, frame.WithPacing())
+	}
+	if opts.Sequential {
+		schedOpts = append(schedOpts, frame.Sequential())
 	}
 	s.sched, err = frame.NewScheduler(rs.FrameLen, schedOpts...)
 	if err != nil {
@@ -398,7 +392,7 @@ func NewSystem(opts Options) (*System, error) {
 	s.sched.AddCommitHook(s.recordHook)  // append tr(cycle) to the trace
 	s.sched.AddCommitHook(s.injectHook)  // stage next frame's env changes and repairs
 	s.sched.AddCommitHook(s.script.Hook) // scripted env events for the next frame
-	if s.telRec != nil {
+	if s.telSink.Enabled() {
 		s.sched.AddCommitHook(s.telemetryHook) // sample tr(cycle) into the ring; stage ring + metrics
 		s.sched.SetObserver(newTelObserver(s.telReg, s.telRec))
 	}
@@ -702,7 +696,7 @@ func (s *System) telemetryHook(ctx frame.Context) error {
 // write, and the last committed journal already records everything up to
 // the halt.
 func (s *System) persistTelemetry(metrics bool) error {
-	if s.telRec == nil || !s.manager.activeProc.Alive() {
+	if !s.telSink.Enabled() || !s.manager.activeProc.Alive() {
 		return nil
 	}
 	store := s.manager.store()
@@ -711,7 +705,7 @@ func (s *System) persistTelemetry(metrics bool) error {
 			return err
 		}
 	}
-	return s.telRec.Persist(store)
+	return s.telSink.Persist(store)
 }
 
 // FlushTelemetry persists any un-staged telemetry and commits the SCRAM
@@ -722,11 +716,11 @@ func (s *System) persistTelemetry(metrics bool) error {
 // covers every executed frame. Call it after the last frame of a run; it is
 // a no-op when telemetry is disabled or the SCRAM host is down.
 func (s *System) FlushTelemetry() error {
-	if s.telRec == nil || !s.manager.activeProc.Alive() {
+	if !s.telSink.Enabled() || !s.manager.activeProc.Alive() {
 		return nil
 	}
 	if s.lastFS != nil && s.telFrame > s.lastFSFrame {
-		s.telRec.Record(telemetry.Event{
+		s.telSink.Record(telemetry.Event{
 			Frame:  s.telFrame,
 			Kind:   telemetry.KindFrameState,
 			Config: string(s.lastFS.Config),

@@ -4,7 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/bus"
-	"repro/internal/inject"
+	"repro/internal/campaign"
 	"repro/internal/stable"
 	"repro/internal/telemetry"
 )
@@ -25,6 +25,16 @@ func flightRecorderLine(ring []telemetry.Event) string {
 	return fmt.Sprintf("flight recorder: %d events (frames %d-%d, %d evicted), %d reconfig windows (%d complete), %d signals, %d storage repairs, %d proc halts, %d takeovers",
 		len(ring), s.FirstFrame, s.LastFrame, s.DroppedEvents,
 		len(s.Reconfigs), complete, s.Signals, s.StorageRepairs, len(s.ProcHalts), s.Takeovers)
+}
+
+// CampaignOpts sizes a campaign-backed experiment: seeds per arm, frames
+// per run, the base seed (run i of an arm uses BaseSeed+i), and the
+// engine's worker pool. The result is identical for any Workers value.
+type CampaignOpts struct {
+	Seeds    int
+	Frames   int
+	BaseSeed int64
+	Workers  int
 }
 
 // StorageFaultRow is one storage-fault campaign's outcome.
@@ -70,36 +80,37 @@ type StorageFaultResult struct {
 //
 // In both modes the silent-wrong-data oracle count and the SP1-SP4 violation
 // count must be zero: faults may degrade service, never correctness.
-func StorageFaults(seeds int, frames int, faults stable.FaultProfile) (*StorageFaultResult, error) {
+//
+// The runs fan out over the campaign engine's worker pool; Workers<=1 runs
+// them sequentially. The result is identical for any worker count.
+func StorageFaults(o CampaignOpts, faults stable.FaultProfile) (*StorageFaultResult, error) {
 	res := &StorageFaultResult{}
 	var w tableWriter
 	w.row("Seed", "Mode", "Replicas", "Injected t/r/s", "Detected", "Repairs", "Halts", "SilentWrong", "Reconfigs", "SP violations")
 
-	run := func(seed int64, mode string, replicas int, prof stable.FaultProfile) error {
-		m, _, err := inject.StorageCampaign{
-			Seed:      seed,
-			Frames:    frames,
-			EnvEvents: frames / 25,
-			Replicas:  replicas,
-			Faults:    prof,
-		}.Run()
-		if err != nil {
-			return err
+	m := campaign.S1Matrix(o.Seeds, o.Frames, faults)
+	m.BaseSeed = o.BaseSeed
+	results := campaign.Engine{Workers: o.Workers}.Execute(m.Expand())
+
+	for _, r := range results {
+		if r.Err != "" {
+			return nil, fmt.Errorf("seed %d %s: %s", r.Run.Seed, r.Run.Arm, r.Err)
 		}
+		m := r.Storage
 		row := StorageFaultRow{
-			Seed:            seed,
-			Mode:            mode,
-			Replicas:        replicas,
+			Seed:            r.Run.Seed,
+			Mode:            r.Run.Arm,
+			Replicas:        r.Run.Replicas,
 			Injected:        m.Injected,
 			Storage:         m.Storage,
 			StorageHalts:    m.StorageHalts,
 			Reconfigs:       m.Reconfigs,
 			Violations:      len(m.Violations),
 			StagedHighWater: m.StagedHighWater,
-			Recorder:        telemetry.Summarize(m.Ring),
+			Recorder:        r.Recorder,
 		}
 		res.Rows = append(res.Rows, row)
-		if len(m.Ring) > 0 && (res.LastRing == nil || (mode == "defeat" && m.StorageHalts > 0)) {
+		if len(m.Ring) > 0 && (res.LastRing == nil || (row.Mode == "defeat" && m.StorageHalts > 0)) {
 			res.LastRing = m.Ring
 		}
 		res.TotalInjected.Add(m.Injected)
@@ -107,7 +118,7 @@ func StorageFaults(seeds int, frames int, faults stable.FaultProfile) (*StorageF
 		res.TotalHalts += m.StorageHalts
 		res.SilentWrongData += m.Storage.SilentWrongData
 		res.TotalViolations += len(m.Violations)
-		w.row(fmt.Sprintf("%d", seed), mode, fmt.Sprintf("%d", replicas),
+		w.row(fmt.Sprintf("%d", row.Seed), row.Mode, fmt.Sprintf("%d", row.Replicas),
 			fmt.Sprintf("%d/%d/%d", m.Injected.TornWrites, m.Injected.BitFlips, m.Injected.StuckReads),
 			fmt.Sprintf("%d", m.Storage.CorruptionsDetected),
 			fmt.Sprintf("%d", m.Storage.ReadRepairs+m.Storage.ScrubRepairs),
@@ -115,22 +126,10 @@ func StorageFaults(seeds int, frames int, faults stable.FaultProfile) (*StorageF
 			fmt.Sprintf("%d", m.Storage.SilentWrongData),
 			fmt.Sprintf("%d", m.Reconfigs),
 			fmt.Sprintf("%d", len(m.Violations)))
-		return nil
-	}
-
-	defeat := faults
-	defeat.BitRotRate = minFloat(1, faults.BitRotRate*8)
-	for seed := int64(0); seed < int64(seeds); seed++ {
-		if err := run(seed, "shielded", 3, faults); err != nil {
-			return nil, err
-		}
-		if err := run(seed, "defeat", 1, defeat); err != nil {
-			return nil, err
-		}
 	}
 
 	res.Text = fmt.Sprintf("S1: hardened stable storage under media faults (%d seeds x %d frames, rates torn=%.3f rot=%.3f stuck=%.3f)\n",
-		seeds, frames, faults.TornWriteRate, faults.BitRotRate, faults.StuckReadRate) +
+		o.Seeds, o.Frames, faults.TornWriteRate, faults.BitRotRate, faults.StuckReadRate) +
 		w.String() +
 		fmt.Sprintf("total: %d/%d/%d faults injected (torn/rot/stuck), %d repairs, %d fail-stop halts, %d silent wrong data, %d SP violations\n",
 			res.TotalInjected.TornWrites, res.TotalInjected.BitFlips, res.TotalInjected.StuckReads,
@@ -168,47 +167,48 @@ type BusFaultResult struct {
 // signal path, not the bus, so every sweep point must reconfigure on the
 // scripted alternator failure with zero SP violations; what degrades is
 // application data flow (and with it flight precision), not assurance.
-func BusFaults(seeds int, frames int, rates bus.FaultRates) (*BusFaultResult, error) {
+// BusFaults fans its runs over the campaign engine's worker pool;
+// Workers<=1 runs them sequentially. The result is identical for any
+// worker count.
+func BusFaults(o CampaignOpts, rates bus.FaultRates) (*BusFaultResult, error) {
 	res := &BusFaultResult{}
 	var w tableWriter
 	w.row("Seed", "Drop", "Dup", "Delay", "Injected d/d/d", "Delivered", "Reconfigs", "SP violations", "Final alt (ft)")
-	for _, mult := range []float64{0, 1, 2, 3} {
-		r := bus.FaultRates{
-			Drop:      minFloat(1, rates.Drop*mult),
-			Duplicate: minFloat(1, rates.Duplicate*mult),
-			Delay:     minFloat(1, rates.Delay*mult),
+
+	m := campaign.S2Matrix(o.Seeds, o.Frames, rates)
+	m.BaseSeed = o.BaseSeed
+	results := campaign.Engine{Workers: o.Workers}.Execute(m.Expand())
+
+	for _, r := range results {
+		if r.Err != "" {
+			return nil, fmt.Errorf("seed %d %s: %s", r.Run.Seed, r.Run.Arm, r.Err)
 		}
-		for seed := int64(0); seed < int64(seeds); seed++ {
-			m, _, err := inject.BusCampaign{Seed: seed, Frames: frames, Rates: r}.Run()
-			if err != nil {
-				return nil, err
-			}
-			row := BusFaultRow{
-				Seed:       seed,
-				Rates:      r,
-				Faults:     m.Faults,
-				Delivered:  m.Delivered,
-				Reconfigs:  m.Reconfigs,
-				Violations: len(m.Violations),
-				FinalAltFt: m.FinalAltFt,
-				Recorder:   telemetry.Summarize(m.Ring),
-			}
-			res.Rows = append(res.Rows, row)
-			if len(m.Ring) > 0 {
-				res.LastRing = m.Ring
-			}
-			res.TotalViolations += len(m.Violations)
-			w.row(fmt.Sprintf("%d", seed),
-				fmt.Sprintf("%.2f", r.Drop), fmt.Sprintf("%.2f", r.Duplicate), fmt.Sprintf("%.2f", r.Delay),
-				fmt.Sprintf("%d/%d/%d", m.Faults.Dropped, m.Faults.Duplicated, m.Faults.Delayed),
-				fmt.Sprintf("%d", m.Delivered),
-				fmt.Sprintf("%d", row.Reconfigs),
-				fmt.Sprintf("%d", row.Violations),
-				fmt.Sprintf("%.0f", row.FinalAltFt))
+		m := r.Bus
+		row := BusFaultRow{
+			Seed:       r.Run.Seed,
+			Rates:      r.Run.Rates,
+			Faults:     m.Faults,
+			Delivered:  m.Delivered,
+			Reconfigs:  m.Reconfigs,
+			Violations: len(m.Violations),
+			FinalAltFt: m.FinalAltFt,
+			Recorder:   r.Recorder,
 		}
+		res.Rows = append(res.Rows, row)
+		if len(m.Ring) > 0 {
+			res.LastRing = m.Ring
+		}
+		res.TotalViolations += len(m.Violations)
+		w.row(fmt.Sprintf("%d", row.Seed),
+			fmt.Sprintf("%.2f", row.Rates.Drop), fmt.Sprintf("%.2f", row.Rates.Duplicate), fmt.Sprintf("%.2f", row.Rates.Delay),
+			fmt.Sprintf("%d/%d/%d", m.Faults.Dropped, m.Faults.Duplicated, m.Faults.Delayed),
+			fmt.Sprintf("%d", m.Delivered),
+			fmt.Sprintf("%d", row.Reconfigs),
+			fmt.Sprintf("%d", row.Violations),
+			fmt.Sprintf("%.0f", row.FinalAltFt))
 	}
 	res.Text = fmt.Sprintf("S2: avionics mission over a degraded bus (%d seeds x %d frames, base rates drop=%.2f dup=%.2f delay=%.2f, multipliers 0-3)\n",
-		seeds, frames, rates.Drop, rates.Duplicate, rates.Delay) +
+		o.Seeds, o.Frames, rates.Drop, rates.Duplicate, rates.Delay) +
 		w.String() +
 		fmt.Sprintf("total: %d SP violations\n", res.TotalViolations) +
 		flightRecorderLine(res.LastRing) + "\n"

@@ -71,14 +71,20 @@ type StorageMetrics struct {
 	// StagedHighWater is the largest per-frame commit batch any processor
 	// staged.
 	StagedHighWater int
+	// Registry is the live telemetry registry's final snapshot: the
+	// SCRAM protocol counters and the recovery-latency histograms
+	// (reconfiguration window lengths, signal latencies).
+	Registry telemetry.Snapshot
 	// Ring is the flight-recorder journal recovered from the SCRAM host's
 	// committed stable storage after the campaign — the black box a
 	// post-mortem reader would poll.
 	Ring []telemetry.Event `json:"-"`
 }
 
-// Run executes the campaign and returns its metrics and trace.
-func (c StorageCampaign) Run() (StorageMetrics, *trace.Trace, error) {
+// Options builds the core.Options the campaign would run, without building
+// or running anything. Campaign drivers validate a whole run matrix up
+// front by calling Options().Validate() per arm before spending frames.
+func (c StorageCampaign) Options() core.Options {
 	rng := rand.New(rand.NewSource(c.Seed))
 	rs := spectest.ThreeConfig()
 
@@ -96,7 +102,7 @@ func (c StorageCampaign) Run() (StorageMetrics, *trace.Trace, error) {
 		script = append(script, envmon.Event{Frame: f, Factor: alt, Value: val})
 	}
 
-	opts := core.Options{
+	return core.Options{
 		Spec:           rs,
 		Apps:           basicApps(rs),
 		Classifier:     threeConfigClassifier,
@@ -109,6 +115,12 @@ func (c StorageCampaign) Run() (StorageMetrics, *trace.Trace, error) {
 			Oracle:   true,
 		},
 	}
+}
+
+// Run executes the campaign and returns its metrics and trace.
+func (c StorageCampaign) Run() (StorageMetrics, *trace.Trace, error) {
+	opts := c.Options()
+	rs := opts.Spec
 
 	sys, err := core.NewSystem(opts)
 	if err != nil {
@@ -124,6 +136,9 @@ func (c StorageCampaign) Run() (StorageMetrics, *trace.Trace, error) {
 		Metrics:         Collect(tr, rs, int64(rs.DwellFrames)+2),
 		StagedHighWater: sys.StagedHighWater(),
 		Ring:            recoverRing(sys),
+	}
+	if reg, _ := sys.Telemetry(); reg != nil {
+		out.Registry = reg.Snapshot()
 	}
 	for _, p := range sys.Pool().Procs() {
 		if rep := p.Stable().Hardened(); rep != nil {
@@ -164,6 +179,9 @@ type BusMetrics struct {
 	// FinalAltFt is the aircraft's altitude when the campaign ends; the
 	// flight starts (and holds) 5000 ft.
 	FinalAltFt float64
+	// Registry is the live telemetry registry's final snapshot, with the
+	// recovery-latency histograms.
+	Registry telemetry.Snapshot
 	// Ring is the flight-recorder journal recovered from the SCRAM host's
 	// committed stable storage after the campaign.
 	Ring []telemetry.Event `json:"-"`
@@ -201,5 +219,8 @@ func (c BusCampaign) Run() (BusMetrics, *trace.Trace, error) {
 	}
 	out.Delivered, out.Dropped = sc.Sys.Bus().Stats()
 	out.Ring = recoverRing(sc.Sys)
+	if reg, _ := sc.Sys.Telemetry(); reg != nil {
+		out.Registry = reg.Snapshot()
+	}
 	return out, tr, nil
 }

@@ -15,6 +15,10 @@ var frameSyncPkgs = map[string]bool{
 	"frame":     true,
 	"failstop":  true,
 	"telemetry": true,
+	// campaign is not frame-synchronous, but its worker pool is the one
+	// place the simulator deliberately multiplies goroutines; scoping the
+	// analyzer over it forces every launch to carry an audited allow.
+	"campaign": true,
 }
 
 // NoFreeGoroutine forbids goroutine launches in the frame-synchronous

@@ -88,8 +88,11 @@ type Kernel struct {
 	events []Event
 
 	// tel and met mirror the protocol log into the flight recorder and
-	// the metrics registry; nil until SetTelemetry.
-	tel *telemetry.Recorder
+	// the metrics registry. Both are always non-nil: until SetTelemetry
+	// attaches the system's, tel is the no-op sink and met counts into a
+	// private registry nobody reads — selected once at construction, so
+	// the protocol paths carry no per-event nil checks.
+	tel telemetry.Sink
 	met *kernelMetrics
 	// lastSignal is the frame of the most recent signal, feeding the
 	// signal-to-trigger latency histogram; -1 before any signal.
@@ -102,23 +105,29 @@ type kernelMetrics struct {
 	windowFrames, signalLatency                                *telemetry.Histogram
 }
 
+// resolveKernelMetrics binds the kernel's metric handles in reg.
+func resolveKernelMetrics(reg *telemetry.Registry) *kernelMetrics {
+	return &kernelMetrics{
+		signals:       reg.Counter("scram/signals"),
+		triggers:      reg.Counter("scram/triggers"),
+		deferred:      reg.Counter("scram/deferred"),
+		retargets:     reg.Counter("scram/retargets"),
+		completes:     reg.Counter("scram/completes"),
+		chained:       reg.Counter("scram/chained"),
+		windowFrames:  reg.Histogram("scram/window_frames"),
+		signalLatency: reg.Histogram("scram/signal_latency_frames"),
+	}
+}
+
 // SetTelemetry attaches the kernel to a metrics registry and flight
 // recorder: every protocol log entry is mirrored as a flight-recorder
 // event, and plan starts/completions additionally record their Table 1
-// phase windows and budget margins.
+// phase windows and budget margins. A nil recorder or registry leaves the
+// corresponding no-op attachment in place.
 func (k *Kernel) SetTelemetry(reg *telemetry.Registry, rec *telemetry.Recorder) {
-	k.tel = rec
+	k.tel = telemetry.OrNop(rec)
 	if reg != nil {
-		k.met = &kernelMetrics{
-			signals:       reg.Counter("scram/signals"),
-			triggers:      reg.Counter("scram/triggers"),
-			deferred:      reg.Counter("scram/deferred"),
-			retargets:     reg.Counter("scram/retargets"),
-			completes:     reg.Counter("scram/completes"),
-			chained:       reg.Counter("scram/chained"),
-			windowFrames:  reg.Histogram("scram/window_frames"),
-			signalLatency: reg.Histogram("scram/signal_latency_frames"),
-		}
+		k.met = resolveKernelMetrics(reg)
 	}
 }
 
@@ -133,6 +142,8 @@ func NewKernel(rs *spec.ReconfigSpec, store *stable.Store) (*Kernel, error) {
 		rs:         rs,
 		store:      store,
 		lastSignal: -1,
+		tel:        telemetry.NopSink{},
+		met:        resolveKernelMetrics(telemetry.NewRegistry()),
 		st: kernelState{
 			Current: rs.StartConfig,
 			Env:     rs.StartEnv,
@@ -274,7 +285,7 @@ func (k *Kernel) startPlan(f int64, p *plan) error {
 	k.logf(f, EventPrepare, target, "prepare(%s) scheduled for frames [%d,%d]", target, p.PrepStart, p.PrepEnd)
 	k.logf(f, EventInitialize, target, "initialize scheduled for frames [%d,%d]", p.InitStart, p.InitEnd)
 	k.recordSchedule(f, p)
-	if k.met != nil && !p.Chained && k.lastSignal >= 0 {
+	if !p.Chained && k.lastSignal >= 0 {
 		k.met.signalLatency.Observe(p.TriggerFrame - k.lastSignal)
 	}
 	return nil
@@ -351,9 +362,7 @@ func (k *Kernel) maybeChain(f int64, p *plan) error {
 	np.Chained = true
 	np.ChainStart = p.ChainStart
 	np.ChainSource = p.ChainSource
-	if k.met != nil {
-		k.met.chained.Inc()
-	}
+	k.met.chained.Inc()
 	return k.startPlan(f, np)
 }
 
@@ -484,27 +493,23 @@ func (k *Kernel) logf(f int64, kind EventKind, cfg spec.ConfigID, format string,
 		Config: cfg,
 		Detail: detail,
 	})
-	if k.tel != nil {
-		k.tel.Record(telemetry.Event{
-			Frame:  f,
-			Kind:   telemetry.Kind(kind),
-			Config: string(cfg),
-			Detail: detail,
-		})
-	}
-	if k.met != nil {
-		switch kind {
-		case EventSignal:
-			k.met.signals.Inc()
-		case EventTrigger:
-			k.met.triggers.Inc()
-		case EventDeferred:
-			k.met.deferred.Inc()
-		case EventRetarget:
-			k.met.retargets.Inc()
-		case EventComplete:
-			k.met.completes.Inc()
-		}
+	k.tel.Record(telemetry.Event{
+		Frame:  f,
+		Kind:   telemetry.Kind(kind),
+		Config: string(cfg),
+		Detail: detail,
+	})
+	switch kind {
+	case EventSignal:
+		k.met.signals.Inc()
+	case EventTrigger:
+		k.met.triggers.Inc()
+	case EventDeferred:
+		k.met.deferred.Inc()
+	case EventRetarget:
+		k.met.retargets.Inc()
+	case EventComplete:
+		k.met.completes.Inc()
 	}
 }
 
@@ -513,7 +518,7 @@ func (k *Kernel) logf(f int64, kind EventKind, cfg spec.ConfigID, format string,
 // transition bound the window must fit, keyed to the fused chain window so
 // a summary reassembles chained plans into one reconfiguration.
 func (k *Kernel) recordSchedule(f int64, p *plan) {
-	if k.tel == nil {
+	if !k.tel.Enabled() {
 		return
 	}
 	attrs := map[string]int64{
@@ -550,10 +555,8 @@ func (k *Kernel) recordSchedule(f int64, p *plan) {
 // left over. It also feeds the window and signal-latency histograms.
 func (k *Kernel) recordWindow(f int64, p *plan) {
 	window := f - p.ChainStart + 1
-	if k.met != nil {
-		k.met.windowFrames.Observe(window)
-	}
-	if k.tel == nil {
+	k.met.windowFrames.Observe(window)
+	if !k.tel.Enabled() {
 		return
 	}
 	attrs := map[string]int64{

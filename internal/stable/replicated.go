@@ -94,8 +94,17 @@ type ReplicatedStore struct {
 	version uint64
 	oracle  map[string][]byte // nil unless EnableOracle
 	c       *replCounters
-	tel     *telemetry.Recorder // nil until Instrument
-	name    string              // host label for flight-recorder events
+	tel     telemetry.Sink // the no-op sink until Instrument
+	name    string         // host label for flight-recorder events
+	// union caches the sorted union of every medium's logical keys, with
+	// unionSet as its membership index. The key set can only grow, and only
+	// through Commit (deletions are tombstone records; repair, rescue and
+	// scrub rewrite keys that already exist), so the cache stays valid until
+	// a commit batch introduces an unseen key. Nil means "rebuild".
+	union    []string
+	unionSet map[string]struct{}
+	// keyScratch is the reusable sorted-batch-key buffer for Commit.
+	keyScratch []string
 }
 
 // replCounters holds the store's pre-resolved metric handles, one per
@@ -149,6 +158,7 @@ func NewReplicatedStore(media ...Medium) *ReplicatedStore {
 	return &ReplicatedStore{
 		media: media,
 		c:     resolveReplCounters(telemetry.NewRegistry(), "stable/"),
+		tel:   telemetry.NopSink{},
 	}
 }
 
@@ -171,7 +181,7 @@ func (r *ReplicatedStore) Instrument(reg *telemetry.Registry, rec *telemetry.Rec
 	r.c.commitRescues.Add(old.CommitRescues)
 	r.c.unrecoverable.Add(old.Unrecoverable)
 	r.c.silentWrongData.Add(old.SilentWrongData)
-	r.tel = rec
+	r.tel = telemetry.OrNop(rec)
 	r.name = name
 }
 
@@ -179,7 +189,7 @@ func (r *ReplicatedStore) Instrument(reg *telemetry.Registry, rec *telemetry.Rec
 // Called with r.mu held; the recorder has its own lock and never calls back
 // into the store.
 func (r *ReplicatedStore) record(e telemetry.Event) {
-	if r.tel == nil {
+	if !r.tel.Enabled() {
 		return
 	}
 	e.Host = r.name
@@ -439,11 +449,23 @@ func (r *ReplicatedStore) get(key string) ([]byte, bool, error) {
 func (r *ReplicatedStore) Commit(v uint64, batch map[string]stagedVal) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	keys := make([]string, 0, len(batch))
+	keys := r.keyScratch[:0]
 	for k := range batch {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
+	r.keyScratch = keys
+	if r.union != nil {
+		for _, k := range keys {
+			if _, ok := r.unionSet[k]; !ok {
+				// The batch introduces a key the cached union has never
+				// seen; whether its writes land (or tear) is per medium, so
+				// the cache is rebuilt from the media on next use.
+				r.union, r.unionSet = nil, nil
+				break
+			}
+		}
+	}
 
 	up, anyUp := r.caughtUp()
 	okReplicas := 0
@@ -544,13 +566,19 @@ func (r *ReplicatedStore) rescueCommit(i int, batch map[string]stagedVal, up []b
 	return true
 }
 
-// unionKeys returns every logical key stored on any medium, sorted.
+// unionKeys returns every logical key stored on any medium, sorted. The
+// result is cached: the scrub pass calls this every frame, and in steady
+// state (no new keys committed) rebuilding and re-sorting the unchanged set
+// dominated campaign profiles. Callers must not mutate the returned slice.
 func (r *ReplicatedStore) unionKeys() []string {
-	seen := make(map[string]bool)
+	if r.union != nil {
+		return r.union
+	}
+	seen := make(map[string]struct{})
 	for _, m := range r.media {
 		for _, k := range m.Keys() {
 			if k != commitRecordKey {
-				seen[k] = true
+				seen[k] = struct{}{}
 			}
 		}
 	}
@@ -559,6 +587,9 @@ func (r *ReplicatedStore) unionKeys() []string {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
+	if len(keys) > 0 {
+		r.union, r.unionSet = keys, seen
+	}
 	return keys
 }
 

@@ -58,6 +58,10 @@ type Store struct {
 	buckets map[string]map[string]bool
 	rep     *ReplicatedStore // hardened backend; nil when plain
 	staged  map[string]stagedVal
+	// spare is the previous frame's staged map, cleared and parked after a
+	// hardened commit so the next frame swaps it back in instead of
+	// allocating a fresh map every frame.
+	spare   map[string]stagedVal
 	version uint64
 	onFault func(error) // invoked (outside the lock) on unrecoverable faults
 }
@@ -183,15 +187,32 @@ func (s *Store) Commit() uint64 {
 	if s.rep != nil {
 		next := s.version + 1
 		batch := s.staged
-		s.staged = make(map[string]stagedVal)
+		if s.spare != nil {
+			s.staged, s.spare = s.spare, nil
+		} else {
+			s.staged = make(map[string]stagedVal)
+		}
 		sink := s.onFault
 		s.mu.Unlock()
-		if err := s.rep.Commit(next, batch); err != nil {
+		err := s.rep.Commit(next, batch)
+		// The backend copied everything it keeps; park the cleared map for
+		// the next frame's staging (also on failure — the batch is dropped
+		// either way).
+		clear(batch)
+		if err != nil {
 			s.fault(sink, err)
+			s.mu.Lock()
+			if s.spare == nil {
+				s.spare = batch
+			}
+			s.mu.Unlock()
 			return s.Version()
 		}
 		s.mu.Lock()
 		s.version = next
+		if s.spare == nil {
+			s.spare = batch
+		}
 		s.mu.Unlock()
 		return next
 	}

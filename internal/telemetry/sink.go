@@ -1,0 +1,54 @@
+package telemetry
+
+// Sink is the event-recording surface instrumented components hold. It is
+// selected once at construction — either the system's *Recorder or the
+// shared NopSink — so the components' event paths carry no nil checks and a
+// run with telemetry disabled (Options.TelemetryCapacity < 0) pays one
+// dispatch to an empty method instead of a branch at every call site.
+type Sink interface {
+	// Record appends an event; the no-op sink drops it.
+	Record(e Event)
+	// SetFrame sets the frame number stamped on subsequent events.
+	SetFrame(f int64)
+	// Persist stages the recorded state into kv.
+	Persist(kv KV) error
+	// ResetPersistence forgets which events have been persisted, so the
+	// next Persist rewrites everything.
+	ResetPersistence()
+	// Enabled reports whether events reach a real recorder. Callers that
+	// would build an expensive event payload (attribute maps, formatted
+	// details) may use it to skip the work when nothing records it.
+	Enabled() bool
+}
+
+// Enabled implements Sink: a Recorder always records.
+func (r *Recorder) Enabled() bool { return true }
+
+// NopSink is the disabled telemetry sink: every method is a no-op. It is
+// what components hold when the system runs with telemetry ablated.
+type NopSink struct{}
+
+// Record implements Sink.
+func (NopSink) Record(Event) {}
+
+// SetFrame implements Sink.
+func (NopSink) SetFrame(int64) {}
+
+// Persist implements Sink.
+func (NopSink) Persist(KV) error { return nil }
+
+// ResetPersistence implements Sink.
+func (NopSink) ResetPersistence() {}
+
+// Enabled implements Sink.
+func (NopSink) Enabled() bool { return false }
+
+// OrNop adapts a possibly-nil *Recorder into a Sink. It exists so callers
+// holding a nil *Recorder never store it in a Sink interface directly (a
+// typed nil would report Enabled and then panic on use).
+func OrNop(rec *Recorder) Sink {
+	if rec == nil {
+		return NopSink{}
+	}
+	return rec
+}

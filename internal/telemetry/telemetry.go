@@ -139,6 +139,10 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+	// Sorted name lists, cached between snapshots: the metric name set is
+	// static once a system has warmed up, while Snapshot runs on every
+	// metrics-persist cadence and at campaign collection. Nil = rebuild.
+	counterNames, gaugeNames, histNames []string
 }
 
 // NewRegistry returns an empty registry.
@@ -158,6 +162,7 @@ func (r *Registry) Counter(name string) *Counter {
 	if !ok {
 		c = &Counter{}
 		r.counters[name] = c
+		r.counterNames = nil
 	}
 	return c
 }
@@ -170,6 +175,7 @@ func (r *Registry) Gauge(name string) *Gauge {
 	if !ok {
 		g = &Gauge{}
 		r.gauges[name] = g
+		r.gaugeNames = nil
 	}
 	return g
 }
@@ -188,6 +194,7 @@ func (r *Registry) Histogram(name string, bounds ...int64) *Histogram {
 		sort.Slice(bs, func(i, j int) bool { return bs[i] < bs[j] })
 		h = &Histogram{bounds: bs, counts: make([]int64, len(bs)+1)}
 		r.hists[name] = h
+		r.histNames = nil
 	}
 	return h
 }
@@ -208,13 +215,22 @@ func (r *Registry) Snapshot() Snapshot {
 		Gauges:     make(map[string]int64, len(r.gauges)),
 		Histograms: make(map[string]HistogramSnapshot, len(r.hists)),
 	}
-	for _, name := range det.SortedKeys(r.counters) {
+	if r.counterNames == nil {
+		r.counterNames = det.SortedKeys(r.counters)
+	}
+	if r.gaugeNames == nil {
+		r.gaugeNames = det.SortedKeys(r.gauges)
+	}
+	if r.histNames == nil {
+		r.histNames = det.SortedKeys(r.hists)
+	}
+	for _, name := range r.counterNames {
 		s.Counters[name] = r.counters[name].Value()
 	}
-	for _, name := range det.SortedKeys(r.gauges) {
+	for _, name := range r.gaugeNames {
 		s.Gauges[name] = r.gauges[name].Value()
 	}
-	for _, name := range det.SortedKeys(r.hists) {
+	for _, name := range r.histNames {
 		s.Histograms[name] = r.hists[name].Snapshot()
 	}
 	return s
