@@ -12,16 +12,18 @@
 //
 // A matrix file is the JSON form of campaign.Matrix: seeds, frames, an
 // optional base seed and expansion order, and a list of arms ({"name",
-// "kind": "storage"|"bus", "replicas", "faults": {...}} or {"rates":
-// {...}}). The -preset flag supplies the built-in s1 (hardened storage
-// under media faults) and s2 (avionics mission over a degraded bus)
-// matrices instead; -runs, -frames, -seed, -storage-faults and -bus-faults
-// parameterize them.
+// "kind": "storage"|"bus"|"membership", "replicas", "faults": {...}},
+// {"rates": {...}} or {"churn", "evictions", "corrupt_records"}). The
+// -preset flag supplies the built-in s1 (hardened storage under media
+// faults), s2 (avionics mission over a degraded bus) and s3 (dynamic
+// membership under join/leave churn, evictions and record corruption)
+// matrices instead; -runs, -frames, -seed, -storage-faults, -bus-faults and
+// -churn parameterize them.
 //
 // Progress lines go to stderr as runs complete (completion order is
 // scheduling-dependent; the report is not). The exit status is nonzero if
-// any run fails, violates an SP property, or lets silently corrupted data
-// through its storage oracle.
+// any run fails, violates an SP property or a membership invariant, or lets
+// silently corrupted data through its storage oracle.
 package main
 
 import (
@@ -49,7 +51,7 @@ func main() {
 // loadMatrix resolves the campaign configuration from -matrix or -preset.
 // Explicitly set flags override the matching matrix-file fields, so a
 // stored matrix can be re-run at a different scale without editing it.
-func loadMatrix(fs *flag.FlagSet, matrixPath, preset string, runs, frames int, seed int64, storageFaults, busFaults float64) (campaign.Matrix, error) {
+func loadMatrix(fs *flag.FlagSet, matrixPath, preset string, runs, frames int, seed int64, storageFaults, busFaults float64, churn int) (campaign.Matrix, error) {
 	var m campaign.Matrix
 	switch {
 	case matrixPath != "":
@@ -85,8 +87,11 @@ func loadMatrix(fs *flag.FlagSet, matrixPath, preset string, runs, frames int, s
 			Delay:     busFaults / 2,
 		})
 		m.BaseSeed = seed
+	case preset == "s3":
+		m = campaign.S3Matrix(runs, frames, churn)
+		m.BaseSeed = seed
 	default:
-		return m, fmt.Errorf("unknown preset %q (want s1 or s2, or pass -matrix <file>)", preset)
+		return m, fmt.Errorf("unknown preset %q (want s1, s2 or s3, or pass -matrix <file>)", preset)
 	}
 	return m, nil
 }
@@ -100,12 +105,23 @@ func textReport(out io.Writer, rep campaign.Report) {
 			fmt.Fprintf(out, "  run %-3d %-10s seed %-3d ERROR %s\n", r.Run.ID, r.Run.Arm, r.Run.Seed, r.Err)
 			continue
 		}
-		fmt.Fprintf(out, "  run %-3d %-10s seed %-3d reconfigs %-3d halts %-2d silent-wrong %-2d SP violations %d\n",
+		line := fmt.Sprintf("  run %-3d %-10s seed %-3d reconfigs %-3d halts %-2d silent-wrong %-2d SP violations %d",
 			r.Run.ID, r.Run.Arm, r.Run.Seed, r.Reconfigs, r.StorageHalts, r.SilentWrongData, r.Violations)
+		if r.Membership != nil {
+			s := r.Membership.Membership
+			line += fmt.Sprintf(" | epoch %-3d joins %d leaves %d rejected %d evictions %d converges %d membership violations %d",
+				r.Membership.Epoch, s.Joins, s.Leaves, s.Rejected, s.Evictions, s.Converges, r.MembershipViolations)
+		}
+		fmt.Fprintln(out, line)
 	}
 	t := rep.Totals
 	fmt.Fprintf(out, "totals: %d reconfigs, %d storage halts, %d silent wrong data, %d SP violations, %d errors\n",
 		t.Reconfigs, t.StorageHalts, t.SilentWrongData, t.Violations, t.Errors)
+	if t.Membership != nil {
+		fmt.Fprintf(out, "membership: %d joins, %d leaves, %d rejected, %d evictions, %d converges, max epoch %d, %d invariant violations\n",
+			t.Membership.Joins, t.Membership.Leaves, t.Membership.Rejected, t.Membership.Evictions,
+			t.Membership.Converges, t.Membership.MaxEpoch, t.MembershipViolations)
+	}
 	if t.WindowFrames.Count > 0 {
 		fmt.Fprintf(out, "recovery latency: %d windows, mean %.1f frames, max %d\n",
 			t.WindowFrames.Count, float64(t.WindowFrames.Sum)/float64(t.WindowFrames.Count), t.WindowFrames.Max)
@@ -115,7 +131,7 @@ func textReport(out io.Writer, rep campaign.Report) {
 func run(args []string, out, errOut io.Writer) error {
 	fs := flag.NewFlagSet("campaign", flag.ContinueOnError)
 	matrixPath := fs.String("matrix", "", "campaign matrix configuration (JSON); overrides -preset")
-	preset := fs.String("preset", "s1", "built-in matrix: s1 (storage faults) or s2 (bus faults)")
+	preset := fs.String("preset", "s1", "built-in matrix: s1 (storage faults), s2 (bus faults) or s3 (membership churn)")
 	runs := fs.Int("runs", 5, "seeds per arm")
 	seed := fs.Int64("seed", 0, "base seed; run i of an arm uses seed+i")
 	frames := fs.Int("frames", 300, "frames per run")
@@ -126,12 +142,13 @@ func run(args []string, out, errOut io.Writer) error {
 	quiet := fs.Bool("quiet", false, "suppress per-run progress lines on stderr")
 	storageFaults := fs.Float64("storage-faults", 0.05, "s1 preset base per-medium fault rate (torn writes and stuck reads at half, bit rot at full)")
 	busFaults := fs.Float64("bus-faults", 0.05, "s2 preset base per-message fault rate (drop at full, duplicate and delay at half)")
+	churn := fs.Int("churn", 3, "s3 preset spare join/leave cycles per run")
 	cli.Alias(fs, "runs", "seeds")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	m, err := loadMatrix(fs, *matrixPath, *preset, *runs, *frames, *seed, *storageFaults, *busFaults)
+	m, err := loadMatrix(fs, *matrixPath, *preset, *runs, *frames, *seed, *storageFaults, *busFaults, *churn)
 	if err != nil {
 		return err
 	}
@@ -193,8 +210,9 @@ func run(args []string, out, errOut io.Writer) error {
 	if err := rep.FirstError(); err != nil {
 		return err
 	}
-	if rep.Totals.Violations > 0 || rep.Totals.SilentWrongData > 0 {
-		return fmt.Errorf("%d SP violations, %d silent wrong data", rep.Totals.Violations, rep.Totals.SilentWrongData)
+	if rep.Totals.Violations > 0 || rep.Totals.SilentWrongData > 0 || rep.Totals.MembershipViolations > 0 {
+		return fmt.Errorf("%d SP violations, %d silent wrong data, %d membership violations",
+			rep.Totals.Violations, rep.Totals.SilentWrongData, rep.Totals.MembershipViolations)
 	}
 	return nil
 }

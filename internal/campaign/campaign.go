@@ -38,6 +38,10 @@ const (
 	// KindBus flies the section 7 avionics mission over a degraded bus
 	// (the S2 workload).
 	KindBus Kind = "bus"
+	// KindMembership runs the three-configuration system with spare
+	// processors and dynamic membership under join/leave churn, member
+	// evictions and membership-record corruption (the S3 workload).
+	KindMembership Kind = "membership"
 )
 
 // Order fixes how Matrix.Expand crosses seeds with arms. Both orders are
@@ -56,7 +60,8 @@ const (
 
 // Arm is one fault configuration of the matrix. Exactly the fields for its
 // Kind are meaningful: Replicas/EnvEvents/Faults for storage arms, Rates
-// for bus arms.
+// for bus arms, Churn/Evictions/CorruptRecords (plus EnvEvents) for
+// membership arms.
 type Arm struct {
 	// Name labels the arm in reports; it must be unique within a matrix.
 	Name string `json:"name"`
@@ -66,12 +71,21 @@ type Arm struct {
 	// (0 defaults to 3). Storage arms only.
 	Replicas int `json:"replicas,omitempty"`
 	// EnvEvents is the number of scripted alternator changes (0 defaults
-	// to Frames/25). Storage arms only.
+	// to Frames/25). Storage and membership arms.
 	EnvEvents int `json:"env_events,omitempty"`
 	// Faults is the per-medium fault model. Storage arms only.
 	Faults stable.FaultProfile `json:"faults,omitempty"`
 	// Rates is the per-message bus fault model. Bus arms only.
 	Rates bus.FaultRates `json:"rates,omitempty"`
+	// Churn is the number of spare join/leave cycles. Membership arms
+	// only.
+	Churn int `json:"churn,omitempty"`
+	// Evictions is the number of member fail/repair pairs. Membership
+	// arms only.
+	Evictions int `json:"evictions,omitempty"`
+	// CorruptRecords is the number of committed membership-record
+	// corruptions. Membership arms only.
+	CorruptRecords int `json:"corrupt_records,omitempty"`
 }
 
 // Matrix is a campaign configuration: arms crossed with seeds.
@@ -106,6 +120,10 @@ type Run struct {
 	EnvEvents int                 `json:"env_events,omitempty"`
 	Faults    stable.FaultProfile `json:"faults,omitempty"`
 	Rates     bus.FaultRates      `json:"rates,omitempty"`
+
+	Churn          int `json:"churn,omitempty"`
+	Evictions      int `json:"evictions,omitempty"`
+	CorruptRecords int `json:"corrupt_records,omitempty"`
 }
 
 // resolve turns an arm and a seed into a run descriptor (ID is assigned by
@@ -117,14 +135,23 @@ func (m Matrix) resolve(a Arm, seed int64) Run {
 		Seed:   seed,
 		Frames: m.Frames,
 	}
-	if a.Kind == KindStorage {
+	switch a.Kind {
+	case KindStorage:
 		r.Replicas = a.Replicas
 		r.EnvEvents = a.EnvEvents
 		if r.EnvEvents == 0 {
 			r.EnvEvents = m.Frames / 25
 		}
 		r.Faults = a.Faults
-	} else {
+	case KindMembership:
+		r.EnvEvents = a.EnvEvents
+		if r.EnvEvents == 0 {
+			r.EnvEvents = m.Frames / 25
+		}
+		r.Churn = a.Churn
+		r.Evictions = a.Evictions
+		r.CorruptRecords = a.CorruptRecords
+	default:
 		r.Rates = a.Rates
 	}
 	return r
@@ -206,6 +233,22 @@ func (m Matrix) Validate() error {
 				if rate < 0 || rate > 1 {
 					return fmt.Errorf("campaign: arm %q: bus fault rate %v outside [0,1]", a.Name, rate)
 				}
+			}
+		case KindMembership:
+			if a.Churn < 0 || a.Evictions < 0 || a.CorruptRecords < 0 {
+				return fmt.Errorf("campaign: arm %q: negative membership event count", a.Name)
+			}
+			r := m.resolve(a, m.BaseSeed)
+			opts := inject.MembershipCampaign{
+				Seed:           r.Seed,
+				Frames:         r.Frames,
+				EnvEvents:      r.EnvEvents,
+				Churn:          r.Churn,
+				Evictions:      r.Evictions,
+				CorruptRecords: r.CorruptRecords,
+			}.Options()
+			if err := opts.Validate(); err != nil {
+				return fmt.Errorf("campaign: arm %q: %w", a.Name, err)
 			}
 		default:
 			return fmt.Errorf("campaign: arm %q has unknown kind %q", a.Name, a.Kind)

@@ -177,6 +177,70 @@ func TestBusRun(t *testing.T) {
 	}
 }
 
+// TestMembershipRun drives the s3 matrix end to end through the engine and
+// checks the membership contract: zero SP and membership-invariant
+// violations, the churn arm's unverifiable leave rejected on every run, the
+// corrupt arm converging once per injected corruption, and a byte-identical
+// aggregate report across worker counts.
+func TestMembershipRun(t *testing.T) {
+	m := S3Matrix(2, 120, 2)
+	runs := m.Expand()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var reports [][]byte
+	var rep Report
+	for _, workers := range []int{1, 4} {
+		results := Engine{Workers: workers}.Execute(runs)
+		rep = BuildReport(m, results)
+		if err := rep.FirstError(); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		raw, err := rep.JSON()
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		reports = append(reports, raw)
+	}
+	if !bytes.Equal(reports[0], reports[1]) {
+		t.Fatal("membership report differs across worker counts")
+	}
+	tot := rep.Totals
+	if tot.Violations != 0 || tot.MembershipViolations != 0 {
+		t.Fatalf("%d SP violations, %d membership violations; want 0,0", tot.Violations, tot.MembershipViolations)
+	}
+	if tot.Membership == nil {
+		t.Fatal("membership totals missing")
+	}
+	if tot.Membership.Joins == 0 || tot.Membership.Leaves == 0 {
+		t.Errorf("no churn happened: %+v", tot.Membership)
+	}
+	if tot.Membership.Rejected != len(rep.Results) {
+		t.Errorf("rejected = %d, want one unverifiable leave per run (%d)", tot.Membership.Rejected, len(rep.Results))
+	}
+	for _, res := range rep.Results {
+		if res.Membership == nil {
+			t.Fatalf("run %d: membership metrics missing", res.Run.ID)
+		}
+		s := res.Membership.Membership
+		switch res.Run.Arm {
+		case "evict":
+			if s.Evictions == 0 {
+				t.Errorf("run %d (evict): no evictions", res.Run.ID)
+			}
+		case "corrupt":
+			if s.Converges != res.Run.CorruptRecords {
+				t.Errorf("run %d (corrupt): converges = %d, want one per corruption (%d)",
+					res.Run.ID, s.Converges, res.Run.CorruptRecords)
+			}
+		case "churn":
+			if s.Converges != 0 {
+				t.Errorf("run %d (churn): %d spurious convergences", res.Run.ID, s.Converges)
+			}
+		}
+	}
+}
+
 // TestProgress checks the ticker fires once per run, reaches the total,
 // and is serialized (the race detector guards the lock discipline).
 func TestProgress(t *testing.T) {

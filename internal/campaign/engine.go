@@ -43,10 +43,18 @@ type Result struct {
 	// export the journal of an interesting run.
 	Ring []telemetry.Event `json:"-"`
 
+	// MembershipViolations is the number of membership-invariant
+	// violations (epoch monotonicity, split brain, unsafe handoff) in the
+	// run's membership log; it must be zero on every run.
+	MembershipViolations int `json:"membership_violations,omitempty"`
+
 	// Storage carries the full storage-campaign metrics (KindStorage).
 	Storage *inject.StorageMetrics `json:"storage,omitempty"`
 	// Bus carries the full bus-campaign metrics (KindBus).
 	Bus *inject.BusMetrics `json:"bus,omitempty"`
+	// Membership carries the full membership-campaign metrics
+	// (KindMembership).
+	Membership *inject.MembershipMetrics `json:"membership,omitempty"`
 }
 
 // execute runs one cell of the matrix. It is pure with respect to the
@@ -85,6 +93,25 @@ func (r Run) execute() Result {
 		}
 		res.Bus = &m
 		res.Violations = len(m.Violations)
+		res.Reconfigs = m.Reconfigs
+		res.Ring = m.Ring
+		res.fillTelemetry(m.Registry, m.Ring)
+	case KindMembership:
+		m, _, err := inject.MembershipCampaign{
+			Seed:           r.Seed,
+			Frames:         r.Frames,
+			EnvEvents:      r.EnvEvents,
+			Churn:          r.Churn,
+			Evictions:      r.Evictions,
+			CorruptRecords: r.CorruptRecords,
+		}.Run()
+		if err != nil {
+			res.Err = err.Error()
+			return res
+		}
+		res.Membership = &m
+		res.Violations = len(m.Violations)
+		res.MembershipViolations = len(m.MembershipViolations)
 		res.Reconfigs = m.Reconfigs
 		res.Ring = m.Ring
 		res.fillTelemetry(m.Registry, m.Ring)

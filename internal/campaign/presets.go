@@ -53,6 +53,28 @@ func S2Matrix(seeds, frames int, rates bus.FaultRates) Matrix {
 	return m
 }
 
+// S3Matrix is the S3 experiment as a campaign matrix: the canonical system
+// with two spare processors and dynamic membership, attacked three ways —
+// a "churn" arm of spare join/leave cycles (plus one unverifiable leave that
+// must be rejected), an "evict" arm adding member crash/repair pairs on top
+// of the churn, and a "corrupt" arm adding direct corruption of the
+// committed membership record. Seed-major order pairs the arms under
+// identical seeds. Every run must finish with zero SP and zero membership
+// invariant violations.
+func S3Matrix(seeds, frames, churn int) Matrix {
+	return Matrix{
+		Name:   "s3-membership-churn",
+		Seeds:  seeds,
+		Frames: frames,
+		Order:  SeedMajor,
+		Arms: []Arm{
+			{Name: "churn", Kind: KindMembership, Churn: churn},
+			{Name: "evict", Kind: KindMembership, Churn: churn, Evictions: 2},
+			{Name: "corrupt", Kind: KindMembership, Churn: churn, CorruptRecords: 3},
+		},
+	}
+}
+
 func minFloat(a, b float64) float64 {
 	if a < b {
 		return a

@@ -32,6 +32,27 @@ type Totals struct {
 	// latencies, in frames.
 	WindowFrames  telemetry.HistogramSnapshot `json:"window_frames"`
 	SignalLatency telemetry.HistogramSnapshot `json:"signal_latency"`
+	// MembershipViolations sums the membership-invariant violations; a
+	// membership campaign must hold it at zero. Omitted (with the
+	// Membership section) from campaigns without membership arms, so
+	// storage- and bus-only reports are unchanged byte for byte.
+	MembershipViolations int `json:"membership_violations,omitempty"`
+	// Membership aggregates the membership runs' counters.
+	Membership *MembershipTotals `json:"membership,omitempty"`
+}
+
+// MembershipTotals sums the membership layer's accounting over every
+// membership run of a campaign.
+type MembershipTotals struct {
+	// Joins, Leaves, Rejected, Evictions and Converges sum the managers'
+	// cumulative counters.
+	Joins     int `json:"joins"`
+	Leaves    int `json:"leaves"`
+	Rejected  int `json:"rejected"`
+	Evictions int `json:"evictions"`
+	Converges int `json:"converges"`
+	// MaxEpoch is the largest final epoch any run reached.
+	MaxEpoch int64 `json:"max_epoch"`
 }
 
 // Report is the campaign's aggregate output. Building it only reads the
@@ -98,6 +119,21 @@ func BuildReport(m Matrix, results []Result) Report {
 		if res.Storage != nil {
 			t.Injected.Add(res.Storage.Injected)
 			t.Storage.Add(res.Storage.Storage)
+		}
+		if res.Membership != nil {
+			if t.Membership == nil {
+				t.Membership = &MembershipTotals{}
+			}
+			t.MembershipViolations += res.MembershipViolations
+			s := res.Membership.Membership
+			t.Membership.Joins += s.Joins
+			t.Membership.Leaves += s.Leaves
+			t.Membership.Rejected += s.Rejected
+			t.Membership.Evictions += s.Evictions
+			t.Membership.Converges += s.Converges
+			if res.Membership.Epoch > t.Membership.MaxEpoch {
+				t.Membership.MaxEpoch = res.Membership.Epoch
+			}
 		}
 	}
 	return rep

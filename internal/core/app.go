@@ -100,6 +100,17 @@ type appRuntime struct {
 	migratedSeq int64
 	preOK       bool
 	ep          *bus.Endpoint
+
+	// lastEpoch is the largest membership epoch obeyed so far (always 0
+	// without dynamic membership): a command stamped with an older epoch is
+	// stale — written before a takeover the application already followed —
+	// and is ignored rather than obeyed.
+	lastEpoch int64
+
+	// regionProc/regionCache memoize the host's stable-storage region so
+	// the per-frame region lookup does not allocate in steady state.
+	regionProc  *failstop.Processor
+	regionCache *stable.Region
 }
 
 // TaskID implements frame.Task.
@@ -117,6 +128,13 @@ func (r *appRuntime) Tick(ctx frame.Context) error {
 		startCfg, _ := r.sys.rs.Config(r.sys.rs.StartConfig)
 		target, _ := startCfg.SpecOf(r.decl.ID)
 		cmd = scram.Command{Phase: spec.PhaseNormal, Target: target, Config: r.sys.rs.StartConfig}
+	} else if cmd.Epoch < r.lastEpoch {
+		// The command predates a membership epoch this application has
+		// already obeyed; holding the current behavior is safe, obeying
+		// a stale command is not.
+		return nil
+	} else {
+		r.lastEpoch = cmd.Epoch
 	}
 	if cmd.Seq != r.lastSeq || cmd.Phase != r.lastPhase {
 		if cmd.Seq != r.lastSeq && cmd.Phase != spec.PhaseNormal {
@@ -255,7 +273,11 @@ func (r *appRuntime) maybeMigrate(cmd scram.Command) error {
 }
 
 func (r *appRuntime) region(p *failstop.Processor) *stable.Region {
-	return p.Stable().Region("app/" + string(r.decl.ID))
+	if p != r.regionProc {
+		r.regionProc = p
+		r.regionCache = p.Stable().Region("app/" + string(r.decl.ID))
+	}
+	return r.regionCache
 }
 
 func (r *appRuntime) frameEnv(ctx frame.Context, sp spec.SpecID) *FrameEnv {

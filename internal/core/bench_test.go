@@ -2,6 +2,7 @@ package core
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
 	"runtime"
 	"sort"
@@ -178,6 +179,7 @@ func TestTelemetryOverheadBench(t *testing.T) {
 		Results          []benchResult `json:"results"`
 		OverheadPct      float64       `json:"telemetry_overhead_pct"`
 		ChurnOverheadPct float64       `json:"telemetry_churn_overhead_pct"`
+		Notes            []string      `json:"notes,omitempty"`
 	}{
 		Benchmark: "telemetry overhead: canonical three-config frame loop, steady state (headline) and alternator churn every 20 frames (stress)",
 		Target:    "steady-state telemetry overhead < 5% ns/frame",
@@ -189,6 +191,10 @@ func TestTelemetryOverheadBench(t *testing.T) {
 		},
 		OverheadPct:      steadyPct,
 		ChurnOverheadPct: churnPct,
+		Notes: []string{
+			"allocation trim (pre-sized det.SortedKeys scratch via SortedKeysInto, pre-sized stable Keys/SnapshotPrefix maps, cached app stable regions): steady allocs/frame were on 63.35 / off 63.00 before the change",
+			fmt.Sprintf("after the change this run measured steady allocs/frame on %.2f / off %.2f", steadyOn.allocsPerFrame, steadyOff.allocsPerFrame),
+		},
 	}
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {

@@ -7,6 +7,7 @@ import (
 	"repro/internal/envmon"
 	"repro/internal/failstop"
 	"repro/internal/frame"
+	"repro/internal/membership"
 	"repro/internal/scram"
 	"repro/internal/spec"
 	"repro/internal/stable"
@@ -40,6 +41,13 @@ type scramManager struct {
 	tookOver     bool
 	takeoverAt   int64
 	takeoverSeen bool
+
+	// pool and mem are set when dynamic membership is enabled: the
+	// takeover candidates then come from the membership view's caught-up
+	// standbys instead of the single configured standby, and every
+	// takeover opens a new membership epoch.
+	pool *failstop.Pool
+	mem  *membership.Manager
 
 	// telReg and telRec are re-attached to the restored kernel on
 	// takeover; nil when telemetry is disabled. telSink is the always
@@ -94,36 +102,13 @@ func (m *scramManager) kernel() *scram.Kernel { return m.active }
 // frame's signals, and advance the kernel.
 func (m *scramManager) hook(ctx frame.Context) error {
 	if !m.activeProc.Alive() {
-		if m.standby == nil || m.tookOver || !m.standby.Alive() {
+		if !m.takeover(ctx) {
 			// The SCRAM is gone. No commands are written; a
 			// reconfiguration in progress stalls, which the SP3
 			// checker surfaces. This is precisely why the paper
 			// requires a dependable SCRAM implementation.
 			return nil
 		}
-		snapshot := m.activeProc.Stable().Snapshot()
-		k, err := scram.Restore(m.rs, m.standby.Stable(), snapshot)
-		if err != nil {
-			return fmt.Errorf("core: SCRAM takeover: %w", err)
-		}
-		m.active = k
-		m.activeProc = m.standby
-		m.tookOver = true
-		m.takeoverAt = ctx.Frame
-		m.takeoverSeen = true
-		// The standby's stable storage has never held the journal: reset
-		// the persistence markers so the next persist rewrites the full
-		// ring, then keep recording on the restored kernel. With telemetry
-		// disabled every call lands on the no-op sink.
-		m.telSink.ResetPersistence()
-		m.active.SetTelemetry(m.telReg, m.telRec)
-		m.telSink.Record(telemetry.Event{
-			Frame: ctx.Frame,
-			Kind:  telemetry.KindTakeover,
-			Host:  string(m.standby.ID()),
-			Detail: fmt.Sprintf("standby %s restored SCRAM state from failed %s",
-				m.standby.ID(), m.primary.ID()),
-		})
 	}
 	m.mu.Lock()
 	sigs := m.pending
@@ -132,7 +117,109 @@ func (m *scramManager) hook(ctx frame.Context) error {
 	for _, sig := range sigs {
 		m.active.Signal(sig)
 	}
+	if m.mem != nil {
+		// The frame's membership epoch (the membership hook ran just
+		// before this one) stamps the frame's commands and persisted
+		// kernel state.
+		m.active.SetEpoch(m.mem.Epoch())
+	}
 	return m.active.EndOfFrame(ctx)
+}
+
+// candidates returns the processors eligible to restore the failed kernel,
+// in preference order. With dynamic membership the pool is the view's
+// caught-up standbys (the configured standby first, then by processor ID);
+// with the static set it is the single configured standby, at most once.
+func (m *scramManager) candidates() []*failstop.Processor {
+	if m.mem != nil {
+		ids := m.mem.TakeoverCandidates()
+		out := make([]*failstop.Processor, 0, len(ids))
+		if m.standby != nil {
+			for _, id := range ids {
+				if id == m.standby.ID() {
+					out = append(out, m.standby)
+					break
+				}
+			}
+		}
+		for _, id := range ids {
+			if m.standby != nil && id == m.standby.ID() {
+				continue
+			}
+			if p, err := m.pool.Proc(id); err == nil {
+				out = append(out, p)
+			}
+		}
+		return out
+	}
+	if m.standby == nil || m.tookOver || !m.standby.Alive() {
+		return nil
+	}
+	return []*failstop.Processor{m.standby}
+}
+
+// takeover tries to restore the kernel on a standby after the active host's
+// fail-stop failure, returning whether any candidate succeeded.
+//
+// A candidate whose restore fails validation — the failed host's snapshot
+// holds a corrupt kernel state or command record, and (with membership) the
+// candidate's own catch-up copy is no better — must not command applications
+// from garbage: it fail-stops itself with a recorded telemetry event, and
+// the next candidate is tried. A half-restored kernel never escapes this
+// method, and a validation failure is not an error the frame aborts on — the
+// system degrades exactly as if no standby existed.
+func (m *scramManager) takeover(ctx frame.Context) bool {
+	failed := m.activeProc
+	snapshot := failed.Stable().Snapshot()
+	for _, cand := range m.candidates() {
+		k, err := scram.Restore(m.rs, cand.Stable(), snapshot)
+		if err != nil && m.mem != nil {
+			// The failed host's snapshot is unusable; fall back to the
+			// candidate's catch-up copy, which trails it by at most one
+			// frame.
+			if local := m.mem.CatchUpSnapshot(cand.ID()); local != nil {
+				k2, err2 := scram.Restore(m.rs, cand.Stable(), local)
+				if err2 == nil {
+					k, err = k2, nil
+				} else {
+					err = fmt.Errorf("%w (catch-up copy: %v)", err, err2)
+				}
+			}
+		}
+		if err != nil {
+			m.telSink.Record(telemetry.Event{
+				Frame:  ctx.Frame,
+				Kind:   telemetry.KindTakeoverRefused,
+				Host:   string(cand.ID()),
+				Detail: fmt.Sprintf("takeover from failed %s refused: %v", failed.ID(), err),
+			})
+			cand.Fail(ctx.Frame)
+			continue
+		}
+		m.active = k
+		m.activeProc = cand
+		m.tookOver = true
+		m.takeoverAt = ctx.Frame
+		m.takeoverSeen = true
+		// The new host's stable storage has never held the journal: reset
+		// the persistence markers so the next persist rewrites the full
+		// ring, then keep recording on the restored kernel. With telemetry
+		// disabled every call lands on the no-op sink.
+		m.telSink.ResetPersistence()
+		m.active.SetTelemetry(m.telReg, m.telRec)
+		if m.mem != nil {
+			m.mem.OnTakeover(ctx.Frame, cand.ID())
+		}
+		m.telSink.Record(telemetry.Event{
+			Frame: ctx.Frame,
+			Kind:  telemetry.KindTakeover,
+			Host:  string(cand.ID()),
+			Detail: fmt.Sprintf("standby %s restored SCRAM state from failed %s",
+				cand.ID(), failed.ID()),
+		})
+		return true
+	}
+	return false
 }
 
 // TookOverAt reports whether (and at which frame) a standby takeover

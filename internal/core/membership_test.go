@@ -1,0 +1,307 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/bus"
+	"repro/internal/envmon"
+	"repro/internal/membership"
+	"repro/internal/scram"
+	"repro/internal/spec"
+	"repro/internal/spectest"
+	"repro/internal/telemetry"
+)
+
+// buildMembershipSystem wires the canonical system with a spare processor
+// pool and dynamic membership enabled.
+func buildMembershipSystem(t *testing.T, spares int, mutate func(*Options)) (*System, *testApp, *testApp) {
+	t.Helper()
+	ap := &testApp{id: spectest.AppAP}
+	fcs := &testApp{id: spectest.AppFCS}
+	opts := Options{
+		Spec: spectest.ThreeConfigWithSpares(spares),
+		Apps: map[spec.AppID]App{
+			spectest.AppAP:  ap,
+			spectest.AppFCS: fcs,
+		},
+		Classifier:     powerClassifier(false),
+		InitialFactors: map[envmon.Factor]string{"alt1": "ok", "alt2": "ok"},
+		Membership:     &MembershipOptions{},
+	}
+	if mutate != nil {
+		mutate(&opts)
+	}
+	s, err := NewSystem(opts)
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	t.Cleanup(s.Close)
+	return s, ap, fcs
+}
+
+func mustNoMembershipViolations(t *testing.T, s *System) {
+	t.Helper()
+	for _, v := range s.CheckMembership() {
+		t.Errorf("membership violation: %s", v)
+	}
+}
+
+func countEvents(s *System, kind telemetry.Kind) int {
+	_, rec := s.Telemetry()
+	if rec == nil {
+		return 0
+	}
+	n := 0
+	for _, e := range rec.Events() {
+		if e.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+// TestMembershipEpochStampsCommands runs a quiet membership-enabled system
+// and checks the plumbing: the view's epoch reaches the kernel and every
+// committed command.
+func TestMembershipEpochStampsCommands(t *testing.T) {
+	s, _, _ := buildMembershipSystem(t, 0, nil)
+	if err := s.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	mem := s.Membership()
+	if mem == nil {
+		t.Fatal("Membership() = nil with membership enabled")
+	}
+	if got := s.Kernel().Epoch(); got != mem.Epoch() {
+		t.Fatalf("kernel epoch %d != membership epoch %d", got, mem.Epoch())
+	}
+	cmd, ok, err := scram.ReadCommand(s.Kernel().Store(), spectest.AppAP)
+	if err != nil || !ok {
+		t.Fatalf("ReadCommand: ok=%v err=%v", ok, err)
+	}
+	if cmd.Epoch != mem.Epoch() {
+		t.Fatalf("command epoch %d != membership epoch %d", cmd.Epoch, mem.Epoch())
+	}
+	mustNoViolations(t, s)
+	mustNoMembershipViolations(t, s)
+}
+
+// TestMembershipJoinGrowsPoolAndTakeover grows the standby pool with a
+// joining spare, then kills the SCRAM's host: a caught-up member takes over,
+// the takeover opens a new epoch, and all membership invariants hold.
+func TestMembershipJoinGrowsPoolAndTakeover(t *testing.T) {
+	s, _, _ := buildMembershipSystem(t, 1, func(o *Options) {
+		o.Classifier = powerClassifier(true)
+		o.SCRAMProc = "p2"
+		o.Membership.Events = []membership.Event{
+			{Frame: 2, Proc: "p3", Op: membership.OpJoin},
+		}
+		o.ProcEvents = []ProcEvent{{Frame: 10, Proc: "p2", Kind: ProcFail}}
+	})
+	if err := s.Run(25); err != nil {
+		t.Fatal(err)
+	}
+	at, ok := s.TookOverAt()
+	if !ok || at != 10 {
+		t.Fatalf("takeover = %d,%v; want frame 10", at, ok)
+	}
+	// The takeover went to the first caught-up candidate (p1 sorts before
+	// the joined spare p3) and moved the authoritative host.
+	v := s.Membership().View()
+	if v.Auth != s.SCRAMProc() {
+		t.Fatalf("view auth %q != active SCRAM host %q", v.Auth, s.SCRAMProc())
+	}
+	if v.Auth == "p2" {
+		t.Fatal("auth still the failed primary")
+	}
+	// p3 joined, caught up before the failure, and is still a member.
+	mem := v.Member("p3")
+	if mem == nil || mem.Status != membership.StatusActive || !mem.CaughtUp {
+		t.Fatalf("p3 = %+v, want caught-up active member", mem)
+	}
+	// The failed primary was crash-evicted.
+	if m2 := v.Member("p2"); m2 == nil || m2.Status != membership.StatusDown {
+		t.Fatalf("p2 = %+v, want down", m2)
+	}
+	if got := s.Kernel().Current(); got != spectest.CfgReduced {
+		t.Fatalf("current = %s, want reduced", got)
+	}
+	if s.Kernel().Epoch() != s.Membership().Epoch() {
+		t.Fatalf("kernel epoch %d != membership epoch %d", s.Kernel().Epoch(), s.Membership().Epoch())
+	}
+	mustNoViolations(t, s)
+	mustNoMembershipViolations(t, s)
+}
+
+// TestTakeoverRefusedOnCorruptSnapshot is the corrupted-snapshot regression
+// test: when the failed primary's snapshot fails restore validation during
+// takeover (scram.Restore rejects both corrupt kernel state and corrupt
+// command records; the state record is the one applications never read, so
+// it is the corruption a live system first meets at takeover), the standby
+// fail-stops with a recorded telemetry event — the frame does not abort, no
+// half-restored kernel serves, and the system degrades exactly as if no
+// standby existed (the SP3 checker surfaces the stall).
+func TestTakeoverRefusedOnCorruptSnapshot(t *testing.T) {
+	s, _, _ := buildSystem(t, func(o *Options) {
+		o.Classifier = powerClassifier(true)
+		o.SCRAMProc = "p2"
+		o.StandbyProc = "p1"
+	})
+	if err := s.Run(5); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the committed kernel-state record on the primary's stable
+	// storage between frames, then fail the primary: the frame's staged
+	// writes die with the halt, so the corrupt committed record is what the
+	// snapshot carries into the takeover.
+	p2, err := s.Pool().Proc("p2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2.Stable().Put("scram/state", []byte("{corrupt"))
+	p2.Stable().Commit()
+	if err := s.Pool().Fail("p2", 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(10); err != nil {
+		t.Fatalf("run after corrupt-snapshot failure must not error: %v", err)
+	}
+	if _, ok := s.TookOverAt(); ok {
+		t.Fatal("takeover reported despite corrupt snapshot")
+	}
+	p1, err := s.Pool().Proc("p1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.Alive() {
+		t.Fatal("standby still alive after refusing a corrupt snapshot; must fail-stop")
+	}
+	if n := countEvents(s, telemetry.KindTakeoverRefused); n != 1 {
+		t.Fatalf("takeover-refused events = %d, want 1", n)
+	}
+}
+
+// TestMembershipTakeoverFallsBackToCatchUpCopy corrupts the primary's
+// persisted kernel state, so the takeover's first restore source is
+// unusable; the candidate's own catch-up copy — refreshed every frame, at
+// most one frame stale — restores the kernel instead of refusing the
+// takeover.
+func TestMembershipTakeoverFallsBackToCatchUpCopy(t *testing.T) {
+	s, _, _ := buildMembershipSystem(t, 0, func(o *Options) {
+		o.Classifier = powerClassifier(true)
+		o.SCRAMProc = "p2"
+	})
+	if err := s.Run(8); err != nil {
+		t.Fatal(err)
+	}
+	p2, err := s.Pool().Proc("p2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2.Stable().Put("scram/state", []byte("{corrupt"))
+	p2.Stable().Commit()
+	if err := s.Pool().Fail("p2", 8); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(12); err != nil {
+		t.Fatal(err)
+	}
+	at, ok := s.TookOverAt()
+	if !ok {
+		t.Fatal("no takeover despite a caught-up candidate with a local copy")
+	}
+	if at != 8 {
+		t.Fatalf("takeover at %d, want 8", at)
+	}
+	if n := countEvents(s, telemetry.KindTakeoverRefused); n != 0 {
+		t.Fatalf("takeover-refused events = %d, want 0 (catch-up fallback)", n)
+	}
+	if got := s.SCRAMProc(); got != "p1" {
+		t.Fatalf("SCRAM host = %s, want p1", got)
+	}
+	mustNoViolations(t, s)
+	mustNoMembershipViolations(t, s)
+}
+
+// TestTakeoverUnderBusFaults drives the standby takeover while an
+// adversarial fault plan drops and delays every message on the applications'
+// topics in the takeover window. The takeover path must be indifferent: it
+// runs over stable storage and the direct signal path, not the bus.
+func TestTakeoverUnderBusFaults(t *testing.T) {
+	ap := &busApp{testApp: testApp{id: spectest.AppAP}, topic: "ap/hb", peer: "fcs/hb"}
+	fcs := &busApp{testApp: testApp{id: spectest.AppFCS}, topic: "fcs/hb", peer: "ap/hb"}
+	s, err := NewSystem(Options{
+		Spec: spectest.ThreeConfig(),
+		Apps: map[spec.AppID]App{
+			spectest.AppAP:  ap,
+			spectest.AppFCS: fcs,
+		},
+		Classifier:     powerClassifier(true),
+		InitialFactors: map[envmon.Factor]string{"alt1": "ok", "alt2": "ok"},
+		BusSchedule: bus.Schedule{
+			{Owner: bus.EndpointID(spectest.AppAP), MaxMessages: 2},
+			{Owner: bus.EndpointID(spectest.AppFCS), MaxMessages: 2},
+		},
+		SCRAMProc:   "p2",
+		StandbyProc: "p1",
+		ProcEvents:  []ProcEvent{{Frame: 5, Proc: "p2", Kind: ProcFail}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	// Drop half and delay the rest on both topics — including the frames
+	// around the takeover at frame 5.
+	plan := bus.NewFaultPlan(42)
+	plan.SetTopic("ap/hb", bus.FaultRates{Drop: 0.5, Delay: 0.5})
+	plan.SetTopic("fcs/hb", bus.FaultRates{Drop: 0.5, Delay: 0.5})
+	s.Bus().SetFaultPlan(plan)
+
+	if err := s.Run(20); err != nil {
+		t.Fatal(err)
+	}
+	at, ok := s.TookOverAt()
+	if !ok || at != 5 {
+		t.Fatalf("takeover = %d,%v; want frame 5 despite bus faults", at, ok)
+	}
+	if got := s.Kernel().Current(); got != spectest.CfgReduced {
+		t.Fatalf("current = %s, want reduced", got)
+	}
+	stats := plan.Stats()
+	if stats.Dropped == 0 || stats.Delayed == 0 {
+		t.Fatalf("fault plan injected nothing: %+v", stats)
+	}
+	mustNoViolations(t, s)
+}
+
+// TestMembershipLeaveRejectedThroughSystem schedules an unverifiable leave
+// (the FCS's host) through the full system: the change is rejected, the
+// prior epoch keeps serving, and operation is undisturbed.
+func TestMembershipLeaveRejectedThroughSystem(t *testing.T) {
+	s, _, fcs := buildMembershipSystem(t, 0, func(o *Options) {
+		o.Membership.Events = []membership.Event{
+			{Frame: 4, Proc: "p2", Op: membership.OpLeave},
+		}
+	})
+	if err := s.Run(12); err != nil {
+		t.Fatal(err)
+	}
+	rejs := s.Membership().Rejections()
+	if len(rejs) != 1 || rejs[0].Proc != "p2" {
+		t.Fatalf("rejections = %+v, want one for p2", rejs)
+	}
+	if got := s.Membership().Epoch(); got != 1 {
+		t.Fatalf("epoch = %d after rejected change, want 1", got)
+	}
+	if s.Membership().View().Member("p2") == nil {
+		t.Fatal("p2 left the view despite rejection")
+	}
+	if fcs.steps == 0 {
+		t.Fatal("FCS did no work")
+	}
+	if n := countEvents(s, telemetry.KindMembershipReject); n != 1 {
+		t.Fatalf("membership-reject events = %d, want 1", n)
+	}
+	mustNoViolations(t, s)
+	mustNoMembershipViolations(t, s)
+}

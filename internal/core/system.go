@@ -10,6 +10,7 @@ import (
 	"repro/internal/envmon"
 	"repro/internal/failstop"
 	"repro/internal/frame"
+	"repro/internal/membership"
 	"repro/internal/scram"
 	"repro/internal/spec"
 	"repro/internal/stable"
@@ -91,6 +92,14 @@ type Options struct {
 	// StandbyProc, when set, enables the replicated SCRAM: a standby on
 	// this processor takes over if the SCRAM's processor fails.
 	StandbyProc spec.ProcID
+	// Membership, when non-nil, enables dynamic processor membership: a
+	// frame-synchronous membership view with epochs persisted to stable
+	// storage, online re-verification of every join and leave against the
+	// static obligations, crash-detected eviction, catch-up of joining
+	// standbys from the SCRAM's stable state, and the self-stabilization
+	// path that converges from a corrupted membership record. The SCRAM's
+	// hosts (primary and configured standby) are always required members.
+	Membership *MembershipOptions
 	// HotStandby maps applications to spare processors, enabling the
 	// section 5.1 hybrid: a failure of a hot-standby application's host
 	// is masked — the application fails over to the spare within the
@@ -126,6 +135,18 @@ type Options struct {
 	SkipObligations bool
 }
 
+// MembershipOptions configures the dynamic-membership layer.
+type MembershipOptions struct {
+	// Events schedules join and leave operations; each one is re-verified
+	// online before its epoch commits, and an unverifiable change is
+	// rejected with the prior epoch still serving.
+	Events []membership.Event
+	// CatchUpFrames is the number of catch-up copy frames a joining
+	// processor needs before it is takeover-eligible; 0 selects the
+	// default of 3.
+	CatchUpFrames int
+}
+
 // System is a fully wired reconfigurable system.
 type System struct {
 	rs       *spec.ReconfigSpec
@@ -136,6 +157,11 @@ type System struct {
 	bus      *bus.Bus
 	manager  *scramManager
 	classify envmon.Classifier
+
+	// mem is the dynamic-membership manager, nil unless Options.Membership
+	// was set; memOwners is its reused per-frame app-ownership scratch map.
+	mem       *membership.Manager
+	memOwners map[spec.AppID]spec.ProcID
 
 	runtimes map[spec.AppID]*appRuntime
 	monitors []*envmon.Monitor
@@ -277,6 +303,28 @@ func NewSystem(opts Options) (*System, error) {
 		return nil, err
 	}
 
+	// Dynamic membership.
+	if opts.Membership != nil {
+		required := []spec.ProcID{primary.ID()}
+		if standby != nil {
+			required = append(required, standby.ID())
+		}
+		s.mem, err = membership.NewManager(membership.Config{
+			Spec:          rs,
+			Pool:          s.pool,
+			Auth:          primary.ID(),
+			Events:        opts.Membership.Events,
+			CatchUpFrames: opts.Membership.CatchUpFrames,
+			Required:      required,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.memOwners = make(map[spec.AppID]spec.ProcID, len(rs.RealApps()))
+		s.manager.pool = s.pool
+		s.manager.mem = s.mem
+	}
+
 	// Bus.
 	if opts.BusSchedule != nil {
 		s.bus = bus.New(opts.BusSchedule)
@@ -291,6 +339,9 @@ func NewSystem(opts Options) (*System, error) {
 		s.telRec = telemetry.NewRecorder(opts.TelemetryCapacity)
 		s.telSink = s.telRec
 		s.manager.setTelemetry(s.telReg, s.telRec)
+		if s.mem != nil {
+			s.mem.SetTelemetry(s.telReg, s.telRec)
+		}
 		if s.bus != nil {
 			s.bus.Instrument(s.telReg, s.telRec)
 		}
@@ -379,12 +430,18 @@ func NewSystem(opts Options) (*System, error) {
 	s.sched.AddCommitHook(s.failureHook)    // fail-stop failures of this frame (staged writes must die)
 	s.sched.AddCommitHook(s.failoverHook)   // hot-standby failovers mask within the failure frame
 	s.sched.AddCommitHook(s.syncProcHealth) // hardware fault signals: health factors + direct SCRAM signal
-	s.sched.AddCommitHook(s.manager.hook)   // SCRAM plans and writes next-frame commands
+	if s.mem != nil {
+		s.sched.AddCommitHook(s.membershipHook) // membership view advances before the kernel plans
+	}
+	s.sched.AddCommitHook(s.manager.hook) // SCRAM plans and writes next-frame commands
 	if s.bus != nil {
 		s.sched.AddCommitHook(func(ctx frame.Context) error {
 			s.bus.DeliverFrame(ctx.Frame)
 			return nil
 		})
+	}
+	if s.mem != nil {
+		s.sched.AddCommitHook(s.membershipFinishHook) // stage the frame's membership record before commits
 	}
 	s.sched.AddCommitHook(s.commitHook)  // frame-atomic stable-storage commits
 	s.sched.AddCommitHook(s.scrubHook)   // hardened-storage scrub + media fault clock
@@ -534,12 +591,50 @@ func (s *System) powerHook(frame.Context) error {
 	return nil
 }
 
+// membershipHook advances the membership view by one frame, before the
+// SCRAM manager's hook: a takeover in this frame then draws from the
+// updated candidate set and the kernel stamps the frame's epoch into its
+// commands. It runs against the active kernel's stable store — during a
+// takeover frame still the failed primary's, whose committed state survives
+// the halt and stays readable.
+func (s *System) membershipHook(ctx frame.Context) error {
+	s.mem.Step(ctx.Frame, s.manager.store())
+	return nil
+}
+
+// membershipFinishHook closes the frame's membership processing after the
+// kernel ran and before the stable-storage commits: the frame's (possibly
+// converged or takeover-bumped) view is staged onto the active kernel's
+// store so the epoch commits at this frame's boundary, and the frame's
+// application ownership is appended to the invariant log.
+func (s *System) membershipFinishHook(ctx frame.Context) error {
+	clear(s.memOwners)
+	if cfg, ok := s.rs.Config(s.manager.kernel().Current()); ok {
+		for _, decl := range s.rs.RealApps() {
+			if _, placed := cfg.Placement[decl.ID]; !placed {
+				continue
+			}
+			if rt, ok := s.runtimes[decl.ID]; ok {
+				s.memOwners[decl.ID] = rt.proc.ID()
+			}
+		}
+	}
+	return s.mem.Finish(ctx.Frame, s.manager.store(), s.memOwners)
+}
+
 // scramProcs returns the processors that must never be shut down: the
-// kernel's hosts.
+// kernel's hosts, plus — with dynamic membership — every non-down member
+// (joining processors need frames to catch up; caught-up standbys must stay
+// warm to remain takeover-eligible).
 func (s *System) scramProcs(needed map[spec.ProcID]bool) {
 	needed[s.manager.primary.ID()] = true
 	if s.manager.standby != nil {
 		needed[s.manager.standby.ID()] = true
+	}
+	if s.mem != nil {
+		for _, id := range s.mem.StandbyProcs() {
+			needed[id] = true
+		}
 	}
 }
 
@@ -822,6 +917,20 @@ func (s *System) TookOverAt() (int64, bool) { return s.manager.TookOverAt() }
 // CheckProperties runs the SP1-SP4 checkers over the recorded trace.
 func (s *System) CheckProperties() []trace.Violation {
 	return trace.CheckAll(s.tr, s.rs)
+}
+
+// Membership returns the dynamic-membership manager, or nil when the system
+// runs with the static processor set.
+func (s *System) Membership() *membership.Manager { return s.mem }
+
+// CheckMembership runs the membership invariant checkers (epoch
+// monotonicity, no-split-brain, safe handoff) over the per-frame membership
+// log; it returns nil when membership is disabled.
+func (s *System) CheckMembership() []membership.Violation {
+	if s.mem == nil {
+		return nil
+	}
+	return membership.CheckLog(s.mem.Log())
 }
 
 // Close releases the scheduler's goroutines. The system cannot run after

@@ -17,7 +17,18 @@ type Ordered interface {
 // SortedKeys returns m's keys in ascending order, giving map iteration a
 // deterministic, replay-stable sequence.
 func SortedKeys[K Ordered, V any](m map[K]V) []K {
-	keys := make([]K, 0, len(m))
+	return SortedKeysInto(nil, m)
+}
+
+// SortedKeysInto is SortedKeys with a caller-owned scratch buffer: keys is
+// truncated and reused when its capacity suffices, so per-frame call sites
+// can iterate maps in sorted order without a steady-state allocation. The
+// returned slice must be assigned back over the scratch (append semantics).
+func SortedKeysInto[K Ordered, V any](keys []K, m map[K]V) []K {
+	keys = keys[:0]
+	if cap(keys) < len(m) {
+		keys = make([]K, 0, len(m))
+	}
 	for k := range m {
 		keys = append(keys, k)
 	}

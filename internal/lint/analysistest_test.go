@@ -133,6 +133,14 @@ func TestTelemetryFixture(t *testing.T) {
 	runFixture(t, []*Analyzer{FrameDet, NoFreeGoroutine}, "telemetry")
 }
 
+// TestMembershipFixture pins the membership package's lint scope: it is
+// frame-deterministic and frame-synchronous like the kernel packages, and
+// its record codec and manager errors are fail-stop boundaries the stableerr
+// analyzer guards.
+func TestMembershipFixture(t *testing.T) {
+	runFixture(t, []*Analyzer{FrameDet, NoFreeGoroutine, StableErr}, "membership")
+}
+
 // TestFrameDetSkipsOtherPackages pins the package-name gate: the same
 // nondeterminism that fires inside a frame-deterministic package is legal in
 // packages outside the frame abstraction (campaign drivers, tooling).

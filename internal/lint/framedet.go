@@ -13,14 +13,15 @@ import (
 // schedules that abstraction replays), so its behaviour must be a pure
 // function of committed state and frame inputs.
 var frameDetPkgs = map[string]bool{
-	"core":      true,
-	"scram":     true,
-	"fta":       true,
-	"spec":      true,
-	"statics":   true,
-	"avionics":  true,
-	"masking":   true,
-	"telemetry": true,
+	"core":       true,
+	"scram":      true,
+	"fta":        true,
+	"spec":       true,
+	"statics":    true,
+	"avionics":   true,
+	"masking":    true,
+	"telemetry":  true,
+	"membership": true,
 }
 
 // FrameDet flags nondeterminism inside frame-deterministic packages: wall
@@ -29,7 +30,7 @@ var frameDetPkgs = map[string]bool{
 var FrameDet = &Analyzer{
 	Name: "framedet",
 	Doc: "In frame-deterministic packages (core, scram, fta, spec, statics, " +
-		"avionics, masking, telemetry) flag time.Now/time.Since, global math/rand use, and " +
+		"avionics, masking, telemetry, membership) flag time.Now/time.Since, global math/rand use, and " +
 		"range over a map whose body writes state, calls a mutator, or returns — " +
 		"iteration-order nondeterminism breaks replay and replica agreement.",
 	Run: runFrameDet,

@@ -9,12 +9,13 @@ import "go/ast"
 // fail-stop pool's monitored goroutines) that must carry a //lint:allow
 // annotation naming its justification.
 var frameSyncPkgs = map[string]bool{
-	"scram":     true,
-	"core":      true,
-	"fta":       true,
-	"frame":     true,
-	"failstop":  true,
-	"telemetry": true,
+	"scram":      true,
+	"core":       true,
+	"fta":        true,
+	"frame":      true,
+	"failstop":   true,
+	"telemetry":  true,
+	"membership": true,
 	// campaign is not frame-synchronous, but its worker pool is the one
 	// place the simulator deliberately multiplies goroutines; scoping the
 	// analyzer over it forces every launch to carry an audited allow.
@@ -26,7 +27,7 @@ var frameSyncPkgs = map[string]bool{
 var NoFreeGoroutine = &Analyzer{
 	Name: "nofreegoroutine",
 	Doc: "Forbid go statements in the frame-synchronous packages (scram, core, " +
-		"fta, frame, failstop, telemetry): the model has no free-running concurrency; " +
+		"fta, frame, failstop, telemetry, membership): the model has no free-running concurrency; " +
 		"audited launches carry a //lint:allow nofreegoroutine annotation.",
 	Run: runNoFreeGoroutine,
 }

@@ -14,8 +14,9 @@ import (
 var StableErr = &Analyzer{
 	Name: "stableerr",
 	Doc: "Errors returned by stable.Store/Region/ReplicatedStore/Medium, " +
-		"bus.Bus/Endpoint, and scram command helpers must be used — returned, " +
-		"inspected, or fed to a halt path — never assigned to _ or dropped.",
+		"bus.Bus/Endpoint, scram command helpers, and the membership manager and " +
+		"record codecs must be used — returned, inspected, or fed to a halt " +
+		"path — never assigned to _ or dropped.",
 	Run: runStableErr,
 }
 
@@ -34,6 +35,9 @@ var stableErrRecvTypes = map[string]map[string]bool{
 		"Bus":      true,
 		"Endpoint": true,
 	},
+	"repro/internal/membership": {
+		"Manager": true,
+	},
 }
 
 // stableErrFuncs lists in-scope package-level functions.
@@ -41,6 +45,11 @@ var stableErrFuncs = map[string]map[string]bool{
 	"repro/internal/scram": {
 		"WriteCommand": true,
 		"ReadCommand":  true,
+	},
+	"repro/internal/membership": {
+		"EncodeRecord": true,
+		"DecodeRecord": true,
+		"Verify":       true,
 	},
 }
 

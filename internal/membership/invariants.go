@@ -1,0 +1,100 @@
+package membership
+
+import (
+	"fmt"
+
+	"repro/internal/spec"
+)
+
+// Owner records which member processor hosts a placed application in a
+// frame.
+type Owner struct {
+	App  spec.AppID  `json:"app"`
+	Proc spec.ProcID `json:"proc"`
+}
+
+// FrameRecord is one frame's entry in the membership log: the view in force
+// at the frame's commit plus the application-to-processor ownership the
+// runtime actually exhibited.
+type FrameRecord struct {
+	Frame   int64       `json:"frame"`
+	Epoch   int64       `json:"epoch"`
+	Auth    spec.ProcID `json:"auth"`
+	Members []Member    `json:"members"`
+	Owners  []Owner     `json:"owners,omitempty"`
+}
+
+// Violation is one membership-invariant failure found by CheckLog.
+type Violation struct {
+	// Invariant is "epoch_monotonic", "no_split_brain" or "safe_handoff".
+	Invariant string `json:"invariant"`
+	Frame     int64  `json:"frame"`
+	Detail    string `json:"detail"`
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("frame %d: %s: %s", v.Frame, v.Invariant, v.Detail)
+}
+
+// CheckLog verifies the membership invariants over a per-frame log, the
+// runtime counterparts of SP1-SP4:
+//
+//   - epoch_monotonic: the epoch never decreases frame over frame.
+//   - no_split_brain: each epoch has exactly one authoritative kernel host;
+//     a host change without an epoch change would mean two kernels could
+//     both believe themselves authoritative under one epoch.
+//   - safe_handoff: every placed application has an owner in every frame,
+//     and the owner is a member of that frame's view — no frame exists in
+//     which zero member processors own a placed application.
+func CheckLog(log []FrameRecord) []Violation {
+	var out []Violation
+	authByEpoch := make(map[int64]spec.ProcID, 8)
+	for i, rec := range log {
+		if i > 0 && rec.Epoch < log[i-1].Epoch {
+			out = append(out, Violation{
+				Invariant: "epoch_monotonic",
+				Frame:     rec.Frame,
+				Detail:    fmt.Sprintf("epoch %d after epoch %d", rec.Epoch, log[i-1].Epoch),
+			})
+		}
+		if prev, ok := authByEpoch[rec.Epoch]; ok {
+			if prev != rec.Auth {
+				out = append(out, Violation{
+					Invariant: "no_split_brain",
+					Frame:     rec.Frame,
+					Detail:    fmt.Sprintf("epoch %d authoritative on %q and %q", rec.Epoch, prev, rec.Auth),
+				})
+			}
+		} else {
+			authByEpoch[rec.Epoch] = rec.Auth
+		}
+		for _, own := range rec.Owners {
+			if own.Proc == "" {
+				out = append(out, Violation{
+					Invariant: "safe_handoff",
+					Frame:     rec.Frame,
+					Detail:    fmt.Sprintf("placed application %q has no owning processor", own.App),
+				})
+				continue
+			}
+			mem := findMember(rec.Members, own.Proc)
+			if mem == nil {
+				out = append(out, Violation{
+					Invariant: "safe_handoff",
+					Frame:     rec.Frame,
+					Detail:    fmt.Sprintf("application %q owned by non-member %q", own.App, own.Proc),
+				})
+			}
+		}
+	}
+	return out
+}
+
+func findMember(members []Member, proc spec.ProcID) *Member {
+	for i := range members {
+		if members[i].Proc == proc {
+			return &members[i]
+		}
+	}
+	return nil
+}

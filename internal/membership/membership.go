@@ -1,0 +1,166 @@
+// Package membership adds dynamic processor membership to the fail-stop
+// architecture: processors join and leave the platform at runtime under a
+// frame-synchronous membership view with monotone epoch numbers persisted to
+// stable storage.
+//
+// The paper assumes a static processor set verified once, offline. Following
+// Dolev et al.'s self-stabilizing reconfiguration and Hufflen's
+// re-verification view, this package relaxes that in two assured steps:
+//
+//   - Every membership change is re-verified online before its epoch
+//     commits: the covering/acyclicity/timing/resource obligations of
+//     package statics are discharged against the would-be processor set, and
+//     an unverifiable change (for example draining a processor the
+//     configuration set still places applications on) is rejected — the
+//     prior epoch keeps serving.
+//
+//   - The committed membership record is validated every frame. A torn or
+//     corrupted record, a record naming processors the platform never
+//     declared, or a record that diverged from the authoritative
+//     frame-synchronous view drives a bounded convergence: the manager
+//     re-commits a legal view under a strictly larger epoch instead of
+//     halting or serving from garbage. Corruption committed at frame k is
+//     detected at k+1 and a legal record is committed again by the end of
+//     k+1 — convergence within two frames of the corruption becoming
+//     visible.
+//
+// A joining processor is not takeover-eligible until it has caught up: the
+// manager copies the SCRAM's committed state onto the joiner's stable
+// storage each frame (under a private prefix), and after CatchUpFrames
+// copies the joiner is promoted to an active standby. Caught-up copies keep
+// refreshing afterwards, so every standby holds a local snapshot at most one
+// frame stale — the last-resort restore source when the failed primary's own
+// snapshot turns out to be corrupt.
+//
+// Invariants checked over the per-frame membership log, alongside SP1-SP4:
+// epoch monotonicity, no-split-brain (at most one authoritative kernel host
+// per epoch), and safe handoff (no frame in which a placed application has
+// no owning member processor).
+package membership
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+
+	"repro/internal/spec"
+)
+
+// Status is a member processor's lifecycle state within the view.
+type Status string
+
+const (
+	// StatusActive members serve placements and, once caught up, are
+	// takeover-eligible.
+	StatusActive Status = "active"
+	// StatusJoining members are catching up from the SCRAM's stable state
+	// and are not yet takeover-eligible.
+	StatusJoining Status = "joining"
+	// StatusDown members have been crash-evicted: the processor failed and
+	// the view records it as non-serving until it is repaired. Eviction
+	// changes no placements, so it needs no re-verification; the member
+	// re-enters through the joining state when repaired.
+	StatusDown Status = "down"
+)
+
+// Member is one processor's entry in the membership view.
+type Member struct {
+	Proc   spec.ProcID `json:"proc"`
+	Status Status      `json:"status"`
+	// CatchUp counts completed catch-up copy frames while joining.
+	CatchUp int `json:"catch_up,omitempty"`
+	// CaughtUp marks the member takeover-eligible: it holds a usable copy
+	// of the SCRAM's stable state.
+	CaughtUp bool `json:"caught_up,omitempty"`
+}
+
+// View is the frame-synchronous membership view: the epoch number, the
+// authoritative kernel host, and the member set sorted by processor ID.
+type View struct {
+	Epoch   int64       `json:"epoch"`
+	Auth    spec.ProcID `json:"auth"`
+	Members []Member    `json:"members"`
+}
+
+// Member returns the view's entry for proc, or nil. The pointer aliases the
+// view's member slice.
+func (v View) Member(proc spec.ProcID) *Member {
+	for i := range v.Members {
+		if v.Members[i].Proc == proc {
+			return &v.Members[i]
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the view.
+func (v View) Clone() View {
+	out := v
+	out.Members = append([]Member(nil), v.Members...)
+	return out
+}
+
+// RecordKey is the stable-storage key of the committed membership record. It
+// lives outside the "scram/" prefix: the status-discipline lint reserves
+// that namespace for the kernel's own writes.
+const RecordKey = "membership/view"
+
+// catchUpPrefix prefixes the catch-up copy of the SCRAM's stable state on a
+// joining or standby member's own store.
+const catchUpPrefix = "membership/catchup/"
+
+// record is the persisted form of a view: the view plus a checksum over its
+// canonical encoding, so a torn or bit-flipped record is detected rather
+// than decoded into garbage.
+type record struct {
+	View View   `json:"view"`
+	CRC  uint32 `json:"crc"`
+}
+
+// EncodeRecord renders a view as a checksummed stable-storage record.
+func EncodeRecord(v View) ([]byte, error) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return nil, fmt.Errorf("membership: encoding view: %w", err)
+	}
+	raw, err := json.Marshal(record{View: v, CRC: crc32.ChecksumIEEE(body)})
+	if err != nil {
+		return nil, fmt.Errorf("membership: encoding record: %w", err)
+	}
+	return raw, nil
+}
+
+// DecodeRecord parses and checks a committed membership record. It fails on
+// malformed JSON and on checksum mismatch (a torn write), the two shapes of
+// physical corruption a stable store can hand back.
+func DecodeRecord(raw []byte) (View, error) {
+	var rec record
+	if err := json.Unmarshal(raw, &rec); err != nil {
+		return View{}, fmt.Errorf("membership: corrupt record: %w", err)
+	}
+	body, err := json.Marshal(rec.View)
+	if err != nil {
+		return View{}, fmt.Errorf("membership: re-encoding record view: %w", err)
+	}
+	if sum := crc32.ChecksumIEEE(body); sum != rec.CRC {
+		return View{}, fmt.Errorf("membership: torn record: crc %08x, want %08x", rec.CRC, sum)
+	}
+	return rec.View, nil
+}
+
+// membersEqual reports whether two sorted member slices agree on membership:
+// processor, status and takeover eligibility. The catch-up frame counter is
+// bookkeeping that advances without an epoch change (the committed record is
+// only rewritten when the view moves to a new epoch), so it is excluded —
+// otherwise every catch-up frame would read as record divergence.
+func membersEqual(a, b []Member) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Proc != b[i].Proc || a[i].Status != b[i].Status || a[i].CaughtUp != b[i].CaughtUp {
+			return false
+		}
+	}
+	return true
+}

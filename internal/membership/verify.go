@@ -1,0 +1,41 @@
+package membership
+
+import (
+	"fmt"
+
+	"repro/internal/spec"
+	"repro/internal/statics"
+)
+
+// Verify discharges the static proof obligations of the extended transition
+// table against a candidate member set: the full reconfiguration
+// specification is re-checked with the platform restricted to the members,
+// exactly as if the reduced system had been verified offline. A change that
+// cannot be verified — most importantly removing a processor some
+// configuration still places applications on — returns an error naming the
+// failed obligation, and the caller must keep serving under the prior epoch.
+//
+// The shadow specification shares the immutable declaration data with the
+// original; only the platform differs, so a verification costs one statics
+// pass and allocates nothing persistent.
+func Verify(rs *spec.ReconfigSpec, members []spec.ProcID) error {
+	keep := make(map[spec.ProcID]bool, len(members))
+	for _, id := range members {
+		keep[id] = true
+	}
+	shadow := *rs
+	shadow.Platform = spec.Platform{Procs: make([]spec.Proc, 0, len(members))}
+	for _, p := range rs.Platform.Procs {
+		if keep[p.ID] {
+			shadow.Platform.Procs = append(shadow.Platform.Procs, p)
+		}
+	}
+	report, err := statics.Check(&shadow)
+	if err != nil {
+		return fmt.Errorf("membership: member set %v fails validation: %w", members, err)
+	}
+	if !report.AllDischarged() {
+		return fmt.Errorf("membership: member set %v fails obligations: %v", members, report.Failures())
+	}
+	return nil
+}

@@ -51,6 +51,12 @@ type Command struct {
 	// zero for normal operation.
 	WinStart int64 `json:"win_start,omitempty"`
 	WinEnd   int64 `json:"win_end,omitempty"`
+	// Epoch is the membership epoch the command was issued under; zero
+	// when the system runs without dynamic membership. Applications
+	// ignore commands stamped with an epoch older than one they have
+	// already obeyed — a stale pre-takeover command cannot roll an
+	// application back.
+	Epoch int64 `json:"epoch,omitempty"`
 }
 
 // Active reports whether the command's action window covers the frame.

@@ -71,6 +71,11 @@ type kernelState struct {
 	TriggerApp spec.AppID    `json:"trigger_app,omitempty"`
 	Urgent     bool          `json:"urgent,omitempty"`
 	Plan       *plan         `json:"plan,omitempty"`
+	// Epoch is the membership epoch the kernel serves under; zero when the
+	// system runs with the static processor set. It rides in the persisted
+	// state so a takeover restores the last committed epoch, and it stamps
+	// every command so applications can discard stale pre-takeover ones.
+	Epoch int64 `json:"epoch,omitempty"`
 }
 
 // Kernel is the SCRAM kernel. Create one with NewKernel; drive it by calling
@@ -182,6 +187,21 @@ func Restore(rs *spec.ReconfigSpec, store *stable.Store, snapshot map[string][]b
 
 // Store returns the stable store the kernel writes commands to.
 func (k *Kernel) Store() *stable.Store { return k.store }
+
+// Epoch returns the membership epoch the kernel is serving under; zero with
+// the static processor set.
+func (k *Kernel) Epoch() int64 { return k.st.Epoch }
+
+// SetEpoch moves the kernel to a membership epoch. The membership layer
+// calls it before EndOfFrame, so the frame's commands and persisted state
+// both carry the frame's epoch. Epochs are monotone: a smaller value is
+// ignored (a restored kernel may briefly hold a newer epoch than a lagging
+// caller).
+func (k *Kernel) SetEpoch(epoch int64) {
+	if epoch > k.st.Epoch {
+		k.st.Epoch = epoch
+	}
+}
 
 // Current returns the configuration in effect (the target configuration is
 // not "current" until the reconfiguration completes).
@@ -377,7 +397,7 @@ func (k *Kernel) writeCommands(f int64) error {
 		if p == nil {
 			cfg, _ := k.rs.Config(k.st.Current)
 			target, _ := cfg.SpecOf(app.ID)
-			cmd = Command{Seq: k.st.Seq, Phase: spec.PhaseNormal, Target: target, Config: k.st.Current}
+			cmd = Command{Seq: k.st.Seq, Phase: spec.PhaseNormal, Target: target, Config: k.st.Current, Epoch: k.st.Epoch}
 		} else {
 			// Per-application phase selection: the command names the
 			// phase the application is in (or awaiting) at f+1, with
@@ -386,7 +406,7 @@ func (k *Kernel) writeCommands(f int64) error {
 			// until the window opens. This covers both the staged
 			// protocol and the compressed (section 6.3) one.
 			aw := p.Apps[app.ID]
-			cmd = Command{Seq: p.Seq, Config: p.Target, Target: aw.Target}
+			cmd = Command{Seq: p.Seq, Config: p.Target, Target: aw.Target, Epoch: k.st.Epoch}
 			g := f + 1
 			switch {
 			case aw.HaltStart >= 0 && g <= aw.HaltEnd:

@@ -113,6 +113,21 @@ func ThreeConfig() *spec.ReconfigSpec {
 	}
 }
 
+// ThreeConfigWithSpares returns ThreeConfig extended with n spare processors
+// (p3, p4, ...) that no configuration places applications on: the standby
+// pool the dynamic-membership layer grows into and drains from. Verification
+// of the base obligations is unaffected — spares only add capacity.
+func ThreeConfigWithSpares(n int) *spec.ReconfigSpec {
+	rs := ThreeConfig()
+	for i := 0; i < n; i++ {
+		rs.Platform.Procs = append(rs.Platform.Procs, spec.Proc{
+			ID:       spec.ProcID(fmt.Sprintf("p%d", 3+i)),
+			Capacity: spec.Resources{CPU: 8, MemoryKB: 1024, PowerMW: 1000},
+		})
+	}
+	return rs
+}
+
 // Random returns a randomized, structurally valid specification with
 // nApps applications and nConfigs configurations driven by nEnvs environment
 // states. The choice table is total by construction, every chosen transition

@@ -332,7 +332,7 @@ func (s *Store) SnapshotPrefix(prefix string) map[string][]byte {
 		return snap
 	}
 	defer s.mu.Unlock()
-	out := make(map[string][]byte)
+	var out map[string][]byte
 	copyKey := func(k string) {
 		if !strings.HasPrefix(k, prefix) {
 			return
@@ -344,11 +344,14 @@ func (s *Store) SnapshotPrefix(prefix string) map[string][]byte {
 	}
 	if i := strings.IndexByte(prefix, '/'); i >= 0 {
 		// The prefix pins a top-level segment: only that bucket can match.
-		for k := range s.buckets[prefix[:i+1]] {
+		bucket := s.buckets[prefix[:i+1]]
+		out = make(map[string][]byte, len(bucket))
+		for k := range bucket {
 			copyKey(k)
 		}
 		return out
 	}
+	out = make(map[string][]byte, len(s.committed))
 	for k := range s.committed {
 		copyKey(k)
 	}
@@ -376,12 +379,15 @@ func (s *Store) Keys(prefix string) []string {
 	defer s.mu.Unlock()
 	var keys []string
 	if i := strings.IndexByte(prefix, '/'); i >= 0 {
-		for k := range s.buckets[prefix[:i+1]] {
+		bucket := s.buckets[prefix[:i+1]]
+		keys = make([]string, 0, len(bucket))
+		for k := range bucket {
 			if strings.HasPrefix(k, prefix) {
 				keys = append(keys, k)
 			}
 		}
 	} else {
+		keys = make([]string, 0, len(s.committed))
 		for k := range s.committed {
 			if strings.HasPrefix(k, prefix) {
 				keys = append(keys, k)

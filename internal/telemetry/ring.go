@@ -57,6 +57,23 @@ const (
 	KindProcHalt Kind = "proc-halt"
 	// KindTakeover records a standby SCRAM kernel assuming control.
 	KindTakeover Kind = "takeover"
+	// KindTakeoverRefused records a takeover candidate fail-stopping
+	// because no restorable snapshot survived validation.
+	KindTakeoverRefused Kind = "takeover-refused"
+	// KindMemberJoin records a processor entering the membership view (or
+	// being promoted to a takeover-eligible standby after catch-up).
+	KindMemberJoin Kind = "member-join"
+	// KindMemberLeave records a verified graceful leave.
+	KindMemberLeave Kind = "member-leave"
+	// KindMemberEvict records a crash-detected eviction from the view.
+	KindMemberEvict Kind = "member-evict"
+	// KindMembershipReject records a membership change refused by online
+	// re-verification; the prior epoch kept serving.
+	KindMembershipReject Kind = "membership-reject"
+	// KindMembershipConverge records the self-stabilization path
+	// re-committing a legal membership record over a corrupt or divergent
+	// one.
+	KindMembershipConverge Kind = "membership-converge"
 )
 
 // Event is one flight-recorder entry. Frame is the only timestamp: the
