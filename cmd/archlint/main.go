@@ -4,18 +4,23 @@
 // The spec-level assurance layer (internal/statics) discharges the paper's
 // proof obligations against the reconfiguration specification; archlint is
 // the implementation-level counterpart, checking that the Go code cannot
-// drift from the model those obligations were proved against. It runs four
-// analyzers (see internal/lint): framedet, stableerr, nofreegoroutine and
-// statusdiscipline.
+// drift from the model those obligations were proved against. It runs six
+// analyzers (see internal/lint): framedet, stableerr, nofreegoroutine,
+// statusdiscipline, allocfree and epochguard. The last two are
+// interprocedural: they build a conservative callgraph from the
+// //lint:frame-entry roots and judge only code the frame hot path can reach.
 //
 // Usage:
 //
-//	archlint [-analyzers=a,b,...] [-json] [packages]
+//	archlint [-analyzers=a,b,...] [-json] [-baseline file] [packages]
 //
 // Packages default to ./... relative to the working directory. The exit
 // status is 0 when the tree is clean, 1 when any analyzer reported a
 // diagnostic, and 2 on a loading or usage error. Individual findings are
-// suppressed in source with `//lint:allow <analyzer> <reason>`.
+// suppressed in source with `//lint:allow <analyzer> <reason>`; the
+// tolerated backlog lives in a committed baseline file (-baseline filters
+// against it, -write-baseline regenerates it, and -allowances reports every
+// in-source exception for audit).
 package main
 
 import (
@@ -41,8 +46,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array")
 	list := fs.Bool("list", false, "list available analyzers and exit")
 	outPath := fs.String("out", "", "write the diagnostics to this file instead of stdout")
+	baselinePath := fs.String("baseline", "", "filter findings against this baseline file; fail only on new ones")
+	writeBaseline := fs.String("write-baseline", "", "write the current findings to this baseline file and exit 0")
+	allowances := fs.Bool("allowances", false, "report every //lint:allow directive as JSON and exit")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: archlint [-analyzers=a,b,...] [-json] [-out file] [packages]\n\n")
+		fmt.Fprintf(stderr, "usage: archlint [-analyzers=a,b,...] [-json] [-baseline file] [-out file] [packages]\n\n")
 		fmt.Fprintf(stderr, "Statically enforces the fail-stop and frame-determinism invariants.\n\n")
 		fs.PrintDefaults()
 	}
@@ -80,10 +88,54 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, err)
 		return 2
 	}
+	// Baseline entries and allowance reports use module-root-relative paths
+	// so the files are stable across checkouts.
+	root, err := loader.ModuleDir()
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	if *allowances {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		all := lint.Allowances(pkgs, root)
+		if all == nil {
+			all = []lint.Allowance{}
+		}
+		if err := enc.Encode(all); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		return 0
+	}
 	diags, err := lint.Run(selected, pkgs)
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 2
+	}
+	if *writeBaseline != "" {
+		if err := os.WriteFile(*writeBaseline, lint.FormatBaseline(diags, root), 0o644); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		fmt.Fprintf(stderr, "archlint: wrote %d finding(s) to %s\n", len(diags), *writeBaseline)
+		return 0
+	}
+	if *baselinePath != "" {
+		data, err := os.ReadFile(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		base, err := lint.ParseBaseline(data)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		before := len(diags)
+		diags = base.Filter(diags, root)
+		fmt.Fprintf(stderr, "archlint: baseline %s tolerates %d finding(s); suppressed %d, %d new\n",
+			*baselinePath, base.Size(), before-len(diags), len(diags))
 	}
 	if *jsonOut {
 		enc := json.NewEncoder(stdout)

@@ -16,7 +16,7 @@ func TestListAnalyzers(t *testing.T) {
 	if code := run([]string{"-list"}, &out, &errb); code != 0 {
 		t.Fatalf("run(-list) = %d, stderr: %s", code, errb.String())
 	}
-	for _, name := range []string{"framedet", "stableerr", "nofreegoroutine", "statusdiscipline"} {
+	for _, name := range []string{"framedet", "stableerr", "nofreegoroutine", "statusdiscipline", "allocfree", "epochguard"} {
 		if !strings.Contains(out.String(), name) {
 			t.Errorf("-list output missing analyzer %q", name)
 		}
@@ -35,11 +35,15 @@ func TestUnknownAnalyzerIsUsageError(t *testing.T) {
 
 func TestModuleIsClean(t *testing.T) {
 	var out, errb bytes.Buffer
-	if code := run([]string{"repro/..."}, &out, &errb); code != 0 {
-		t.Errorf("run(repro/...) = %d, want 0\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	baseline := filepath.Join("..", "..", "lint", "allocfree.baseline")
+	if code := run([]string{"-baseline", baseline, "repro/..."}, &out, &errb); code != 0 {
+		t.Errorf("run(-baseline repro/...) = %d, want 0\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
 	}
 	if out.Len() != 0 {
 		t.Errorf("clean tree should print nothing, got:\n%s", out.String())
+	}
+	if !strings.Contains(errb.String(), "0 new") {
+		t.Errorf("stderr = %q, want a baseline summary reporting 0 new findings", errb.String())
 	}
 }
 
@@ -102,6 +106,57 @@ func TestJSONOutput(t *testing.T) {
 	}
 	if len(diags) != 1 || diags[0].Analyzer != "framedet" || diags[0].Line == 0 {
 		t.Errorf("diagnostics = %+v, want one framedet finding with a position", diags)
+	}
+}
+
+// TestBaselineRoundTrip drives the backlog workflow end to end in the dirty
+// module: -write-baseline captures the findings, a gated rerun passes with 0
+// new, and emptying the baseline trips the gate again.
+func TestBaselineRoundTrip(t *testing.T) {
+	chdirModule(t)
+	var out, errb bytes.Buffer
+	if code := run([]string{"-write-baseline", "base.txt", "./..."}, &out, &errb); code != 0 {
+		t.Fatalf("run -write-baseline = %d, want 0\nstderr: %s", code, errb.String())
+	}
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-baseline", "base.txt", "./..."}, &out, &errb); code != 0 {
+		t.Fatalf("gated run against a fresh baseline = %d, want 0\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(errb.String(), "0 new") {
+		t.Errorf("stderr = %q, want 0 new findings", errb.String())
+	}
+	if err := os.WriteFile("base.txt", []byte("# emptied\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-baseline", "base.txt", "./..."}, &out, &errb); code != 1 {
+		t.Errorf("gated run against an emptied baseline = %d, want 1", code)
+	}
+}
+
+// TestAllowancesReport checks the audit report: every //lint:allow in the
+// real tree is enumerated with its analyzer and reason, none inert.
+func TestAllowancesReport(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-allowances", "repro/..."}, &out, &errb); code != 0 {
+		t.Fatalf("run -allowances = %d, want 0\nstderr: %s", code, errb.String())
+	}
+	var allows []lint.Allowance
+	if err := json.Unmarshal(out.Bytes(), &allows); err != nil {
+		t.Fatalf("stdout is not a JSON allowance array: %v\n%s", err, out.String())
+	}
+	if len(allows) == 0 {
+		t.Fatal("the tree carries //lint:allow directives, report is empty")
+	}
+	for _, a := range allows {
+		if a.File == "" || a.Line == 0 || a.Analyzer == "" {
+			t.Errorf("allowance missing location or analyzer: %+v", a)
+		}
+		if a.Inert {
+			t.Errorf("inert (reason-less) allowance in tree at %s:%d: suppresses nothing, delete or justify it", a.File, a.Line)
+		}
 	}
 }
 

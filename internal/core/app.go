@@ -26,6 +26,10 @@ import (
 // FrameEnv is what an application sees during one frame: timing, its
 // current (or target) functional specification, its private stable-storage
 // region on its current host processor, and its bus endpoint.
+//
+// The pointer passed to an App method is a per-application buffer reused
+// every frame; applications must read what they need during the call and
+// must not retain the pointer.
 type FrameEnv struct {
 	// Frame is the frame number.
 	Frame int64
@@ -111,6 +115,12 @@ type appRuntime struct {
 	// the per-frame region lookup does not allocate in steady state.
 	regionProc  *failstop.Processor
 	regionCache *stable.Region
+
+	// cmdReader caches the raw command record and its decode across frames;
+	// env is the FrameEnv buffer reused for every phase call. Both keep the
+	// steady-state Tick allocation-free.
+	cmdReader *scram.CommandReader
+	env       FrameEnv
 }
 
 // TaskID implements frame.Task.
@@ -118,16 +128,17 @@ func (r *appRuntime) TaskID() string { return "app:" + string(r.decl.ID) }
 
 // Tick implements frame.Task: one unit of work per frame, as commanded.
 func (r *appRuntime) Tick(ctx frame.Context) error {
-	cmd, ok, err := scram.ReadCommand(r.sys.manager.store(), r.decl.ID)
+	cmd, ok, err := r.cmdReader.Read(r.sys.manager.store())
 	if err != nil {
 		return err
 	}
 	if !ok {
 		// Boot frame: the kernel has not committed yet; operate
-		// normally under the start configuration.
+		// normally under the start configuration, in the last obeyed
+		// membership epoch (still the boot epoch).
 		startCfg, _ := r.sys.rs.Config(r.sys.rs.StartConfig)
 		target, _ := startCfg.SpecOf(r.decl.ID)
-		cmd = scram.Command{Phase: spec.PhaseNormal, Target: target, Config: r.sys.rs.StartConfig}
+		cmd = scram.Command{Phase: spec.PhaseNormal, Target: target, Config: r.sys.rs.StartConfig, Epoch: r.lastEpoch}
 	} else if cmd.Epoch < r.lastEpoch {
 		// The command predates a membership epoch this application has
 		// already obeyed; holding the current behavior is safe, obeying
@@ -280,8 +291,12 @@ func (r *appRuntime) region(p *failstop.Processor) *stable.Region {
 	return r.regionCache
 }
 
+// frameEnv fills the runtime's reusable FrameEnv buffer for one phase call.
+// The pointer is valid only for the duration of that call: the next frame
+// overwrites it in place, which is why FrameEnv documents that applications
+// must not retain it.
 func (r *appRuntime) frameEnv(ctx frame.Context, sp spec.SpecID) *FrameEnv {
-	return &FrameEnv{
+	r.env = FrameEnv{
 		Frame:       ctx.Frame,
 		VirtualTime: ctx.VirtualTime(),
 		FrameLen:    ctx.Len,
@@ -290,4 +305,5 @@ func (r *appRuntime) frameEnv(ctx frame.Context, sp spec.SpecID) *FrameEnv {
 		Store:       r.region(r.proc),
 		Bus:         r.ep,
 	}
+	return &r.env
 }

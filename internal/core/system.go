@@ -169,6 +169,41 @@ type System struct {
 	events   []ProcEvent
 	tr       *trace.Trace
 
+	// realApps caches rs.RealApps() (declaration order) and procHealth the
+	// per-processor health factor names, so the per-frame hooks do not
+	// rebuild the slice or re-concatenate factor strings every frame.
+	realApps   []spec.App
+	procHealth []envmon.Factor // indexed like pool.Procs()
+
+	// envSeen/envState cache the classified environment keyed on the
+	// environment's change version: recordHook and the trace need the
+	// classification every frame, but it can only change when some factor
+	// changed.
+	envSeen  uint64
+	envValid bool
+	envState spec.EnvState
+
+	// lastApps is the Apps map of the most recently appended trace state
+	// (owned by the trace, never mutated in place). On frames whose per-app
+	// states all match the previous frame's, recordHook reuses the map
+	// instead of allocating an identical one — the steady-state case.
+	// appScratch holds the frame's computed per-app states (indexed like
+	// rs.Apps) while deciding.
+	lastApps   map[spec.AppID]trace.AppState
+	appScratch []trace.AppState
+	// procScratch and lowScratch are the reused needed/low-power sets of
+	// the power hooks, cleared per use so reconfiguration frames apply
+	// processor modes without rebuilding maps.
+	procScratch map[spec.ProcID]bool
+	lowScratch  map[spec.ProcID]bool
+	// stateChanged reports whether the state recordHook just appended
+	// differs from the previous frame's (config, env, or any app state).
+	// telemetryHook keys its run-length-encoded frame-state sampling off
+	// this flag instead of re-walking the app maps every frame.
+	stateChanged bool
+	lastCfgRec   spec.ConfigID
+	lastEnvRec   spec.EnvState
+
 	// telReg and telRec are the system's metrics registry and
 	// flight-recorder ring; nil when telemetry is disabled. telSink is the
 	// always non-nil recording surface (the no-op sink under ablation),
@@ -184,7 +219,13 @@ type System struct {
 	lastFSFrame int64
 	telFrame    int64
 
-	lastPowerCfg    string
+	// lastPowerIsPlan/lastPowerSeq/lastPowerTarget identify the power-mode
+	// decision already applied (a plan's transition modes or a completed
+	// configuration's steady-state modes), compared field-wise so the
+	// per-frame power hook builds no key strings.
+	lastPowerIsPlan bool
+	lastPowerSeq    int64
+	lastPowerTarget spec.ConfigID
 	stagedHighWater int
 }
 
@@ -282,6 +323,13 @@ func NewSystem(opts Options) (*System, error) {
 	s.env = envmon.NewEnvironment(factors)
 	s.script = envmon.NewScript(s.env, opts.Script)
 	s.script.Init()
+	s.realApps = rs.RealApps()
+	for _, p := range s.pool.Procs() {
+		s.procHealth = append(s.procHealth, ProcHealthFactor(p.ID()))
+	}
+	s.appScratch = make([]trace.AppState, len(rs.Apps))
+	s.procScratch = make(map[spec.ProcID]bool, len(rs.Platform.Procs))
+	s.lowScratch = make(map[spec.ProcID]bool, len(rs.Platform.Procs))
 
 	// SCRAM placement.
 	primary, err := s.pool.Proc(scramProcID)
@@ -381,7 +429,7 @@ func NewSystem(opts Options) (*System, error) {
 	startCfg, _ := rs.Config(rs.StartConfig)
 	for _, decl := range rs.RealApps() {
 		decl := decl
-		rt := &appRuntime{sys: s, app: opts.Apps[decl.ID], decl: &decl}
+		rt := &appRuntime{sys: s, app: opts.Apps[decl.ID], decl: &decl, cmdReader: scram.NewCommandReader(decl.ID)}
 		// Initial host: the start configuration's placement, or the
 		// first processor for applications that start off.
 		procID, placed := startCfg.Placement[decl.ID]
@@ -454,7 +502,7 @@ func NewSystem(opts Options) (*System, error) {
 		s.sched.SetObserver(newTelObserver(s.telReg, s.telRec))
 	}
 
-	s.lastPowerCfg = "cfg:" + string(rs.StartConfig)
+	s.lastPowerIsPlan, s.lastPowerTarget = false, rs.StartConfig
 	s.applyProcModes(rs.StartConfig)
 	return s, nil
 }
@@ -479,7 +527,7 @@ func (s *System) failureHook(ctx frame.Context) error {
 // committed by this frame's commit hook) and the recorder never observes the
 // application interrupted — the failure is masked.
 func (s *System) failoverHook(frame.Context) error {
-	for _, decl := range s.rs.RealApps() {
+	for _, decl := range s.realApps {
 		if rt, ok := s.runtimes[decl.ID]; ok {
 			rt.maybeFailover()
 		}
@@ -495,8 +543,8 @@ func (s *System) failoverHook(frame.Context) error {
 // pair halting its processor on divergence).
 func (s *System) syncProcHealth(ctx frame.Context) error {
 	changed := false
-	for _, p := range s.pool.Procs() {
-		factor := ProcHealthFactor(p.ID())
+	for i, p := range s.pool.Procs() {
+		factor := s.procHealth[i]
 		want := ProcOK
 		if p.State() == failstop.StateFailed {
 			want = ProcFailed
@@ -513,12 +561,25 @@ func (s *System) syncProcHealth(ctx frame.Context) error {
 	if changed {
 		s.manager.Signal(envmon.Signal{
 			Source: s.failureSignalSource(),
-			State:  s.classify(s.env.Snapshot()),
+			State:  s.classifyEnv(),
 			Frame:  ctx.Frame,
 			Urgent: true,
 		})
 	}
 	return nil
+}
+
+// classifyEnv returns the classification of the current environment, cached
+// on the environment's change version: the classifier is a pure function of
+// the factor map, so while no factor changed the previous result stands.
+func (s *System) classifyEnv() spec.EnvState {
+	ver := s.env.Version()
+	if !s.envValid || ver != s.envSeen {
+		s.envState = s.classify(s.env.Snapshot())
+		s.envSeen = ver
+		s.envValid = true
+	}
+	return s.envState
 }
 
 // failureSignalSource picks the application attributed as the source of a
@@ -577,16 +638,15 @@ func (s *System) scrubHook(frame.Context) error {
 func (s *System) powerHook(frame.Context) error {
 	k := s.manager.kernel()
 	if target, seq, ok := k.PlanTarget(); ok {
-		key := fmt.Sprintf("plan:%d:%s", seq, target)
-		if key != s.lastPowerCfg {
-			s.lastPowerCfg = key
+		if !s.lastPowerIsPlan || seq != s.lastPowerSeq || target != s.lastPowerTarget {
+			s.lastPowerIsPlan, s.lastPowerSeq, s.lastPowerTarget = true, seq, target
 			s.applyTransitionModes(k.Current(), target)
 		}
 		return nil
 	}
-	if key := "cfg:" + string(k.Current()); key != s.lastPowerCfg {
-		s.lastPowerCfg = key
-		s.applyProcModes(k.Current())
+	if cur := k.Current(); s.lastPowerIsPlan || cur != s.lastPowerTarget {
+		s.lastPowerIsPlan, s.lastPowerTarget = false, cur
+		s.applyProcModes(cur)
 	}
 	return nil
 }
@@ -610,7 +670,7 @@ func (s *System) membershipHook(ctx frame.Context) error {
 func (s *System) membershipFinishHook(ctx frame.Context) error {
 	clear(s.memOwners)
 	if cfg, ok := s.rs.Config(s.manager.kernel().Current()); ok {
-		for _, decl := range s.rs.RealApps() {
+		for _, decl := range s.realApps {
 			if _, placed := cfg.Placement[decl.ID]; !placed {
 				continue
 			}
@@ -642,8 +702,9 @@ func (s *System) scramProcs(needed map[spec.ProcID]bool) {
 // the source or the target configuration places applications on, so entry
 // phases can execute. Nothing is shut down mid-transition.
 func (s *System) applyTransitionModes(source, target spec.ConfigID) {
-	needed := make(map[spec.ProcID]bool)
-	for _, id := range []spec.ConfigID{source, target} {
+	clear(s.procScratch)
+	needed := s.procScratch
+	for _, id := range [2]spec.ConfigID{source, target} {
 		if cfg, ok := s.rs.Config(id); ok {
 			for _, p := range cfg.PlacedProcs() {
 				needed[p] = true
@@ -673,12 +734,14 @@ func (s *System) applyProcModes(cfgID spec.ConfigID) {
 	if !ok {
 		return
 	}
-	needed := make(map[spec.ProcID]bool)
+	clear(s.procScratch)
+	needed := s.procScratch
 	for _, p := range cfg.PlacedProcs() {
 		needed[p] = true
 	}
 	s.scramProcs(needed)
-	lowPower := make(map[spec.ProcID]bool)
+	clear(s.lowScratch)
+	lowPower := s.lowScratch
 	for _, p := range cfg.LowPower {
 		lowPower[p] = true
 	}
@@ -721,10 +784,14 @@ func (s *System) recordHook(ctx frame.Context) error {
 	st := trace.SysState{
 		Cycle:  ctx.Frame,
 		Config: cur,
-		Env:    s.classify(s.env.Snapshot()),
-		Apps:   make(map[spec.AppID]trace.AppState, len(s.rs.Apps)),
+		Env:    s.classifyEnv(),
 	}
-	for _, decl := range s.rs.Apps {
+	// Compute every application's state into the scratch slice first. In the
+	// steady state the per-app states match the previous frame's exactly, and
+	// the previous frame's Apps map — immutable once appended to the trace —
+	// is shared instead of allocating an identical copy every frame.
+	unchanged := s.lastApps != nil && len(s.lastApps) == len(s.rs.Apps)
+	for i, decl := range s.rs.Apps {
 		status := k.StatusOf(decl.ID, ctx.Frame)
 		appSpec := k.SpecOf(decl.ID)
 		preOK := true
@@ -743,8 +810,24 @@ func (s *System) recordHook(ctx frame.Context) error {
 				status = trace.StatusInterrupted
 			}
 		}
-		st.Apps[decl.ID] = trace.AppState{Status: status, Spec: appSpec, PreOK: preOK}
+		as := trace.AppState{Status: status, Spec: appSpec, PreOK: preOK}
+		s.appScratch[i] = as
+		if unchanged && s.lastApps[decl.ID] != as {
+			unchanged = false
+		}
 	}
+	if unchanged {
+		st.Apps = s.lastApps
+	} else {
+		//lint:allow allocfree the trace retains this map forever, so it cannot be scratch; built only on a state change, never in steady state
+		st.Apps = make(map[spec.AppID]trace.AppState, len(s.rs.Apps))
+		for i, decl := range s.rs.Apps {
+			st.Apps[decl.ID] = s.appScratch[i]
+		}
+		s.lastApps = st.Apps
+	}
+	s.stateChanged = !unchanged || st.Config != s.lastCfgRec || st.Env != s.lastEnvRec
+	s.lastCfgRec, s.lastEnvRec = st.Config, st.Env
 	return s.tr.Append(st)
 }
 
@@ -754,7 +837,7 @@ func (s *System) recordHook(ctx frame.Context) error {
 // it every frame would spend a full JSON marshal per frame for freshness
 // nobody reads. After a halt the recovered snapshot may trail the ring by up
 // to this many frames.
-const metricsPersistEvery = 128
+const metricsPersistEvery = 512
 
 // telemetryHook is the last built-in hook: it samples the frame's recorded
 // system state into the flight-recorder ring and stages the ring delta
@@ -768,7 +851,10 @@ func (s *System) telemetryHook(ctx frame.Context) error {
 	s.telFrame = ctx.Frame
 	if n := len(s.tr.States); n > 0 {
 		if st := s.tr.States[n-1]; st.Cycle == ctx.Frame {
-			if !s.lastFS.EqualState(st) {
+			// stateChanged chains frame over frame: while it stays false
+			// the appended states are all identical, so the last captured
+			// sample still describes the current frame.
+			if s.lastFS == nil || s.stateChanged {
 				fs := telemetry.CaptureState(st)
 				s.telRec.Record(telemetry.Event{
 					Frame:  ctx.Frame,
@@ -864,6 +950,11 @@ func (s *System) injectHook(ctx frame.Context) error {
 }
 
 // Step executes one frame.
+//
+// planning, membership, stable-storage commit, telemetry — runs beneath it,
+// so the allocfree discipline holds for everything Step can reach.
+//
+//lint:frame-entry the frame-synchronous root: every commit hook — kernel
 func (s *System) Step() error { return s.sched.Step() }
 
 // Run executes n frames, stopping at the first error.

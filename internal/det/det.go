@@ -6,7 +6,7 @@
 // package makes complying one call.
 package det
 
-import "sort"
+import "slices"
 
 // Ordered matches the key types used across the specification: string-based
 // identifiers and the numeric indexes of schedules.
@@ -27,11 +27,14 @@ func SortedKeys[K Ordered, V any](m map[K]V) []K {
 func SortedKeysInto[K Ordered, V any](keys []K, m map[K]V) []K {
 	keys = keys[:0]
 	if cap(keys) < len(m) {
+		//lint:allow allocfree amortized: grows to the map's high-water mark once, then every later frame reuses the scratch
 		keys = make([]K, 0, len(m))
 	}
 	for k := range m {
 		keys = append(keys, k)
 	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	// slices.Sort, unlike sort.Slice, allocates nothing: no closure, no
+	// reflection-based swapper — it matters on the per-frame call sites.
+	slices.Sort(keys)
 	return keys
 }

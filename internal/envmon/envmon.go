@@ -34,6 +34,11 @@ type Factor string
 type Environment struct {
 	mu      sync.Mutex
 	factors map[Factor]string
+	// version counts effective changes: Set bumps it only when a factor's
+	// value actually changes. Frame-loop consumers (monitors, processor-health
+	// sync) cache their classification keyed on the version, so the quiet
+	// steady state re-snapshots and re-classifies nothing.
+	version uint64
 }
 
 // NewEnvironment returns an environment holding the given initial factor
@@ -51,7 +56,18 @@ func NewEnvironment(initial map[Factor]string) *Environment {
 func (e *Environment) Set(f Factor, v string) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	e.factors[f] = v
+	if old, ok := e.factors[f]; !ok || old != v {
+		e.factors[f] = v
+		e.version++
+	}
+}
+
+// Version returns the change counter: it advances exactly when some factor's
+// value changes. Observers may skip reclassification while it is unchanged.
+func (e *Environment) Version() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.version
 }
 
 // Get returns a factor's current value.
@@ -109,6 +125,10 @@ type Monitor struct {
 	last    spec.EnvState
 	primed  bool
 	signals int64
+	// seenVersion is the environment version last classified; while the
+	// environment reports the same version the classification cannot have
+	// changed, so Tick skips the snapshot-and-classify entirely.
+	seenVersion uint64
 }
 
 // NewMonitor returns a monitor that reports changes through emit. The
@@ -139,13 +159,24 @@ func (m *Monitor) SignalCount() int64 {
 	return m.signals
 }
 
-// Tick classifies the environment and signals on change.
+// Tick classifies the environment and signals on change. Classification is
+// skipped while the environment version is unchanged: the classifier is a
+// pure function of the factor map, so an unchanged map yields an unchanged
+// classification.
 func (m *Monitor) Tick(ctx frame.Context) error {
+	ver := m.env.Version()
+	m.mu.Lock()
+	if m.primed && ver == m.seenVersion {
+		m.mu.Unlock()
+		return nil
+	}
+	m.mu.Unlock()
 	state := m.classify(m.env.Snapshot())
 	m.mu.Lock()
 	changed := m.primed && state != m.last
 	m.last = state
 	m.primed = true
+	m.seenVersion = ver
 	if changed {
 		m.signals++
 	}

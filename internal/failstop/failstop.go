@@ -348,6 +348,11 @@ type Pool struct {
 	mu    sync.Mutex
 	procs map[spec.ProcID]*Processor
 	order []spec.ProcID
+	// ordered caches the processors in identifier order. The pool's
+	// membership is fixed at construction (dynamic membership changes the
+	// view over the pool, not the pool itself), so the slice is built once
+	// and shared by every Procs call.
+	ordered []*Processor
 }
 
 // NewPool builds a pool from a platform description. Every processor starts
@@ -371,6 +376,10 @@ func NewPoolWithStores(platform spec.Platform, mk func(spec.ProcID) *stable.Stor
 		pool.order = append(pool.order, pd.ID)
 	}
 	sort.Slice(pool.order, func(i, j int) bool { return pool.order[i] < pool.order[j] })
+	pool.ordered = make([]*Processor, 0, len(pool.order))
+	for _, id := range pool.order {
+		pool.ordered = append(pool.ordered, pool.procs[id])
+	}
 	return pool
 }
 
@@ -385,15 +394,11 @@ func (pl *Pool) Proc(id spec.ProcID) (*Processor, error) {
 	return p, nil
 }
 
-// Procs returns every processor in identifier order.
+// Procs returns every processor in identifier order. The returned slice is
+// shared (the pool's membership is fixed at construction); callers must not
+// modify it.
 func (pl *Pool) Procs() []*Processor {
-	pl.mu.Lock()
-	defer pl.mu.Unlock()
-	out := make([]*Processor, 0, len(pl.order))
-	for _, id := range pl.order {
-		out = append(out, pl.procs[id])
-	}
-	return out
+	return pl.ordered
 }
 
 // Fail fails the named processor at the given frame.

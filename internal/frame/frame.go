@@ -275,6 +275,7 @@ func (s *Scheduler) Step() error {
 		for _, r := range s.tasks {
 			if err := r.task.Tick(ctx); err != nil {
 				rep.TaskErrs++
+				//lint:allow allocfree fail-stop halt path: a task error ends the mission, so this frame is outside the steady-state WCET budget
 				errs = append(errs, fmt.Errorf("task %q frame %d: %w", r.task.TaskID(), ctx.Frame, err))
 			}
 		}
@@ -286,6 +287,7 @@ func (s *Scheduler) Step() error {
 			res := <-s.done
 			if res.err != nil {
 				rep.TaskErrs++
+				//lint:allow allocfree fail-stop halt path: a task error ends the mission, so this frame is outside the steady-state WCET budget
 				errs = append(errs, fmt.Errorf("task %q frame %d: %w", res.id, ctx.Frame, res.err))
 			}
 		}
@@ -294,6 +296,7 @@ func (s *Scheduler) Step() error {
 	for _, h := range s.hooks {
 		if err := h(ctx); err != nil {
 			rep.HookErrs++
+			//lint:allow allocfree fail-stop halt path: a hook error ends the mission, so this frame is outside the steady-state WCET budget
 			errs = append(errs, fmt.Errorf("commit hook frame %d: %w", ctx.Frame, err))
 		}
 	}

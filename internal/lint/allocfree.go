@@ -1,0 +1,300 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AllocFree flags heap allocations in frame-reachable code. The WCET
+// argument for the frame-synchronous abstraction assumes every commit hook
+// completes within its frame slot; allocation is the main source of
+// unbounded jitter (growth copies, GC assists), so the steady-state frame
+// path is driven toward zero allocations and every remaining site is either
+// annotated with its amortization argument or carried in the committed
+// baseline (lint/allocfree.baseline) until it is fixed.
+var AllocFree = &Analyzer{
+	Name: "allocfree",
+	Doc: "In functions reachable from a //lint:frame-entry root, flag heap " +
+		"allocations: make and map/slice composite literals, appends that may " +
+		"grow a fresh slice, fmt formatting and string concatenation, interface " +
+		"boxing at call sites, and capturing closures. Pre-size scratch buffers " +
+		"(the det.SortedKeysInto idiom), annotate amortized sites with " +
+		"//lint:allow allocfree <reason>, or carry them in the baseline.",
+	Run:             runAllocFree,
+	Interprocedural: true,
+}
+
+// fmtAllocFuncs are the fmt package functions that build a fresh string or
+// write through an allocating interface walk per call.
+var fmtAllocFuncs = map[string]bool{
+	"Sprintf": true, "Sprint": true, "Sprintln": true,
+	"Errorf": true, "Fprintf": true, "Fprint": true, "Fprintln": true,
+	"Appendf": true, "Append": true, "Appendln": true,
+}
+
+func runAllocFree(pass *Pass) error {
+	if pass.Reach == nil {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if pass.Reach.Reachable(fn) {
+				checkAllocs(pass, fd.Name.Name, fd.Body, fd.Type)
+				continue
+			}
+			// The declaration itself is cold, but a literal inside it may
+			// be dispatched onto the frame path (a hook closure registered
+			// at boot): scan exactly those.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				lit, ok := n.(*ast.FuncLit)
+				if !ok || !pass.Reach.ReachableLit(lit) {
+					return true
+				}
+				checkAllocs(pass, fd.Name.Name+" (closure)", lit.Body, lit.Type)
+				return false
+			})
+		}
+	}
+	return nil
+}
+
+// checkAllocs walks one frame-reachable function body and reports each
+// allocating construct. Nested literals are scanned as part of the body:
+// if the body runs on the frame path, so may its closures.
+func checkAllocs(pass *Pass, name string, body *ast.BlockStmt, ftype *ast.FuncType) {
+	exempt := exemptSliceRoots(pass, body, ftype)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkCallAlloc(pass, name, n, exempt)
+		case *ast.CompositeLit:
+			checkCompositeAlloc(pass, name, n)
+		case *ast.BinaryExpr:
+			checkConcatAlloc(pass, name, n)
+		case *ast.FuncLit:
+			checkClosureAlloc(pass, name, n)
+		}
+		return true
+	})
+}
+
+// exemptSliceRoots computes the variables whose backing array is provided
+// from outside the function — parameters, struct fields reached through a
+// reslice, or locals initialized from such — so appending to them is
+// amortized reuse, not a per-call allocation.
+func exemptSliceRoots(pass *Pass, body *ast.BlockStmt, ftype *ast.FuncType) map[*types.Var]bool {
+	exempt := make(map[*types.Var]bool)
+	if ftype.Params != nil {
+		for _, field := range ftype.Params.List {
+			for _, name := range field.Names {
+				if v, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+					exempt[v] = true
+				}
+			}
+		}
+	}
+	// Two passes reach fixpoints across the common one-step chains
+	// (buf := append(r.enc.buf[:0], ...) then keys := buf).
+	for range 2 {
+		ast.Inspect(body, func(n ast.Node) bool {
+			assign, ok := n.(*ast.AssignStmt)
+			if !ok || len(assign.Lhs) != len(assign.Rhs) {
+				return true
+			}
+			for i, lhs := range assign.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				v, ok := pass.TypesInfo.ObjectOf(id).(*types.Var)
+				if !ok {
+					continue
+				}
+				if externallyBacked(pass, assign.Rhs[i], exempt) {
+					exempt[v] = true
+				}
+			}
+			return true
+		})
+	}
+	return exempt
+}
+
+// externallyBacked reports whether the expression's backing storage comes
+// from outside the current call: a reslice, a struct field, an exempt
+// variable, or an append rooted in one.
+func externallyBacked(pass *Pass, e ast.Expr, exempt map[*types.Var]bool) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SliceExpr:
+		return true
+	case *ast.SelectorExpr:
+		// A field read: the buffer persists in the struct across calls.
+		_, isField := pass.TypesInfo.Selections[e]
+		return isField
+	case *ast.Ident:
+		v, ok := pass.TypesInfo.ObjectOf(e).(*types.Var)
+		return ok && exempt[v]
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok && id.Name == "append" {
+			if _, isBuiltin := pass.TypesInfo.ObjectOf(id).(*types.Builtin); isBuiltin && len(e.Args) > 0 {
+				return externallyBacked(pass, e.Args[0], exempt)
+			}
+		}
+	}
+	return false
+}
+
+// checkCallAlloc reports the allocating calls: make, growth appends, fmt
+// formatting, and interface boxing of arguments at any call site.
+func checkCallAlloc(pass *Pass, name string, call *ast.CallExpr, exempt map[*types.Var]bool) {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := pass.TypesInfo.ObjectOf(id).(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "make":
+				pass.Reportf(call.Pos(), "make in frame-reachable %s allocates every call: hoist to a reused scratch buffer", name)
+			case "append":
+				if len(call.Args) > 0 && !externallyBacked(pass, call.Args[0], exempt) {
+					pass.Reportf(call.Pos(), "append to a fresh slice in frame-reachable %s may grow per call: pre-size or reuse scratch (det.SortedKeysInto idiom)", name)
+				}
+			}
+			return
+		}
+	}
+	if fn := calleeFunc(pass, call); fn != nil && fn.Pkg() != nil {
+		if fn.Pkg().Path() == "fmt" && fmtAllocFuncs[fn.Name()] {
+			pass.Reportf(call.Pos(), "fmt.%s in frame-reachable %s formats through reflection and allocates: build bytes by hand or move off the frame path", fn.Name(), name)
+			// The boxing of its ...any arguments is implied; one
+			// diagnostic per call is enough.
+			return
+		}
+	}
+	checkBoxing(pass, name, call)
+}
+
+// checkBoxing reports arguments whose concrete value is converted to an
+// interface parameter at the call: the conversion heap-allocates whenever
+// the value escapes through the interface.
+func checkBoxing(pass *Pass, name string, call *ast.CallExpr) {
+	sig, _ := pass.TypesInfo.TypeOf(call.Fun).(*types.Signature)
+	if sig == nil || sig.Params() == nil {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis != token.NoPos {
+				continue // a []T... pass-through does not box
+			}
+			slice, ok := params.At(params.Len() - 1).Type().(*types.Slice)
+			if !ok {
+				continue
+			}
+			pt = slice.Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if !types.IsInterface(pt) {
+			continue
+		}
+		at := pass.TypesInfo.TypeOf(arg)
+		if at == nil || types.IsInterface(at) || pointerShaped(at) {
+			continue
+		}
+		if b, ok := at.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+			continue
+		}
+		pass.Reportf(arg.Pos(), "argument boxes %s into interface %s in frame-reachable %s: accept the concrete type or reuse a boxed value", at, pt, name)
+	}
+}
+
+// pointerShaped reports whether values of the type are stored directly in
+// an interface word: pointers, channels, maps, funcs, and unsafe pointers
+// convert to interfaces without heap allocation.
+func pointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+// checkCompositeAlloc reports map and slice composite literals, whose
+// backing store is freshly allocated each evaluation.
+func checkCompositeAlloc(pass *Pass, name string, lit *ast.CompositeLit) {
+	t := pass.TypesInfo.TypeOf(lit)
+	if t == nil {
+		return
+	}
+	switch t.Underlying().(type) {
+	case *types.Map:
+		pass.Reportf(lit.Pos(), "map literal in frame-reachable %s allocates every call: hoist to a package-level table or reused scratch", name)
+	case *types.Slice:
+		pass.Reportf(lit.Pos(), "slice literal in frame-reachable %s allocates every call: hoist to a package-level table or reused scratch", name)
+	}
+}
+
+// checkConcatAlloc reports non-constant string concatenation; each +
+// builds a fresh string.
+func checkConcatAlloc(pass *Pass, name string, bin *ast.BinaryExpr) {
+	if bin.Op != token.ADD {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[bin]
+	if !ok || tv.Value != nil { // constant-folded concatenation is free
+		return
+	}
+	if b, ok := tv.Type.Underlying().(*types.Basic); !ok || b.Info()&types.IsString == 0 {
+		return
+	}
+	pass.Reportf(bin.Pos(), "string concatenation in frame-reachable %s allocates: append into a reused []byte instead", name)
+}
+
+// checkClosureAlloc reports capturing literals: a closure over local
+// variables allocates its environment when it escapes, and the dispatch
+// that makes it frame-reachable is exactly such an escape.
+func checkClosureAlloc(pass *Pass, name string, lit *ast.FuncLit) {
+	captures := ""
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if captures != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok || v.Pos() == token.NoPos || v.IsField() {
+			return true
+		}
+		// A capture is a variable declared outside the literal but not at
+		// package scope (package variables live without an environment).
+		if v.Pos() >= lit.Pos() && v.Pos() <= lit.End() {
+			return true
+		}
+		if pkgLevel(pass, v) {
+			return true
+		}
+		captures = v.Name()
+		return false
+	})
+	if captures != "" {
+		pass.Reportf(lit.Pos(), "closure in frame-reachable %s captures %s and allocates its environment: hoist the state into a method receiver", name, captures)
+	}
+}
+
+// pkgLevel reports whether the variable is declared at package scope.
+func pkgLevel(pass *Pass, v *types.Var) bool {
+	return v.Parent() == pass.Pkg.Scope() || (v.Pkg() != nil && v.Parent() == v.Pkg().Scope())
+}

@@ -125,6 +125,18 @@ func TestStatusDisciplineFixture(t *testing.T) {
 	runFixture(t, []*Analyzer{StatusDiscipline}, "statusdiscipline")
 }
 
+// TestAllocFreeFixture pins the interprocedural layer end to end: the
+// callgraph must reach a hook through func-value dispatch on a registered
+// method value and a task through interface dispatch, every allocation
+// class must be flagged there, and the parameter/field-backed append
+// exemption, pointer-shaped boxing exemption, allow hatch, and
+// unreachable-code silence must all hold.
+func TestAllocFreeFixture(t *testing.T) { runFixture(t, []*Analyzer{AllocFree}, "allocfree") }
+
+// TestEpochGuardFixture pins the epoch discipline against the real
+// scram.Command type imported from the module.
+func TestEpochGuardFixture(t *testing.T) { runFixture(t, []*Analyzer{EpochGuard}, "epochguard") }
+
 // TestTelemetryFixture pins the telemetry package's membership in both the
 // frame-deterministic and the frame-synchronous scopes: an event-recording
 // helper that ranges over an attribute map, reads the wall clock, or spawns

@@ -1,0 +1,189 @@
+package lint
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// A baseline carries the findings a tree is allowed to keep while they are
+// being worked off: CI fails only on findings not covered by it, so a new
+// analyzer can land with teeth without demanding the whole backlog be fixed
+// in one change. Entries match on (analyzer, file, message) with a count —
+// never on line numbers, which churn with every edit — so a baseline
+// survives unrelated refactors but any new site of a known message in a
+// known file still trips the gate once the count is exceeded.
+//
+// The format is line-oriented and diff-friendly, sorted, one finding class
+// per line:
+//
+//	analyzer<TAB>relative/file.go<TAB>count<TAB>message
+//
+// with '#' comments. Paths are slash-separated and relative to the module
+// root. Regenerate with archlint -write-baseline; a shrinking baseline is
+// the analyzer's progress meter.
+
+// baselineKey identifies one class of tolerated findings.
+type baselineKey struct {
+	analyzer string
+	file     string
+	message  string
+}
+
+// Baseline is a parsed baseline file.
+type Baseline struct {
+	entries map[baselineKey]int
+}
+
+// Size returns the total tolerated finding count.
+func (b *Baseline) Size() int {
+	n := 0
+	for _, c := range b.entries {
+		n += c
+	}
+	return n
+}
+
+// ParseBaseline parses the line-oriented baseline format.
+func ParseBaseline(data []byte) (*Baseline, error) {
+	b := &Baseline{entries: make(map[baselineKey]int)}
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.SplitN(line, "\t", 4)
+		if len(parts) != 4 {
+			return nil, fmt.Errorf("lint: baseline line %d: want analyzer\\tfile\\tcount\\tmessage, got %q", lineNo, line)
+		}
+		count, err := strconv.Atoi(parts[2])
+		if err != nil || count <= 0 {
+			return nil, fmt.Errorf("lint: baseline line %d: bad count %q", lineNo, parts[2])
+		}
+		b.entries[baselineKey{parts[0], parts[1], parts[3]}] += count
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("lint: reading baseline: %w", err)
+	}
+	return b, nil
+}
+
+// baselineFile renders a diagnostic's file as it appears in baseline
+// entries: slash-separated, relative to root when possible.
+func baselineFile(root, file string) string {
+	if root != "" {
+		if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+			file = rel
+		}
+	}
+	return filepath.ToSlash(file)
+}
+
+// FormatBaseline renders the diagnostics as a baseline file, with paths
+// relative to root.
+func FormatBaseline(diags []Diagnostic, root string) []byte {
+	counts := make(map[baselineKey]int)
+	for _, d := range diags {
+		counts[baselineKey{d.Analyzer, baselineFile(root, d.File), d.Message}]++
+	}
+	keys := make([]baselineKey, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.analyzer != b.analyzer {
+			return a.analyzer < b.analyzer
+		}
+		if a.file != b.file {
+			return a.file < b.file
+		}
+		return a.message < b.message
+	})
+	var buf bytes.Buffer
+	buf.WriteString("# archlint baseline: findings tolerated while they are worked off.\n")
+	buf.WriteString("# CI fails only on findings not covered here; shrink, never grow.\n")
+	buf.WriteString("# Regenerate: go run ./cmd/archlint -write-baseline lint/allocfree.baseline ./...\n")
+	for _, k := range keys {
+		fmt.Fprintf(&buf, "%s\t%s\t%d\t%s\n", k.analyzer, k.file, counts[k], k.message)
+	}
+	return buf.Bytes()
+}
+
+// Filter returns the diagnostics not covered by the baseline — the new
+// findings a gated run must fail on. Within one finding class the first
+// (positionally lowest) occurrences are the tolerated ones, so the
+// remainder is deterministic for sorted input.
+func (b *Baseline) Filter(diags []Diagnostic, root string) []Diagnostic {
+	remaining := make(map[baselineKey]int, len(b.entries))
+	for k, c := range b.entries {
+		remaining[k] = c
+	}
+	var out []Diagnostic
+	for _, d := range diags {
+		k := baselineKey{d.Analyzer, baselineFile(root, d.File), d.Message}
+		if remaining[k] > 0 {
+			remaining[k]--
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// An Allowance is one //lint:allow directive found in source: the audited
+// exceptions the suite tolerates, enumerated so reviews can check each
+// reason still holds. A directive without a reason is inert (it suppresses
+// nothing) and is reported with Inert true so it can be cleaned up.
+type Allowance struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Analyzer string `json:"analyzer"`
+	Reason   string `json:"reason"`
+	Inert    bool   `json:"inert,omitempty"`
+}
+
+// Allowances scans the packages for every //lint:allow directive.
+func Allowances(pkgs []*Package, root string) []Allowance {
+	var out []Allowance
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text, ok := strings.CutPrefix(c.Text, "//lint:allow")
+					if !ok {
+						continue
+					}
+					fields := strings.Fields(text)
+					if len(fields) == 0 {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					out = append(out, Allowance{
+						File:     baselineFile(root, pos.Filename),
+						Line:     pos.Line,
+						Analyzer: fields[0],
+						Reason:   strings.Join(fields[1:], " "),
+						Inert:    len(fields) < 2,
+					})
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		return a.Line < b.Line
+	})
+	return out
+}

@@ -1,0 +1,376 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// This file computes the frame-reachable function set: every function that
+// can execute inside a frame-synchronous commit, found by walking a
+// conservative callgraph from the functions marked with a
+//
+//	//lint:frame-entry <reason>
+//
+// directive in their doc comment (core.System.Step is the canonical root:
+// the scheduler runs every commit hook beneath it). Interprocedural
+// analyzers — allocfree today — consult the set through Pass.Reach, so their
+// diagnostics land only on code whose cost is paid every frame, not on boot,
+// recovery, or campaign tooling.
+//
+// The callgraph is a class-hierarchy-style over-approximation built from
+// go/types alone:
+//
+//   - a direct call to a function or method adds one edge;
+//   - a call through an interface method adds an edge to every declared
+//     method with the same name and an identical receiver-stripped
+//     signature, whether or not the receiver type is provably bound to the
+//     interface at that site;
+//   - a call through a func-typed value adds an edge to every address-taken
+//     function, method value, or function literal with an identical
+//     signature (this is how the frame scheduler's `for _, h := range
+//     s.commit { h(ctx) }` reaches every registered hook);
+//   - a function value passed to a callee outside the analyzed packages
+//     (sort.Slice, filepath.Walk) is assumed invoked by it.
+//
+// Over-approximation is the point: a function the graph cannot prove
+// unreachable from a frame entry is treated as frame-reachable, so the
+// alloc discipline fails safe. The one known gap is generic functions used
+// as values — their uninstantiated signatures do not compare identical to
+// instantiated call sites — which today's hot path does not do.
+
+// frameEntryDirective marks a callgraph root in a function's doc comment.
+const frameEntryDirective = "//lint:frame-entry"
+
+// cgNode is one callgraph node: a declared function or method (fn) or a
+// function literal (lit). Exactly one field is set; the pointer identity of
+// that field keys the graph.
+type cgNode struct {
+	fn  *types.Func
+	lit *ast.FuncLit
+}
+
+func (n cgNode) key() any {
+	if n.fn != nil {
+		return n.fn
+	}
+	return n.lit
+}
+
+// Reach is the computed frame-reachable set over one Run's package set.
+type Reach struct {
+	reachable map[any]bool // keys: *types.Func and *ast.FuncLit
+	roots     []*types.Func
+}
+
+// Reachable reports whether the declared function or method can execute
+// inside a frame-synchronous commit.
+func (r *Reach) Reachable(fn *types.Func) bool {
+	return r != nil && fn != nil && r.reachable[fn]
+}
+
+// ReachableLit reports whether the function literal can execute inside a
+// frame-synchronous commit other than through its enclosing declaration.
+func (r *Reach) ReachableLit(lit *ast.FuncLit) bool {
+	return r != nil && lit != nil && r.reachable[lit]
+}
+
+// Roots returns the //lint:frame-entry functions the walk started from.
+func (r *Reach) Roots() []*types.Func { return r.roots }
+
+// cgBuilder accumulates the callgraph across every package of one Run.
+type cgBuilder struct {
+	// decls maps each declared function object to its declaration, so the
+	// walk can descend into bodies.
+	decls map[*types.Func]*ast.FuncDecl
+	// infos maps each declared function and literal to the types.Info of
+	// its package (needed to resolve calls inside the body).
+	infos map[any]*types.Info
+	// addrFuncs and addrLits are the dispatch candidates: functions,
+	// method values, and literals whose value is taken somewhere, so an
+	// indirect call may land on them.
+	addrFuncs map[*types.Func]bool
+	addrLits  map[*ast.FuncLit]bool
+	// edges is the adjacency list keyed as in Reach.reachable.
+	edges map[any][]cgNode
+	roots []*types.Func
+}
+
+// NewReach builds the callgraph over the given packages and returns the
+// frame-reachable set. With no //lint:frame-entry roots in the set, nothing
+// is reachable and the interprocedural analyzers stay silent.
+func NewReach(pkgs []*Package) *Reach {
+	b := &cgBuilder{
+		decls:     make(map[*types.Func]*ast.FuncDecl),
+		infos:     make(map[any]*types.Info),
+		addrFuncs: make(map[*types.Func]bool),
+		addrLits:  make(map[*ast.FuncLit]bool),
+		edges:     make(map[any][]cgNode),
+	}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				fn, ok := pkg.TypesInfo.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				b.decls[fn] = fd
+				b.infos[fn] = pkg.TypesInfo
+				if isFrameEntry(fd) {
+					b.roots = append(b.roots, fn)
+				}
+			}
+		}
+	}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			b.scanFile(file, pkg.TypesInfo)
+		}
+	}
+	r := &Reach{reachable: make(map[any]bool), roots: b.roots}
+	var queue []cgNode
+	for _, root := range b.roots {
+		queue = append(queue, cgNode{fn: root})
+		r.reachable[root] = true
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, succ := range b.succs(n) {
+			if !r.reachable[succ.key()] {
+				r.reachable[succ.key()] = true
+				queue = append(queue, succ)
+			}
+		}
+	}
+	return r
+}
+
+// isFrameEntry reports whether the declaration's doc comment carries the
+// frame-entry directive.
+func isFrameEntry(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if c.Text == frameEntryDirective || strings.HasPrefix(c.Text, frameEntryDirective+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// scanFile records, for every function value mentioned in the file, that its
+// address is taken (making it an indirect-dispatch candidate) — unless the
+// mention is the callee position of a direct call. Function literals are
+// registered the same way.
+func (b *cgBuilder) scanFile(file *ast.File, info *types.Info) {
+	// callees collects the expressions in direct-callee position, and
+	// selSel the idents consumed as the Sel of a selector (so the ident
+	// walk below does not double-count them).
+	callees := make(map[ast.Expr]bool)
+	selSel := make(map[*ast.Ident]bool)
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			callees[ast.Unparen(n.Fun)] = true
+		case *ast.SelectorExpr:
+			selSel[n.Sel] = true
+		}
+		return true
+	})
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			b.infos[n] = info
+			if !callees[n] {
+				b.addrLits[n] = true
+			}
+		case *ast.SelectorExpr:
+			if callees[n] {
+				return true
+			}
+			if fn, ok := info.Uses[n.Sel].(*types.Func); ok {
+				b.addrFuncs[fn] = true
+			}
+		case *ast.Ident:
+			if selSel[n] || callees[n] {
+				return true
+			}
+			if fn, ok := info.Uses[n].(*types.Func); ok {
+				b.addrFuncs[fn] = true
+			}
+		}
+		return true
+	})
+}
+
+// succs returns the callgraph successors of one node by walking its body.
+func (b *cgBuilder) succs(n cgNode) []cgNode {
+	var body *ast.BlockStmt
+	switch {
+	case n.fn != nil:
+		fd := b.decls[n.fn]
+		if fd == nil || fd.Body == nil {
+			return nil
+		}
+		body = fd.Body
+	case n.lit != nil:
+		body = n.lit.Body
+	}
+	info := b.infos[n.key()]
+	if info == nil {
+		return nil
+	}
+	var out []cgNode
+	ast.Inspect(body, func(nd ast.Node) bool {
+		call, ok := nd.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		out = append(out, b.callTargets(call, info)...)
+		return true
+	})
+	return out
+}
+
+// callTargets resolves one call expression to its possible targets.
+func (b *cgBuilder) callTargets(call *ast.CallExpr, info *types.Info) []cgNode {
+	fun := ast.Unparen(call.Fun)
+	// A type conversion is not a call.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		return nil
+	}
+	var callee types.Object
+	switch f := fun.(type) {
+	case *ast.Ident:
+		callee = info.Uses[f]
+	case *ast.SelectorExpr:
+		callee = info.Uses[f.Sel]
+	case *ast.FuncLit:
+		// An immediately invoked literal: one direct edge, plus whatever
+		// its arguments escape to.
+		return append([]cgNode{{lit: f}}, b.escapedArgs(call, info, true)...)
+	}
+	switch c := callee.(type) {
+	case *types.Builtin:
+		return nil
+	case *types.Func:
+		sig, _ := c.Type().(*types.Signature)
+		if sig != nil && sig.Recv() != nil && types.IsInterface(sig.Recv().Type()) {
+			// Interface dispatch: every declared method with this name and
+			// an identical receiver-stripped signature is a candidate.
+			return append(b.interfaceTargets(c.Name(), sig), b.escapedArgs(call, info, false)...)
+		}
+		// Direct call. Arguments passed as function values to a callee
+		// outside the analyzed packages are assumed invoked by it.
+		_, internal := b.decls[c]
+		return append([]cgNode{{fn: c}}, b.escapedArgs(call, info, !internal)...)
+	}
+	// A call through a func-typed value: any address-taken function or
+	// literal with an identical signature is a candidate.
+	sig, _ := info.TypeOf(call.Fun).Underlying().(*types.Signature)
+	if sig == nil {
+		return nil
+	}
+	return append(b.valueTargets(sig), b.escapedArgs(call, info, false)...)
+}
+
+// escapedArgs returns the function values appearing in the call's arguments.
+// When assumeInvoked is true (external callee, or an immediately invoked
+// literal whose arguments we cannot track), each is added as a direct
+// successor: sort.Slice(x, less) really does call less.
+func (b *cgBuilder) escapedArgs(call *ast.CallExpr, info *types.Info, assumeInvoked bool) []cgNode {
+	if !assumeInvoked {
+		// Internal callees receive the value as a parameter; the indirect
+		// calls inside them dispatch to it through the address-taken set.
+		return nil
+	}
+	var out []cgNode
+	for _, arg := range call.Args {
+		switch a := ast.Unparen(arg).(type) {
+		case *ast.FuncLit:
+			out = append(out, cgNode{lit: a})
+		case *ast.Ident:
+			if fn, ok := info.Uses[a].(*types.Func); ok {
+				out = append(out, cgNode{fn: fn})
+			}
+		case *ast.SelectorExpr:
+			if fn, ok := info.Uses[a.Sel].(*types.Func); ok {
+				out = append(out, cgNode{fn: fn})
+			}
+		}
+	}
+	return out
+}
+
+// interfaceTargets returns every declared method matching an interface
+// method's name and receiver-stripped signature.
+func (b *cgBuilder) interfaceTargets(name string, sig *types.Signature) []cgNode {
+	var out []cgNode
+	for fn := range b.decls {
+		fsig, _ := fn.Type().(*types.Signature)
+		if fsig == nil || fsig.Recv() == nil || fn.Name() != name {
+			continue
+		}
+		if sigEq(fsig, sig) {
+			out = append(out, cgNode{fn: fn})
+		}
+	}
+	return out
+}
+
+// valueTargets returns every address-taken function, method value, or
+// literal whose signature matches a func-typed call.
+func (b *cgBuilder) valueTargets(sig *types.Signature) []cgNode {
+	var out []cgNode
+	for fn := range b.addrFuncs {
+		if _, declared := b.decls[fn]; !declared {
+			continue
+		}
+		fsig, _ := fn.Type().(*types.Signature)
+		if fsig != nil && sigEq(fsig, sig) {
+			out = append(out, cgNode{fn: fn})
+		}
+	}
+	for lit := range b.addrLits {
+		info := b.infos[lit]
+		lsig, _ := info.TypeOf(lit).(*types.Signature)
+		if lsig != nil && sigEq(lsig, sig) {
+			out = append(out, cgNode{lit: lit})
+		}
+	}
+	return out
+}
+
+// sigEq compares two signatures parameter-by-parameter, ignoring receivers:
+// a method value loses its receiver when stored in a func-typed variable,
+// so dispatch candidacy must too.
+func sigEq(a, b *types.Signature) bool {
+	if a.Variadic() != b.Variadic() {
+		return false
+	}
+	ap, bp := a.Params(), b.Params()
+	if ap.Len() != bp.Len() {
+		return false
+	}
+	ar, br := a.Results(), b.Results()
+	if ar.Len() != br.Len() {
+		return false
+	}
+	for i := 0; i < ap.Len(); i++ {
+		if !types.Identical(ap.At(i).Type(), bp.At(i).Type()) {
+			return false
+		}
+	}
+	for i := 0; i < ar.Len(); i++ {
+		if !types.Identical(ar.At(i).Type(), br.At(i).Type()) {
+			return false
+		}
+	}
+	return true
+}

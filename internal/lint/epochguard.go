@@ -1,0 +1,123 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// commandTypePkg and commandTypeName identify the configuration_status
+// record whose construction the analyzer polices.
+const (
+	commandTypePkg  = "repro/internal/scram"
+	commandTypeName = "Command"
+)
+
+// EpochGuard enforces the epoch discipline on scram.Command construction:
+// the Epoch field must be sourced from the live membership view (a
+// variable, field, or call that carries the view's epoch), never written as
+// a literal or recomputed with arithmetic, and never left implicitly zero
+// while other fields are set. A command stamped with a stale or fabricated
+// epoch is exactly how a deposed kernel instance would roll applications
+// back after a takeover — the no-split-brain argument (DESIGN.md §11)
+// depends on every command carrying the epoch of the view it was planned
+// under.
+var EpochGuard = &Analyzer{
+	Name: "epochguard",
+	Doc: "Every scram.Command composite literal that sets any field must " +
+		"source Epoch from the membership view: a missing Epoch is an implicit " +
+		"zero that pre-membership replicas would obey, a literal or arithmetic " +
+		"epoch fabricates membership history. The empty Command{} zero value " +
+		"(error returns, variable initialization) stays legal.",
+	Run: runEpochGuard,
+}
+
+func runEpochGuard(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			lit, ok := n.(*ast.CompositeLit)
+			if !ok || !isCommandLit(pass, lit) {
+				return true
+			}
+			checkCommandEpoch(pass, lit)
+			return true
+		})
+	}
+	return nil
+}
+
+// isCommandLit reports whether the composite literal builds a
+// scram.Command (including through an alias or a fixture package that
+// imports the real type).
+func isCommandLit(pass *Pass, lit *ast.CompositeLit) bool {
+	t := pass.TypesInfo.TypeOf(lit)
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Name() == commandTypeName &&
+		obj.Pkg() != nil && obj.Pkg().Path() == commandTypePkg
+}
+
+// checkCommandEpoch applies the discipline to one Command literal.
+func checkCommandEpoch(pass *Pass, lit *ast.CompositeLit) {
+	if len(lit.Elts) == 0 {
+		return // the zero value: error returns, not a command anyone obeys
+	}
+	var epoch ast.Expr
+	keyed := false
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		keyed = true
+		if key, ok := kv.Key.(*ast.Ident); ok && key.Name == "Epoch" {
+			epoch = kv.Value
+		}
+	}
+	if !keyed {
+		pass.Reportf(lit.Pos(), "scram.Command built with positional fields: use keyed fields so the Epoch source stays auditable")
+		return
+	}
+	if epoch == nil {
+		pass.Reportf(lit.Pos(), "scram.Command sets fields but not Epoch: the implicit zero epoch predates every membership view; stamp the command with the view's epoch")
+		return
+	}
+	if tv, ok := pass.TypesInfo.Types[epoch]; ok && tv.Value != nil {
+		pass.Reportf(epoch.Pos(), "scram.Command.Epoch is the literal %s: fabricated membership history; stamp the command with the view's epoch", tv.Value)
+		return
+	}
+	if arith := findArith(epoch); arith != nil {
+		pass.Reportf(arith.Pos(), "scram.Command.Epoch is computed with arithmetic: epochs advance only through the membership view; stamp the command with the view's epoch unmodified")
+	}
+}
+
+// findArith returns the first binary or unary arithmetic node inside the
+// expression, or nil when it is a plain variable, selector, index, or call
+// chain.
+func findArith(e ast.Expr) ast.Expr {
+	var found ast.Expr
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			found = n
+			return false
+		case *ast.UnaryExpr:
+			found = n
+			return false
+		case *ast.CallExpr:
+			// A call's internals are its own business; the value it
+			// returns is presumed to be a view epoch.
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -142,6 +142,9 @@ func checkMapRange(pass *Pass, rng *ast.RangeStmt, file *ast.File) {
 				if constMapInsert(pass, n, lhs) {
 					continue
 				}
+				if keyedMapInsert(pass, n, lhs, rng) {
+					continue
+				}
 				pass.Reportf(n.Pos(), "range over map %s writes %s declared outside the loop: iteration order is nondeterministic; iterate sorted keys", exprString(pass, rng.X), v.Name())
 			}
 		case *ast.IncDecStmt:
@@ -247,6 +250,79 @@ func constMapInsert(pass *Pass, assign *ast.AssignStmt, lhs ast.Expr) bool {
 		}
 	}
 	return false
+}
+
+// keyedMapInsert reports whether the assignment stores into a map element
+// indexed by the loop's own key variable (`out[k] = f(v)` inside
+// `for k, v := range m`). Each iteration writes a distinct key, so the
+// inserts commute and the map's final contents are iteration-order
+// independent — provided the stored value cannot observe order, which we
+// require conservatively: the right-hand side contains no function calls
+// and the body never reassigns the key variable.
+func keyedMapInsert(pass *Pass, assign *ast.AssignStmt, lhs ast.Expr, rng *ast.RangeStmt) bool {
+	if assign.Tok != token.ASSIGN || len(assign.Lhs) != len(assign.Rhs) {
+		return false
+	}
+	keyID, ok := rng.Key.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	keyVar, ok := pass.TypesInfo.ObjectOf(keyID).(*types.Var)
+	if !ok {
+		return false
+	}
+	idx, ok := lhs.(*ast.IndexExpr)
+	if !ok {
+		return false
+	}
+	t := pass.TypesInfo.TypeOf(idx.X)
+	if t == nil {
+		return false
+	}
+	if _, isMap := t.Underlying().(*types.Map); !isMap {
+		return false
+	}
+	id, ok := idx.Index.(*ast.Ident)
+	if !ok || pass.TypesInfo.ObjectOf(id) != keyVar {
+		return false
+	}
+	// The stored value must be order-blind: reject any call (it could
+	// mutate state the next iteration reads) but allow pure expressions
+	// over the loop variables and pre-loop state.
+	pure := true
+	for i, l := range assign.Lhs {
+		if l != lhs {
+			continue
+		}
+		ast.Inspect(assign.Rhs[i], func(n ast.Node) bool {
+			if _, isCall := n.(*ast.CallExpr); isCall {
+				pure = false
+			}
+			return pure
+		})
+	}
+	if !pure {
+		return false
+	}
+	// Distinctness of keys relies on the key variable keeping the value
+	// the range gave it; a body that reassigns it forfeits the exemption.
+	reassigned := false
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, l := range n.Lhs {
+				if id, ok := l.(*ast.Ident); ok && pass.TypesInfo.ObjectOf(id) == keyVar {
+					reassigned = true
+				}
+			}
+		case *ast.IncDecStmt:
+			if id, ok := n.X.(*ast.Ident); ok && pass.TypesInfo.ObjectOf(id) == keyVar {
+				reassigned = true
+			}
+		}
+		return !reassigned
+	})
+	return !reassigned
 }
 
 // sortedAfter reports whether a sort.* or slices.* call with v as first

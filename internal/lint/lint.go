@@ -50,6 +50,10 @@ type Analyzer struct {
 	Doc string
 	// Run applies the analyzer to one package.
 	Run func(*Pass) error
+	// Interprocedural marks analyzers that consult the frame-reachable
+	// callgraph; Run computes it once per invocation when any selected
+	// analyzer needs it.
+	Interprocedural bool
 }
 
 // A Pass provides one analyzer with the parsed, type-checked source of a
@@ -60,6 +64,9 @@ type Pass struct {
 	Files     []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
+	// Reach is the frame-reachable set computed over the whole Run's
+	// package set; nil for runs with no interprocedural analyzer.
+	Reach *Reach
 
 	allow map[allowKey]bool
 	diags *[]Diagnostic
@@ -132,6 +139,13 @@ func allowDirectives(fset *token.FileSet, file *ast.File, into map[allowKey]bool
 // Run applies each analyzer to each package and returns the combined
 // diagnostics sorted by position.
 func Run(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
+	var reach *Reach
+	for _, a := range analyzers {
+		if a.Interprocedural {
+			reach = NewReach(pkgs)
+			break
+		}
+	}
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
 		allow := make(map[allowKey]bool)
@@ -145,6 +159,7 @@ func Run(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
 				Files:     pkg.Files,
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.TypesInfo,
+				Reach:     reach,
 				allow:     allow,
 				diags:     &diags,
 			}
@@ -176,6 +191,8 @@ func Analyzers() []*Analyzer {
 		StableErr,
 		NoFreeGoroutine,
 		StatusDiscipline,
+		AllocFree,
+		EpochGuard,
 	}
 }
 

@@ -75,6 +75,16 @@ func NewLoader(dir string) *Loader {
 // Fset returns the loader's shared file set.
 func (l *Loader) Fset() *token.FileSet { return l.fset }
 
+// ModuleDir returns the module root directory, the base baseline entries
+// and allowance reports relativize file paths against.
+func (l *Loader) ModuleDir() (string, error) {
+	out, err := l.goList("-m", "-f", "{{.Dir}}")
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimSpace(string(out)), nil
+}
+
 // goList runs `go list` with the given arguments and returns its stdout.
 func (l *Loader) goList(args ...string) ([]byte, error) {
 	cmd := exec.Command("go", append([]string{"list"}, args...)...)

@@ -1,0 +1,38 @@
+package lint
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestLoadHonorsBuildConstraints pins the loader's file selection: the file
+// list comes from `go list`, so a build-tag-excluded file
+// (probe_excluded.go, tagged archlint_probe) and _test.go files must never
+// reach the analyzers — the invariants govern production code only.
+func TestLoadHonorsBuildConstraints(t *testing.T) {
+	loader := NewLoader(".")
+	pkgs, err := loader.Load(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loading . returned %d packages, want 1", len(pkgs))
+	}
+	pkg := pkgs[0]
+	sawLoader := false
+	for _, f := range pkg.Files {
+		name := filepath.Base(pkg.Fset.Position(f.Pos()).Filename)
+		switch {
+		case name == "probe_excluded.go":
+			t.Errorf("build-tag-excluded %s was loaded", name)
+		case strings.HasSuffix(name, "_test.go"):
+			t.Errorf("test file %s was loaded", name)
+		case name == "loader.go":
+			sawLoader = true
+		}
+	}
+	if !sawLoader {
+		t.Error("loader.go missing from the loaded package; file selection is broken")
+	}
+}

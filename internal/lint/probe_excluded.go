@@ -1,0 +1,10 @@
+//go:build archlint_probe
+
+// This file is a loader test probe, never part of a real build: the tag
+// above excludes it, and TestLoadHonorsBuildConstraints asserts the loader
+// (which takes its file list from `go list`) leaves it out. If the loader
+// ever parsed it, the test would see its filename among the package files.
+package lint
+
+// probeExcluded exists only so the file has a declaration to load.
+func probeExcluded() string { return "never built" }

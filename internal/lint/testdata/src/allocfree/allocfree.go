@@ -1,0 +1,92 @@
+// Package allocfree exercises the interprocedural alloc-discipline
+// analyzer: the conservative callgraph from the //lint:frame-entry root
+// (func-value dispatch to a registered method value, interface dispatch to
+// a declared method), every allocation check, the externally-backed append
+// exemption, the pointer-shaped boxing exemption, and the allow hatch.
+package allocfree
+
+import "fmt"
+
+// sched mimics the frame scheduler: hooks registered at boot and invoked
+// through func-typed values each frame.
+type sched struct {
+	hooks []func(int) error
+	keys  []string
+}
+
+// ticker is the frame task interface; dispatch through it must reach every
+// declared method with the same name and signature, whether or not the
+// concrete type is provably bound at the call site.
+type ticker interface {
+	Tick(n int) error
+}
+
+type leaf struct{ hits map[string]int }
+
+// Step is the fixture's frame-synchronous root.
+//
+//lint:frame-entry fixture root
+func (s *sched) Step(t ticker, n int) error {
+	for _, h := range s.hooks {
+		if err := h(n); err != nil {
+			return err
+		}
+	}
+	s.keys = s.direct(n, s.keys)
+	return t.Tick(n)
+}
+
+// newSched is boot code, unreachable from Step: its allocations are legal,
+// but registering the method value makes commitHook an indirect-dispatch
+// candidate.
+func newSched() *sched {
+	s := &sched{}
+	s.hooks = append(s.hooks, s.commitHook)
+	return s
+}
+
+// commitHook is never called directly: only the func-value dispatch in
+// Step's hook loop reaches it.
+func (s *sched) commitHook(n int) error {
+	m := make(map[string]int, n) // want `make in frame-reachable commitHook allocates every call`
+	_ = m
+	s.keys = append(s.keys, "k") // field-backed: amortized reuse, not flagged
+	var fresh []int
+	fresh = append(fresh, n) // want `append to a fresh slice in frame-reachable commitHook may grow per call`
+	_ = fresh
+	return nil
+}
+
+// Tick is reached only through the ticker interface dispatch in Step.
+func (l *leaf) Tick(n int) error {
+	l.hits = map[string]int{"tick": n} // want `map literal in frame-reachable Tick allocates every call`
+	msg := fmt.Sprintf("tick %d", n)   // want `fmt.Sprintf in frame-reachable Tick formats through reflection and allocates`
+	msg = msg + "!"                    // want `string concatenation in frame-reachable Tick allocates`
+	_ = msg
+	return nil
+}
+
+// record boxes non-pointer-shaped arguments into its any parameter.
+func record(v any) { _ = v }
+
+// direct is called directly from Step.
+func (s *sched) direct(n int, scratch []string) []string {
+	scratch = append(scratch, "x") // parameter-backed: amortized reuse, not flagged
+	record(n)                      // want `argument boxes int into interface any in frame-reachable direct`
+	record(s)                      // pointer-shaped: stored in the interface word, not flagged
+	tags := []string{"a"}          // want `slice literal in frame-reachable direct allocates every call`
+	_ = tags
+	f := func() int { return n } // want `closure in frame-reachable direct captures n and allocates its environment`
+	_ = f
+	//lint:allow allocfree fixture: the scratch grows to its high-water mark once
+	big := make([]byte, n)
+	_ = big
+	return scratch
+}
+
+// boot is unreachable from the root: its allocations are legal.
+func boot() map[string]int {
+	out := make(map[string]int)
+	out["x"] = 1
+	return out
+}

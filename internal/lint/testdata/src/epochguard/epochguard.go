@@ -1,0 +1,36 @@
+// Package epochguard exercises the epoch discipline on scram.Command
+// construction: Epoch must come from the membership view — never implicit
+// zero, never a literal, never arithmetic — while the empty zero value and
+// view-sourced epochs stay legal.
+package epochguard
+
+import (
+	"repro/internal/scram"
+	"repro/internal/spec"
+)
+
+// view stands in for the membership view the kernel plans under.
+type view struct{ epoch int64 }
+
+// Epoch returns the view's epoch.
+func (v *view) Epoch() int64 { return v.epoch }
+
+// good commands: the zero value (error returns, initialization) and keyed
+// literals whose Epoch is carried from the view.
+func good(v *view) []scram.Command {
+	var out []scram.Command
+	out = append(out, scram.Command{})
+	out = append(out, scram.Command{Seq: 1, Epoch: v.epoch})
+	out = append(out, scram.Command{Seq: 2, Epoch: v.Epoch()})
+	return out
+}
+
+// bad commands: fabricated or missing membership history.
+func bad(v *view, last int64) []scram.Command {
+	var out []scram.Command
+	out = append(out, scram.Command{Seq: 3})                                     // want `sets fields but not Epoch`
+	out = append(out, scram.Command{Seq: 4, Epoch: 7})                           // want `is the literal 7`
+	out = append(out, scram.Command{Seq: 5, Epoch: last + 1})                    // want `computed with arithmetic`
+	out = append(out, scram.Command{6, spec.PhaseHalt, "t", "c", 0, 0, v.epoch}) // want `built with positional fields`
+	return out
+}

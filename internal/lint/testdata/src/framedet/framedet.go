@@ -27,16 +27,33 @@ type System struct {
 func (s *System) record(id string) { s.log = append(s.log, id) }
 
 // build reproduces the opts.Apps pattern from internal/core/system.go before
-// it was fixed: which bad entry gets reported, and the order state is built
-// in, both depend on map iteration order.
+// it was fixed: which bad entry gets reported depends on map iteration
+// order. The insert itself is keyed by the loop's own key variable, so it
+// commutes and is exempt.
 func (s *System) build(opts Options) error {
 	for id, n := range opts.Apps {
 		if n < 0 {
 			return fmt.Errorf("bad app %q", id) // want `return inside range over map`
 		}
-		s.apps[id] = n // want `writes s declared outside the loop`
+		s.apps[id] = n // keyed insert with a pure value: order-independent
 	}
 	return nil
+}
+
+// rekeyed shows the limits of the keyed-insert exemption: an insert under a
+// different key, a value built by a call, or a reassigned key variable all
+// make iteration order observable again.
+func (s *System) rekeyed(opts Options, alias map[string]string) {
+	for id, n := range opts.Apps {
+		s.apps[alias[id]] = n // want `writes s declared outside the loop`
+	}
+	for id := range opts.Apps {
+		s.apps[id] = len(s.log) // want `writes s declared outside the loop`
+	}
+	for id, n := range opts.Apps {
+		id = id + "!"
+		s.apps[id] = n // want `writes s declared outside the loop`
+	}
 }
 
 func (s *System) observe(opts Options) {

@@ -120,6 +120,10 @@ type Manager struct {
 	tel        telemetry.Sink
 	met        *managerMetrics
 	keyScratch []string
+	// ownerScratch is the sorted-key scratch for the per-frame Finish
+	// record; reused so steady frames stage the membership log without a
+	// sort allocation.
+	ownerScratch []spec.AppID
 }
 
 // NewManager builds the manager with an epoch-1 view: every processor any
@@ -506,7 +510,8 @@ func (m *Manager) Finish(f int64, st *stable.Store, owners map[spec.AppID]spec.P
 		Auth:    m.view.Auth,
 		Members: append([]Member(nil), m.view.Members...),
 	}
-	for _, id := range det.SortedKeys(owners) {
+	m.ownerScratch = det.SortedKeysInto(m.ownerScratch, owners)
+	for _, id := range m.ownerScratch {
 		rec.Owners = append(rec.Owners, Owner{App: id, Proc: owners[id]})
 	}
 	m.log = append(m.log, rec)
@@ -558,7 +563,8 @@ func (m *Manager) CatchUpSnapshot(proc spec.ProcID) map[string][]byte {
 		return nil
 	}
 	out := make(map[string][]byte, len(snap))
-	for _, k := range det.SortedKeys(snap) {
+	m.keyScratch = det.SortedKeysInto(m.keyScratch, snap)
+	for _, k := range m.keyScratch {
 		out[k[len(catchUpPrefix):]] = snap[k]
 	}
 	return out

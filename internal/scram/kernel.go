@@ -91,6 +91,19 @@ type Kernel struct {
 
 	st     kernelState
 	events []Event
+	// dirty marks that st changed since the last persist. The kernel's state
+	// is a pure function of signals and plan progress, both rare; on quiet
+	// frames the committed record is already current and persist skips the
+	// re-encode. Set at every st mutation site; true at construction so the
+	// first frame (and the first frame after a takeover onto a fresh store)
+	// always persists.
+	dirty bool
+	// lastCmds caches the command most recently staged (and, by the frame
+	// structure, committed) per application on this kernel's store, so an
+	// unchanged command — every frame of normal operation — is not re-encoded
+	// and re-staged. A fresh kernel (boot or takeover) starts empty and
+	// writes everything once.
+	lastCmds map[spec.AppID]Command
 
 	// tel and met mirror the protocol log into the flight recorder and
 	// the metrics registry. Both are always non-nil: until SetTelemetry
@@ -149,6 +162,8 @@ func NewKernel(rs *spec.ReconfigSpec, store *stable.Store) (*Kernel, error) {
 		lastSignal: -1,
 		tel:        telemetry.NopSink{},
 		met:        resolveKernelMetrics(telemetry.NewRegistry()),
+		dirty:      true,
+		lastCmds:   make(map[spec.AppID]Command, len(rs.Apps)),
 		st: kernelState{
 			Current: rs.StartConfig,
 			Env:     rs.StartEnv,
@@ -200,6 +215,7 @@ func (k *Kernel) Epoch() int64 { return k.st.Epoch }
 func (k *Kernel) SetEpoch(epoch int64) {
 	if epoch > k.st.Epoch {
 		k.st.Epoch = epoch
+		k.dirty = true
 	}
 }
 
@@ -252,6 +268,7 @@ func (k *Kernel) EndOfFrame(ctx frame.Context) error {
 			k.st.Urgent = true
 		}
 		k.lastSignal = f
+		k.dirty = true
 		k.logf(f, EventSignal, "", "%s reports %s", sig.Source, sig.State)
 	}
 
@@ -278,7 +295,10 @@ func (k *Kernel) EndOfFrame(ctx frame.Context) error {
 func (k *Kernel) maybeTrigger(f int64) error {
 	target, ok := k.rs.Choice.Choose(k.st.Current, k.st.Env)
 	if !ok || target == k.st.Current {
-		k.st.Urgent = false
+		if k.st.Urgent {
+			k.st.Urgent = false
+			k.dirty = true
+		}
 		return nil
 	}
 	if dwell := int64(k.rs.DwellFrames); f-k.st.LastEnd < dwell && !k.st.Urgent {
@@ -288,6 +308,7 @@ func (k *Kernel) maybeTrigger(f int64) error {
 	}
 	k.st.Urgent = false
 	k.st.Seq++
+	k.dirty = true
 	p, err := buildPlan(k.rs, k.st.Seq, k.st.Current, target, f)
 	if err != nil {
 		return err
@@ -300,6 +321,7 @@ func (k *Kernel) startPlan(f int64, p *plan) error {
 	target := p.Target
 	k.st.Plan = p
 	k.st.TriggerApp = k.st.LastSource
+	k.dirty = true
 	k.logf(f, EventTrigger, target, "%s -> %s, window [%d,%d]", p.Source, p.Target, p.TriggerFrame, p.InitEnd)
 	k.logf(f, EventHalt, target, "halt commanded for frames [%d,%d]", p.HaltStart, p.HaltEnd)
 	k.logf(f, EventPrepare, target, "prepare(%s) scheduled for frames [%d,%d]", target, p.PrepStart, p.PrepEnd)
@@ -322,6 +344,7 @@ func (k *Kernel) advancePlan(f int64) error {
 	if k.rs.Retarget == spec.RetargetImmediate && !p.Retargeted && f+1 <= p.InitStart {
 		if newTarget, ok := k.rs.Choice.Choose(p.Source, k.st.Env); ok && newTarget != p.Target {
 			k.st.Seq++
+			k.dirty = true
 			if err := p.retarget(k.rs, newTarget, k.st.Seq, f); err != nil {
 				return err
 			}
@@ -334,6 +357,7 @@ func (k *Kernel) advancePlan(f int64) error {
 		k.st.LastEnd = f
 		k.st.Plan = nil
 		k.st.TriggerApp = ""
+		k.dirty = true
 		k.logf(f, EventComplete, p.Target, "window [%d,%d], %d frames",
 			p.TriggerFrame, p.InitEnd, p.InitEnd-p.TriggerFrame+1)
 		err := k.maybeChain(f, p)
@@ -379,6 +403,7 @@ func (k *Kernel) maybeChain(f int64, p *plan) error {
 	}
 	k.st.Urgent = false
 	k.st.Seq++
+	k.dirty = true
 	np.Chained = true
 	np.ChainStart = p.ChainStart
 	np.ChainSource = p.ChainSource
@@ -426,9 +451,18 @@ func (k *Kernel) writeCommands(f int64) error {
 				return fmt.Errorf("scram: plan %d has no phase for frame %d", p.Seq, f+1)
 			}
 		}
+		// An unchanged command is already the committed value of the
+		// application's configuration_status variable — re-staging the
+		// identical bytes would only burn an encode per application per
+		// frame. A change in any field (phase, window, seq, epoch) forces
+		// the write through.
+		if prev, ok := k.lastCmds[app.ID]; ok && prev == cmd {
+			continue
+		}
 		if err := WriteCommand(k.store, app.ID, cmd); err != nil {
 			return err
 		}
+		k.lastCmds[app.ID] = cmd
 	}
 	return nil
 }
@@ -606,8 +640,12 @@ func (k *Kernel) recordWindow(f int64, p *plan) {
 }
 
 func (k *Kernel) persist() error {
+	if !k.dirty {
+		return nil
+	}
 	if err := k.store.PutJSON(stateKey, k.st); err != nil {
 		return fmt.Errorf("scram: persisting kernel state: %w", err)
 	}
+	k.dirty = false
 	return nil
 }

@@ -230,8 +230,8 @@ func (p *plan) retarget(rs *spec.ReconfigSpec, newTarget spec.ConfigID, seq, fra
 		// already-executed halt windows, and uniformly shift the entry
 		// windows so none starts before frameNow+1.
 		halts := make(map[spec.AppID]*appWindows, len(p.Apps))
-		for _, id := range det.SortedKeys(p.Apps) {
-			cp := *p.Apps[id]
+		for id, aw := range p.Apps {
+			cp := *aw
 			halts[id] = &cp
 		}
 		if err := p.scheduleCompressed(rs, srcCfg, tgtCfg); err != nil {

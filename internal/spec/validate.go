@@ -27,6 +27,12 @@ func (rs *ReconfigSpec) Validate() error {
 // validator accumulates validation failures.
 type validator struct {
 	problems []string
+	// Sorted-key scratch buffers, reused across the per-configuration and
+	// per-row loops (membership re-verifies the spec inside a join frame,
+	// so validation cost is frame-path cost).
+	appScratch []AppID
+	cfgScratch []ConfigID
+	envScratch []EnvState
 }
 
 func (v *validator) addf(format string, args ...any) {
@@ -185,7 +191,8 @@ func (v *validator) configAssignment(rs *ReconfigSpec, c *Configuration) {
 	}
 	// Sorted iteration keeps the problem list identical run to run
 	// (framedet: map order must not shape validator output).
-	for _, appID := range det.SortedKeys(c.Assignment) {
+	v.appScratch = det.SortedKeysInto(v.appScratch, c.Assignment)
+	for _, appID := range v.appScratch {
 		specID := c.Assignment[appID]
 		a, ok := rs.AppByID(appID)
 		if !ok {
@@ -213,7 +220,8 @@ func (v *validator) configAssignment(rs *ReconfigSpec, c *Configuration) {
 			v.addf("configuration %q places application %q on undeclared processor %q", c.ID, appID, proc)
 		}
 	}
-	for _, appID := range det.SortedKeys(c.Placement) {
+	v.appScratch = det.SortedKeysInto(v.appScratch, c.Placement)
+	for _, appID := range v.appScratch {
 		if s, ok := c.Assignment[appID]; !ok || s == SpecOff {
 			v.addf("configuration %q places unassigned application %q", c.ID, appID)
 		}
@@ -263,12 +271,14 @@ func (v *validator) choice(rs *ReconfigSpec) {
 		}
 		seenEnv[e] = true
 	}
-	for _, from := range det.SortedKeys(rs.Choice) {
+	v.cfgScratch = det.SortedKeysInto(v.cfgScratch, rs.Choice)
+	for _, from := range v.cfgScratch {
 		row := rs.Choice[from]
 		if _, ok := rs.Config(from); !ok {
 			v.addf("choice table row for undeclared configuration %q", from)
 		}
-		for _, env := range det.SortedKeys(row) {
+		v.envScratch = det.SortedKeysInto(v.envScratch, row)
+		for _, env := range v.envScratch {
 			to := row[env]
 			if !seenEnv[env] {
 				v.addf("choice table entry (%q, %q): undeclared environment state", from, env)

@@ -162,9 +162,39 @@ func (s *Store) Get(key string) ([]byte, bool) {
 func (s *Store) Put(key string, val []byte) {
 	cp := make([]byte, len(val))
 	copy(cp, val)
+	s.putOwned(key, cp)
+}
+
+// putOwned stages a write taking ownership of val: the caller must not
+// retain or mutate the slice afterwards. The typed helpers (PutInt64,
+// PutJSON) stage freshly built buffers through it so each write costs one
+// allocation, not two.
+func (s *Store) putOwned(key string, val []byte) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.staged[key] = stagedVal{val: cp}
+	s.staged[key] = stagedVal{val: val}
+}
+
+// GetInto appends the committed value for key to buf[:0] and returns the
+// extended slice, avoiding Get's per-read allocation when the caller holds a
+// reusable buffer. On a miss the returned slice is buf[:0].
+func (s *Store) GetInto(buf []byte, key string) ([]byte, bool) {
+	buf = buf[:0]
+	s.mu.Lock()
+	if s.rep == nil {
+		v, ok := s.committed[key]
+		if ok {
+			buf = append(buf, v...)
+		}
+		s.mu.Unlock()
+		return buf, ok
+	}
+	s.mu.Unlock()
+	v, ok := s.Get(key)
+	if !ok {
+		return buf, false
+	}
+	return append(buf, v...), true
 }
 
 // Delete stages removal of key, effective at the next Commit.
@@ -431,12 +461,61 @@ func (s *Store) GetString(key string) (string, bool) {
 
 // PutInt64 stages an integer value in decimal form.
 func (s *Store) PutInt64(key string, val int64) {
-	s.Put(key, strconv.AppendInt(nil, val, 10))
+	s.putOwned(key, strconv.AppendInt(nil, val, 10))
+}
+
+// parseDecimal parses a decimal int64 from raw bytes without converting to a
+// string, so the per-frame counter reads on the kernel path stay
+// allocation-free.
+func parseDecimal(v []byte) (int64, bool) {
+	if len(v) == 0 {
+		return 0, false
+	}
+	neg := false
+	i := 0
+	if v[0] == '-' || v[0] == '+' {
+		neg = v[0] == '-'
+		i = 1
+		if len(v) == 1 {
+			return 0, false
+		}
+	}
+	var n int64
+	for ; i < len(v); i++ {
+		d := v[i]
+		if d < '0' || d > '9' {
+			return 0, false
+		}
+		prev := n
+		n = n*10 + int64(d-'0')
+		if n < prev {
+			return 0, false // overflow
+		}
+	}
+	if neg {
+		n = -n
+	}
+	return n, true
 }
 
 // GetInt64 returns the committed value for key parsed as a decimal integer.
 // It returns an error if the key is absent or malformed.
 func (s *Store) GetInt64(key string) (int64, error) {
+	s.mu.Lock()
+	if s.rep == nil {
+		v, ok := s.committed[key]
+		if !ok {
+			s.mu.Unlock()
+			return 0, fmt.Errorf("stable: key %q not present", key)
+		}
+		n, ok := parseDecimal(v)
+		s.mu.Unlock()
+		if !ok {
+			return 0, fmt.Errorf("stable: key %q: malformed integer %q", key, v)
+		}
+		return n, nil
+	}
+	s.mu.Unlock()
 	v, ok := s.Get(key)
 	if !ok {
 		return 0, fmt.Errorf("stable: key %q not present", key)
@@ -454,7 +533,7 @@ func (s *Store) PutJSON(key string, val any) error {
 	if err != nil {
 		return fmt.Errorf("stable: encoding %q: %w", key, err)
 	}
-	s.Put(key, data)
+	s.putOwned(key, data)
 	return nil
 }
 
@@ -484,35 +563,68 @@ func (s *Store) Region(prefix string) *Region {
 type Region struct {
 	store  *Store
 	prefix string
+
+	// keyMu guards keys, a bounded cache of prefixed key strings. The keys an
+	// application touches every frame form a small fixed set; caching the
+	// concatenation removes a per-access string allocation from the frame
+	// loop. Callers with unbounded key spaces (journal sequence keys) fall
+	// back to plain concatenation once the cache is full.
+	keyMu sync.Mutex
+	keys  map[string]string
+}
+
+// regionKeyCacheMax bounds the per-region key cache.
+const regionKeyCacheMax = 64
+
+// key returns prefix+k, cached for the small per-frame working set.
+func (r *Region) key(k string) string {
+	r.keyMu.Lock()
+	full, ok := r.keys[k]
+	if !ok {
+		full = r.prefix + k
+		if r.keys == nil {
+			r.keys = make(map[string]string, 8)
+		}
+		if len(r.keys) < regionKeyCacheMax {
+			r.keys[k] = full
+		}
+	}
+	r.keyMu.Unlock()
+	return full
 }
 
 // Get returns the committed value for key within the region.
-func (r *Region) Get(key string) ([]byte, bool) { return r.store.Get(r.prefix + key) }
+func (r *Region) Get(key string) ([]byte, bool) { return r.store.Get(r.key(key)) }
+
+// GetInto appends the committed value for key within the region to buf[:0].
+func (r *Region) GetInto(buf []byte, key string) ([]byte, bool) {
+	return r.store.GetInto(buf, r.key(key))
+}
 
 // Put stages a write within the region.
-func (r *Region) Put(key string, val []byte) { r.store.Put(r.prefix+key, val) }
+func (r *Region) Put(key string, val []byte) { r.store.Put(r.key(key), val) }
 
 // Delete stages a removal within the region.
-func (r *Region) Delete(key string) { r.store.Delete(r.prefix + key) }
+func (r *Region) Delete(key string) { r.store.Delete(r.key(key)) }
 
 // PutString stages a string value within the region.
-func (r *Region) PutString(key, val string) { r.store.PutString(r.prefix+key, val) }
+func (r *Region) PutString(key, val string) { r.store.PutString(r.key(key), val) }
 
 // GetString returns the committed string value for key within the region.
-func (r *Region) GetString(key string) (string, bool) { return r.store.GetString(r.prefix + key) }
+func (r *Region) GetString(key string) (string, bool) { return r.store.GetString(r.key(key)) }
 
 // PutInt64 stages an integer value within the region.
-func (r *Region) PutInt64(key string, val int64) { r.store.PutInt64(r.prefix+key, val) }
+func (r *Region) PutInt64(key string, val int64) { r.store.PutInt64(r.key(key), val) }
 
 // GetInt64 returns the committed integer value for key within the region.
-func (r *Region) GetInt64(key string) (int64, error) { return r.store.GetInt64(r.prefix + key) }
+func (r *Region) GetInt64(key string) (int64, error) { return r.store.GetInt64(r.key(key)) }
 
 // PutJSON stages the JSON encoding of val within the region.
-func (r *Region) PutJSON(key string, val any) error { return r.store.PutJSON(r.prefix+key, val) }
+func (r *Region) PutJSON(key string, val any) error { return r.store.PutJSON(r.key(key), val) }
 
 // GetJSON decodes the committed value for key within the region into out.
 func (r *Region) GetJSON(key string, out any) (bool, error) {
-	return r.store.GetJSON(r.prefix+key, out)
+	return r.store.GetJSON(r.key(key), out)
 }
 
 // Snapshot returns a deep copy of the committed entries in the region, with

@@ -146,7 +146,8 @@ func CompressedSchedule(rs *spec.ReconfigSpec, from, to *spec.Configuration) (ma
 func topoOrder(weights map[spec.AppID]int, deps []spec.Dependency) ([]spec.AppID, error) {
 	indeg := make(map[spec.AppID]int, len(weights))
 	adj := make(map[spec.AppID][]spec.AppID)
-	for _, id := range det.SortedKeys(weights) {
+	// Constant inserts commute: no sort needed.
+	for id := range weights {
 		indeg[id] = 0
 	}
 	for _, d := range deps {

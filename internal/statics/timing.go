@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"sort"
 
-	"repro/internal/det"
 	"repro/internal/spec"
 )
 
@@ -99,8 +98,9 @@ func PhasePlan(rs *spec.ReconfigSpec, cfg *spec.Configuration, phase spec.Phase)
 		return nil, nil, 0, err
 	}
 	starts = make(map[spec.AppID]int, len(weights))
-	for _, id := range det.SortedKeys(dist) {
-		starts[id] = dist[id] - weights[id]
+	// Keyed inserts with pure values commute: no sort needed.
+	for id, d := range dist {
+		starts[id] = d - weights[id]
 	}
 	return starts, weights, length, nil
 }
@@ -147,7 +147,8 @@ func phaseWeights(rs *spec.ReconfigSpec, cfg *spec.Configuration, phase spec.Pha
 func dagLongestPath(weights map[spec.AppID]int, deps []spec.Dependency) (map[spec.AppID]int, int, error) {
 	adj := make(map[spec.AppID][]spec.AppID)
 	indeg := make(map[spec.AppID]int)
-	for _, id := range det.SortedKeys(weights) {
+	// Constant inserts commute: no sort needed.
+	for id := range weights {
 		indeg[id] = 0
 	}
 	for _, d := range deps {
@@ -334,11 +335,12 @@ func Interpose(rs *spec.ReconfigSpec, s spec.ConfigID) (*spec.ReconfigSpec, erro
 	}
 	out := *rs
 	out.Choice = make(spec.ChoiceTable, len(rs.Choice))
-	for _, from := range det.SortedKeys(rs.Choice) {
-		row := rs.Choice[from]
+	// Keyed inserts with pure values commute at both levels: no sorts
+	// needed to keep the rebuilt table replay-stable.
+	for from, row := range rs.Choice {
 		newRow := make(map[spec.EnvState]spec.ConfigID, len(row))
-		for _, env := range det.SortedKeys(row) {
-			if to := row[env]; from != to && !isSafe[from] && !isSafe[to] {
+		for env, to := range row {
+			if from != to && !isSafe[from] && !isSafe[to] {
 				newRow[env] = s
 			} else {
 				newRow[env] = to

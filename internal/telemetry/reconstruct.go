@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"time"
 
-	"repro/internal/det"
 	"repro/internal/spec"
 	"repro/internal/trace"
 )
@@ -32,8 +31,9 @@ func CaptureState(st trace.SysState) *FrameState {
 		Env:    st.Env,
 		Apps:   make(map[spec.AppID]AppSnap, len(st.Apps)),
 	}
-	for _, id := range det.SortedKeys(st.Apps) {
-		a := st.Apps[id]
+	// Plain map iteration: insertion order into a map is immaterial, and
+	// every consumer that needs determinism sorts the keys when reading.
+	for id, a := range st.Apps {
 		fs.Apps[id] = AppSnap{Status: a.Status, Spec: a.Spec, PreOK: a.PreOK}
 	}
 	return fs
@@ -111,8 +111,8 @@ func ReconstructTrace(system string, frameLen time.Duration, events []Event) (*t
 			Env:    cur.Env,
 			Apps:   make(map[spec.AppID]trace.AppState, len(cur.Apps)),
 		}
-		for _, id := range det.SortedKeys(cur.Apps) {
-			a := cur.Apps[id]
+		// Keyed inserts with pure values commute: no sort needed.
+		for id, a := range cur.Apps {
 			st.Apps[id] = trace.AppState{Status: a.Status, Spec: a.Spec, PreOK: a.PreOK}
 		}
 		if err := tr.Append(st); err != nil {

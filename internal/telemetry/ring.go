@@ -152,25 +152,30 @@ func (e Event) String() string {
 // while keeping the per-frame persistence delta small.
 const DefaultCapacity = 4096
 
-const (
-	eventKeyPrefix = "telemetry/ev/"
-	ringMetaKey    = "telemetry/flightrec"
-)
+// eventKeyPrefix namespaces the persisted event-chunk records. The chunks
+// are self-describing — every event carries its sequence number — so no
+// separate bookkeeping record is persisted alongside them.
+const eventKeyPrefix = "telemetry/ev/"
 
-// ringMeta is the persisted ring bookkeeping.
-type ringMeta struct {
-	// NextSeq is the sequence number the next event will receive.
-	NextSeq int64 `json:"next_seq"`
-	// Dropped counts events evicted from the ring so far.
-	Dropped int64 `json:"dropped"`
-	// Capacity is the ring capacity.
-	Capacity int64 `json:"capacity"`
+// chunkRef locates one persisted chunk: the first sequence number it covers
+// and its storage key.
+type chunkRef struct {
+	start int64
+	key   string
 }
 
 // eventKey returns the stable-storage key for one event. Sequence numbers
-// are zero-padded hex so lexicographic key order is recovery order.
+// are zero-padded hex so lexicographic key order is recovery order. Built by
+// hand (one allocation, no fmt state) because Persist derives a key per new
+// and per evicted event on the frame-commit path.
 func eventKey(seq int64) string {
-	return fmt.Sprintf("%s%016x", eventKeyPrefix, seq)
+	var b [len(eventKeyPrefix) + 16]byte
+	copy(b[:], eventKeyPrefix)
+	for i := 15; i >= 0; i-- {
+		b[len(eventKeyPrefix)+i] = hexDigits[seq&0xf]
+		seq >>= 4
+	}
+	return string(b[:])
 }
 
 // Recorder is the bounded flight-recorder ring. Record appends; when the
@@ -193,6 +198,17 @@ type Recorder struct {
 	// committed in the backing KV: [persistLo, persistHi).
 	persistLo int64
 	persistHi int64
+	// chunks lists every chunk record currently in the backing KV, oldest
+	// first: the first sequence number it covers and its storage key
+	// (allocated once at write, reused at delete). Persist writes each
+	// frame's new events as one chunk and deletes a chunk only once every
+	// event in it has been evicted, so the persisted journal may retain up
+	// to one chunk of history beyond the live ring — harmless surplus for
+	// recovery, and it keeps the store traffic at one record per
+	// event-carrying frame instead of one per event.
+	chunks []chunkRef
+	// enc is the reused event encoder of the persistence path; guarded by mu.
+	enc eventEncoder
 }
 
 // NewRecorder returns a recorder with the given ring capacity;
@@ -273,12 +289,13 @@ func (r *Recorder) Events() []Event {
 }
 
 // Persist stages the ring delta into kv: events recorded since the last
-// Persist are written under their sequence keys, evicted events' keys are
-// deleted, and the ring bookkeeping record is refreshed. The writes become
-// durable at the owning processor's next frame-boundary commit, so after a
-// fail-stop halt the recovered ring reflects the last committed frame — the
-// black box trails the live ring by at most one frame, exactly the staged
-// writes the halt destroys.
+// Persist are written as one chunk record (a JSON array keyed by the
+// chunk's first sequence number), chunks whose events have all been evicted
+// are deleted, and the ring bookkeeping record is refreshed. The writes
+// become durable at the owning processor's next frame-boundary commit, so
+// after a fail-stop halt the recovered ring reflects the last committed
+// frame — the black box trails the live ring by at most one frame, exactly
+// the staged writes the halt destroys.
 func (r *Recorder) Persist(kv KV) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -289,26 +306,35 @@ func (r *Recorder) Persist(kv KV) error {
 		// stable-storage traffic at all.
 		return nil
 	}
-	for s := r.persistLo; s < lo && s < r.persistHi; s++ {
-		kv.Delete(eventKey(s))
+	// Drop chunks that no longer hold any live event: a chunk's events end
+	// where the next chunk begins, so chunk i is dead once chunk i+1 starts
+	// at or below the ring's oldest surviving sequence number.
+	for len(r.chunks) > 1 && r.chunks[1].start <= lo {
+		kv.Delete(r.chunks[0].key)
+		r.chunks = r.chunks[1:]
 	}
 	start := r.persistHi
 	if start < lo {
 		start = lo
 	}
-	for s := start; s < r.seq; s++ {
-		e := r.buf[(r.head+int(s-lo))%r.capacity]
-		raw, err := json.Marshal(e)
-		if err != nil {
-			return fmt.Errorf("telemetry: encoding event %d: %w", e.Seq, err)
+	if start < r.seq {
+		// Hand-rolled encoding (see encode.go): byte-identical to
+		// json.Marshal without the per-event reflection allocations. The
+		// store copies what it keeps, so the reused buffer is safe to hand
+		// over.
+		buf := append(r.enc.buf[:0], '[')
+		for s := start; s < r.seq; s++ {
+			if s > start {
+				buf = append(buf, ',')
+			}
+			buf = r.enc.appendEventTo(buf, &r.buf[(r.head+int(s-lo))%r.capacity])
 		}
-		kv.Put(eventKey(e.Seq), raw)
+		buf = append(buf, ']')
+		r.enc.buf = buf
+		key := eventKey(start)
+		kv.Put(key, buf)
+		r.chunks = append(r.chunks, chunkRef{start: start, key: key})
 	}
-	meta, err := json.Marshal(ringMeta{NextSeq: r.seq, Dropped: r.dropped, Capacity: int64(r.capacity)})
-	if err != nil {
-		return fmt.Errorf("telemetry: encoding ring meta: %w", err)
-	}
-	kv.Put(ringMetaKey, meta)
 	r.persistLo = lo
 	r.persistHi = r.seq
 	return nil
@@ -323,6 +349,7 @@ func (r *Recorder) ResetPersistence() {
 	defer r.mu.Unlock()
 	r.persistLo = 0
 	r.persistHi = 0
+	r.chunks = r.chunks[:0]
 }
 
 // RecoverRing reads the flight-recorder journal out of a stable-storage
@@ -338,8 +365,18 @@ func RecoverRing(snap map[string][]byte) ([]Event, error) {
 	sort.Strings(keys)
 	events := make([]Event, 0, len(keys))
 	for _, k := range keys {
+		raw := snap[k]
+		if len(raw) > 0 && raw[0] == '[' {
+			// A chunk record: all events one Persist call staged together.
+			var chunk []Event
+			if err := json.Unmarshal(raw, &chunk); err != nil {
+				return nil, fmt.Errorf("telemetry: decoding recovered event chunk %q: %w", k, err)
+			}
+			events = append(events, chunk...)
+			continue
+		}
 		var e Event
-		if err := json.Unmarshal(snap[k], &e); err != nil {
+		if err := json.Unmarshal(raw, &e); err != nil {
 			return nil, fmt.Errorf("telemetry: decoding recovered event %q: %w", k, err)
 		}
 		events = append(events, e)

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -143,6 +144,8 @@ type Registry struct {
 	// static once a system has warmed up, while Snapshot runs on every
 	// metrics-persist cadence and at campaign collection. Nil = rebuild.
 	counterNames, gaugeNames, histNames []string
+	// encBuf is the reused Persist encoding buffer; guarded by mu.
+	encBuf []byte
 }
 
 // NewRegistry returns an empty registry.
@@ -242,14 +245,104 @@ func (r *Registry) Snapshot() Snapshot {
 const metricsKey = "telemetry/metrics"
 
 // Persist stages the registry snapshot into kv; it becomes durable at the
-// owning processor's next frame-boundary commit.
+// owning processor's next frame-boundary commit. The snapshot is encoded by
+// hand into a reused buffer — byte-identical to json.Marshal of Snapshot,
+// which TestRegistryPersistMatchesStdlib pins — because Persist runs on the
+// metrics cadence of the frame loop and the reflection walk over three maps
+// of metrics allocated kilobytes per call.
 func (r *Registry) Persist(kv KV) error {
-	raw, err := json.Marshal(r.Snapshot())
-	if err != nil {
-		return fmt.Errorf("telemetry: encoding metrics snapshot: %w", err)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.counterNames == nil {
+		r.counterNames = det.SortedKeys(r.counters)
 	}
-	kv.Put(metricsKey, raw)
+	if r.gaugeNames == nil {
+		r.gaugeNames = det.SortedKeys(r.gauges)
+	}
+	if r.histNames == nil {
+		r.histNames = det.SortedKeys(r.hists)
+	}
+	buf := append(r.encBuf[:0], '{')
+	if len(r.counterNames) > 0 {
+		buf = append(buf, `"counters":{`...)
+		for i, name := range r.counterNames {
+			if i > 0 {
+				buf = append(buf, ',')
+			}
+			buf = appendJSONString(buf, name)
+			buf = append(buf, ':')
+			buf = strconv.AppendInt(buf, r.counters[name].Value(), 10)
+		}
+		buf = append(buf, '}')
+	}
+	if len(r.gaugeNames) > 0 {
+		if len(buf) > 1 {
+			buf = append(buf, ',')
+		}
+		buf = append(buf, `"gauges":{`...)
+		for i, name := range r.gaugeNames {
+			if i > 0 {
+				buf = append(buf, ',')
+			}
+			buf = appendJSONString(buf, name)
+			buf = append(buf, ':')
+			buf = strconv.AppendInt(buf, r.gauges[name].Value(), 10)
+		}
+		buf = append(buf, '}')
+	}
+	if len(r.histNames) > 0 {
+		if len(buf) > 1 {
+			buf = append(buf, ',')
+		}
+		buf = append(buf, `"histograms":{`...)
+		for i, name := range r.histNames {
+			if i > 0 {
+				buf = append(buf, ',')
+			}
+			buf = appendJSONString(buf, name)
+			buf = append(buf, ':')
+			buf = appendHistogram(buf, r.hists[name])
+		}
+		buf = append(buf, '}')
+	}
+	buf = append(buf, '}')
+	r.encBuf = buf
+	kv.Put(metricsKey, buf)
 	return nil
+}
+
+// appendHistogram appends h's state as the JSON encoding/json produces for
+// HistogramSnapshot.
+func appendHistogram(buf []byte, h *Histogram) []byte {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	buf = append(buf, `{"bounds":`...)
+	buf = appendInt64s(buf, h.bounds)
+	buf = append(buf, `,"counts":`...)
+	buf = appendInt64s(buf, h.counts)
+	buf = append(buf, `,"count":`...)
+	buf = strconv.AppendInt(buf, h.count, 10)
+	buf = append(buf, `,"sum":`...)
+	buf = strconv.AppendInt(buf, h.sum, 10)
+	buf = append(buf, `,"max":`...)
+	buf = strconv.AppendInt(buf, h.max, 10)
+	return append(buf, '}')
+}
+
+// appendInt64s appends vs as a JSON array (null when nil, matching
+// encoding/json's treatment of nil slices).
+func appendInt64s(buf []byte, vs []int64) []byte {
+	if vs == nil {
+		return append(buf, "null"...)
+	}
+	buf = append(buf, '[')
+	for i, v := range vs {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		buf = strconv.AppendInt(buf, v, 10)
+	}
+	return append(buf, ']')
 }
 
 // RecoverSnapshot reads the registry snapshot persisted by Persist back out
@@ -290,19 +383,21 @@ func (s Snapshot) WriteProm(w io.Writer, frameNum int64, frameLen time.Duration)
 	if _, err := fmt.Fprintf(w, "# frame %d virtual_time_ms %d\n", frameNum, vtMillis); err != nil {
 		return err
 	}
-	for _, name := range det.SortedKeys(s.Counters) {
+	names := det.SortedKeysInto(nil, s.Counters)
+	for _, name := range names {
 		n := promName(name)
 		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d %d\n", n, n, s.Counters[name], vtMillis); err != nil {
 			return err
 		}
 	}
-	for _, name := range det.SortedKeys(s.Gauges) {
+	names = det.SortedKeysInto(names, s.Gauges)
+	for _, name := range names {
 		n := promName(name)
 		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d %d\n", n, n, s.Gauges[name], vtMillis); err != nil {
 			return err
 		}
 	}
-	for _, name := range det.SortedKeys(s.Histograms) {
+	for _, name := range det.SortedKeysInto(names, s.Histograms) {
 		n := promName(name)
 		h := s.Histograms[name]
 		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", n); err != nil {

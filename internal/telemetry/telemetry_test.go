@@ -161,9 +161,20 @@ func TestRingPersistRecoverIncremental(t *testing.T) {
 	if err := rec.Persist(kv); err != nil {
 		t.Fatal(err)
 	}
-	// Second batch evicts the first two events; Persist must delete their
-	// keys and write only the new tail.
+	// Each Persist writes one chunk; a chunk is deleted once every event in
+	// it has been evicted from the ring. After three batches of three with
+	// capacity 4 the live window is seqs 5..8: the first chunk (seqs 0..2)
+	// is fully dead and must be gone, while the second (3..5) still holds
+	// seq 5 and stays — recovery may return up to one chunk of surplus
+	// history before the live window, never less than the window itself.
 	for i := 3; i < 6; i++ {
+		rec.SetFrame(int64(i))
+		rec.Record(Event{Kind: KindTrigger})
+	}
+	if err := rec.Persist(kv); err != nil {
+		t.Fatal(err)
+	}
+	for i := 6; i < 9; i++ {
 		rec.SetFrame(int64(i))
 		rec.Record(Event{Kind: KindTrigger})
 	}
@@ -175,16 +186,16 @@ func TestRingPersistRecoverIncremental(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(evs) != 4 {
-		t.Fatalf("recovered %d events, want 4", len(evs))
+	if len(evs) != 6 {
+		t.Fatalf("recovered %d events, want 6 (live window 5..8 plus chunk surplus 3..4)", len(evs))
 	}
 	for i, e := range evs {
-		if e.Seq != int64(i+2) {
-			t.Errorf("recovered[%d].Seq = %d, want %d", i, e.Seq, i+2)
+		if e.Seq != int64(i+3) {
+			t.Errorf("recovered[%d].Seq = %d, want %d", i, e.Seq, i+3)
 		}
 	}
-	if evs[0].Kind != KindSignal || evs[3].Kind != KindTrigger {
-		t.Errorf("recovered kinds = %v...%v", evs[0].Kind, evs[3].Kind)
+	if evs[0].Kind != KindTrigger || evs[5].Kind != KindTrigger {
+		t.Errorf("recovered kinds = %v...%v", evs[0].Kind, evs[5].Kind)
 	}
 }
 
