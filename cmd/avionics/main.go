@@ -9,12 +9,14 @@
 //	avionics -scenario alternator -frames 600
 //	avionics -scenario mission -trace run.json
 //	avionics -scenario double -paced         # soft real time, 20 ms frames
+//	avionics -scenario mission -paced -serve 127.0.0.1:8080   # live telemetry plane
 //
 // Scenarios: steady, alternator, double, repair, procfail, mission.
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -25,8 +27,10 @@ import (
 	"repro/internal/core"
 	"repro/internal/envmon"
 	"repro/internal/experiments"
+	"repro/internal/frame"
 	"repro/internal/fta"
 	"repro/internal/spec"
+	"repro/internal/telemetry/serve"
 )
 
 func main() {
@@ -122,6 +126,7 @@ func run(args []string, out io.Writer) error {
 	tracePath := fs.String("trace", "", "write the recorded trace to this file (JSON)")
 	every := fs.Int("log-every", 100, "print a status line every N frames")
 	showSFTA := fs.Bool("sfta", false, "print the derived SFTA structure (section 5.2 view)")
+	serveAddr := fs.String("serve", "", "serve the live telemetry plane (/metrics, /journal, /traces, /trace/<id>) on this address while the scenario flies")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -142,7 +147,7 @@ func run(args []string, out io.Writer) error {
 	// The procfail scenario needs a classifier that folds proc-2 health
 	// into the power state, so it wires its own system.
 	if *name == "procfail" {
-		return runProcFail(out, sc, *tracePath, *showSFTA)
+		return runProcFail(out, sc, *tracePath, *showSFTA, *serveAddr)
 	}
 
 	s, err := avionics.NewScenario(sc.opts)
@@ -150,6 +155,11 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	defer s.Close()
+	stopServe, err := attachServe(out, s.Sys, *serveAddr)
+	if err != nil {
+		return err
+	}
+	defer stopServe()
 
 	for f := 0; f < sc.frames; f += *every {
 		n := *every
@@ -164,9 +174,39 @@ func run(args []string, out io.Writer) error {
 	return report(out, s.Sys, *tracePath, *showSFTA)
 }
 
+// attachServe starts the live telemetry plane: a commit hook republishes a
+// fresh snapshot — frame number, metrics, the full event ring — at every
+// frame boundary, and the server hands the latest published copy to HTTP
+// readers entirely off the frame path. A no-op when addr is empty.
+func attachServe(out io.Writer, sys *core.System, addr string) (func(), error) {
+	if addr == "" {
+		return func() {}, nil
+	}
+	reg, rec := sys.Telemetry()
+	if reg == nil {
+		return nil, errors.New("-serve needs the telemetry layer enabled")
+	}
+	srv := serve.New()
+	sys.AddCommitHook(func(ctx frame.Context) error {
+		srv.Publish(serve.Snapshot{
+			Frame:    ctx.Frame,
+			FrameLen: avionics.FrameLength,
+			Metrics:  reg.Snapshot(),
+			Events:   rec.Events(),
+		})
+		return nil
+	})
+	bound, err := srv.Start(addr)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(out, "telemetry plane: http://%s (/metrics /journal /traces /trace/<id>)\n\n", bound)
+	return func() { srv.Close() }, nil
+}
+
 // runProcFail builds the processor-failure variant: the classifier folds
 // proc-2 health into the power state.
-func runProcFail(out io.Writer, sc scenario, tracePath string, showSFTA bool) error {
+func runProcFail(out io.Writer, sc scenario, tracePath string, showSFTA bool, serveAddr string) error {
 	classifier := func(f map[envmon.Factor]string) spec.EnvState {
 		state := avionics.Classifier(f)
 		if f[core.ProcHealthFactor(avionics.Proc2)] == core.ProcFailed && state == avionics.EnvPowerFull {
@@ -193,6 +233,11 @@ func runProcFail(out io.Writer, sc scenario, tracePath string, showSFTA bool) er
 		return err
 	}
 	defer sys.Close()
+	stopServe, err := attachServe(out, sys, serveAddr)
+	if err != nil {
+		return err
+	}
+	defer stopServe()
 	if err := sys.Run(sc.frames); err != nil {
 		return err
 	}

@@ -37,6 +37,7 @@ import (
 	"repro/internal/bus"
 	"repro/internal/campaign"
 	"repro/internal/cli"
+	"repro/internal/det"
 	"repro/internal/stable"
 	"repro/internal/telemetry"
 )
@@ -125,6 +126,24 @@ func textReport(out io.Writer, rep campaign.Report) {
 	if t.WindowFrames.Count > 0 {
 		fmt.Fprintf(out, "recovery latency: %d windows, mean %.1f frames, max %d\n",
 			t.WindowFrames.Count, float64(t.WindowFrames.Sum)/float64(t.WindowFrames.Count), t.WindowFrames.Max)
+	}
+	if q := t.WindowQuantiles; q != nil {
+		fmt.Fprintf(out, "window frames: p50 %d, p95 %d, p99 %d\n", q.P50, q.P95, q.P99)
+	}
+	if q := t.SignalQuantiles; q != nil {
+		fmt.Fprintf(out, "signal latency frames: p50 %d, p95 %d, p99 %d\n", q.P50, q.P95, q.P99)
+	}
+	if len(t.SpanPhases) > 0 {
+		fmt.Fprint(out, "trace phases (total frames):")
+		for _, name := range det.SortedKeys(t.SpanPhases) {
+			fmt.Fprintf(out, " %s=%d", name, t.SpanPhases[name])
+		}
+		fmt.Fprintln(out)
+	}
+	for i, s := range rep.SlowestTraces {
+		fmt.Fprintf(out, "slowest trace #%d: run %d trace %s seq %d %s -> %s, window %d of bound %d (margin %d)\n",
+			i+1, s.Run, s.Trace.ID, s.Trace.Seq, s.Trace.From, s.Trace.Config,
+			s.Trace.Window, s.Trace.Bound, s.Trace.Margin)
 	}
 }
 

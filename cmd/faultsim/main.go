@@ -20,6 +20,7 @@
 //	faultsim -experiment s1 -runs 25 -storage-faults 0.05 -workers 8
 //	faultsim -experiment s2 -bus-faults 0.1 -json -out report.json
 //	faultsim -experiment s1 -ring-out ring.jsonl   # export the black-box journal
+//	faultsim -experiment s1 -serve 127.0.0.1:8080  # then serve the live telemetry plane
 //
 // -runs (formerly -seeds, kept as a deprecated alias) sizes the randomized
 // campaigns; -seed offsets the s1/s2 campaign seeds; -workers fans the
@@ -29,7 +30,10 @@
 // The s1 and s2 campaigns recover the flight-recorder ring from the SCRAM
 // host's stable storage after each run; -ring-out writes the most
 // interesting ring (for s1, a defeat-mode run that halted a processor) as a
-// JSONL journal readable by cmd/flightrec.
+// JSONL journal readable by cmd/flightrec. -serve publishes the same run's
+// final telemetry snapshot over HTTP — Prometheus text on /metrics, the
+// journal on /journal?since_frame=N, and the assembled causal traces on
+// /traces and /trace/<id> — until the process is interrupted.
 package main
 
 import (
@@ -38,12 +42,16 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"repro/internal/bus"
 	"repro/internal/cli"
 	"repro/internal/experiments"
 	"repro/internal/stable"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/serve"
 )
 
 func main() {
@@ -76,6 +84,7 @@ func run(args []string, out io.Writer) (err error) {
 	storageFaults := fs.Float64("storage-faults", 0.05, "s1 base per-medium fault rate (torn writes and stuck reads at half, bit rot at full)")
 	busFaults := fs.Float64("bus-faults", 0.05, "s2 base per-message fault rate (drop at full, duplicate and delay at half)")
 	ringOut := fs.String("ring-out", "", "write the s1/s2 flight-recorder journal (JSONL) to this file")
+	serveAddr := fs.String("serve", "", "after the s1/s2 campaigns finish, serve the exported run's telemetry (/metrics, /journal, /traces, /trace/<id>) on this address until interrupted")
 	workers := fs.Int("workers", 1, "worker pool size for the s1/s2 campaigns (results are identical for any value)")
 	cli.Alias(fs, "runs", "seeds")
 	if err := fs.Parse(args); err != nil {
@@ -91,6 +100,8 @@ func run(args []string, out io.Writer) (err error) {
 		}
 	}()
 	var exportRing []telemetry.Event
+	var exportReg telemetry.Snapshot
+	var exportFrameLen time.Duration
 
 	type experiment struct {
 		id  string
@@ -172,6 +183,8 @@ func run(args []string, out io.Writer) (err error) {
 			}
 			if r.LastRing != nil {
 				exportRing = r.LastRing
+				exportReg = r.LastRegistry
+				exportFrameLen = r.LastFrameLen
 			}
 			return render(*asJSON, r.Text, r)
 		}},
@@ -187,6 +200,8 @@ func run(args []string, out io.Writer) (err error) {
 			}
 			if r.LastRing != nil {
 				exportRing = r.LastRing
+				exportReg = r.LastRegistry
+				exportFrameLen = r.LastFrameLen
 			}
 			return render(*asJSON, r.Text, r)
 		}},
@@ -223,6 +238,33 @@ func run(args []string, out io.Writer) (err error) {
 			return err
 		}
 		fmt.Fprintf(out, "wrote %d flight-recorder events to %s\n", len(exportRing), *ringOut)
+	}
+	if *serveAddr != "" {
+		if exportRing == nil {
+			return fmt.Errorf("-serve: no flight-recorder ring produced (only s1 and s2 export rings)")
+		}
+		var lastFrame int64
+		for _, e := range exportRing {
+			if e.Frame > lastFrame {
+				lastFrame = e.Frame
+			}
+		}
+		srv := serve.New()
+		srv.Publish(serve.Snapshot{
+			Frame:    lastFrame,
+			FrameLen: exportFrameLen,
+			Metrics:  exportReg,
+			Events:   exportRing,
+		})
+		addr, err := srv.Start(*serveAddr)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(out, "serving telemetry on http://%s (/metrics /journal /traces /trace/<id>); interrupt to stop\n", addr)
+		stop := make(chan os.Signal, 1)
+		signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+		<-stop
 	}
 	return nil
 }

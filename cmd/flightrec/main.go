@@ -10,6 +10,8 @@
 //	flightrec -ring ring.jsonl -phase prepare
 //	flightrec -ring ring.jsonl -summary -canonical   # timeline + SP checks
 //	flightrec -ring ring.jsonl -summary -spec system.json
+//	flightrec -ring ring.jsonl -trace                # causal-trace waterfalls
+//	flightrec -ring ring.jsonl -trace -trace-id 00000000075bcd15 -json
 //
 // The default mode dumps the (filtered) events one per line. -summary
 // assembles the reconfiguration timeline — each window's halt, prepare and
@@ -20,6 +22,12 @@
 // the specification (-spec, -canonical for the built-in three-configuration
 // system, or -avionics). The exit status is 1 if any checked property is
 // violated, so a recovered black box re-certifies the run it survived.
+//
+// -trace assembles the ring's causal spans into per-reconfiguration
+// waterfalls: signal detection, the kernel's decision, each transition
+// phase and the window's completion, with frames used measured against the
+// declared transition bound. -trace -json renders the exact bytes the live
+// telemetry plane serves on /traces (or, with -trace-id, /trace/<id>).
 package main
 
 import (
@@ -28,7 +36,9 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/avionics"
@@ -55,6 +65,8 @@ func run(args []string, out io.Writer) (err error) {
 	phase := fs.String("phase", "", "dump only events with this phase (halt, prepare, initialize, schedule, window, ...)")
 	sinceFrame := fs.Int64("since-frame", -1, "dump only events at or after this frame")
 	summary := fs.Bool("summary", false, "print the reconfiguration timeline and rerun the SP checkers")
+	traceMode := fs.Bool("trace", false, "render the causal reconfiguration traces (waterfalls) assembled from the ring")
+	traceID := fs.String("trace-id", "", "with -trace, render only the trace with this id (16 hex digits)")
 	specPath := fs.String("spec", "", "path to the reconfiguration specification (JSON), for SP2/SP3")
 	canonical := fs.Bool("canonical", false, "check against the built-in three-configuration specification")
 	useAvionics := fs.Bool("avionics", false, "check against the built-in avionics specification")
@@ -106,6 +118,9 @@ func run(args []string, out io.Writer) (err error) {
 		}
 	}
 
+	if *traceMode {
+		return renderTraces(out, *asJSON, events, *traceID)
+	}
 	if !*summary {
 		filtered := filter(events, *app, *phase, *sinceFrame)
 		if *asJSON {
@@ -137,6 +152,116 @@ func filter(events []telemetry.Event, app, phase string, sinceFrame int64) []tel
 	return kept
 }
 
+// renderTraces renders the ring's assembled causal traces. With an id it
+// renders exactly one; -json emits the same bytes the live telemetry
+// plane's /traces and /trace/<id> endpoints serve (both sides render
+// telemetry.BuildTraceReport through cli.WriteJSON), so CI can diff the
+// HTTP body against this output.
+func renderTraces(out io.Writer, asJSON bool, events []telemetry.Event, id string) error {
+	var reports []telemetry.TraceReport
+	for _, tv := range telemetry.AssembleTraces(events) {
+		if tv.ID != 0 {
+			reports = append(reports, telemetry.BuildTraceReport(tv))
+		}
+	}
+	if id != "" {
+		want, err := telemetry.ParseTraceID(id)
+		if err != nil {
+			return err
+		}
+		for _, r := range reports {
+			if r.ID != telemetry.TraceIDString(want) {
+				continue
+			}
+			if asJSON {
+				return cli.WriteJSON(out, r)
+			}
+			waterfall(out, r)
+			return nil
+		}
+		return fmt.Errorf("trace %s not found in ring (%d trace(s) assembled)", id, len(reports))
+	}
+	if asJSON {
+		return cli.WriteJSON(out, reports)
+	}
+	if len(reports) == 0 {
+		fmt.Fprintln(out, "no causal traces in ring (tracing disabled, or no reconfiguration spans recorded)")
+		return nil
+	}
+	for i, r := range reports {
+		if i > 0 {
+			fmt.Fprintln(out)
+		}
+		waterfall(out, r)
+	}
+	return nil
+}
+
+// waterfall prints one trace's per-phase breakdown: each span's frame
+// window drawn against the whole reconfiguration, with the realized window
+// measured against the declared transition bound.
+func waterfall(out io.Writer, r telemetry.TraceReport) {
+	fmt.Fprintf(out, "trace %s seq %d: %s -> %s\n", r.ID, r.Seq, r.From, r.Config)
+	switch {
+	case r.Complete && r.Bound > 0:
+		fmt.Fprintf(out, "  window f%d-f%d: %d frame(s) used of bound %d (margin %d)\n",
+			r.Start, r.End, r.Window, r.Bound, r.Margin)
+	case r.Complete:
+		fmt.Fprintf(out, "  window f%d-f%d: %d frame(s), no declared bound\n", r.Start, r.End, r.Window)
+	case r.Start >= 0:
+		fmt.Fprintf(out, "  window open at f%d (cut short by a halt or the end of the ring)\n", r.Start)
+	default:
+		fmt.Fprintln(out, "  no root span in ring (trace start evicted)")
+	}
+
+	base, last := int64(math.MaxInt64), int64(-1)
+	for _, s := range r.Spans {
+		if s.Start >= 0 && s.Start < base {
+			base = s.Start
+		}
+		if s.End > last {
+			last = s.End
+		}
+		if s.Start > last {
+			last = s.Start
+		}
+	}
+	if base == math.MaxInt64 || last < base {
+		return
+	}
+	// One bar character per frame, coarsened when the trace is wide.
+	perChar := int64(1)
+	if w := last - base + 1; w > 64 {
+		perChar = (w + 63) / 64
+	}
+	width := int((last-base)/perChar) + 1
+	for _, s := range r.Spans {
+		loc := fmt.Sprintf("f%d-f%d", s.Start, s.End)
+		used := fmt.Sprintf("%d frame(s)", s.Frames)
+		var bar string
+		switch {
+		case s.Start < 0:
+			loc = fmt.Sprintf("?-f%d", s.End)
+			used = "start evicted"
+		case s.End < 0:
+			loc = fmt.Sprintf("f%d-", s.Start)
+			used = "open"
+			bar = strings.Repeat(" ", int((s.Start-base)/perChar)) + ">"
+		default:
+			pad := int((s.Start - base) / perChar)
+			bar = strings.Repeat(" ", pad) + strings.Repeat("#", int((s.End-base)/perChar)-pad+1)
+		}
+		detail := s.Detail
+		if detail == "" && s.Config != "" {
+			detail = s.Config
+			if s.From != "" {
+				detail = s.From + " -> " + s.Config
+			}
+		}
+		fmt.Fprintf(out, "  %-10s %-13s %-14s |%-*s| %s\n", s.Name, loc, used, width, bar, detail)
+	}
+}
+
 // span renders one protocol phase's frame window.
 func span(name string, p telemetry.PhaseSpan) string {
 	if p.Start < 0 {
@@ -148,20 +273,58 @@ func span(name string, p telemetry.PhaseSpan) string {
 // summaryReport is the -summary -json output: the assembled timeline plus
 // the rerun SP checks over the reconstructed trace.
 type summaryReport struct {
-	Summary    telemetry.Summary `json:"summary"`
-	Checked    string            `json:"checked"`
-	Cycles     int64             `json:"cycles"`
-	BaseFrame  int64             `json:"base_frame"`
-	Violations []trace.Violation `json:"violations"`
+	Summary         telemetry.Summary `json:"summary"`
+	WindowQuantiles *quantileRow      `json:"window_quantiles,omitempty"`
+	SignalQuantiles *quantileRow      `json:"signal_latency_quantiles,omitempty"`
+	Checked         string            `json:"checked"`
+	Cycles          int64             `json:"cycles"`
+	BaseFrame       int64             `json:"base_frame"`
+	Violations      []trace.Violation `json:"violations"`
+}
+
+// quantileRow reads a latency histogram at the standard percentiles.
+type quantileRow struct {
+	P50 int64 `json:"p50"`
+	P95 int64 `json:"p95"`
+	P99 int64 `json:"p99"`
+}
+
+func quantilesOf(h telemetry.HistogramSnapshot) *quantileRow {
+	if h.Count == 0 {
+		return nil
+	}
+	return &quantileRow{P50: h.Quantile(0.50), P95: h.Quantile(0.95), P99: h.Quantile(0.99)}
+}
+
+// ringHistograms rebuilds the recovery-latency histograms from the ring's
+// assembled reconfiguration windows — the same quantities the live
+// registry tracks as scram/window_frames and scram/signal_latency_frames,
+// recomputed post mortem from the black box alone.
+func ringHistograms(s telemetry.Summary) (window, signal telemetry.HistogramSnapshot) {
+	reg := telemetry.NewRegistry()
+	wh := reg.Histogram("scram/window_frames")
+	sh := reg.Histogram("scram/signal_latency_frames")
+	for _, r := range s.Reconfigs {
+		if r.Complete() {
+			wh.Observe(r.WindowFrames)
+		}
+		if r.SignalLatency >= 0 {
+			sh.Observe(r.SignalLatency)
+		}
+	}
+	return wh.Snapshot(), sh.Snapshot()
 }
 
 // summarize prints the flight-recorder report and reruns the SP checkers
 // over the trace reconstructed from the ring.
 func summarize(out io.Writer, asJSON bool, events []telemetry.Event, rs *spec.ReconfigSpec) error {
 	s := telemetry.Summarize(events)
+	windowHist, signalHist := ringHistograms(s)
 
 	if asJSON {
 		rep := summaryReport{Summary: s, Violations: []trace.Violation{}}
+		rep.WindowQuantiles = quantilesOf(windowHist)
+		rep.SignalQuantiles = quantilesOf(signalHist)
 		frameLen := time.Millisecond
 		if rs != nil {
 			frameLen = rs.FrameLen
@@ -235,6 +398,12 @@ func summarize(out io.Writer, asJSON bool, events []telemetry.Event, rs *spec.Re
 			bound = fmt.Sprintf("bound %d, margin %d", r.BoundFrames, r.MarginFrames)
 		}
 		fmt.Fprintf(out, "      complete   f%d, window %d frame(s), %s\n", r.CompleteFrame, r.WindowFrames, bound)
+	}
+	if q := quantilesOf(windowHist); q != nil {
+		fmt.Fprintf(out, "window frames: p50 %d, p95 %d, p99 %d (%d window(s))\n", q.P50, q.P95, q.P99, windowHist.Count)
+	}
+	if q := quantilesOf(signalHist); q != nil {
+		fmt.Fprintf(out, "signal latency frames: p50 %d, p95 %d, p99 %d (%d signal(s))\n", q.P50, q.P95, q.P99, signalHist.Count)
 	}
 
 	frameLen := time.Millisecond

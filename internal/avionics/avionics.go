@@ -205,6 +205,8 @@ type ScenarioOptions struct {
 	StandbyProc spec.ProcID
 	// DwellFrames overrides the specification's dwell guard when >= 0.
 	DwellFrames int
+	// TraceSeed salts the causal-trace identities (core.Options.TraceSeed).
+	TraceSeed int64
 	// Paced runs the scenario in soft real time (20 ms frames).
 	Paced bool
 }
@@ -263,6 +265,7 @@ func NewScenarioWithSpec(rs *spec.ReconfigSpec, opts ScenarioOptions) (*Scenario
 		ProcEvents:  opts.ProcEvents,
 		BusSchedule: BusSchedule(),
 		StandbyProc: opts.StandbyProc,
+		TraceSeed:   opts.TraceSeed,
 		Paced:       opts.Paced,
 	})
 	if err != nil {

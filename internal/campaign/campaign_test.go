@@ -154,6 +154,26 @@ func TestReportCapture(t *testing.T) {
 	if rep.LastRing() == nil {
 		t.Error("no exportable ring")
 	}
+	if tot.Reconfigs > 0 {
+		if len(tot.SpanPhases) == 0 {
+			t.Error("no span-phase aggregation despite completed reconfigurations")
+		}
+		if tot.WindowQuantiles == nil || tot.WindowQuantiles.P50 <= 0 {
+			t.Errorf("window quantiles missing or degenerate: %+v", tot.WindowQuantiles)
+		}
+		if len(rep.SlowestTraces) == 0 {
+			t.Error("no slowest traces retained")
+		}
+		for i, s := range rep.SlowestTraces {
+			if !s.Trace.Complete || s.Trace.Window <= 0 {
+				t.Errorf("slowest trace %d is not a completed window: %+v", i, s.Trace)
+			}
+			if i > 0 && s.Trace.Window > rep.SlowestTraces[i-1].Trace.Window {
+				t.Errorf("slowest traces out of order at %d: %d frames after %d",
+					i, s.Trace.Window, rep.SlowestTraces[i-1].Trace.Window)
+			}
+		}
+	}
 }
 
 // TestBusRun drives one bus cell end to end through the engine.

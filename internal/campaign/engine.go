@@ -38,6 +38,19 @@ type Result struct {
 	// Recorder summarizes the flight-recorder ring recovered from the
 	// SCRAM host's committed stable storage after the run.
 	Recorder telemetry.Summary `json:"recorder"`
+	// SpanPhases is the run's causal-trace phase breakdown: closed span
+	// frames summed by span name over every reconfiguration trace
+	// assembled from the recovered ring.
+	SpanPhases map[string]int64 `json:"span_phases,omitempty"`
+	// Metrics is the run's full final registry snapshot. Like Ring it is
+	// kept out of the JSON report (the histograms the report needs are
+	// lifted into WindowFrames/SignalLatency); the live telemetry plane
+	// publishes it whole.
+	Metrics telemetry.Snapshot `json:"-"`
+	// Traces holds the run's assembled reconfiguration waterfalls, in
+	// ring order, for the aggregate report's slowest-trace digest. Kept
+	// out of the per-run JSON like Ring.
+	Traces []telemetry.TraceReport `json:"-"`
 	// Ring is the recovered ring itself. It is kept out of the JSON
 	// report (rings repeat what Recorder summarizes) but callers can
 	// export the journal of an interesting run.
@@ -122,11 +135,27 @@ func (r Run) execute() Result {
 }
 
 // fillTelemetry lifts the recovery-latency histograms out of the run's
-// registry snapshot and summarizes the recovered ring.
+// registry snapshot, summarizes the recovered ring, and assembles the
+// ring's causal traces into waterfalls and the per-phase breakdown. All
+// of it is a pure function of the run's outputs, so it is identical for
+// any worker count.
 func (res *Result) fillTelemetry(reg telemetry.Snapshot, ring []telemetry.Event) {
+	res.Metrics = reg
 	res.WindowFrames = reg.Histograms["scram/window_frames"]
 	res.SignalLatency = reg.Histograms["scram/signal_latency_frames"]
 	res.Recorder = telemetry.Summarize(ring)
+	for _, tv := range telemetry.AssembleTraces(ring) {
+		if tv.ID == 0 {
+			continue
+		}
+		res.Traces = append(res.Traces, telemetry.BuildTraceReport(tv))
+		for name, frames := range tv.PhaseFrames() {
+			if res.SpanPhases == nil {
+				res.SpanPhases = make(map[string]int64)
+			}
+			res.SpanPhases[name] += frames
+		}
+	}
 }
 
 // Engine executes expanded runs over a bounded worker pool.

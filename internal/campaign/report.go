@@ -3,6 +3,7 @@ package campaign
 import (
 	"encoding/json"
 	"fmt"
+	"sort"
 
 	"repro/internal/stable"
 	"repro/internal/telemetry"
@@ -32,6 +33,14 @@ type Totals struct {
 	// latencies, in frames.
 	WindowFrames  telemetry.HistogramSnapshot `json:"window_frames"`
 	SignalLatency telemetry.HistogramSnapshot `json:"signal_latency"`
+	// WindowQuantiles and SignalQuantiles read the merged histograms at
+	// the standard percentiles; nil while no run observed a sample.
+	WindowQuantiles *LatencyQuantiles `json:"window_quantiles,omitempty"`
+	SignalQuantiles *LatencyQuantiles `json:"signal_latency_quantiles,omitempty"`
+	// SpanPhases merges the runs' causal-trace phase breakdowns: total
+	// frames spent in each span phase (signal, halt, prepare, initialize,
+	// ...) across every assembled reconfiguration trace.
+	SpanPhases map[string]int64 `json:"span_phases,omitempty"`
 	// MembershipViolations sums the membership-invariant violations; a
 	// membership campaign must hold it at zero. Omitted (with the
 	// Membership section) from campaigns without membership arms, so
@@ -55,6 +64,37 @@ type MembershipTotals struct {
 	MaxEpoch int64 `json:"max_epoch"`
 }
 
+// LatencyQuantiles summarizes a merged latency histogram at the standard
+// percentiles, in frames.
+type LatencyQuantiles struct {
+	P50 int64 `json:"p50"`
+	P95 int64 `json:"p95"`
+	P99 int64 `json:"p99"`
+}
+
+// histQuantiles reads a histogram at p50/p95/p99, or nil when empty.
+func histQuantiles(h telemetry.HistogramSnapshot) *LatencyQuantiles {
+	if h.Count == 0 {
+		return nil
+	}
+	return &LatencyQuantiles{
+		P50: h.Quantile(0.50),
+		P95: h.Quantile(0.95),
+		P99: h.Quantile(0.99),
+	}
+}
+
+// SlowTrace pairs a retained reconfiguration waterfall with the run that
+// produced it.
+type SlowTrace struct {
+	Run   int                   `json:"run"`
+	Trace telemetry.TraceReport `json:"trace"`
+}
+
+// slowestTraceK is how many of the slowest completed reconfiguration
+// traces the aggregate report retains in full waterfall form.
+const slowestTraceK = 3
+
 // Report is the campaign's aggregate output. Building it only reads the
 // result slice in run-ID order, so for a given matrix the marshaled report
 // is byte-identical whatever worker count or completion order produced the
@@ -63,6 +103,11 @@ type Report struct {
 	Matrix  Matrix   `json:"matrix"`
 	Results []Result `json:"results"`
 	Totals  Totals   `json:"totals"`
+	// SlowestTraces retains the slowestTraceK slowest completed
+	// reconfiguration traces across every run, ordered by realized
+	// window descending (ties resolved by run ID, start frame and trace
+	// ID, so the selection is deterministic for any worker count).
+	SlowestTraces []SlowTrace `json:"slowest_traces,omitempty"`
 }
 
 // mergeHist folds src into dst. Histograms with equal bounds add bucket by
@@ -116,6 +161,17 @@ func BuildReport(m Matrix, results []Result) Report {
 		t.Reconfigs += res.Reconfigs
 		mergeHist(&t.WindowFrames, res.WindowFrames)
 		mergeHist(&t.SignalLatency, res.SignalLatency)
+		for name, frames := range res.SpanPhases {
+			if t.SpanPhases == nil {
+				t.SpanPhases = make(map[string]int64)
+			}
+			t.SpanPhases[name] += frames
+		}
+		for _, tr := range res.Traces {
+			if tr.Complete {
+				rep.SlowestTraces = append(rep.SlowestTraces, SlowTrace{Run: res.Run.ID, Trace: tr})
+			}
+		}
 		if res.Storage != nil {
 			t.Injected.Add(res.Storage.Injected)
 			t.Storage.Add(res.Storage.Storage)
@@ -135,6 +191,26 @@ func BuildReport(m Matrix, results []Result) Report {
 				t.Membership.MaxEpoch = res.Membership.Epoch
 			}
 		}
+	}
+	t.WindowQuantiles = histQuantiles(t.WindowFrames)
+	t.SignalQuantiles = histQuantiles(t.SignalLatency)
+	// Slowest first; every comparison key is a pure function of the
+	// results, so the retained set is worker-count independent.
+	sort.SliceStable(rep.SlowestTraces, func(i, j int) bool {
+		a, b := rep.SlowestTraces[i], rep.SlowestTraces[j]
+		if a.Trace.Window != b.Trace.Window {
+			return a.Trace.Window > b.Trace.Window
+		}
+		if a.Run != b.Run {
+			return a.Run < b.Run
+		}
+		if a.Trace.Start != b.Trace.Start {
+			return a.Trace.Start < b.Trace.Start
+		}
+		return a.Trace.ID < b.Trace.ID
+	})
+	if len(rep.SlowestTraces) > slowestTraceK {
+		rep.SlowestTraces = rep.SlowestTraces[:slowestTraceK]
 	}
 	return rep
 }

@@ -92,7 +92,13 @@ type armSample struct {
 // comparison, so they cancel in the subtraction.
 func measureArm(tb testing.TB, frames int, telemetryCapacity int, churnEvery int64) armSample {
 	tb.Helper()
-	sys := buildBenchSystem(tb, telemetryCapacity, churnEvery)
+	return measureSystem(tb, buildBenchSystem(tb, telemetryCapacity, churnEvery), frames)
+}
+
+// measureSystem times exactly `frames` frames of an already-built system
+// after a fixed warmup.
+func measureSystem(tb testing.TB, sys *System, frames int) armSample {
+	tb.Helper()
 	for i := 0; i < 1000; i++ {
 		if err := sys.Step(); err != nil {
 			tb.Fatal(err)
@@ -171,7 +177,10 @@ func TestTelemetryOverheadBench(t *testing.T) {
 	}
 	const frames = 20_000
 	steadyOn, steadyOff, steadyPct := measurePair(t, 5, frames, 0)
-	churnOn, churnOff, churnPct := measurePair(t, 3, frames, 20)
+	// The churn arms are noisier than the steady ones — each sample rides
+	// through ~1000 reconfiguration windows' GC and scheduling jitter — so
+	// the median needs more pairs to settle.
+	churnOn, churnOff, churnPct := measurePair(t, 7, frames, 20)
 
 	out := struct {
 		Benchmark        string        `json:"benchmark"`
@@ -193,7 +202,9 @@ func TestTelemetryOverheadBench(t *testing.T) {
 		ChurnOverheadPct: churnPct,
 		Notes: []string{
 			"allocation trim (pre-sized det.SortedKeys scratch via SortedKeysInto, pre-sized stable Keys/SnapshotPrefix maps, cached app stable regions): steady allocs/frame were on 63.35 / off 63.00 before the change",
-			fmt.Sprintf("after the change this run measured steady allocs/frame on %.2f / off %.2f", steadyOn.allocsPerFrame, steadyOff.allocsPerFrame),
+			"pooled event staging (size-classed retired-buffer pool in internal/stable, open-chunk journal re-puts in telemetry.Persist): before the change the churn arm measured 42.15% median overhead (on 7764 / off 5462 ns/frame) and the steady arm 4.00 allocs/frame",
+			"the residual churn overhead is the journaling itself — per-event chunk encoding, run-length frame-state samples and span events during reconfiguration windows — and is measured against an ablation baseline the same pooling also sped up",
+			fmt.Sprintf("after the change this run measured steady allocs/frame on %.2f / off %.2f and churn ns/frame on %.0f / off %.0f", steadyOn.allocsPerFrame, steadyOff.allocsPerFrame, churnOn.nsPerFrame, churnOff.nsPerFrame),
 		},
 	}
 	data, err := json.MarshalIndent(out, "", "  ")

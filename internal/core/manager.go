@@ -56,6 +56,13 @@ type scramManager struct {
 	telReg  *telemetry.Registry
 	telRec  *telemetry.Recorder
 	telSink telemetry.Sink
+
+	// book is the system's span book (nil with tracing off). The manager
+	// opens the signal-detection span at the frame-commit delivery point —
+	// the single-threaded spot where a monitor's concurrent report becomes
+	// part of the deterministic frame history — and re-attaches the book
+	// to the restored kernel on takeover.
+	book *telemetry.SpanBook
 }
 
 // newSCRAMManager builds the manager with a fresh kernel on the primary.
@@ -81,6 +88,13 @@ func (m *scramManager) setTelemetry(reg *telemetry.Registry, rec *telemetry.Reco
 	m.telRec = rec
 	m.telSink = telemetry.OrNop(rec)
 	m.active.SetTelemetry(reg, rec)
+}
+
+// setTracing attaches the span book to the manager and its active kernel.
+// Called once during system construction, before any frame runs.
+func (m *scramManager) setTracing(book *telemetry.SpanBook) {
+	m.book = book
+	m.active.SetTracing(book)
 }
 
 // Signal enqueues a monitor signal for delivery at the commit step. Safe for
@@ -115,6 +129,20 @@ func (m *scramManager) hook(ctx frame.Context) error {
 	m.pending = nil
 	m.mu.Unlock()
 	for _, sig := range sigs {
+		if m.book.Enabled() {
+			// The detection span opens here — delivery, not the monitor's
+			// concurrent Tick — so span identities are allocated at a
+			// deterministic point of the frame's commit step.
+			attrs := map[string]int64{"observed_frame": sig.Frame}
+			if sig.Urgent {
+				attrs["urgent"] = 1
+			}
+			sig.Span = m.book.OpenPending(ctx.Frame, telemetry.SpanSignal, telemetry.Event{
+				App:    string(sig.Source),
+				Detail: string(sig.State),
+				Attrs:  attrs,
+			})
+		}
 		m.active.Signal(sig)
 	}
 	if m.mem != nil {
@@ -207,6 +235,10 @@ func (m *scramManager) takeover(ctx frame.Context) bool {
 		// disabled every call lands on the no-op sink.
 		m.telSink.ResetPersistence()
 		m.active.SetTelemetry(m.telReg, m.telRec)
+		// The span book lives with the system, not the failed kernel: the
+		// restored kernel keeps allocating from the same deterministic
+		// counters, so the trace it resumes is the one the primary opened.
+		m.active.SetTracing(m.book)
 		if m.mem != nil {
 			m.mem.OnTakeover(ctx.Frame, cand.ID())
 		}

@@ -119,6 +119,15 @@ type Options struct {
 	// entirely (no registry, no recorder, no per-frame persistence) —
 	// the ablation arm of the observability-overhead benchmark.
 	TelemetryCapacity int
+	// TraceSeed salts the causal-trace identities: runs with different
+	// seeds produce distinct trace IDs, equal seeds reproduce them
+	// byte-identically. Campaign drivers pass their per-run seed; zero is
+	// a valid (and deterministic) default.
+	TraceSeed int64
+	// DisableTracing turns the causal trace layer off while leaving the
+	// rest of the telemetry stack on — the ablation arm of the tracing
+	// overhead benchmark.
+	DisableTracing bool
 	// Paced runs frames against the wall clock (soft real time) instead
 	// of as fast as possible.
 	Paced bool
@@ -215,6 +224,7 @@ type System struct {
 	telReg      *telemetry.Registry
 	telRec      *telemetry.Recorder
 	telSink     telemetry.Sink
+	book        *telemetry.SpanBook
 	lastFS      *telemetry.FrameState
 	lastFSFrame int64
 	telFrame    int64
@@ -387,6 +397,16 @@ func NewSystem(opts Options) (*System, error) {
 		s.telRec = telemetry.NewRecorder(opts.TelemetryCapacity)
 		s.telSink = s.telRec
 		s.manager.setTelemetry(s.telReg, s.telRec)
+		if !opts.DisableTracing {
+			// One span book for the whole system: the kernel, the SCRAM
+			// manager, and the membership layer share its deterministic
+			// counters, and its events ride the same black-box ring.
+			s.book = telemetry.NewSpanBook(opts.TraceSeed, s.telRec)
+			s.manager.setTracing(s.book)
+			if s.mem != nil {
+				s.mem.SetTracing(s.book)
+			}
+		}
 		if s.mem != nil {
 			s.mem.SetTelemetry(s.telReg, s.telRec)
 		}
@@ -921,6 +941,10 @@ func (s *System) FlushTelemetry() error {
 func (s *System) Telemetry() (*telemetry.Registry, *telemetry.Recorder) {
 	return s.telReg, s.telRec
 }
+
+// SpanBook returns the system's causal-trace span book; nil when telemetry
+// or tracing is disabled.
+func (s *System) SpanBook() *telemetry.SpanBook { return s.book }
 
 // SCRAMProc returns the processor currently hosting the SCRAM kernel (the
 // standby after a takeover). Its stable storage holds the black box.

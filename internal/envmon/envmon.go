@@ -110,6 +110,11 @@ type Signal struct {
 	// current configuration is already broken, so anti-thrash damping
 	// (the dwell guard) must not delay the response.
 	Urgent bool
+	// Span is the signal-detection span opened for this signal, stamped by
+	// the SCRAM manager at the frame-commit delivery point — not by the
+	// monitor task, which may run concurrently with other tasks and must
+	// not touch the deterministic span counters. Zero when tracing is off.
+	Span int64
 }
 
 // Monitor is a virtual application that classifies the environment every

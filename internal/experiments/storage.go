@@ -2,9 +2,12 @@ package experiments
 
 import (
 	"fmt"
+	"time"
 
+	"repro/internal/avionics"
 	"repro/internal/bus"
 	"repro/internal/campaign"
+	"repro/internal/spectest"
 	"repro/internal/stable"
 	"repro/internal/telemetry"
 )
@@ -66,6 +69,11 @@ type StorageFaultResult struct {
 	// the last defeat-mode run that halted a processor, or failing that the
 	// last run with a ring at all. faultsim -ring-out exports it.
 	LastRing []telemetry.Event `json:"-"`
+	// LastRegistry is the same run's final metrics snapshot and
+	// LastFrameLen the spec's frame length; faultsim -serve publishes
+	// them alongside the ring as the live telemetry plane's snapshot.
+	LastRegistry telemetry.Snapshot `json:"-"`
+	LastFrameLen time.Duration      `json:"-"`
 }
 
 // StorageFaults runs the S1 experiment: the canonical system on hardened
@@ -112,6 +120,8 @@ func StorageFaults(o CampaignOpts, faults stable.FaultProfile) (*StorageFaultRes
 		res.Rows = append(res.Rows, row)
 		if len(m.Ring) > 0 && (res.LastRing == nil || (row.Mode == "defeat" && m.StorageHalts > 0)) {
 			res.LastRing = m.Ring
+			res.LastRegistry = m.Registry
+			res.LastFrameLen = spectest.ThreeConfig().FrameLen
 		}
 		res.TotalInjected.Add(m.Injected)
 		res.TotalRepairs += m.Storage.ReadRepairs + m.Storage.ScrubRepairs
@@ -159,6 +169,10 @@ type BusFaultResult struct {
 	// LastRing is the last campaign's recovered black-box journal;
 	// faultsim -ring-out exports it.
 	LastRing []telemetry.Event `json:"-"`
+	// LastRegistry and LastFrameLen accompany LastRing for the live
+	// telemetry plane, exactly as on StorageFaultResult.
+	LastRegistry telemetry.Snapshot `json:"-"`
+	LastFrameLen time.Duration      `json:"-"`
 }
 
 // BusFaults runs the S2 experiment: the section 7 avionics mission over a
@@ -197,6 +211,8 @@ func BusFaults(o CampaignOpts, rates bus.FaultRates) (*BusFaultResult, error) {
 		res.Rows = append(res.Rows, row)
 		if len(m.Ring) > 0 {
 			res.LastRing = m.Ring
+			res.LastRegistry = m.Registry
+			res.LastFrameLen = avionics.FrameLength
 		}
 		res.TotalViolations += len(m.Violations)
 		w.row(fmt.Sprintf("%d", row.Seed),

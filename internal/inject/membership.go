@@ -115,6 +115,7 @@ func (c MembershipCampaign) plan() (core.Options, map[int64]int) {
 		InitialFactors: map[envmon.Factor]string{"alt1": "ok", "alt2": "ok"},
 		Script:         script,
 		ProcEvents:     procEvents,
+		TraceSeed:      c.Seed,
 		Membership:     &core.MembershipOptions{Events: memEvents},
 	}
 	return opts, corrupt

@@ -108,6 +108,7 @@ func (c StorageCampaign) Options() core.Options {
 		Classifier:     threeConfigClassifier,
 		InitialFactors: map[envmon.Factor]string{"alt1": "ok", "alt2": "ok"},
 		Script:         script,
+		TraceSeed:      c.Seed,
 		HardenedStorage: &stable.MediaProfile{
 			Replicas: c.Replicas,
 			Seed:     c.Seed,
@@ -196,6 +197,7 @@ func (c BusCampaign) Run() (BusMetrics, *trace.Trace, error) {
 			{Frame: failFrame, Factor: avionics.FactorAlt1, Value: avionics.AltFailed},
 		},
 		DwellFrames: -1,
+		TraceSeed:   c.Seed,
 	})
 	if err != nil {
 		return BusMetrics{}, nil, fmt.Errorf("inject: building scenario: %w", err)

@@ -121,6 +121,9 @@ func TestStableErrFixture(t *testing.T) { runFixture(t, []*Analyzer{StableErr}, 
 func TestNoFreeGoroutineFixture(t *testing.T) {
 	runFixture(t, []*Analyzer{NoFreeGoroutine}, "nofreegoroutine")
 }
+func TestNoFreeGoroutineServeFixture(t *testing.T) {
+	runFixture(t, []*Analyzer{NoFreeGoroutine}, "serve")
+}
 func TestStatusDisciplineFixture(t *testing.T) {
 	runFixture(t, []*Analyzer{StatusDiscipline}, "statusdiscipline")
 }

@@ -89,6 +89,11 @@ func (l *Loader) ModuleDir() (string, error) {
 func (l *Loader) goList(args ...string) ([]byte, error) {
 	cmd := exec.Command("go", append([]string{"list"}, args...)...)
 	cmd.Dir = l.Dir
+	// The loader type-checks from source with pure Go tooling: resolve
+	// build constraints with cgo off, so packages like net select their
+	// pure-Go implementation instead of cgo files referencing generated
+	// _C_ declarations no go/types checker can see.
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
 	var out, errb bytes.Buffer
 	cmd.Stdout = &out
 	cmd.Stderr = &errb
@@ -133,9 +138,19 @@ func (l *Loader) Import(path string) (*types.Package, error) {
 		return cp.pkg, nil
 	}
 	if _, ok := l.listed[path]; !ok {
-		// A path outside every closure listed so far (a fixture importing
-		// a package no target depends on): resolve its closure on demand.
-		if err := l.listDeps([]string{path}); err != nil {
+		// Standard-library packages import their vendored dependencies by
+		// source path ("golang.org/x/net/..."), but go list names those
+		// packages "vendor/golang.org/x/net/...": map the source path onto
+		// the vendored listing first (net and net/http pull several in).
+		if _, ok := l.listed["vendor/"+path]; ok {
+			path = "vendor/" + path
+			if cp, ok := l.checked[path]; ok {
+				return cp.pkg, nil
+			}
+		} else if err := l.listDeps([]string{path}); err != nil {
+			// A path outside every closure listed so far (a fixture
+			// importing a package no target depends on) resolves its
+			// closure on demand.
 			return nil, err
 		}
 	}

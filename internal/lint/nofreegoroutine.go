@@ -20,6 +20,10 @@ var frameSyncPkgs = map[string]bool{
 	// place the simulator deliberately multiplies goroutines; scoping the
 	// analyzer over it forces every launch to carry an audited allow.
 	"campaign": true,
+	// serve (the live telemetry plane) is likewise off-path by design, but
+	// it sits right next to the frame loop's publish hook; scoping it keeps
+	// its listener launch — and any future one — audited.
+	"serve": true,
 }
 
 // NoFreeGoroutine forbids goroutine launches in the frame-synchronous

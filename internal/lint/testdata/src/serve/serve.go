@@ -1,0 +1,15 @@
+// Fixture for the nofreegoroutine scope over the live telemetry plane. The
+// package is named serve so the frame-synchronous gate admits it: the plane
+// is off-path by design, but every goroutine it launches must be audited.
+package serve
+
+func listen(accept func()) {
+	go accept() // want `go statement in frame-synchronous package .serve.`
+}
+
+// audited mirrors the real server's listener launch: off-path, joined via
+// Close, and carrying its justification in-tree.
+func audited(srv interface{ Serve() }) {
+	//lint:allow nofreegoroutine audited listener: serves snapshot copies off the frame path
+	go srv.Serve()
+}

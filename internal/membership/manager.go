@@ -114,11 +114,15 @@ type Manager struct {
 	epochHint int64
 	dirty     bool
 
-	stats      Stats
-	rejected   []Rejection
-	log        []FrameRecord
-	tel        telemetry.Sink
-	met        *managerMetrics
+	stats    Stats
+	rejected []Rejection
+	log      []FrameRecord
+	tel      telemetry.Sink
+	met      *managerMetrics
+	// book marks epoch changes in the causal trace layer (nil-safe): an
+	// epoch bump inside an open reconfiguration trace joins it as a child
+	// span; one in quiet operation stands alone as a single-span trace.
+	book       *telemetry.SpanBook
 	keyScratch []string
 	// ownerScratch is the sorted-key scratch for the per-frame Finish
 	// record; reused so steady frames stage the membership log without a
@@ -190,6 +194,9 @@ func (m *Manager) SetTelemetry(reg *telemetry.Registry, rec *telemetry.Recorder)
 	m.met.epoch.Set(m.view.Epoch)
 	m.met.members.Set(int64(len(m.view.Members)))
 }
+
+// SetTracing attaches the system's span book; nil leaves tracing off.
+func (m *Manager) SetTracing(book *telemetry.SpanBook) { m.book = book }
 
 // Epoch returns the current membership epoch.
 func (m *Manager) Epoch() int64 { return m.view.Epoch }
@@ -352,7 +359,22 @@ func (m *Manager) Step(f int64, st *stable.Store) {
 
 	if changed {
 		m.bumpEpoch()
+		m.markEpoch(f)
 	}
+}
+
+// markEpoch records the epoch change as an instantaneous span.
+func (m *Manager) markEpoch(f int64) {
+	if !m.book.Enabled() {
+		return
+	}
+	m.book.Mark(f, telemetry.SpanEpoch, telemetry.Event{
+		Host: string(m.view.Auth),
+		Attrs: map[string]int64{
+			"epoch":   m.view.Epoch,
+			"members": int64(len(m.view.Members)),
+		},
+	})
 }
 
 // recordDefect classifies a committed membership record against the
@@ -488,6 +510,7 @@ func (m *Manager) OnTakeover(f int64, newAuth spec.ProcID) {
 		mem.Status, mem.CaughtUp = StatusActive, true
 	}
 	m.bumpEpoch()
+	m.markEpoch(f)
 }
 
 // Finish closes the frame, after the SCRAM manager's hook and before the

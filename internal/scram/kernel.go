@@ -115,6 +115,13 @@ type Kernel struct {
 	// lastSignal is the frame of the most recent signal, feeding the
 	// signal-to-trigger latency histogram; -1 before any signal.
 	lastSignal int64
+	// book allocates the causal-trace spans; nil-receiver safe, so the
+	// untraced kernel pays only a nil check per protocol decision (and
+	// nothing at all on quiet frames). pendSpans holds the signal spans
+	// awaiting the kernel's decision — preallocated so the steady path
+	// never grows it; spans stay pending across dwell deferrals.
+	book      *telemetry.SpanBook
+	pendSpans []int64
 }
 
 // kernelMetrics holds the kernel's pre-resolved metric handles.
@@ -146,6 +153,17 @@ func (k *Kernel) SetTelemetry(reg *telemetry.Registry, rec *telemetry.Recorder) 
 	k.tel = telemetry.OrNop(rec)
 	if reg != nil {
 		k.met = resolveKernelMetrics(reg)
+	}
+}
+
+// SetTracing attaches the system's span book. The kernel opens the
+// reconfiguration trace at trigger, tracks one span per protocol phase,
+// records chain/retarget causality, and closes the trace when the fused
+// window completes. A nil book leaves tracing off.
+func (k *Kernel) SetTracing(book *telemetry.SpanBook) {
+	k.book = book
+	if book != nil && k.pendSpans == nil {
+		k.pendSpans = make([]int64, 0, 8)
 	}
 }
 
@@ -270,6 +288,9 @@ func (k *Kernel) EndOfFrame(ctx frame.Context) error {
 		k.lastSignal = f
 		k.dirty = true
 		k.logf(f, EventSignal, "", "%s reports %s", sig.Source, sig.State)
+		if sig.Span != 0 {
+			k.pendSpans = append(k.pendSpans, sig.Span)
+		}
 	}
 
 	if k.st.Plan == nil {
@@ -299,6 +320,9 @@ func (k *Kernel) maybeTrigger(f int64) error {
 			k.st.Urgent = false
 			k.dirty = true
 		}
+		// The choice function demands nothing: the pending signal spans
+		// close traceless — observed, judged, no reconfiguration.
+		k.closePendingSpans(f, "no reconfiguration required")
 		return nil
 	}
 	if dwell := int64(k.rs.DwellFrames); f-k.st.LastEnd < dwell && !k.st.Urgent {
@@ -327,10 +351,64 @@ func (k *Kernel) startPlan(f int64, p *plan) error {
 	k.logf(f, EventPrepare, target, "prepare(%s) scheduled for frames [%d,%d]", target, p.PrepStart, p.PrepEnd)
 	k.logf(f, EventInitialize, target, "initialize scheduled for frames [%d,%d]", p.InitStart, p.InitEnd)
 	k.recordSchedule(f, p)
+	k.openTraceSpans(f, p)
 	if !p.Chained && k.lastSignal >= 0 {
 		k.met.signalLatency.Observe(p.TriggerFrame - k.lastSignal)
 	}
 	return nil
+}
+
+// openTraceSpans records the causal-trace structure of a plan start: an
+// unchained plan opens the reconfiguration trace (rooted at the trigger,
+// derived from the opening signal's frame); a chained plan pushes a chain
+// span instead, keeping the fused window's trace open so the follow-up's
+// phases parent to the chain — the chained-urgent causal link. Either way
+// the pending signal spans close into the trace, and an instantaneous
+// decision span records the choice the kernel just made.
+func (k *Kernel) openTraceSpans(f int64, p *plan) {
+	if !k.book.Enabled() {
+		return
+	}
+	if p.Chained {
+		k.book.OpenChain(f, telemetry.Event{
+			From:   string(p.Source),
+			Config: string(p.Target),
+			Attrs:  map[string]int64{"seq": p.Seq},
+		})
+	} else {
+		sigFrame := k.lastSignal
+		if sigFrame < 0 {
+			sigFrame = f
+		}
+		attrs := map[string]int64{"seq": p.Seq}
+		if bound, ok := k.rs.T(p.ChainSource, p.Target); ok {
+			attrs["bound"] = int64(bound)
+		}
+		k.book.OpenTrace(f, sigFrame, telemetry.Event{
+			From:   string(p.ChainSource),
+			Config: string(p.Target),
+			Attrs:  attrs,
+		})
+	}
+	k.closePendingSpans(f, "")
+	k.book.Mark(f, telemetry.SpanDecision, telemetry.Event{
+		From:   string(p.Source),
+		Config: string(p.Target),
+		Attrs:  map[string]int64{"seq": p.Seq},
+	})
+}
+
+// closePendingSpans closes every signal span awaiting a decision. Inside an
+// open trace they are adopted as children of the current parent; outside
+// they close traceless. No-op (and allocation-free) when nothing pends.
+func (k *Kernel) closePendingSpans(f int64, detail string) {
+	if len(k.pendSpans) == 0 {
+		return
+	}
+	for _, id := range k.pendSpans {
+		k.book.ClosePending(f, id, telemetry.Event{Detail: detail})
+	}
+	k.pendSpans = k.pendSpans[:0]
 }
 
 // advancePlan handles retargeting and completion of the in-progress plan.
@@ -350,8 +428,16 @@ func (k *Kernel) advancePlan(f int64) error {
 			}
 			k.logf(f, EventRetarget, newTarget, "window extended to [%d,%d]", p.TriggerFrame, p.InitEnd)
 			k.recordSchedule(f, p)
+			if k.book.Enabled() {
+				k.book.Mark(f, telemetry.SpanRetarget, telemetry.Event{
+					From:   string(p.Source),
+					Config: string(p.Target),
+					Attrs:  map[string]int64{"seq": p.Seq},
+				})
+			}
 		}
 	}
+	k.advanceSpans(f, p)
 	if f == p.InitEnd {
 		k.st.Current = p.Target
 		k.st.LastEnd = f
@@ -369,6 +455,47 @@ func (k *Kernel) advancePlan(f int64) error {
 		return err
 	}
 	return nil
+}
+
+// advanceSpans maintains the causal trace's per-phase span: one span per
+// protocol phase of the plan, opened at the phase's first frame and closed
+// at its last (a retarget that moves a boundary under the open span closes
+// it at the last frame it was accurate for and reopens). All state lives in
+// the plan itself, so a takeover's restored plan resumes exactly where the
+// snapshot's span bookkeeping left off.
+func (k *Kernel) advanceSpans(f int64, p *plan) {
+	if !k.book.Enabled() {
+		return
+	}
+	cur := p.phaseAt(f)
+	if cur == spec.PhaseNormal {
+		return
+	}
+	name := spanPhaseName(cur)
+	if p.SpanPhase != 0 && p.SpanPhaseName != name {
+		k.book.CloseSpan(f-1, p.SpanPhase, p.SpanPhaseName, telemetry.Event{Config: string(p.Target)})
+		p.SpanPhase = 0
+	}
+	if p.SpanPhase == 0 {
+		p.SpanPhase = k.book.OpenSpan(f, name, telemetry.Event{Config: string(p.Target)})
+		p.SpanPhaseName = name
+	}
+	if f == p.InitEnd || p.phaseAt(f+1) != cur {
+		k.book.CloseSpan(f, p.SpanPhase, name, telemetry.Event{Config: string(p.Target)})
+		p.SpanPhase, p.SpanPhaseName = 0, ""
+	}
+}
+
+// spanPhaseName maps a protocol phase to its span name.
+func spanPhaseName(ph spec.Phase) string {
+	switch ph {
+	case spec.PhaseHalt:
+		return telemetry.SpanHalt
+	case spec.PhasePrepare:
+		return telemetry.SpanPrepare
+	default:
+		return telemetry.SpanInit
+	}
 }
 
 // maybeChain handles an urgent (hardware-fault) signal that arrived too
@@ -637,6 +764,20 @@ func (k *Kernel) recordWindow(f int64, p *plan) {
 		From:   string(p.ChainSource),
 		Attrs:  attrs,
 	})
+	if k.book.Enabled() {
+		// The fused window is over: close the reconfiguration trace. The
+		// root's end event carries the realized window against its bound
+		// (a fresh attribute map — recorded events keep theirs).
+		closeAttrs := make(map[string]int64, len(attrs))
+		for key, v := range attrs {
+			closeAttrs[key] = v
+		}
+		k.book.CloseTrace(f, telemetry.Event{
+			From:   string(p.ChainSource),
+			Config: string(p.Target),
+			Attrs:  closeAttrs,
+		})
+	}
 }
 
 func (k *Kernel) persist() error {

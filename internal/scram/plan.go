@@ -49,6 +49,12 @@ type plan struct {
 	// TriggerFrame and Source.
 	ChainStart  int64         `json:"chain_start"`
 	ChainSource spec.ConfigID `json:"chain_source"`
+	// SpanPhase and SpanPhaseName track the open phase span of the causal
+	// trace layer. They ride in the plan JSON so a takeover's restored
+	// plan keeps closing the phase span its snapshot captured open; both
+	// are zero outside an active phase span.
+	SpanPhase     int64  `json:"span_phase,omitempty"`
+	SpanPhaseName string `json:"span_phase_name,omitempty"`
 }
 
 // buildPlan schedules a reconfiguration triggered at triggerFrame from

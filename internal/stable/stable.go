@@ -64,6 +64,116 @@ type Store struct {
 	spare   map[string]stagedVal
 	version uint64
 	onFault func(error) // invoked (outside the lock) on unrecoverable faults
+	// pools holds store-owned value buffers retired by commits, staged
+	// overwrites and discards, bucketed by power-of-two size class so Put
+	// finds a fitting buffer in O(1). Keys rewritten every frame — notably
+	// the flight recorder's journal chunks and the kernel's protocol state
+	// — cycle through the pool instead of allocating a fresh copy per
+	// write. Each class is bounded by stagePoolClassMax.
+	pools [poolClasses][][]byte
+}
+
+// Pool size classes: 64 B (class 0) through 64 KiB, doubling per class. A
+// buffer is filed under the class of its capacity rounded down, so every
+// buffer in class c has cap >= 64<<c; a request of n bytes pops from the
+// class where that floor guarantees a fit. Values past the top class
+// allocate exactly — doubling them would waste real memory.
+const (
+	poolClassMinBits = 6 // 64 B
+	poolClasses      = 11
+)
+
+// stagePoolClassMax bounds each size class of the retired-buffer pool
+// separately. A single global bound lets the most numerous keys crowd out
+// the rest: a store's dozens of tiny per-frame counters would fill it with
+// 64-byte buffers and force the journal-chunk classes to allocate fresh on
+// every write. Per-frame rewrites of any one size are few, so a small
+// per-class bound captures each cycle; the worst-case pool footprint
+// (every class full) is ~1 MB and reached only by a store that actually
+// uses every size class.
+const stagePoolClassMax = 8
+
+// roundCap rounds a requested buffer size up to its size class, so a miss
+// allocates a buffer that later retires into exactly the class serving
+// requests of this size — a journal chunk that grew by one event still
+// reuses its predecessor's buffer.
+func roundCap(n int) int {
+	const maxRound = 64 << (poolClasses - 1)
+	if n >= maxRound {
+		return n
+	}
+	c := 1 << poolClassMinBits
+	for c < n {
+		c <<= 1
+	}
+	return c
+}
+
+// classUp returns the smallest class whose every buffer fits n bytes, or -1
+// when n exceeds the top class.
+func classUp(n int) int {
+	for c := 0; c < poolClasses; c++ {
+		if 64<<c >= n {
+			return c
+		}
+	}
+	return -1
+}
+
+// classDown returns the class a buffer of the given capacity files under:
+// the class of its capacity rounded down, clamped to the top class (a
+// larger buffer still satisfies every top-class request). -1 for buffers
+// too small to pool.
+func classDown(capacity int) int {
+	c := -1
+	for capacity >= 64 && c < poolClasses-1 {
+		capacity >>= 1
+		c++
+	}
+	return c
+}
+
+// takeBuf returns a retired buffer with capacity >= n (length 0), or nil
+// when none fits. It pops from the request's own size class, then one class
+// up — never further, so a small counter write cannot strand a
+// journal-chunk buffer on a tiny committed key. Caller holds mu.
+func (s *Store) takeBuf(n int) []byte {
+	cls := classUp(n)
+	if cls < 0 {
+		return nil
+	}
+	for c := cls; c < poolClasses && c <= cls+1; c++ {
+		if l := len(s.pools[c]); l > 0 {
+			b := s.pools[c][l-1]
+			s.pools[c][l-1] = nil
+			s.pools[c] = s.pools[c][:l-1]
+			return b[:0]
+		}
+	}
+	return nil
+}
+
+// recycle parks a store-owned buffer for reuse by a later Put. Only buffers
+// the store allocated and exclusively owns may be recycled: staged values
+// displaced before commit, committed values displaced by an overwrite or
+// deletion, and hardened-commit batches the backend has already copied.
+// Caller holds mu.
+func (s *Store) recycle(b []byte) {
+	cls := classDown(cap(b))
+	if cls < 0 || len(s.pools[cls]) >= stagePoolClassMax {
+		return
+	}
+	//lint:allow allocfree bounded: a class grows to stagePoolClassMax entries once, after which its length only cycles within the retained backing array
+	s.pools[cls] = append(s.pools[cls], b)
+}
+
+// stageLocked installs a staged operation, retiring the buffer of any write
+// it displaces within the frame. Caller holds mu.
+func (s *Store) stageLocked(key string, sv stagedVal) {
+	if old, ok := s.staged[key]; ok {
+		s.recycle(old.val)
+	}
+	s.staged[key] = sv
 }
 
 // bucketOf returns the bucket-index key for a store key: the path up to and
@@ -158,11 +268,21 @@ func (s *Store) Get(key string) ([]byte, bool) {
 }
 
 // Put stages a write of val to key. The write becomes visible after the next
-// Commit. The input slice is copied.
+// Commit. The input slice is copied — into a pooled buffer retired by an
+// earlier commit when one fits, so steady per-frame rewrites recycle their
+// storage instead of allocating.
 func (s *Store) Put(key string, val []byte) {
-	cp := make([]byte, len(val))
-	copy(cp, val)
-	s.putOwned(key, cp)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cp := s.takeBuf(len(val))
+	if cp == nil {
+		cp = make([]byte, len(val), roundCap(len(val)))
+		copy(cp, val)
+	} else {
+		//lint:allow allocfree pooled reuse: takeBuf returned cap >= len(val), so this append fills the retired buffer and never grows
+		cp = append(cp, val...)
+	}
+	s.stageLocked(key, stagedVal{val: cp})
 }
 
 // putOwned stages a write taking ownership of val: the caller must not
@@ -172,7 +292,7 @@ func (s *Store) Put(key string, val []byte) {
 func (s *Store) putOwned(key string, val []byte) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.staged[key] = stagedVal{val: val}
+	s.stageLocked(key, stagedVal{val: val})
 }
 
 // GetInto appends the committed value for key to buf[:0] and returns the
@@ -201,7 +321,7 @@ func (s *Store) GetInto(buf []byte, key string) ([]byte, bool) {
 func (s *Store) Delete(key string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.staged[key] = stagedVal{deleted: true}
+	s.stageLocked(key, stagedVal{deleted: true})
 }
 
 // Commit atomically applies all staged writes and returns the new version.
@@ -225,9 +345,14 @@ func (s *Store) Commit() uint64 {
 		sink := s.onFault
 		s.mu.Unlock()
 		err := s.rep.Commit(next, batch)
-		// The backend copied everything it keeps; park the cleared map for
-		// the next frame's staging (also on failure — the batch is dropped
-		// either way).
+		// The backend copied everything it keeps: retire the batch's
+		// buffers for reuse and park the cleared map for the next frame's
+		// staging (also on failure — the batch is dropped either way).
+		s.mu.Lock()
+		for _, sv := range batch {
+			s.recycle(sv.val)
+		}
+		s.mu.Unlock()
 		clear(batch)
 		if err != nil {
 			s.fault(sink, err)
@@ -249,7 +374,8 @@ func (s *Store) Commit() uint64 {
 	defer s.mu.Unlock()
 	for k, sv := range s.staged {
 		if sv.deleted {
-			if _, ok := s.committed[k]; ok {
+			if old, ok := s.committed[k]; ok {
+				s.recycle(old)
 				delete(s.committed, k)
 				bk := bucketOf(k)
 				if b := s.buckets[bk]; b != nil {
@@ -260,7 +386,11 @@ func (s *Store) Commit() uint64 {
 				}
 			}
 		} else {
-			if _, ok := s.committed[k]; !ok {
+			if old, ok := s.committed[k]; ok {
+				// The staged write displaces the committed buffer; retire
+				// it so next frame's rewrite of the same key reuses it.
+				s.recycle(old)
+			} else {
 				bk := bucketOf(k)
 				b := s.buckets[bk]
 				if b == nil {
@@ -308,6 +438,9 @@ func (s *Store) Scrub() (ScrubReport, error) {
 func (s *Store) Discard() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	for _, sv := range s.staged {
+		s.recycle(sv.val)
+	}
 	clear(s.staged)
 }
 

@@ -74,6 +74,15 @@ const (
 	// re-committing a legal membership record over a corrupt or divergent
 	// one.
 	KindMembershipConverge Kind = "membership-converge"
+	// KindSpanStart opens a causal-trace span (see span.go): Phase names
+	// the span, and the trace/span/parent identities ride in Attrs. A
+	// start event whose Attrs carry SpanAttrEnd is an instantaneous span
+	// with no matching end event.
+	KindSpanStart Kind = "span-start"
+	// KindSpanEnd closes a span opened by a KindSpanStart with the same
+	// span attribute. A fail-stop halt mid-span leaves the start event in
+	// the recovered ring with no end — the open span is the evidence.
+	KindSpanEnd Kind = "span-end"
 )
 
 // Event is one flight-recorder entry. Frame is the only timestamp: the
@@ -207,9 +216,27 @@ type Recorder struct {
 	// recovery, and it keeps the store traffic at one record per
 	// event-carrying frame instead of one per event.
 	chunks []chunkRef
-	// enc is the reused event encoder of the persistence path; guarded by mu.
+	// enc is the reused event encoder of the persistence path; guarded by
+	// mu. Its buffer doubles as the open chunk's retained encoding (below).
 	enc eventEncoder
+	// openKey/openStart identify the open chunk: the most recent chunk,
+	// still accepting appends. Each Persist splices the frame's new events
+	// into the retained encoding (enc.buf) before its closing bracket and
+	// re-puts the same key, so consecutive frames recycle one stable-store
+	// buffer per chunk instead of staging a fresh key per frame. The chunk
+	// seals once its encoding passes openChunkSealBytes; the next events
+	// start a new one. Empty openKey means no chunk is open.
+	openKey   string
+	openStart int64
 }
+
+// openChunkSealBytes is the encoded size past which the open chunk seals.
+// Every Persist while the chunk is open re-copies and re-checksums the whole
+// chunk through the store's commit path, so the threshold trades per-frame
+// commit bandwidth against journal key count — small enough to keep the
+// re-put no bigger than a typical fresh chunk, large enough that quiet
+// frames' one-event deltas still coalesce into one record.
+const openChunkSealBytes = 512
 
 // NewRecorder returns a recorder with the given ring capacity;
 // non-positive means DefaultCapacity.
@@ -281,6 +308,7 @@ func (r *Recorder) Dropped() int64 {
 func (r *Recorder) Events() []Event {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	//lint:allow allocfree snapshot-copy surface: an immutable copy is the point; per-frame only under the opt-in live telemetry plane's publish hook
 	out := make([]Event, r.count)
 	for i := 0; i < r.count; i++ {
 		out[i] = r.buf[(r.head+i)%r.capacity]
@@ -322,18 +350,32 @@ func (r *Recorder) Persist(kv KV) error {
 		// json.Marshal without the per-event reflection allocations. The
 		// store copies what it keeps, so the reused buffer is safe to hand
 		// over.
-		buf := append(r.enc.buf[:0], '[')
+		var buf []byte
+		if r.openKey == "" || len(r.enc.buf) >= openChunkSealBytes || r.openStart < lo {
+			// A chunk also seals once the ring evicts past its first event
+			// (openStart < lo): leaving it open would grow the persisted
+			// surplus past the one-chunk bound and pin it against deletion.
+			// Seal the previous chunk (if any) and open a new one.
+			r.openKey = eventKey(start)
+			r.openStart = start
+			r.chunks = append(r.chunks, chunkRef{start: start, key: r.openKey})
+			buf = append(r.enc.buf[:0], '[')
+		} else {
+			// Splice this frame's events into the open chunk before its
+			// closing bracket and re-put the same key: the store retires
+			// the displaced committed buffer into its pool, and the next
+			// frame's slightly larger re-put takes it right back.
+			buf = r.enc.buf[:len(r.enc.buf)-1]
+		}
 		for s := start; s < r.seq; s++ {
-			if s > start {
+			if buf[len(buf)-1] != '[' {
 				buf = append(buf, ',')
 			}
 			buf = r.enc.appendEventTo(buf, &r.buf[(r.head+int(s-lo))%r.capacity])
 		}
 		buf = append(buf, ']')
 		r.enc.buf = buf
-		key := eventKey(start)
-		kv.Put(key, buf)
-		r.chunks = append(r.chunks, chunkRef{start: start, key: key})
+		kv.Put(r.openKey, buf)
 	}
 	r.persistLo = lo
 	r.persistHi = r.seq
@@ -350,6 +392,9 @@ func (r *Recorder) ResetPersistence() {
 	r.persistLo = 0
 	r.persistHi = 0
 	r.chunks = r.chunks[:0]
+	r.openKey = ""
+	r.openStart = 0
+	r.enc.buf = r.enc.buf[:0]
 }
 
 // RecoverRing reads the flight-recorder journal out of a stable-storage

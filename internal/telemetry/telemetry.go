@@ -19,6 +19,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -117,12 +118,65 @@ type HistogramSnapshot struct {
 	Max int64 `json:"max"`
 }
 
+// Quantile estimates the q-quantile (0 < q <= 1) from the bucket counts:
+// the winning bucket is found by cumulative rank, and the value is linearly
+// interpolated across the bucket's inclusive integer range. Observations in
+// the overflow bucket are attributed to Max (the only per-value fact the
+// histogram retains past the last bound). An empty histogram reports 0. The
+// estimate is a pure function of the snapshot, so replays and recovered
+// journals reproduce it byte-identically.
+func (s HistogramSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 || len(s.Counts) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(s.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		if rank > cum+c {
+			cum += c
+			continue
+		}
+		if i >= len(s.Bounds) {
+			return s.Max
+		}
+		lo := int64(1)
+		if i > 0 {
+			lo = s.Bounds[i-1] + 1
+		}
+		hi := s.Bounds[i]
+		if hi <= lo {
+			return hi
+		}
+		// Position of the target rank within this bucket's count mass.
+		frac := float64(rank-cum) / float64(c)
+		v := lo + int64(math.Round(frac*float64(hi-lo)))
+		if v > hi {
+			v = hi
+		}
+		return v
+	}
+	return s.Max
+}
+
 // Snapshot freezes the histogram's current state.
 func (h *Histogram) Snapshot() HistogramSnapshot {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	s := HistogramSnapshot{
+		//lint:allow allocfree snapshot-copy surface: the frozen copy is the point; per-frame only under the opt-in live telemetry plane's publish hook
 		Bounds: append([]int64(nil), h.bounds...),
+		//lint:allow allocfree snapshot-copy surface, as above
 		Counts: append([]int64(nil), h.counts...),
 		Count:  h.count,
 		Sum:    h.sum,
@@ -214,8 +268,11 @@ func (r *Registry) Snapshot() Snapshot {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	s := Snapshot{
-		Counters:   make(map[string]int64, len(r.counters)),
-		Gauges:     make(map[string]int64, len(r.gauges)),
+		//lint:allow allocfree snapshot-copy surface: the frozen copy is the point; per-frame only under the opt-in live telemetry plane's publish hook
+		Counters: make(map[string]int64, len(r.counters)),
+		//lint:allow allocfree snapshot-copy surface, as above
+		Gauges: make(map[string]int64, len(r.gauges)),
+		//lint:allow allocfree snapshot-copy surface, as above
 		Histograms: make(map[string]HistogramSnapshot, len(r.hists)),
 	}
 	if r.counterNames == nil {
