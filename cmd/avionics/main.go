@@ -16,7 +16,6 @@ package main
 
 import (
 	"encoding/json"
-	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -27,7 +26,6 @@ import (
 	"repro/internal/core"
 	"repro/internal/envmon"
 	"repro/internal/experiments"
-	"repro/internal/frame"
 	"repro/internal/fta"
 	"repro/internal/spec"
 	"repro/internal/telemetry/serve"
@@ -182,20 +180,10 @@ func attachServe(out io.Writer, sys *core.System, addr string) (func(), error) {
 	if addr == "" {
 		return func() {}, nil
 	}
-	reg, rec := sys.Telemetry()
-	if reg == nil {
-		return nil, errors.New("-serve needs the telemetry layer enabled")
+	srv, err := serve.AttachSystem(sys, avionics.FrameLength)
+	if err != nil {
+		return nil, fmt.Errorf("-serve: %w", err)
 	}
-	srv := serve.New()
-	sys.AddCommitHook(func(ctx frame.Context) error {
-		srv.Publish(serve.Snapshot{
-			Frame:    ctx.Frame,
-			FrameLen: avionics.FrameLength,
-			Metrics:  reg.Snapshot(),
-			Events:   rec.Events(),
-		})
-		return nil
-	})
 	bound, err := srv.Start(addr)
 	if err != nil {
 		return nil, err

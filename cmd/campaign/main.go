@@ -192,11 +192,9 @@ func run(args []string, out, errOut io.Writer) error {
 		return err
 	}
 	if *asJSON {
-		raw, err := rep.JSON()
-		if err == nil {
-			_, err = w.Write(raw)
-		}
-		if err != nil {
+		// cli.WriteJSON rather than rep.JSON: the report body carries the
+		// shared schema_version stamp like every other tool's -json output.
+		if err := cli.WriteJSON(w, rep); err != nil {
 			closeOut()
 			return err
 		}

@@ -243,19 +243,7 @@ func run(args []string, out io.Writer) (err error) {
 		if exportRing == nil {
 			return fmt.Errorf("-serve: no flight-recorder ring produced (only s1 and s2 export rings)")
 		}
-		var lastFrame int64
-		for _, e := range exportRing {
-			if e.Frame > lastFrame {
-				lastFrame = e.Frame
-			}
-		}
-		srv := serve.New()
-		srv.Publish(serve.Snapshot{
-			Frame:    lastFrame,
-			FrameLen: exportFrameLen,
-			Metrics:  exportReg,
-			Events:   exportRing,
-		})
+		srv := serve.NewRing(exportRing, exportReg, exportFrameLen)
 		addr, err := srv.Start(*serveAddr)
 		if err != nil {
 			return err

@@ -1,0 +1,362 @@
+// Command fleetd runs the fleet host: a long-running service multiplexing
+// many reconfigurable systems — one core.System per tenant — over a shared
+// batched scheduler, exposed through the HTTP/JSON control plane
+// (internal/fleet.API):
+//
+//	POST   /systems              spawn a tenant from a SpawnSpec
+//	GET    /systems[/{id}]       list / status
+//	DELETE /systems/{id}         kill
+//	POST   /systems/{id}/inject  env, procfail, procrepair, storage
+//	GET    /systems/{id}/metrics | /journal | /traces | /trace/{tid}
+//	GET    /presets, /stats
+//
+// Usage:
+//
+//	fleetd -addr 127.0.0.1:8080                 # serve until SIGINT/SIGTERM
+//	fleetd -loadgen -tenants 200 -frames 400 -out BENCH_fleet.json
+//
+// With -loadgen, fleetd boots its own host and control plane on a loopback
+// port, drives it with a traffic generator — spawning scripted tenants over
+// HTTP, hammering the control plane with status/inject/metrics/list traffic
+// while every tenant runs to its frame budget — and writes a benchmark
+// report: systems-per-core density (how many real-time systems one core
+// sustains at the spec's frame rate) and control-plane latency percentiles.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"repro/internal/cli"
+	"repro/internal/envmon"
+	"repro/internal/fleet"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "fleetd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("fleetd", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "control-plane listen address (loadgen defaults to a loopback ephemeral port)")
+	shards := fs.Int("shards", 0, "scheduler shard workers (default GOMAXPROCS)")
+	batch := fs.Int("batch", 0, "frames per tenant per sweep (default 8)")
+	loadgen := fs.Bool("loadgen", false, "run the traffic generator against a self-hosted fleet and report density and control-plane latency")
+	tenants := fs.Int("tenants", 200, "loadgen: tenants to spawn")
+	frames := fs.Int64("frames", 400, "loadgen: frame budget per tenant")
+	workers := fs.Int("workers", 8, "loadgen: concurrent control-plane clients")
+	outPath := fs.String("out", "", "loadgen: write the JSON report here (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := fleet.Config{Shards: *shards, Batch: *batch}
+	if *loadgen {
+		bindAddr := *addr
+		if fs.Lookup("addr").Value.String() == fs.Lookup("addr").DefValue {
+			bindAddr = "127.0.0.1:0" // don't collide with a serving fleetd
+		}
+		return runLoadgen(out, cfg, bindAddr, *tenants, *frames, *workers, *outPath)
+	}
+	return serveFleet(out, cfg, *addr)
+}
+
+// serveFleet runs the host until SIGINT/SIGTERM.
+func serveFleet(out io.Writer, cfg fleet.Config, addr string) error {
+	host := fleet.NewHost(cfg)
+	defer host.Close()
+	srv := &http.Server{Addr: addr, Handler: fleet.NewAPI(host).Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Fprintf(out, "fleetd: control plane on http://%s (POST /systems to spawn; GET /presets for specs)\n", addr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case s := <-sig:
+		fmt.Fprintf(out, "fleetd: %v: shutting down\n", s)
+		return srv.Close()
+	}
+}
+
+// benchReport is the BENCH_fleet.json shape. SystemsPerCore is the density
+// headline: aggregate frames per second, divided by the real-time rate one
+// system needs (1s / FrameLen), per core — how many always-on tenants a
+// core of this machine sustains at the spec's frame rate.
+type benchReport struct {
+	Tenants         int     `json:"tenants"`
+	FramesPerTenant int64   `json:"frames_per_tenant"`
+	FramesTotal     int64   `json:"frames_total"`
+	ElapsedSec      float64 `json:"elapsed_sec"`
+	AggregateFPS    float64 `json:"aggregate_fps"`
+	FrameLenMS      float64 `json:"frame_len_ms"`
+	Cores           int     `json:"cores"`
+	SystemsPerCore  float64 `json:"systems_per_core"`
+	Shards          int     `json:"shards"`
+	Batch           int     `json:"batch"`
+	// Control-plane traffic: total ops issued by the generator while the
+	// fleet ran, and their latency percentiles.
+	Ops      int     `json:"ops"`
+	OpErrors int     `json:"op_errors"`
+	P50MS    float64 `json:"p50_ms"`
+	P95MS    float64 `json:"p95_ms"`
+	P99MS    float64 `json:"p99_ms"`
+}
+
+// runLoadgen boots a fleet, spawns scripted tenants over the real HTTP
+// control plane, keeps query/inject traffic flowing from `workers` clients
+// until every tenant completes its frame budget, and writes the report.
+func runLoadgen(out io.Writer, cfg fleet.Config, addr string, tenants int, frames int64, workers int, outPath string) error {
+	if tenants <= 0 || frames <= 0 || workers <= 0 {
+		return fmt.Errorf("-tenants, -frames and -workers must be positive")
+	}
+	host := fleet.NewHost(cfg)
+	defer host.Close()
+	srv := &http.Server{Handler: fleet.NewAPI(host).Handler()}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("listening on %s: %w", addr, err)
+	}
+	go srv.Serve(ln)
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+	fmt.Fprintf(out, "fleetd loadgen: %d tenants x %d frames, %d clients, control plane %s\n",
+		tenants, frames, workers, base)
+
+	client := &http.Client{Timeout: 30 * time.Second}
+	presets := fleet.Presets()
+	lat := newLatencies(workers + 1) // slot 0 is the spawn loop's
+
+	start := time.Now()
+
+	// Query/inject workers run concurrently with spawning (the fleet starts
+	// ticking at the first spawn, so control-plane traffic must overlap the
+	// whole run, not trail it). Workers target already-spawned tenants only;
+	// injections on tenants that already completed answer 400 — traffic, not
+	// errors.
+	var spawnCount atomic.Int64
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 1; w <= workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				n := spawnCount.Load()
+				if n == 0 {
+					time.Sleep(time.Millisecond)
+					continue
+				}
+				id := fmt.Sprintf("load-%d", (w*7919+i)%int(n))
+				var err error
+				switch i % 5 {
+				case 0:
+					_, err = lat.do(client, w, "GET", base+"/systems/"+id, nil)
+				case 1:
+					inj := fleet.Injection{Kind: "env", Factor: "alt2", Value: "failed"}
+					if i%2 == 0 {
+						inj.Value = "ok"
+					}
+					_, err = lat.do(client, w, "POST", base+"/systems/"+id+"/inject", inj)
+				case 2:
+					_, err = lat.do(client, w, "GET", base+"/systems/"+id+"/metrics", nil)
+				case 3:
+					_, err = lat.do(client, w, "GET", base+"/systems", nil)
+				default:
+					_, err = lat.do(client, w, "GET", base+"/stats", nil)
+				}
+				if err != nil {
+					lat.fail(w)
+				}
+			}
+		}()
+	}
+
+	// Spawn loop: every spawn is a measured control-plane op (slot 0). Each
+	// tenant carries a staggered degrade/repair script so the run exercises
+	// full reconfigurations, not idle ticking.
+	for i := 0; i < tenants; i++ {
+		ss := fleet.SpawnSpec{
+			ID:     fmt.Sprintf("load-%d", i),
+			Preset: presets[i%len(presets)],
+			Seed:   int64(1 + i),
+			Frames: frames,
+			Script: []envmon.Event{
+				{Frame: int64(10 + i%40), Factor: "alt1", Value: "failed"},
+				{Frame: frames/2 + int64(i%40), Factor: "alt1", Value: "ok"},
+			},
+		}
+		code, err := lat.do(client, 0, "POST", base+"/systems", ss)
+		if err != nil || code != http.StatusCreated {
+			close(done)
+			wg.Wait()
+			if err == nil {
+				err = fmt.Errorf("status %d", code)
+			}
+			return fmt.Errorf("spawning %s: %w", ss.ID, err)
+		}
+		spawnCount.Store(int64(i + 1))
+	}
+
+	for !allCompleted(host) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	elapsed := time.Since(start)
+	close(done)
+	wg.Wait()
+
+	framesTotal := host.FramesStepped()
+	frameLen := 20 * time.Millisecond // the threeconfig family's FrameLen
+	fps := float64(framesTotal) / elapsed.Seconds()
+	cores := runtime.GOMAXPROCS(0)
+	durs, errs := lat.merge()
+	rep := benchReport{
+		Tenants:         tenants,
+		FramesPerTenant: frames,
+		FramesTotal:     framesTotal,
+		ElapsedSec:      elapsed.Seconds(),
+		AggregateFPS:    fps,
+		FrameLenMS:      float64(frameLen) / float64(time.Millisecond),
+		Cores:           cores,
+		// aggregate fps / (frames one real-time system needs per second),
+		// per core: sustained always-on tenants per core.
+		SystemsPerCore: fps * frameLen.Seconds() / float64(cores),
+		Shards:         host.Stats().Shards,
+		Batch:          host.Stats().Batch,
+		Ops:            len(durs),
+		OpErrors:       errs,
+		P50MS:          percentileMS(durs, 0.50),
+		P95MS:          percentileMS(durs, 0.95),
+		P99MS:          percentileMS(durs, 0.99),
+	}
+
+	w, closeOut, err := cli.Output(outPath, out)
+	if err != nil {
+		return err
+	}
+	if err := cli.WriteJSON(w, rep); err != nil {
+		closeOut()
+		return err
+	}
+	if err := closeOut(); err != nil {
+		return err
+	}
+	if outPath != "" && outPath != "-" {
+		fmt.Fprintf(out, "fleetd loadgen: %.0f frames/s aggregate, %.1f systems/core, p99 %.2f ms -> %s\n",
+			fps, rep.SystemsPerCore, rep.P99MS, outPath)
+	}
+	return nil
+}
+
+// allCompleted reports whether every tenant reached its frame budget.
+func allCompleted(h *fleet.Host) bool {
+	for _, st := range h.List() {
+		if st.State == fleet.StateRunning {
+			return false
+		}
+	}
+	return true
+}
+
+// latencies collects per-worker op latencies without shared-slice contention
+// (slot 0 belongs to the spawn loop and worker 0, which never overlap).
+type latencies struct {
+	mu    []sync.Mutex
+	durs  [][]time.Duration
+	fails []int
+}
+
+func newLatencies(workers int) *latencies {
+	return &latencies{
+		mu:    make([]sync.Mutex, workers),
+		durs:  make([][]time.Duration, workers),
+		fails: make([]int, workers),
+	}
+}
+
+// do issues one timed control-plane request, draining and closing the body.
+func (l *latencies) do(client *http.Client, slot int, method, url string, body any) (int, error) {
+	var rd io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return 0, err
+		}
+		rd = bytes.NewReader(data)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		return 0, err
+	}
+	t0 := time.Now()
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	d := time.Since(t0)
+	l.mu[slot].Lock()
+	l.durs[slot] = append(l.durs[slot], d)
+	l.mu[slot].Unlock()
+	return resp.StatusCode, nil
+}
+
+func (l *latencies) fail(slot int) {
+	l.mu[slot].Lock()
+	l.fails[slot]++
+	l.mu[slot].Unlock()
+}
+
+// merge gathers every worker's samples, sorted for percentile lookup.
+func (l *latencies) merge() ([]time.Duration, int) {
+	var all []time.Duration
+	var fails int
+	for i := range l.durs {
+		l.mu[i].Lock()
+		all = append(all, l.durs[i]...)
+		fails += l.fails[i]
+		l.mu[i].Unlock()
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a] < all[b] })
+	return all, fails
+}
+
+// percentileMS returns the p-quantile of sorted samples in milliseconds.
+func percentileMS(sorted []time.Duration, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return float64(sorted[idx]) / float64(time.Millisecond)
+}

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestLoadgenReport boots the self-hosted fleet, runs a tiny traffic
+// campaign, and checks the report carries the density and latency fields the
+// CI smoke job asserts on.
+func TestLoadgenReport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	var out bytes.Buffer
+	err := run([]string{"-loadgen", "-tenants", "8", "-frames", "60", "-workers", "2", "-out", path}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		SchemaVersion  int     `json:"schema_version"`
+		Tenants        int     `json:"tenants"`
+		FramesTotal    int64   `json:"frames_total"`
+		AggregateFPS   float64 `json:"aggregate_fps"`
+		SystemsPerCore float64 `json:"systems_per_core"`
+		Ops            int     `json:"ops"`
+		P99MS          float64 `json:"p99_ms"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report: %v\n%s", err, data)
+	}
+	if rep.SchemaVersion != 1 {
+		t.Errorf("schema_version = %d, want 1", rep.SchemaVersion)
+	}
+	if rep.Tenants != 8 || rep.FramesTotal != 8*60 {
+		t.Errorf("tenants/frames = %d/%d, want 8/480", rep.Tenants, rep.FramesTotal)
+	}
+	if rep.SystemsPerCore <= 0 || rep.AggregateFPS <= 0 {
+		t.Errorf("density not reported: fps=%v systems_per_core=%v", rep.AggregateFPS, rep.SystemsPerCore)
+	}
+	// At minimum the 8 spawns are measured ops, so a p99 must exist.
+	if rep.Ops < 8 || rep.P99MS <= 0 {
+		t.Errorf("latency not reported: ops=%d p99=%v", rep.Ops, rep.P99MS)
+	}
+}
+
+func TestLoadgenRejectsBadParams(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-loadgen", "-tenants", "0"}, &out); err == nil {
+		t.Fatal("no error for -tenants 0")
+	}
+}

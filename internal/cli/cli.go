@@ -7,12 +7,20 @@
 package cli
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 )
+
+// SchemaVersion stamps every top-level JSON object WriteJSON emits — campaign
+// reports, flightrec output, the fleet control plane's bodies. The
+// compatibility rule (documented in cmd/README.md): adding fields keeps the
+// version; renaming, removing or re-typing an existing field bumps it, and
+// consumers reject versions newer than they know.
+const SchemaVersion = 1
 
 // Alias registers old as a deprecated alias for an already-registered
 // canonical flag. The alias shares the canonical flag's value: setting
@@ -44,13 +52,42 @@ func Output(path string, fallback io.Writer) (io.Writer, func() error, error) {
 }
 
 // WriteJSON writes v as indented JSON with a trailing newline — the byte
-// layout every tool's -json mode shares.
+// layout every tool's -json mode shares. Top-level objects are stamped with
+// schema_version as their first key; arrays and scalars pass through
+// unversioned (report-shaped bodies are objects by convention — the fleet
+// API wraps its lists for exactly this reason).
 func WriteJSON(w io.Writer, v any) error {
 	data, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
 		return err
 	}
+	data = spliceSchemaVersion(data)
 	data = append(data, '\n')
 	_, err = w.Write(data)
 	return err
+}
+
+// spliceSchemaVersion inserts the schema_version stamp as the first key of a
+// top-level JSON object, preserving MarshalIndent's byte layout. A value
+// that already carries a top-level schema_version key passes through
+// untouched (the match is anchored to the two-space top-level indent, and a
+// raw newline cannot occur inside a JSON string, so nested keys never
+// collide).
+func spliceSchemaVersion(data []byte) []byte {
+	if len(data) == 0 || data[0] != '{' {
+		return data
+	}
+	if bytes.Contains(data, []byte("\n  \"schema_version\":")) {
+		return data
+	}
+	stamp := fmt.Sprintf("  \"schema_version\": %d", SchemaVersion)
+	if bytes.Equal(data, []byte("{}")) {
+		return []byte("{\n" + stamp + "\n}")
+	}
+	out := make([]byte, 0, len(data)+len(stamp)+3)
+	out = append(out, "{\n"...)
+	out = append(out, stamp...)
+	out = append(out, ',')
+	out = append(out, data[1:]...) // starts with "\n  \"first-key\"..."
+	return out
 }

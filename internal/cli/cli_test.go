@@ -68,7 +68,43 @@ func TestOutputFile(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if want := "{\n  \"runs\": 4\n}\n"; string(data) != want {
+	if want := "{\n  \"schema_version\": 1,\n  \"runs\": 4\n}\n"; string(data) != want {
 		t.Errorf("file = %q, want %q", data, want)
+	}
+}
+
+func TestWriteJSONSchemaVersion(t *testing.T) {
+	cases := []struct {
+		name string
+		v    any
+		want string
+	}{
+		{"object gains the stamp as first key",
+			map[string]int{"runs": 4},
+			"{\n  \"schema_version\": 1,\n  \"runs\": 4\n}\n"},
+		{"empty object is stamped",
+			map[string]int{},
+			"{\n  \"schema_version\": 1\n}\n"},
+		{"array passes through unversioned",
+			[]int{1, 2},
+			"[\n  1,\n  2\n]\n"},
+		{"scalar passes through unversioned",
+			7,
+			"7\n"},
+		{"existing top-level stamp is not duplicated",
+			map[string]int{"schema_version": 3},
+			"{\n  \"schema_version\": 3\n}\n"},
+		{"nested schema_version keys do not suppress the stamp",
+			map[string]any{"inner": map[string]int{"schema_version": 2}},
+			"{\n  \"schema_version\": 1,\n  \"inner\": {\n    \"schema_version\": 2\n  }\n}\n"},
+	}
+	for _, tc := range cases {
+		var buf bytes.Buffer
+		if err := WriteJSON(&buf, tc.v); err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if buf.String() != tc.want {
+			t.Errorf("%s:\n got %q\nwant %q", tc.name, buf.String(), tc.want)
+		}
 	}
 }

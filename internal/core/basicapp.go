@@ -31,6 +31,18 @@ func NewBasicApp(decl *spec.App) *BasicApp {
 	}
 }
 
+// BasicApps builds a reference BasicApp implementation for every real
+// (non-virtual) application a specification declares — the standard Apps
+// map for campaigns, preset-driven tools, and the fleet spawn path.
+func BasicApps(rs *spec.ReconfigSpec) map[spec.AppID]App {
+	apps := make(map[spec.AppID]App)
+	for _, decl := range rs.RealApps() {
+		decl := decl
+		apps[decl.ID] = NewBasicApp(&decl)
+	}
+	return apps
+}
+
 // ID implements App.
 func (a *BasicApp) ID() spec.AppID { return a.decl.ID }
 

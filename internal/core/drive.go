@@ -1,0 +1,87 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/envmon"
+	"repro/internal/spec"
+)
+
+// This file is the externally drivable half of the System lifecycle. A
+// System was originally a one-shot value: construct it with a full scripted
+// schedule (environment events, processor events) and call Run. A fleet host
+// instead steps tenants frame by frame and receives fault injections and
+// queries over a control plane while the system is live. The functions here
+// admit that driving style with one rule: they may only be called BETWEEN
+// frames — never concurrently with Step. Callers (the fleet host's per-tenant
+// lock, a test's single goroutine) provide that serialization.
+//
+// Determinism contract: each injection is defined in terms of the scripted
+// construct it is equivalent to, so a driven run can be replayed as a
+// scripted run with a byte-identical trace. That equivalence is what lets a
+// multiplexed fleet tenant's black box be checked against a standalone
+// re-execution.
+
+// ErrInjectedStorageFault is the storage fault recorded on a processor
+// halted through InjectStorageFault.
+var ErrInjectedStorageFault = errors.New("injected storage fault")
+
+// InjectFactor sets an environment factor between frames. Called when
+// Frame() == f, it is observably identical to a scripted
+// envmon.Event{Frame: f}: monitors see the new value when frame f executes.
+func (s *System) InjectFactor(f envmon.Factor, v string) {
+	s.env.Set(f, v)
+}
+
+// ScheduleProcEvent schedules a processor failure or repair on the live
+// system, exactly as if the event had been in Options.ProcEvents from the
+// start. Failures must name the next frame to execute or later; repairs must
+// be strictly later (a repair at frame f is applied at the end of frame f-1,
+// which must not have run yet).
+func (s *System) ScheduleProcEvent(ev ProcEvent) error {
+	if _, err := s.pool.Proc(ev.Proc); err != nil {
+		return fmt.Errorf("core: scheduling proc event: %w", err)
+	}
+	next := s.Frame()
+	switch ev.Kind {
+	case ProcFail:
+		if ev.Frame < next {
+			return fmt.Errorf("core: proc failure at frame %d is in the past (next frame %d)", ev.Frame, next)
+		}
+	case ProcRepair:
+		if ev.Frame <= next {
+			return fmt.Errorf("core: proc repair at frame %d cannot apply (next frame %d; repairs need a full preceding frame)", ev.Frame, next)
+		}
+	default:
+		return fmt.Errorf("core: unknown proc event kind %d", ev.Kind)
+	}
+	s.events = append(s.events, ev)
+	sort.SliceStable(s.events, func(i, j int) bool { return s.events[i].Frame < s.events[j].Frame })
+	return nil
+}
+
+// InjectStorageFault halts a processor between frames as if its stable
+// storage had just suffered an unrecoverable fault: staged writes die,
+// committed storage stays pollable, and the halt is attributed to
+// ErrInjectedStorageFault. The failure is detected (health factor, SCRAM
+// signal) when the next frame executes, like any fail-stop halt.
+func (s *System) InjectStorageFault(id spec.ProcID) error {
+	p, err := s.pool.Proc(id)
+	if err != nil {
+		return fmt.Errorf("core: injecting storage fault: %w", err)
+	}
+	if !p.Alive() {
+		return fmt.Errorf("core: injecting storage fault: processor %s is already down", id)
+	}
+	p.FailStorage(s.Frame(), ErrInjectedStorageFault)
+	return nil
+}
+
+// ProcAlive reports whether a processor is currently alive. Unknown
+// processors report false.
+func (s *System) ProcAlive(id spec.ProcID) bool {
+	p, err := s.pool.Proc(id)
+	return err == nil && p.Alive()
+}

@@ -54,15 +54,17 @@ type ProcEvent struct {
 }
 
 // ProcHealthFactor returns the environment factor name carrying a
-// processor's health, which classifiers can consult.
+// processor's health, which classifiers can consult. It delegates to
+// envmon.ProcHealth so spec-level packages can name the factor without
+// importing the runtime.
 func ProcHealthFactor(id spec.ProcID) envmon.Factor {
-	return envmon.Factor("proc/" + string(id))
+	return envmon.ProcHealth(id)
 }
 
 // Health factor values.
 const (
-	ProcOK     = "ok"
-	ProcFailed = "failed"
+	ProcOK     = envmon.ProcOK
+	ProcFailed = envmon.ProcFailed
 )
 
 // Options configures NewSystem.

@@ -29,6 +29,20 @@ import (
 // Factor names one environmental characteristic, e.g. "alternator-1".
 type Factor string
 
+// ProcHealth returns the factor name carrying a processor's health. The
+// runtime (internal/core) maintains one such factor per declared processor;
+// classifiers consult them to fold component failures into the environment.
+func ProcHealth(id spec.ProcID) Factor {
+	//lint:allow allocfree construction-time naming: frame-path callers cache the factor per processor (core precomputes its procHealth list)
+	return Factor("proc/" + string(id))
+}
+
+// Processor health factor values.
+const (
+	ProcOK     = "ok"
+	ProcFailed = "failed"
+)
+
 // Environment is the authoritative current value of every environmental
 // factor. It is safe for concurrent use.
 type Environment struct {

@@ -1,0 +1,185 @@
+package fleet
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"repro/internal/cli"
+	"repro/internal/telemetry/serve"
+)
+
+// API is the fleet's HTTP/JSON control plane:
+//
+//	POST   /systems              spawn a tenant from a SpawnSpec body
+//	GET    /systems              list tenant statuses
+//	GET    /systems/{id}         one tenant's status
+//	DELETE /systems/{id}         kill a tenant
+//	POST   /systems/{id}/inject  apply an Injection body
+//	GET    /systems/{id}/metrics | /journal | /traces | /trace/{tid}
+//	                             the per-tenant telemetry plane (serve.NewMux)
+//	GET    /presets              spawnable preset names
+//	GET    /stats                host aggregate counters
+//
+// JSON bodies are rendered through cli.WriteJSON, so every object body
+// carries the schema_version field and byte-compatibility follows the cmd
+// tools' rule (cmd/README.md).
+type API struct {
+	host *Host
+}
+
+// NewAPI returns the control-plane handler for a host.
+func NewAPI(h *Host) *API { return &API{host: h} }
+
+// Handler builds the route table.
+func (a *API) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /systems", a.handleSpawn)
+	mux.HandleFunc("GET /systems", a.handleList)
+	mux.HandleFunc("GET /systems/{id}", a.handleStatus)
+	mux.HandleFunc("DELETE /systems/{id}", a.handleKill)
+	mux.HandleFunc("POST /systems/{id}/inject", a.handleInject)
+	mux.HandleFunc("GET /systems/{id}/metrics", a.handleTelemetry)
+	mux.HandleFunc("GET /systems/{id}/journal", a.handleTelemetry)
+	mux.HandleFunc("GET /systems/{id}/traces", a.handleTelemetry)
+	mux.HandleFunc("GET /systems/{id}/trace/{tid}", a.handleTelemetry)
+	mux.HandleFunc("GET /presets", a.handlePresets)
+	mux.HandleFunc("GET /stats", a.handleStats)
+	return mux
+}
+
+// maxBodyBytes bounds control-plane request bodies.
+const maxBodyBytes = 1 << 20
+
+// readBody decodes a JSON request body into v.
+func readBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		http.Error(w, "malformed body: "+err.Error(), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+// writeJSON renders a response body through the versioned JSON writer.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = cli.WriteJSON(w, v)
+}
+
+// tenant resolves the {id} path segment, answering 404 on a miss.
+func (a *API) tenant(w http.ResponseWriter, r *http.Request) (*Tenant, bool) {
+	id := r.PathValue("id")
+	t, ok := a.host.Get(id)
+	if !ok {
+		http.Error(w, fmt.Sprintf("no tenant %q", id), http.StatusNotFound)
+		return nil, false
+	}
+	return t, true
+}
+
+func (a *API) handleSpawn(w http.ResponseWriter, r *http.Request) {
+	var ss SpawnSpec
+	if !readBody(w, r, &ss) {
+		return
+	}
+	t, err := a.host.Spawn(ss)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, errTenantExists) {
+			status = http.StatusConflict
+		}
+		http.Error(w, err.Error(), status)
+		return
+	}
+	writeJSON(w, http.StatusCreated, t.Status())
+}
+
+// listBody wraps the tenant list so the top-level JSON body is an object
+// (and therefore carries schema_version).
+type listBody struct {
+	Systems []Status `json:"systems"`
+}
+
+func (a *API) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, listBody{Systems: a.host.List()})
+}
+
+func (a *API) handleStatus(w http.ResponseWriter, r *http.Request) {
+	t, ok := a.tenant(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, t.Status())
+}
+
+// killBody acknowledges a kill.
+type killBody struct {
+	ID     string `json:"id"`
+	Killed bool   `json:"killed"`
+}
+
+func (a *API) handleKill(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if err := a.host.Kill(id); err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	writeJSON(w, http.StatusOK, killBody{ID: id, Killed: true})
+}
+
+// injectBody acknowledges an injection with the frame it applies at — the
+// frame a scripted standalone replay uses to reproduce the run.
+type injectBody struct {
+	ID           string `json:"id"`
+	Kind         string `json:"kind"`
+	AppliedFrame int64  `json:"applied_frame"`
+}
+
+func (a *API) handleInject(w http.ResponseWriter, r *http.Request) {
+	t, ok := a.tenant(w, r)
+	if !ok {
+		return
+	}
+	var inj Injection
+	if !readBody(w, r, &inj) {
+		return
+	}
+	frame, err := t.Inject(inj)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, http.StatusOK, injectBody{ID: t.ID(), Kind: inj.Kind, AppliedFrame: frame})
+}
+
+// handleTelemetry re-mounts the shared serve-plane mux (PR 8's routes) under
+// the tenant's prefix: /systems/{id}/metrics|journal|traces|trace/{tid}
+// serve exactly what a standalone -serve tool would, byte-identically.
+func (a *API) handleTelemetry(w http.ResponseWriter, r *http.Request) {
+	t, ok := a.tenant(w, r)
+	if !ok {
+		return
+	}
+	http.StripPrefix("/systems/"+t.ID(), serve.NewMux(t)).ServeHTTP(w, r)
+}
+
+// presetsBody lists the spawnable presets.
+type presetsBody struct {
+	Presets []string `json:"presets"`
+}
+
+func (a *API) handlePresets(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, presetsBody{Presets: Presets()})
+}
+
+func (a *API) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, a.host.Stats())
+}
+
+// errTenantExists tags Spawn's duplicate-id error for the 409 mapping.
+var errTenantExists = errors.New("tenant id already exists")

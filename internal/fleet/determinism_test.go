@@ -1,0 +1,210 @@
+package fleet
+
+// The multiplexing-determinism contract (ISSUE 9, DESIGN.md section 15): a
+// tenant stepped by the fleet's shared shard scheduler produces the
+// byte-identical journal and trace of the same SpawnSpec run standalone.
+// Tenants share nothing — environment, pool, telemetry, trace RNG are all
+// per-system — and control-plane injections land between frames under the
+// tenant lock, so the only schedule that matters is the tenant's own.
+
+import (
+	"bytes"
+	"fmt"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+
+	"repro/internal/cli"
+	"repro/internal/core"
+	"repro/internal/envmon"
+	"repro/internal/telemetry"
+	"repro/internal/telemetry/serve"
+)
+
+// journalBytes renders events the way /journal and flightrec do.
+func journalBytes(t *testing.T, events []telemetry.Event) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := telemetry.WriteJournal(&buf, events); err != nil {
+		t.Fatalf("WriteJournal: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// renderTrace renders one trace's report the way /trace/<id> and
+// flightrec -trace -json do.
+func renderTrace(t *testing.T, events []telemetry.Event, id int64) []byte {
+	t.Helper()
+	tv, ok := telemetry.FindTrace(events, id)
+	if !ok {
+		t.Fatalf("trace %x not found", id)
+	}
+	var buf bytes.Buffer
+	if err := cli.WriteJSON(&buf, telemetry.BuildTraceReport(tv)); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// firstTraceID picks the first real (non-zero) assembled trace.
+func firstTraceID(events []telemetry.Event) int64 {
+	for _, tv := range telemetry.AssembleTraces(events) {
+		if tv.ID != 0 {
+			return tv.ID
+		}
+	}
+	return 0
+}
+
+// standaloneRun re-executes a SpawnSpec outside the fleet: the same
+// SpawnOptions, stepped to exactly `frames` in the caller's goroutine, with
+// an optional runtime env injection at frame injectAt (-1 for none). Returns
+// the journal.
+func standaloneRun(t *testing.T, ss SpawnSpec, frames, injectAt int64, factor, value string) []telemetry.Event {
+	t.Helper()
+	opts, err := SpawnOptions(ss)
+	if err != nil {
+		t.Fatalf("SpawnOptions: %v", err)
+	}
+	sys, err := core.NewSystem(opts)
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	defer sys.Close()
+	for sys.Frame() < frames {
+		if injectAt >= 0 && sys.Frame() == injectAt {
+			sys.InjectFactor(envmon.Factor(factor), value)
+		}
+		if err := sys.Step(); err != nil {
+			t.Fatalf("standalone step at frame %d: %v", sys.Frame(), err)
+		}
+	}
+	_, rec := sys.Telemetry()
+	return rec.Events()
+}
+
+// TestMultiplexedTraceMatchesStandalone spawns a scripted fleet, lets every
+// tenant run to its frame budget under the shared scheduler, and asserts
+// each tenant's journal — and the HTTP bodies the fleet serves for it — is
+// byte-identical to a standalone run of the same SpawnSpec.
+func TestMultiplexedTraceMatchesStandalone(t *testing.T) {
+	h := NewHost(Config{Shards: 4, Batch: 8})
+	defer h.Close()
+
+	presets := []string{"threeconfig", "threeconfig-spares", "threeconfig-spares4"}
+	specs := make([]SpawnSpec, 0, 12)
+	for i := 0; i < 12; i++ {
+		specs = append(specs, SpawnSpec{
+			ID:     fmt.Sprintf("d-%d", i),
+			Preset: presets[i%len(presets)],
+			Seed:   int64(1000 + 17*i),
+			Frames: 300,
+			// A degrade + repair schedule, staggered per tenant so the
+			// shard sweep interleaves tenants at different phases.
+			Script: []envmon.Event{
+				{Frame: int64(20 + i), Factor: "alt1", Value: "failed"},
+				{Frame: int64(150 + i), Factor: "alt1", Value: "ok"},
+			},
+		})
+	}
+	for _, ss := range specs {
+		if _, err := h.Spawn(ss); err != nil {
+			t.Fatalf("spawn %s: %v", ss.ID, err)
+		}
+	}
+	waitFor(t, "all tenants completed", func() bool {
+		for _, st := range h.List() {
+			if st.State != StateCompleted {
+				return false
+			}
+		}
+		return true
+	})
+
+	for _, ss := range specs {
+		ten, ok := h.Get(ss.ID)
+		if !ok {
+			t.Fatalf("tenant %s vanished", ss.ID)
+		}
+		snap, ok := ten.TelemetrySnapshot()
+		if !ok {
+			t.Fatalf("tenant %s: no snapshot", ss.ID)
+		}
+		if snap.Frame != ss.Frames {
+			t.Fatalf("tenant %s completed at frame %d, want %d", ss.ID, snap.Frame, ss.Frames)
+		}
+		want := standaloneRun(t, ss, ss.Frames, -1, "", "")
+		if tid := firstTraceID(want); tid == 0 {
+			t.Fatalf("tenant %s: standalone run produced no reconfiguration trace (vacuous test)", ss.ID)
+		}
+		if !bytes.Equal(journalBytes(t, snap.Events), journalBytes(t, want)) {
+			t.Errorf("tenant %s: multiplexed journal differs from standalone run", ss.ID)
+		}
+	}
+
+	// HTTP byte-identity for one tenant: the fleet's serve plane renders the
+	// journal and the trace report exactly as a standalone flightrec would.
+	ss := specs[0]
+	ten, _ := h.Get(ss.ID)
+	want := standaloneRun(t, ss, ss.Frames, -1, "", "")
+	mux := serve.NewMux(ten)
+
+	rr := httptest.NewRecorder()
+	mux.ServeHTTP(rr, httptest.NewRequest("GET", "/journal", nil))
+	if rr.Code != 200 {
+		t.Fatalf("/journal: status %d", rr.Code)
+	}
+	if !bytes.Equal(rr.Body.Bytes(), journalBytes(t, want)) {
+		t.Errorf("tenant %s: /journal body differs from standalone journal", ss.ID)
+	}
+
+	tid := firstTraceID(want)
+	rr = httptest.NewRecorder()
+	mux.ServeHTTP(rr, httptest.NewRequest("GET", "/trace/"+strconv.FormatInt(tid, 16), nil))
+	if rr.Code != 200 {
+		t.Fatalf("/trace/%x: status %d", tid, rr.Code)
+	}
+	if !bytes.Equal(rr.Body.Bytes(), renderTrace(t, want, tid)) {
+		t.Errorf("tenant %s: /trace/%x body differs from standalone trace report", ss.ID, tid)
+	}
+}
+
+// TestRuntimeInjectionReplaysAsScript proves the control-plane half of the
+// contract: a live injection acked with applied_frame f replays standalone
+// as InjectFactor at frame f — the recorded schedule reproduces the
+// multiplexed run byte-for-byte.
+func TestRuntimeInjectionReplaysAsScript(t *testing.T) {
+	h := NewHost(Config{Shards: 2, Batch: 4})
+	defer h.Close()
+
+	ss := SpawnSpec{ID: "replay", Preset: "threeconfig", Seed: 4242}
+	ten, err := h.Spawn(ss)
+	if err != nil {
+		t.Fatalf("spawn: %v", err)
+	}
+	// Inject after boot has settled so the factor change is a real
+	// environment transition (frame-0 changes fold into the boot
+	// classification and never reconfigure).
+	waitFor(t, "tenant past frame 5", func() bool { return ten.Status().Frame > 5 })
+	applied, err := ten.Inject(Injection{Kind: "env", Factor: "alt1", Value: "failed"})
+	if err != nil {
+		t.Fatalf("inject: %v", err)
+	}
+	waitFor(t, "reconfiguration settled", func() bool { return ten.Status().Frame > applied+100 })
+
+	snap, ok := ten.TelemetrySnapshot()
+	if !ok {
+		t.Fatal("no snapshot")
+	}
+	want := standaloneRun(t, SpawnSpec{Preset: ss.Preset, Seed: ss.Seed}, snap.Frame, applied, "alt1", "failed")
+	tid := firstTraceID(want)
+	if tid == 0 {
+		t.Fatal("standalone replay produced no reconfiguration trace (vacuous test)")
+	}
+	if !bytes.Equal(journalBytes(t, snap.Events), journalBytes(t, want)) {
+		t.Errorf("journal after runtime injection differs from scripted standalone replay (applied frame %d, snapshot frame %d)", applied, snap.Frame)
+	}
+	if !bytes.Equal(renderTrace(t, snap.Events, tid), renderTrace(t, want, tid)) {
+		t.Errorf("trace %x differs between multiplexed run and scripted replay", tid)
+	}
+}

@@ -1,0 +1,550 @@
+// Package fleet hosts many concurrent reconfigurable systems — one
+// core.System per tenant — behind a single long-running service: the
+// production shape of the ROADMAP's "millions of users" claim, where every
+// connected vehicle or tenant is its own frame-synchronous system.
+//
+// The host multiplexes tenants over a shared batched scheduler: a fixed pool
+// of shard workers sweeps the running tenants each tick, stepping every
+// tenant a batch of frames. Tenants are spawned in the frame scheduler's
+// sequential mode, so a tenant's entire frame executes inside the shard
+// worker's goroutine — which is what makes the isolation boundary work: a
+// panicking application is caught by the worker's recover, the tenant is
+// quarantined with its black box recoverable from committed stable storage,
+// and the sweep moves on. A fail-stopped or panicked tenant never stalls the
+// scheduler and never touches another tenant's state.
+//
+// Determinism survives multiplexing because tenants share nothing: each
+// system owns its environment, pool, telemetry and trace RNG (seeded from
+// SpawnSpec.Seed), and control-plane injections are serialized with stepping
+// by the per-tenant lock, applying between frames exactly like the scripted
+// constructs they are defined to mirror (see internal/core/drive.go). A
+// tenant stepped by the fleet therefore produces the byte-identical trace of
+// the same-seed standalone run — the property the determinism test and the
+// CI smoke job hold.
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/envmon"
+	"repro/internal/spec"
+	"repro/internal/spectest"
+	"repro/internal/telemetry"
+	"repro/internal/telemetry/serve"
+)
+
+// SpawnSpec names everything needed to construct a tenant: a spec preset
+// from the spectest registry, the determinism seed, and an optional frame
+// budget. Equal SpawnSpecs produce byte-identically-traced tenants.
+type SpawnSpec struct {
+	// ID is the tenant identifier; empty lets the host assign one.
+	ID string `json:"id,omitempty"`
+	// Preset is the named specification preset (spectest.Lookup).
+	Preset string `json:"preset"`
+	// Seed drives the tenant's trace RNG; equal seeds give equal runs.
+	Seed int64 `json:"seed"`
+	// Frames caps the tenant's run: after this many frames it completes
+	// and stops stepping (still queryable). Zero runs until killed.
+	Frames int64 `json:"frames,omitempty"`
+	// Script is an optional deterministic environment schedule, applied
+	// exactly like a standalone run's scripted events. Runtime injections
+	// land on top of (and interleave with) the script.
+	Script []envmon.Event `json:"script,omitempty"`
+}
+
+// SpawnOptions resolves a SpawnSpec into the core.Options the fleet host
+// runs it under. It is exported so a standalone re-execution (the
+// determinism test, a post-incident replay) constructs the identical system
+// the host did.
+func SpawnOptions(ss SpawnSpec) (core.Options, error) {
+	preset, err := spectest.Lookup(ss.Preset)
+	if err != nil {
+		return core.Options{}, err
+	}
+	rs := preset.New()
+	return core.Options{
+		Spec:           rs,
+		Apps:           core.BasicApps(rs),
+		Classifier:     preset.Classifier,
+		InitialFactors: preset.Factors(),
+		Script:         ss.Script,
+		TraceSeed:      ss.Seed,
+		// Sequential mode runs the tenant's whole frame inside the
+		// caller's goroutine: no per-task goroutines (thousands of
+		// tenants would multiply them), and application panics surface
+		// in the shard worker where recover quarantines the tenant.
+		Sequential: true,
+	}, nil
+}
+
+// State is a tenant's lifecycle state.
+type State string
+
+const (
+	// StateRunning tenants are stepped by the shard sweep.
+	StateRunning State = "running"
+	// StateCompleted tenants reached their frame budget; they are no
+	// longer stepped but stay fully queryable.
+	StateCompleted State = "completed"
+	// StateQuarantined tenants panicked or failed a step; they are
+	// isolated from the sweep and serve their post-mortem black box.
+	StateQuarantined State = "quarantined"
+)
+
+// Tenant is one hosted system. All access to the underlying System is
+// serialized by mu: the shard worker holds it while stepping, the control
+// plane holds it while injecting or snapshotting, so injections always land
+// between frames.
+type Tenant struct {
+	id   string
+	spec SpawnSpec
+
+	mu     sync.Mutex
+	sys    *core.System
+	state  State
+	reason string
+	// final is the cached post-mortem snapshot of a quarantined tenant,
+	// recovered from committed stable storage (the black box), so the
+	// serve plane never touches a possibly-torn live system again.
+	final *serve.Snapshot
+
+	frameLen time.Duration
+}
+
+// Status is a tenant's control-plane view.
+type Status struct {
+	ID     string `json:"id"`
+	Preset string `json:"preset"`
+	Seed   int64  `json:"seed"`
+	State  State  `json:"state"`
+	Frame  int64  `json:"frame"`
+	// Frames is the frame budget (0 = unbounded).
+	Frames int64 `json:"frames,omitempty"`
+	// Reason is why the tenant was quarantined, when it was.
+	Reason string `json:"reason,omitempty"`
+}
+
+// ID returns the tenant identifier.
+func (t *Tenant) ID() string { return t.id }
+
+// Status returns the tenant's current control-plane view.
+func (t *Tenant) Status() Status {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return Status{
+		ID:     t.id,
+		Preset: t.spec.Preset,
+		Seed:   t.spec.Seed,
+		State:  t.state,
+		Frame:  t.sys.Frame(),
+		Frames: t.spec.Frames,
+		Reason: t.reason,
+	}
+}
+
+// TelemetrySnapshot implements serve.Source: the per-tenant telemetry plane
+// (metrics, journal, traces) reads through here. Running and completed
+// tenants snapshot the live system under the tenant lock — consistent
+// because stepping holds the same lock; quarantined tenants serve the
+// cached post-mortem snapshot.
+func (t *Tenant) TelemetrySnapshot() (serve.Snapshot, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.final != nil {
+		return *t.final, true
+	}
+	reg, rec := t.sys.Telemetry()
+	if reg == nil {
+		return serve.Snapshot{}, false
+	}
+	return serve.Snapshot{
+		Frame:    t.sys.Frame(),
+		FrameLen: t.frameLen,
+		Metrics:  reg.Snapshot(),
+		Events:   rec.Events(),
+	}, true
+}
+
+// Injection is one control-plane fault injection. Kind selects the variant:
+//
+//   - "env": set environment factor Factor to Value (visible next frame,
+//     like a scripted event at the applied frame);
+//   - "procfail"/"procrepair": schedule a processor event at Frame
+//     (defaulting to the earliest frame that can still apply);
+//   - "storage": halt processor Proc with an unrecoverable storage fault.
+type Injection struct {
+	Kind   string `json:"kind"`
+	Factor string `json:"factor,omitempty"`
+	Value  string `json:"value,omitempty"`
+	Proc   string `json:"proc,omitempty"`
+	Frame  int64  `json:"frame,omitempty"`
+}
+
+// Inject applies an injection between frames and returns the frame at which
+// it takes effect — the frame a scripted standalone replay would use to
+// reproduce the run.
+func (t *Tenant) Inject(inj Injection) (int64, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.state != StateRunning {
+		return 0, fmt.Errorf("fleet: tenant %s is %s, not running", t.id, t.state)
+	}
+	next := t.sys.Frame()
+	switch inj.Kind {
+	case "env":
+		if inj.Factor == "" {
+			return 0, errors.New("fleet: env injection needs a factor")
+		}
+		t.sys.InjectFactor(envmon.Factor(inj.Factor), inj.Value)
+		return next, nil
+	case "procfail", "procrepair":
+		kind := core.ProcFail
+		frame := inj.Frame
+		if inj.Kind == "procrepair" {
+			kind = core.ProcRepair
+			if frame == 0 {
+				frame = next + 1
+			}
+		} else if frame == 0 {
+			frame = next
+		}
+		ev := core.ProcEvent{Frame: frame, Proc: spec.ProcID(inj.Proc), Kind: kind}
+		if err := t.sys.ScheduleProcEvent(ev); err != nil {
+			return 0, err
+		}
+		return ev.Frame, nil
+	case "storage":
+		if err := t.sys.InjectStorageFault(spec.ProcID(inj.Proc)); err != nil {
+			return 0, err
+		}
+		return next, nil
+	default:
+		return 0, fmt.Errorf("fleet: unknown injection kind %q (want env, procfail, procrepair or storage)", inj.Kind)
+	}
+}
+
+// stepBatch advances a running tenant up to n frames, enforcing the frame
+// budget and converting panics and step errors into quarantine. It returns
+// the number of frames actually stepped.
+func (t *Tenant) stepBatch(n int) (stepped int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.state != StateRunning {
+		return 0
+	}
+	// The isolation boundary: a panic anywhere under Step — an application
+	// bug, a hook, the kernel — quarantines this tenant and returns the
+	// shard worker to the sweep. Sequential mode guarantees the panic
+	// surfaces here and not in some unrecoverable scheduler goroutine.
+	defer func() {
+		if r := recover(); r != nil {
+			t.quarantineLocked(fmt.Sprintf("panic: %v", r))
+		}
+	}()
+	for i := 0; i < n; i++ {
+		if t.spec.Frames > 0 && t.sys.Frame() >= t.spec.Frames {
+			t.state = StateCompleted
+			return stepped
+		}
+		if err := t.sys.Step(); err != nil {
+			t.quarantineLocked("step error: " + err.Error())
+			return stepped
+		}
+		stepped++
+	}
+	if t.spec.Frames > 0 && t.sys.Frame() >= t.spec.Frames {
+		t.state = StateCompleted
+	}
+	return stepped
+}
+
+// quarantineLocked isolates the tenant and caches its post-mortem snapshot.
+// The events come from the black box — the journal recovered from the SCRAM
+// host's committed stable storage, trailing the halt by at most one frame —
+// not from the live ring, whose in-memory state a panic may have torn.
+func (t *Tenant) quarantineLocked(reason string) {
+	t.state = StateQuarantined
+	t.reason = reason
+	snap := &serve.Snapshot{Frame: t.sys.Frame(), FrameLen: t.frameLen}
+	if reg, _ := t.sys.Telemetry(); reg != nil {
+		snap.Metrics = reg.Snapshot()
+	}
+	if stable, err := t.sys.Pool().PollStable(t.sys.SCRAMProc()); err == nil {
+		if ring, err := telemetry.RecoverRing(stable); err == nil {
+			snap.Events = ring
+		}
+	}
+	t.final = snap
+}
+
+// Config sizes the host's shared scheduler.
+type Config struct {
+	// Shards is the number of worker goroutines sweeping the fleet
+	// (default: GOMAXPROCS).
+	Shards int
+	// Batch is the number of frames each tenant is stepped per sweep
+	// (default 8). Larger batches amortize sweep overhead; smaller ones
+	// bound control-plane injection latency in frames.
+	Batch int
+}
+
+// Host runs the fleet: a tenant registry plus the shared batched scheduler.
+type Host struct {
+	cfg Config
+
+	mu      sync.Mutex
+	tenants map[string]*Tenant
+	order   []string // spawn order, for deterministic listings
+	nextID  int64
+
+	frames atomic.Int64 // total frames stepped across all tenants
+
+	wake chan struct{}
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewHost starts a fleet host and its scheduler loop. Close shuts it down.
+func NewHost(cfg Config) *Host {
+	if cfg.Shards <= 0 {
+		cfg.Shards = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Batch <= 0 {
+		cfg.Batch = 8
+	}
+	h := &Host{
+		cfg:     cfg,
+		tenants: make(map[string]*Tenant),
+		wake:    make(chan struct{}, 1),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	//lint:allow nofreegoroutine audited scheduler loop: sweeps tenants in shard workers and is joined by Close
+	go h.run()
+	return h
+}
+
+// Close stops the scheduler and closes every tenant's system.
+func (h *Host) Close() {
+	select {
+	case <-h.stop:
+		return // already closed
+	default:
+	}
+	close(h.stop)
+	<-h.done
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, t := range h.tenants {
+		t.mu.Lock()
+		t.sys.Close()
+		t.mu.Unlock()
+	}
+}
+
+// Spawn constructs a tenant from a SpawnSpec and registers it with the
+// scheduler. The system is built synchronously (including the static
+// obligations check), so a Spawn that returns nil error is a live tenant.
+func (h *Host) Spawn(ss SpawnSpec) (*Tenant, error) {
+	opts, err := SpawnOptions(ss)
+	if err != nil {
+		return nil, err
+	}
+	sys, err := core.NewSystem(opts)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: spawning tenant: %w", err)
+	}
+
+	h.mu.Lock()
+	id := ss.ID
+	if id == "" {
+		for {
+			h.nextID++
+			id = fmt.Sprintf("t-%d", h.nextID)
+			if _, taken := h.tenants[id]; !taken {
+				break
+			}
+		}
+	} else if _, taken := h.tenants[id]; taken {
+		h.mu.Unlock()
+		sys.Close()
+		return nil, fmt.Errorf("fleet: tenant %q: %w", id, errTenantExists)
+	}
+	ss.ID = id
+	t := &Tenant{
+		id:       id,
+		spec:     ss,
+		sys:      sys,
+		state:    StateRunning,
+		frameLen: opts.Spec.FrameLen,
+	}
+	h.tenants[id] = t
+	h.order = append(h.order, id)
+	h.mu.Unlock()
+
+	select {
+	case h.wake <- struct{}{}:
+	default:
+	}
+	return t, nil
+}
+
+// Get returns a tenant by id.
+func (h *Host) Get(id string) (*Tenant, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	t, ok := h.tenants[id]
+	return t, ok
+}
+
+// Kill removes a tenant and closes its system. Its telemetry is gone with
+// it: killing is the explicit discard, quarantine the recoverable one.
+func (h *Host) Kill(id string) error {
+	h.mu.Lock()
+	t, ok := h.tenants[id]
+	if !ok {
+		h.mu.Unlock()
+		return fmt.Errorf("fleet: no tenant %q", id)
+	}
+	delete(h.tenants, id)
+	for i, oid := range h.order {
+		if oid == id {
+			h.order = append(h.order[:i], h.order[i+1:]...)
+			break
+		}
+	}
+	h.mu.Unlock()
+
+	// Take the tenant lock so a shard worker mid-batch finishes its frame
+	// before the system is closed under it.
+	t.mu.Lock()
+	t.state = StateQuarantined
+	t.reason = "killed"
+	t.final = &serve.Snapshot{}
+	t.sys.Close()
+	t.mu.Unlock()
+	return nil
+}
+
+// List returns every tenant's status in spawn order.
+func (h *Host) List() []Status {
+	h.mu.Lock()
+	ids := append([]string(nil), h.order...)
+	tenants := make([]*Tenant, 0, len(ids))
+	for _, id := range ids {
+		tenants = append(tenants, h.tenants[id])
+	}
+	h.mu.Unlock()
+	out := make([]Status, 0, len(tenants))
+	for _, t := range tenants {
+		out = append(out, t.Status())
+	}
+	return out
+}
+
+// Stats is the host's aggregate accounting.
+type Stats struct {
+	// Tenants counts registered tenants by state.
+	Tenants map[State]int `json:"tenants"`
+	// FramesStepped is the total frames executed across all tenants.
+	FramesStepped int64 `json:"frames_stepped"`
+	// Shards and Batch echo the scheduler configuration.
+	Shards int `json:"shards"`
+	Batch  int `json:"batch"`
+}
+
+// Stats returns the host's aggregate counters.
+func (h *Host) Stats() Stats {
+	st := Stats{
+		Tenants: make(map[State]int),
+		Shards:  h.cfg.Shards,
+		Batch:   h.cfg.Batch,
+	}
+	for _, s := range h.List() {
+		st.Tenants[s.State]++
+	}
+	st.FramesStepped = h.frames.Load()
+	return st
+}
+
+// FramesStepped returns the total frames executed across all tenants.
+func (h *Host) FramesStepped() int64 { return h.frames.Load() }
+
+// run is the scheduler loop: each tick snapshots the running tenants and
+// sweeps them with the shard workers, every tenant advancing Batch frames.
+// The barrier between ticks keeps the sweep fair — a tenant can't hog a
+// shard for more than one batch while others wait.
+func (h *Host) run() {
+	defer close(h.done)
+	for {
+		select {
+		case <-h.stop:
+			return
+		default:
+		}
+		batch := h.running()
+		if len(batch) == 0 {
+			// Idle: wait for a spawn (wake), shutdown, or a short poll
+			// tick (a tenant un-idles only via spawn, so the poll is
+			// just a safety net).
+			select {
+			case <-h.stop:
+				return
+			case <-h.wake:
+			case <-time.After(5 * time.Millisecond):
+			}
+			continue
+		}
+		shards := h.cfg.Shards
+		if shards > len(batch) {
+			shards = len(batch)
+		}
+		var wg sync.WaitGroup
+		for w := 0; w < shards; w++ {
+			w := w
+			wg.Add(1)
+			//lint:allow nofreegoroutine audited shard worker: steps disjoint tenants for one sweep and is joined by the WaitGroup barrier
+			go func() {
+				defer wg.Done()
+				var stepped int64
+				for i := w; i < len(batch); i += shards {
+					stepped += batch[i].stepBatch(h.cfg.Batch)
+				}
+				h.frames.Add(stepped)
+			}()
+		}
+		wg.Wait()
+	}
+}
+
+// running snapshots the currently running tenants in spawn order.
+func (h *Host) running() []*Tenant {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]*Tenant, 0, len(h.order))
+	for _, id := range h.order {
+		t := h.tenants[id]
+		t.mu.Lock()
+		run := t.state == StateRunning
+		t.mu.Unlock()
+		if run {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Presets returns the spawnable preset names, sorted — the control plane's
+// discovery surface.
+func Presets() []string {
+	names := spectest.Names()
+	sort.Strings(names)
+	return names
+}

@@ -107,7 +107,11 @@ type CanonicalCampaign struct {
 // Run executes the campaign and returns its metrics and trace.
 func (c CanonicalCampaign) Run() (Metrics, *trace.Trace, error) {
 	rng := rand.New(rand.NewSource(c.Seed))
-	rs := spectest.ThreeConfig()
+	preset, err := spectest.Lookup("threeconfig")
+	if err != nil {
+		return Metrics{}, nil, err
+	}
+	rs := preset.New()
 	if c.Dwell >= 0 {
 		rs.DwellFrames = c.Dwell
 		if rs.DwellFrames == 0 {
@@ -117,7 +121,6 @@ func (c CanonicalCampaign) Run() (Metrics, *trace.Trace, error) {
 
 	// Script: alternator flapping at random frames.
 	var script []envmon.Event
-	altState := map[envmon.Factor]string{"alt1": "ok", "alt2": "ok"}
 	for i := 0; i < c.EnvEvents; i++ {
 		f := int64(1 + rng.Intn(max(1, c.Frames-2)))
 		alt := envmon.Factor("alt1")
@@ -144,8 +147,8 @@ func (c CanonicalCampaign) Run() (Metrics, *trace.Trace, error) {
 	opts := core.Options{
 		Spec:           rs,
 		Apps:           basicApps(rs),
-		Classifier:     threeConfigClassifier,
-		InitialFactors: map[envmon.Factor]string{"alt1": altState["alt1"], "alt2": altState["alt2"]},
+		Classifier:     preset.Classifier,
+		InitialFactors: preset.Factors(),
 		Script:         script,
 		ProcEvents:     procEvents,
 	}
@@ -205,39 +208,25 @@ func (c RandomCampaign) Run() (Metrics, *trace.Trace, error) {
 	return runCampaign(opts, c.Frames, int64(rs.DwellFrames))
 }
 
-// threeConfigClassifier maps alternator and processor health to the canonical
-// specification's environment states: two healthy alternators give full
-// service, one gives reduced, none leaves the battery. Loss of the FCS's
-// processor (p2) forces at least reduced service — the applications must
-// share p1.
+// threeConfigClassifier is the canonical classifier, now owned by the preset
+// registry (spectest.ThreeConfigClassifier).
 func threeConfigClassifier(f map[envmon.Factor]string) spec.EnvState {
-	ok := 0
-	for _, alt := range []envmon.Factor{"alt1", "alt2"} {
-		if f[alt] == "ok" {
-			ok++
-		}
-	}
-	state := spectest.EnvBattery
-	switch ok {
-	case 2:
-		state = spectest.EnvFull
-	case 1:
-		state = spectest.EnvReduced
-	}
-	if f[core.ProcHealthFactor("p2")] == core.ProcFailed && state == spectest.EnvFull {
-		state = spectest.EnvReduced
-	}
-	return state
+	return spectest.ThreeConfigClassifier(f)
 }
 
 // basicApps builds a reference implementation for every real application.
 func basicApps(rs *spec.ReconfigSpec) map[spec.AppID]core.App {
-	apps := make(map[spec.AppID]core.App)
-	for _, decl := range rs.RealApps() {
-		decl := decl
-		apps[decl.ID] = core.NewBasicApp(&decl)
+	return core.BasicApps(rs)
+}
+
+// mustPreset resolves a registry preset that is known to exist; the registry
+// is static, so a miss is a programming error.
+func mustPreset(name string) spectest.Preset {
+	p, err := spectest.Lookup(name)
+	if err != nil {
+		panic(err)
 	}
-	return apps
+	return p
 }
 
 // runCampaign builds the system, runs it, and collects metrics.

@@ -9,7 +9,6 @@ import (
 	"repro/internal/frame"
 	"repro/internal/membership"
 	"repro/internal/spec"
-	"repro/internal/spectest"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
@@ -57,7 +56,8 @@ type MembershipCampaign struct {
 // value.
 func (c MembershipCampaign) plan() (core.Options, map[int64]int) {
 	rng := rand.New(rand.NewSource(c.Seed))
-	rs := spectest.ThreeConfigWithSpares(2)
+	preset := mustPreset("threeconfig-spares")
+	rs := preset.New()
 
 	var script []envmon.Event
 	for i := 0; i < c.EnvEvents; i++ {
@@ -111,8 +111,8 @@ func (c MembershipCampaign) plan() (core.Options, map[int64]int) {
 	opts := core.Options{
 		Spec:           rs,
 		Apps:           basicApps(rs),
-		Classifier:     threeConfigClassifier,
-		InitialFactors: map[envmon.Factor]string{"alt1": "ok", "alt2": "ok"},
+		Classifier:     preset.Classifier,
+		InitialFactors: preset.Factors(),
 		Script:         script,
 		ProcEvents:     procEvents,
 		TraceSeed:      c.Seed,

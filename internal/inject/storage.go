@@ -8,7 +8,6 @@ import (
 	"repro/internal/bus"
 	"repro/internal/core"
 	"repro/internal/envmon"
-	"repro/internal/spectest"
 	"repro/internal/stable"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
@@ -86,7 +85,8 @@ type StorageMetrics struct {
 // front by calling Options().Validate() per arm before spending frames.
 func (c StorageCampaign) Options() core.Options {
 	rng := rand.New(rand.NewSource(c.Seed))
-	rs := spectest.ThreeConfig()
+	preset := mustPreset("threeconfig")
+	rs := preset.New()
 
 	var script []envmon.Event
 	for i := 0; i < c.EnvEvents; i++ {
@@ -105,8 +105,8 @@ func (c StorageCampaign) Options() core.Options {
 	return core.Options{
 		Spec:           rs,
 		Apps:           basicApps(rs),
-		Classifier:     threeConfigClassifier,
-		InitialFactors: map[envmon.Factor]string{"alt1": "ok", "alt2": "ok"},
+		Classifier:     preset.Classifier,
+		InitialFactors: preset.Factors(),
 		Script:         script,
 		TraceSeed:      c.Seed,
 		HardenedStorage: &stable.MediaProfile{

@@ -24,6 +24,10 @@ var frameSyncPkgs = map[string]bool{
 	// it sits right next to the frame loop's publish hook; scoping it keeps
 	// its listener launch — and any future one — audited.
 	"serve": true,
+	// fleet multiplexes many frame-synchronous systems over shard workers;
+	// scoping it forces every launch (the scheduler loop, the shard
+	// workers) to carry an audited allow.
+	"fleet": true,
 }
 
 // NoFreeGoroutine forbids goroutine launches in the frame-synchronous

@@ -1,0 +1,114 @@
+package spectest
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/envmon"
+	"repro/internal/spec"
+)
+
+// Preset is a named, fully-wired specification configuration: everything a
+// caller needs to construct a runnable system except the application
+// implementations (which live a layer up, in internal/core). Campaigns, cmd
+// tools, and the fleet spawn API resolve configurations by name through
+// Lookup instead of re-importing constructors.
+type Preset struct {
+	// Name is the registry key, e.g. "threeconfig".
+	Name string
+	// Description is a one-line human summary.
+	Description string
+	// New constructs a fresh specification. Every call returns an
+	// independent value: callers may mutate the result freely.
+	New func() *spec.ReconfigSpec
+	// Classifier abstracts raw environment factors into the
+	// specification's environment states.
+	Classifier envmon.Classifier
+
+	// initialFactors seeds the environment; access through Factors so
+	// every caller gets an independent copy.
+	initialFactors map[envmon.Factor]string
+}
+
+// Factors returns a fresh copy of the preset's initial environment factors.
+func (p Preset) Factors() map[envmon.Factor]string {
+	out := make(map[envmon.Factor]string, len(p.initialFactors))
+	for k, v := range p.initialFactors {
+		out[k] = v
+	}
+	return out
+}
+
+// alternatorFactors is hoisted so the per-frame classifier allocates
+// nothing.
+var alternatorFactors = [...]envmon.Factor{"alt1", "alt2"}
+
+// ThreeConfigClassifier maps alternator and processor health to the
+// canonical specification's environment states: two healthy alternators give
+// full service, one gives reduced, none leaves the battery. Loss of the
+// FCS's processor (p2) forces at least reduced service — the applications
+// must share p1.
+func ThreeConfigClassifier(f map[envmon.Factor]string) spec.EnvState {
+	ok := 0
+	for _, alt := range alternatorFactors {
+		if f[alt] == "ok" {
+			ok++
+		}
+	}
+	state := EnvBattery
+	switch ok {
+	case 2:
+		state = EnvFull
+	case 1:
+		state = EnvReduced
+	}
+	if f[envmon.ProcHealth("p2")] == envmon.ProcFailed && state == EnvFull {
+		state = EnvReduced
+	}
+	return state
+}
+
+// presets is the registry; keys match each Preset.Name.
+var presets = map[string]Preset{
+	"threeconfig": {
+		Name:           "threeconfig",
+		Description:    "canonical three-configuration avionics-shaped system (p1, p2)",
+		New:            ThreeConfig,
+		Classifier:     ThreeConfigClassifier,
+		initialFactors: map[envmon.Factor]string{"alt1": "ok", "alt2": "ok"},
+	},
+	"threeconfig-spares": {
+		Name:           "threeconfig-spares",
+		Description:    "three-configuration system with two spare processors (p3, p4) for membership churn",
+		New:            func() *spec.ReconfigSpec { return ThreeConfigWithSpares(2) },
+		Classifier:     ThreeConfigClassifier,
+		initialFactors: map[envmon.Factor]string{"alt1": "ok", "alt2": "ok"},
+	},
+	"threeconfig-spares4": {
+		Name:           "threeconfig-spares4",
+		Description:    "three-configuration system with four spare processors (p3..p6)",
+		New:            func() *spec.ReconfigSpec { return ThreeConfigWithSpares(4) },
+		Classifier:     ThreeConfigClassifier,
+		initialFactors: map[envmon.Factor]string{"alt1": "ok", "alt2": "ok"},
+	},
+}
+
+// Lookup resolves a preset by name. The error lists the registered names, so
+// surfacing it verbatim gives CLI and API callers a usable message.
+func Lookup(name string) (Preset, error) {
+	p, ok := presets[name]
+	if !ok {
+		return Preset{}, fmt.Errorf("spectest: unknown preset %q (have %v)", name, Names())
+	}
+	return p, nil
+}
+
+// Names returns the registered preset names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(presets))
+	for name := range presets {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

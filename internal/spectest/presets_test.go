@@ -1,0 +1,76 @@
+package spectest
+
+import (
+	"testing"
+
+	"repro/internal/envmon"
+)
+
+func TestLookupResolvesRegisteredPresets(t *testing.T) {
+	for _, name := range Names() {
+		p, err := Lookup(name)
+		if err != nil {
+			t.Fatalf("Lookup(%q): %v", name, err)
+		}
+		if p.Name != name {
+			t.Errorf("Lookup(%q).Name = %q", name, p.Name)
+		}
+		rs := p.New()
+		if rs == nil || len(rs.Configs) == 0 {
+			t.Fatalf("preset %q: New returned an empty spec", name)
+		}
+		if p.Classifier == nil {
+			t.Fatalf("preset %q: nil classifier", name)
+		}
+		if got := p.Classifier(p.Factors()); got != rs.StartEnv {
+			t.Errorf("preset %q: initial factors classify to %q, want start env %q", name, got, rs.StartEnv)
+		}
+	}
+}
+
+func TestLookupUnknownPreset(t *testing.T) {
+	if _, err := Lookup("no-such-preset"); err == nil {
+		t.Fatal("Lookup of unknown preset succeeded")
+	}
+}
+
+func TestPresetIsolation(t *testing.T) {
+	p, err := Lookup("threeconfig")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mutating one New() result must not leak into the next.
+	a := p.New()
+	a.Name = "mutated"
+	a.Platform.Procs[0].ID = "zz"
+	if b := p.New(); b.Name == "mutated" || b.Platform.Procs[0].ID == "zz" {
+		t.Error("preset New shares state across calls")
+	}
+	// Same for the initial-factors map.
+	f := p.Factors()
+	f["alt1"] = "failed"
+	if p.Factors()["alt1"] != "ok" {
+		t.Error("preset Factors shares the map across calls")
+	}
+}
+
+func TestThreeConfigClassifier(t *testing.T) {
+	cases := []struct {
+		alt1, alt2, p2 string
+		want           string
+	}{
+		{"ok", "ok", envmon.ProcOK, string(EnvFull)},
+		{"ok", "failed", envmon.ProcOK, string(EnvReduced)},
+		{"failed", "failed", envmon.ProcOK, string(EnvBattery)},
+		{"ok", "ok", envmon.ProcFailed, string(EnvReduced)},
+	}
+	for _, c := range cases {
+		f := map[envmon.Factor]string{
+			"alt1": c.alt1, "alt2": c.alt2,
+			envmon.ProcHealth("p2"): c.p2,
+		}
+		if got := ThreeConfigClassifier(f); string(got) != c.want {
+			t.Errorf("classify(alt1=%s alt2=%s p2=%s) = %s, want %s", c.alt1, c.alt2, c.p2, got, c.want)
+		}
+	}
+}

@@ -11,6 +11,14 @@
 // every response is internally consistent — it describes exactly one frame
 // boundary, never a torn mixture of two.
 //
+// The package splits into two layers. Source + NewMux are the handler
+// surface: anything that can produce a Snapshot on demand (a Server holding
+// a published copy, a fleet tenant snapshotting under its own lock) gets the
+// four routes. Server is the standalone composition — a published-snapshot
+// holder plus a listener — and AttachSystem/NewRing are the two shared
+// constructions every cmd tool previously hand-rolled: a live system
+// republishing per frame, and a static recovered/exported ring.
+//
 // serve is deliberately NOT a frame-deterministic package: it spawns the
 // listener goroutine (audited below) and serves wall-clock HTTP traffic.
 // What it serves, however, is deterministic — byte-identical rings produce
@@ -19,6 +27,7 @@
 package serve
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"net/http"
@@ -28,6 +37,7 @@ import (
 	"time"
 
 	"repro/internal/cli"
+	"repro/internal/frame"
 	"repro/internal/telemetry"
 )
 
@@ -47,6 +57,26 @@ type Snapshot struct {
 	Events []telemetry.Event
 }
 
+// Source produces the snapshot a mux serves. Implementations return the
+// latest consistent frame-boundary state and true, or false when nothing is
+// available yet (handlers answer 503). The returned snapshot must be
+// immutable: handlers read it outside any lock.
+type Source interface {
+	TelemetrySnapshot() (Snapshot, bool)
+}
+
+// NewMux builds the serve-plane routes — /metrics, /journal, /traces,
+// /trace/<id> — over a snapshot source. The fleet host mounts one per
+// tenant; Server wraps one around its published snapshot.
+func NewMux(src Source) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) { handleMetrics(src, w, r) })
+	mux.HandleFunc("/journal", func(w http.ResponseWriter, r *http.Request) { handleJournal(src, w, r) })
+	mux.HandleFunc("/traces", func(w http.ResponseWriter, r *http.Request) { handleTraces(src, w, r) })
+	mux.HandleFunc("/trace/", func(w http.ResponseWriter, r *http.Request) { handleTrace(src, w, r) })
+	return mux
+}
+
 // Server serves published snapshots. The zero value is not usable; call
 // New.
 type Server struct {
@@ -61,12 +91,56 @@ type Server struct {
 // answer 503 until the first Publish).
 func New() *Server {
 	s := &Server{}
-	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", s.handleMetrics)
-	mux.HandleFunc("/journal", s.handleJournal)
-	mux.HandleFunc("/traces", s.handleTraces)
-	mux.HandleFunc("/trace/", s.handleTrace)
-	s.http = &http.Server{Handler: mux}
+	s.http = &http.Server{Handler: NewMux(s)}
+	return s
+}
+
+// AttachSystem wires a live system into a new (unstarted) server: a
+// frame-commit hook republishes a fresh snapshot — frame number, metrics,
+// the full event ring — at every frame boundary. sys is the slice of
+// core.System the plane needs; it errors when telemetry is disabled.
+func AttachSystem(sys FrameSystem, frameLen time.Duration) (*Server, error) {
+	reg, rec := sys.Telemetry()
+	if reg == nil {
+		return nil, errors.New("serve: the system's telemetry layer is disabled")
+	}
+	s := New()
+	sys.AddCommitHook(func(ctx frame.Context) error {
+		s.Publish(Snapshot{
+			Frame:    ctx.Frame,
+			FrameLen: frameLen,
+			Metrics:  reg.Snapshot(),
+			Events:   rec.Events(),
+		})
+		return nil
+	})
+	return s, nil
+}
+
+// FrameSystem is the part of core.System AttachSystem needs (declared here
+// so serve does not import the runtime).
+type FrameSystem interface {
+	Telemetry() (*telemetry.Registry, *telemetry.Recorder)
+	AddCommitHook(frame.CommitHook)
+}
+
+// NewRing returns a new (unstarted) server pre-published with a static ring
+// — an exported or post-mortem-recovered journal — and its final metrics.
+// The snapshot's frame is the last frame the ring witnessed.
+func NewRing(events []telemetry.Event, metrics telemetry.Snapshot, frameLen time.Duration) *Server {
+	var lastFrame int64
+	for _, e := range events {
+		if e.Frame > lastFrame {
+			lastFrame = e.Frame
+		}
+	}
+	s := New()
+	s.Publish(Snapshot{
+		Frame:    lastFrame,
+		FrameLen: frameLen,
+		Metrics:  metrics,
+		Events:   events,
+	})
 	return s
 }
 
@@ -78,6 +152,17 @@ func (s *Server) Publish(snap Snapshot) {
 	s.mu.Lock()
 	s.snap = &snap
 	s.mu.Unlock()
+}
+
+// TelemetrySnapshot implements Source with the latest published snapshot.
+func (s *Server) TelemetrySnapshot() (Snapshot, bool) {
+	s.mu.Lock()
+	snap := s.snap
+	s.mu.Unlock()
+	if snap == nil {
+		return Snapshot{}, false
+	}
+	return *snap, true
 }
 
 // Start listens on addr and serves in the background, returning the bound
@@ -104,23 +189,21 @@ func (s *Server) Close() error {
 	return s.http.Close()
 }
 
-// latest returns the published snapshot, or answers 503 and false when
-// nothing has been published yet.
-func (s *Server) latest(w http.ResponseWriter) (*Snapshot, bool) {
-	s.mu.Lock()
-	snap := s.snap
-	s.mu.Unlock()
-	if snap == nil {
+// latest reads the source's snapshot, or answers 503 and false when nothing
+// is available yet.
+func latest(src Source, w http.ResponseWriter) (Snapshot, bool) {
+	snap, ok := src.TelemetrySnapshot()
+	if !ok {
 		http.Error(w, "no snapshot published yet", http.StatusServiceUnavailable)
-		return nil, false
+		return Snapshot{}, false
 	}
 	return snap, true
 }
 
 // handleMetrics serves the registry in Prometheus text exposition format,
 // timestamped with virtual (frame-derived) time.
-func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	snap, ok := s.latest(w)
+func handleMetrics(src Source, w http.ResponseWriter, r *http.Request) {
+	snap, ok := latest(src, w)
 	if !ok {
 		return
 	}
@@ -130,8 +213,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 // handleJournal serves the event journal as JSONL, optionally filtered with
 // ?since_frame=N (events of frame N and later).
-func (s *Server) handleJournal(w http.ResponseWriter, r *http.Request) {
-	snap, ok := s.latest(w)
+func handleJournal(src Source, w http.ResponseWriter, r *http.Request) {
+	snap, ok := latest(src, w)
 	if !ok {
 		return
 	}
@@ -157,8 +240,8 @@ func (s *Server) handleJournal(w http.ResponseWriter, r *http.Request) {
 // handleTraces serves the assembled trace index: every causal trace in the
 // ring as a full waterfall report, in assembly order. Clients pick an ID
 // here and fetch /trace/<id> for the single-trace body flightrec renders.
-func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
-	snap, ok := s.latest(w)
+func handleTraces(src Source, w http.ResponseWriter, r *http.Request) {
+	snap, ok := latest(src, w)
 	if !ok {
 		return
 	}
@@ -178,8 +261,8 @@ func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 // the same BuildTraceReport + cli.WriteJSON pair flightrec -trace -json
 // uses, so the two renderings of the same ring are byte-identical — CI
 // diffs them.
-func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
-	snap, ok := s.latest(w)
+func handleTrace(src Source, w http.ResponseWriter, r *http.Request) {
+	snap, ok := latest(src, w)
 	if !ok {
 		return
 	}
