@@ -12,13 +12,16 @@
 //
 // A matrix file is the JSON form of campaign.Matrix: seeds, frames, an
 // optional base seed and expansion order, and a list of arms ({"name",
-// "kind": "storage"|"bus"|"membership", "replicas", "faults": {...}},
-// {"rates": {...}} or {"churn", "evictions", "corrupt_records"}). The
-// -preset flag supplies the built-in s1 (hardened storage under media
-// faults), s2 (avionics mission over a degraded bus) and s3 (dynamic
-// membership under join/leave churn, evictions and record corruption)
-// matrices instead; -runs, -frames, -seed, -storage-faults, -bus-faults and
-// -churn parameterize them.
+// "kind": "storage"|"bus"|"membership"|"chaos", "replicas", "faults":
+// {...}}, {"rates": {...}}, {"churn", "evictions", "corrupt_records"} or
+// {"fleet_tenants", "crashes", "tenant_panics", "torn_writes",
+// "retain_frames"}). The -preset flag supplies the built-in s1 (hardened
+// storage under media faults), s2 (avionics mission over a degraded bus),
+// s3 (dynamic membership under join/leave churn, evictions and record
+// corruption) and s4 (durable fleet host under seeded chaos storms with
+// crash-restart cycles and torn manifest writes) matrices instead; -runs,
+// -frames, -seed, -storage-faults, -bus-faults, -churn and -crashes
+// parameterize them.
 //
 // Progress lines go to stderr as runs complete (completion order is
 // scheduling-dependent; the report is not). The exit status is nonzero if
@@ -52,7 +55,7 @@ func main() {
 // loadMatrix resolves the campaign configuration from -matrix or -preset.
 // Explicitly set flags override the matching matrix-file fields, so a
 // stored matrix can be re-run at a different scale without editing it.
-func loadMatrix(fs *flag.FlagSet, matrixPath, preset string, runs, frames int, seed int64, storageFaults, busFaults float64, churn int) (campaign.Matrix, error) {
+func loadMatrix(fs *flag.FlagSet, matrixPath, preset string, runs, frames int, seed int64, storageFaults, busFaults float64, churn, crashes int) (campaign.Matrix, error) {
 	var m campaign.Matrix
 	switch {
 	case matrixPath != "":
@@ -91,8 +94,11 @@ func loadMatrix(fs *flag.FlagSet, matrixPath, preset string, runs, frames int, s
 	case preset == "s3":
 		m = campaign.S3Matrix(runs, frames, churn)
 		m.BaseSeed = seed
+	case preset == "s4":
+		m = campaign.S4Matrix(runs, frames, crashes)
+		m.BaseSeed = seed
 	default:
-		return m, fmt.Errorf("unknown preset %q (want s1, s2 or s3, or pass -matrix <file>)", preset)
+		return m, fmt.Errorf("unknown preset %q (want s1, s2, s3 or s4, or pass -matrix <file>)", preset)
 	}
 	return m, nil
 }
@@ -104,6 +110,12 @@ func textReport(out io.Writer, rep campaign.Report) {
 	for _, r := range rep.Results {
 		if r.Err != "" {
 			fmt.Fprintf(out, "  run %-3d %-10s seed %-3d ERROR %s\n", r.Run.ID, r.Run.Arm, r.Run.Seed, r.Err)
+			continue
+		}
+		if r.Chaos != nil {
+			o := r.Chaos
+			fmt.Fprintf(out, "  run %-3d %-10s seed %-3d crashes %-2d recovered %-3d injected %-3d dedupe %-3d torn %-2d quarantined %-2d checked %d/%d\n",
+				r.Run.ID, r.Run.Arm, r.Run.Seed, o.Crashes, o.Recovered, o.Injected, o.DedupeHits, o.TornWrites, o.Quarantined, o.Checked, o.Tenants)
 			continue
 		}
 		line := fmt.Sprintf("  run %-3d %-10s seed %-3d reconfigs %-3d halts %-2d silent-wrong %-2d SP violations %d",
@@ -122,6 +134,12 @@ func textReport(out io.Writer, rep campaign.Report) {
 		fmt.Fprintf(out, "membership: %d joins, %d leaves, %d rejected, %d evictions, %d converges, max epoch %d, %d invariant violations\n",
 			t.Membership.Joins, t.Membership.Leaves, t.Membership.Rejected, t.Membership.Evictions,
 			t.Membership.Converges, t.Membership.MaxEpoch, t.MembershipViolations)
+	}
+	if t.Chaos != nil {
+		fmt.Fprintf(out, "chaos: %d storms, %d crashes, %d tenants recovered, %d torn writes healed, %d injections (%d deduped), %d quarantined, %d/%d checked, %d mismatches\n",
+			t.Chaos.Storms, t.Chaos.Crashes, t.Chaos.Recovered, t.Chaos.TornWrites,
+			t.Chaos.Injected, t.Chaos.DedupeHits, t.Chaos.Quarantined,
+			t.Chaos.Checked, t.Chaos.Tenants, t.Chaos.Mismatches)
 	}
 	if t.WindowFrames.Count > 0 {
 		fmt.Fprintf(out, "recovery latency: %d windows, mean %.1f frames, max %d\n",
@@ -162,12 +180,13 @@ func run(args []string, out, errOut io.Writer) error {
 	storageFaults := fs.Float64("storage-faults", 0.05, "s1 preset base per-medium fault rate (torn writes and stuck reads at half, bit rot at full)")
 	busFaults := fs.Float64("bus-faults", 0.05, "s2 preset base per-message fault rate (drop at full, duplicate and delay at half)")
 	churn := fs.Int("churn", 3, "s3 preset spare join/leave cycles per run")
+	crashes := fs.Int("crashes", 1, "s4 preset host crash-restart cycles per storm")
 	cli.Alias(fs, "runs", "seeds")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	m, err := loadMatrix(fs, *matrixPath, *preset, *runs, *frames, *seed, *storageFaults, *busFaults, *churn)
+	m, err := loadMatrix(fs, *matrixPath, *preset, *runs, *frames, *seed, *storageFaults, *busFaults, *churn, *crashes)
 	if err != nil {
 		return err
 	}

@@ -13,7 +13,18 @@
 // Usage:
 //
 //	fleetd -addr 127.0.0.1:8080                 # serve until SIGINT/SIGTERM
+//	fleetd -data /var/lib/fleetd                # durable: recover on boot
 //	fleetd -loadgen -tenants 200 -frames 400 -out BENCH_fleet.json
+//	fleetd -chaos -tenants 8 -crashes 2 -seed 7 # seeded crash storm
+//
+// With -data, the host journals a fleet manifest — every SpawnSpec, every
+// acked injection, every kill, periodic per-tenant checkpoints — to
+// CRC-checksummed replicated stable storage under the directory. A restarted
+// fleetd (after SIGTERM or kill -9 alike) re-spawns every tenant and replays
+// it to its pre-crash frame, byte-identical to an uninterrupted run. SIGTERM
+// drains gracefully: the control plane answers 503, a final checkpoint
+// commits, then the process exits. SIGINT hard-stops without the final
+// checkpoint (recovery falls back to the last periodic one, like a crash).
 //
 // With -loadgen, fleetd boots its own host and control plane on a loopback
 // port, drives it with a traffic generator — spawning scripted tenants over
@@ -21,6 +32,13 @@
 // while every tenant runs to its frame budget — and writes a benchmark
 // report: systems-per-core density (how many real-time systems one core
 // sustains at the spec's frame rate) and control-plane latency percentiles.
+// Adding -durabench appends durability rows: host recovery time, and
+// steady-state memory per tenant at a deep frame with retention on vs off.
+//
+// With -chaos, fleetd runs a seeded fleet/chaos storm in-process — host
+// crash-restart cycles, tenant panics, storage faults, torn manifest
+// writes — and exits non-zero unless every tenant passes the
+// restart-equivalence check.
 package main
 
 import (
@@ -33,6 +51,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"sync"
@@ -41,8 +60,11 @@ import (
 	"time"
 
 	"repro/internal/cli"
+	"repro/internal/core"
 	"repro/internal/envmon"
 	"repro/internal/fleet"
+	"repro/internal/fleet/chaos"
+	"repro/internal/stable"
 )
 
 func main() {
@@ -57,30 +79,92 @@ func run(args []string, out io.Writer) error {
 	addr := fs.String("addr", "127.0.0.1:8080", "control-plane listen address (loadgen defaults to a loopback ephemeral port)")
 	shards := fs.Int("shards", 0, "scheduler shard workers (default GOMAXPROCS)")
 	batch := fs.Int("batch", 0, "frames per tenant per sweep (default 8)")
+	dataDir := fs.String("data", "", "durable mode: journal the fleet manifest under this directory and recover from it on boot")
+	retain := fs.Int64("retain-frames", 0, "default journal/trace retention horizon in frames for spawned tenants (0 = unbounded)")
+	ckptEvery := fs.Int64("checkpoint-every", 0, "per-tenant checkpoint cadence in frames (default 64)")
 	loadgen := fs.Bool("loadgen", false, "run the traffic generator against a self-hosted fleet and report density and control-plane latency")
-	tenants := fs.Int("tenants", 200, "loadgen: tenants to spawn")
-	frames := fs.Int64("frames", 400, "loadgen: frame budget per tenant")
+	chaosMode := fs.Bool("chaos", false, "run a seeded chaos storm (crash-restart cycles, tenant panics, torn manifest writes) and verify restart equivalence")
+	durabench := fs.Bool("durabench", false, "with -loadgen: append recovery-time and memory-per-tenant durability rows to the report")
+	tenants := fs.Int("tenants", 200, "loadgen/chaos: tenants to spawn")
+	frames := fs.Int64("frames", 400, "loadgen/chaos: frame budget per tenant")
 	workers := fs.Int("workers", 8, "loadgen: concurrent control-plane clients")
-	outPath := fs.String("out", "", "loadgen: write the JSON report here (default stdout)")
+	seed := fs.Int64("seed", 1, "chaos: storm seed (same seed, same storm)")
+	crashes := fs.Int("crashes", 2, "chaos: host crash-restart cycles")
+	panics := fs.Int("panics", 2, "chaos: tenant panic injections")
+	torn := fs.Int("torn-writes", 3, "chaos: manifest records torn on one replica per crash")
+	outPath := fs.String("out", "", "loadgen/chaos: write the JSON report here (default stdout)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	cfg := fleet.Config{Shards: *shards, Batch: *batch}
-	if *loadgen {
+	cfg := fleet.Config{Shards: *shards, Batch: *batch, RetainFrames: *retain, CheckpointEvery: *ckptEvery}
+	switch {
+	case *chaosMode:
+		return runChaos(out, chaos.Plan{
+			Seed:          *seed,
+			Tenants:       *tenants,
+			Frames:        *frames,
+			Crashes:       *crashes,
+			Panics:        *panics,
+			StorageFaults: *panics,
+			TornWrites:    *torn,
+			RetainFrames:  *retain,
+		}, *outPath)
+	case *loadgen:
 		bindAddr := *addr
 		if fs.Lookup("addr").Value.String() == fs.Lookup("addr").DefValue {
 			bindAddr = "127.0.0.1:0" // don't collide with a serving fleetd
 		}
-		return runLoadgen(out, cfg, bindAddr, *tenants, *frames, *workers, *outPath)
+		return runLoadgen(out, cfg, bindAddr, *tenants, *frames, *workers, *durabench, *outPath)
+	default:
+		return serveFleet(out, cfg, *addr, *dataDir)
 	}
-	return serveFleet(out, cfg, *addr)
 }
 
-// serveFleet runs the host until SIGINT/SIGTERM.
-func serveFleet(out io.Writer, cfg fleet.Config, addr string) error {
-	host := fleet.NewHost(cfg)
-	defer host.Close()
+// mountManifest opens (or initializes) the durable manifest store: two file
+// replicas under dir, CRC-framed and healed by read repair. kill -9 safe by
+// construction — records stage to temp files and rename into place, and a
+// record torn anyway is caught by its checksum and converged past.
+func mountManifest(dir string) (*stable.Store, error) {
+	var media []stable.Medium
+	for _, rep := range []string{"r0", "r1"} {
+		m, err := stable.NewFileMedium(filepath.Join(dir, rep))
+		if err != nil {
+			return nil, fmt.Errorf("opening manifest replica %s: %w", rep, err)
+		}
+		media = append(media, m)
+	}
+	return stable.NewHardened(stable.MountReplicatedStore(media...)), nil
+}
+
+// serveFleet runs the host until SIGINT (hard stop) or SIGTERM (graceful
+// drain). With a data directory it recovers the pre-crash fleet first.
+func serveFleet(out io.Writer, cfg fleet.Config, addr, dataDir string) error {
+	var host *fleet.Host
+	if dataDir != "" {
+		st, err := mountManifest(dataDir)
+		if err != nil {
+			return err
+		}
+		cfg.Manifest = st
+		t0 := time.Now()
+		h, rec, err := fleet.Recover(cfg)
+		if err != nil {
+			return fmt.Errorf("recovering fleet from %s: %w", dataDir, err)
+		}
+		host = h
+		fmt.Fprintf(out, "fleetd: recovered %d tenants (%d running, %d completed, %d quarantined, %d dropped) from %s in %s\n",
+			rec.Tenants, rec.Running, rec.Completed, len(rec.Quarantined), len(rec.Dropped), dataDir, time.Since(t0).Round(time.Millisecond))
+		for _, id := range rec.Quarantined {
+			fmt.Fprintf(out, "fleetd: tenant %s recovered quarantined\n", id)
+		}
+		for _, id := range rec.Dropped {
+			fmt.Fprintf(out, "fleetd: unrecoverable: %s\n", id)
+		}
+	} else {
+		host = fleet.NewHost(cfg)
+	}
+
 	srv := &http.Server{Addr: addr, Handler: fleet.NewAPI(host).Handler()}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
@@ -90,11 +174,49 @@ func serveFleet(out io.Writer, cfg fleet.Config, addr string) error {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	select {
 	case err := <-errc:
+		host.Close()
 		return err
 	case s := <-sig:
-		fmt.Fprintf(out, "fleetd: %v: shutting down\n", s)
+		if s == syscall.SIGTERM && dataDir != "" {
+			// Graceful drain: refuse new mutations, stop the sweep, commit
+			// the final checkpoint barrier, then exit. A recovered fleetd
+			// resumes from exactly these frames.
+			fmt.Fprintf(out, "fleetd: %v: draining (final checkpoint barrier)\n", s)
+			host.Drain()
+		} else {
+			// Hard stop: no final checkpoint. Recovery falls back to the
+			// last periodic one — same as a crash, by design.
+			fmt.Fprintf(out, "fleetd: %v: hard stop\n", s)
+			host.Close()
+		}
 		return srv.Close()
 	}
+}
+
+// runChaos executes a seeded storm and reports its outcome; a dirty storm
+// (any mismatch, any unchecked tenant) is a non-zero exit.
+func runChaos(out io.Writer, plan chaos.Plan, outPath string) error {
+	fmt.Fprintf(out, "fleetd chaos: seed %d, %d tenants x %d frames, %d crashes\n",
+		plan.Seed, plan.Tenants, plan.Frames, plan.Crashes)
+	o := chaos.Run(plan)
+	w, closeOut, err := cli.Output(outPath, out)
+	if err != nil {
+		return err
+	}
+	if err := cli.WriteJSON(w, o); err != nil {
+		closeOut()
+		return err
+	}
+	if err := closeOut(); err != nil {
+		return err
+	}
+	if !o.Ok() {
+		return fmt.Errorf("chaos storm failed: %d mismatches, %d errors, %d/%d checked",
+			len(o.Mismatches), len(o.Errors), o.Checked, o.Tenants)
+	}
+	fmt.Fprintf(out, "fleetd chaos: clean — %d tenants checked, %d crashes, %d injections, %d torn writes healed\n",
+		o.Checked, o.Crashes, o.Injected, o.TornWrites)
+	return nil
 }
 
 // benchReport is the BENCH_fleet.json shape. SystemsPerCore is the density
@@ -119,12 +241,152 @@ type benchReport struct {
 	P50MS    float64 `json:"p50_ms"`
 	P95MS    float64 `json:"p95_ms"`
 	P99MS    float64 `json:"p99_ms"`
+	// Durability rows (present with -durabench).
+	Durability *durabilityReport `json:"durability,omitempty"`
+}
+
+// durabilityReport holds the -durabench rows: how long a crashed host takes
+// to recover its whole fleet by deterministic replay, and the steady-state
+// heap cost of one tenant at a deep frame — flat with the retention window
+// on, linear in frames with it off.
+type durabilityReport struct {
+	RecoveryTenants     int     `json:"recovery_tenants"`
+	RecoveryFrames      int64   `json:"recovery_frames_per_tenant"`
+	RecoverySec         float64 `json:"recovery_sec"`
+	RecoveryMSPerTenant float64 `json:"recovery_ms_per_tenant"`
+	MemFrames           int64   `json:"mem_frames"`
+	MemRetainFrames     int64   `json:"mem_retain_frames"`
+	MemPerTenantRetain  int64   `json:"mem_per_tenant_bytes_retained"`
+	MemPerTenantGrow    int64   `json:"mem_per_tenant_bytes_unbounded"`
+}
+
+// runDurabench measures the two durability numbers. Recovery: a durable
+// fleet runs to completion over file-backed manifest replicas, the host is
+// hard-stopped (no drain — the kill -9 shape), and the wall time of
+// fleet.Recover — manifest load plus full deterministic replay of every
+// tenant — is the row. Memory: identical systems run to a deep frame with
+// the retention window on vs off; the heap delta per tenant shows the
+// bounded-state contract (flat vs linear).
+func runDurabench(out io.Writer, cfg fleet.Config, tenants int, frames int64) (*durabilityReport, error) {
+	rep := &durabilityReport{
+		RecoveryTenants: tenants,
+		RecoveryFrames:  frames,
+		MemFrames:       20_000,
+		MemRetainFrames: 64,
+	}
+	fmt.Fprintf(out, "fleetd durabench: crash-recovering %d tenants x %d frames\n", tenants, frames)
+	d, err := measureRecovery(cfg, tenants, frames)
+	if err != nil {
+		return nil, fmt.Errorf("recovery bench: %w", err)
+	}
+	rep.RecoverySec = d.Seconds()
+	rep.RecoveryMSPerTenant = float64(d) / float64(time.Millisecond) / float64(tenants)
+
+	fmt.Fprintf(out, "fleetd durabench: measuring heap per tenant at frame %d\n", rep.MemFrames)
+	retained, err := measureMemPerTenant(rep.MemFrames, rep.MemRetainFrames)
+	if err != nil {
+		return nil, fmt.Errorf("retained-memory bench: %w", err)
+	}
+	unbounded, err := measureMemPerTenant(rep.MemFrames, -1)
+	if err != nil {
+		return nil, fmt.Errorf("unbounded-memory bench: %w", err)
+	}
+	rep.MemPerTenantRetain, rep.MemPerTenantGrow = retained, unbounded
+	return rep, nil
+}
+
+// measureRecovery times fleet.Recover over a crashed durable host.
+func measureRecovery(cfg fleet.Config, tenants int, frames int64) (time.Duration, error) {
+	dir, err := os.MkdirTemp("", "fleetd-durabench-")
+	if err != nil {
+		return 0, err
+	}
+	defer os.RemoveAll(dir)
+	st, err := mountManifest(dir)
+	if err != nil {
+		return 0, err
+	}
+	cfg.Manifest = st
+	host := fleet.NewHost(cfg)
+	presets := fleet.Presets()
+	for i := 0; i < tenants; i++ {
+		ss := fleet.SpawnSpec{
+			ID:     fmt.Sprintf("dura-%d", i),
+			Preset: presets[i%len(presets)],
+			Seed:   int64(1 + i),
+			Frames: frames,
+			// A degrade/repair pair so every replay re-runs a real
+			// reconfiguration, not idle ticking.
+			Script: []envmon.Event{
+				{Frame: int64(10 + i%40), Factor: "alt1", Value: "failed"},
+				{Frame: frames/2 + int64(i%40), Factor: "alt1", Value: "ok"},
+			},
+		}
+		if _, err := host.Spawn(ss); err != nil {
+			host.Close()
+			return 0, fmt.Errorf("spawning %s: %w", ss.ID, err)
+		}
+	}
+	for !allCompleted(host) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	host.Close() // hard stop: no drain, the kill -9 shape
+
+	st2, err := mountManifest(dir)
+	if err != nil {
+		return 0, err
+	}
+	cfg.Manifest = st2
+	t0 := time.Now()
+	h2, rec, err := fleet.Recover(cfg)
+	if err != nil {
+		return 0, err
+	}
+	d := time.Since(t0)
+	defer h2.Drain()
+	if rec.Tenants != tenants || len(rec.Dropped) > 0 {
+		return 0, fmt.Errorf("recovered %d/%d tenants, %d dropped", rec.Tenants, tenants, len(rec.Dropped))
+	}
+	return d, nil
+}
+
+// measureMemPerTenant runs a batch of identical systems to a deep frame and
+// returns the live heap delta per system after a full GC.
+func measureMemPerTenant(frames, retain int64) (int64, error) {
+	const batch = 8
+	systems := make([]*core.System, 0, batch)
+	defer func() {
+		for _, s := range systems {
+			s.Close()
+		}
+	}()
+	runtime.GC()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < batch; i++ {
+		opts, err := fleet.SpawnOptions(fleet.SpawnSpec{Preset: "threeconfig", Seed: int64(100 + i), RetainFrames: retain})
+		if err != nil {
+			return 0, err
+		}
+		sys, err := core.NewSystem(opts)
+		if err != nil {
+			return 0, err
+		}
+		systems = append(systems, sys)
+		if err := sys.StepTo(frames); err != nil {
+			return 0, err
+		}
+	}
+	runtime.GC()
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	return (int64(after.HeapAlloc) - int64(before.HeapAlloc)) / batch, nil
 }
 
 // runLoadgen boots a fleet, spawns scripted tenants over the real HTTP
 // control plane, keeps query/inject traffic flowing from `workers` clients
 // until every tenant completes its frame budget, and writes the report.
-func runLoadgen(out io.Writer, cfg fleet.Config, addr string, tenants int, frames int64, workers int, outPath string) error {
+func runLoadgen(out io.Writer, cfg fleet.Config, addr string, tenants int, frames int64, workers int, durabench bool, outPath string) error {
 	if tenants <= 0 || frames <= 0 || workers <= 0 {
 		return fmt.Errorf("-tenants, -frames and -workers must be positive")
 	}
@@ -252,6 +514,13 @@ func runLoadgen(out io.Writer, cfg fleet.Config, addr string, tenants int, frame
 		P50MS:          percentileMS(durs, 0.50),
 		P95MS:          percentileMS(durs, 0.95),
 		P99MS:          percentileMS(durs, 0.99),
+	}
+	if durabench {
+		dura, err := runDurabench(out, fleet.Config{Shards: cfg.Shards, Batch: cfg.Batch}, 50, 400)
+		if err != nil {
+			return err
+		}
+		rep.Durability = dura
 	}
 
 	w, closeOut, err := cli.Output(outPath, out)

@@ -42,6 +42,15 @@ const (
 	// processors and dynamic membership under join/leave churn, member
 	// evictions and membership-record corruption (the S3 workload).
 	KindMembership Kind = "membership"
+	// KindChaos runs a seeded fleet/chaos storm: a durable multi-tenant
+	// host hit with crash-restart cycles, tenant panics, storage faults
+	// and torn manifest writes, verified by the restart-equivalence
+	// checker (the S4 workload). A chaos run is a real-time storm over a
+	// whole fleet host: its equivalence verdict is deterministic per seed,
+	// but its traffic tallies (injections landed, dedupe hits) depend on
+	// how far tenants progressed when each strike fired, so they can vary
+	// across machines — the report's invariant is Ok, not the counters.
+	KindChaos Kind = "chaos"
 )
 
 // Order fixes how Matrix.Expand crosses seeds with arms. Both orders are
@@ -86,6 +95,21 @@ type Arm struct {
 	// CorruptRecords is the number of committed membership-record
 	// corruptions. Membership arms only.
 	CorruptRecords int `json:"corrupt_records,omitempty"`
+	// FleetTenants is the fleet size of a chaos storm (0 defaults to 8).
+	// Chaos arms only.
+	FleetTenants int `json:"fleet_tenants,omitempty"`
+	// Crashes is the number of host crash-restart cycles per storm.
+	// Chaos arms only.
+	Crashes int `json:"crashes,omitempty"`
+	// TenantPanics is the number of panic injections per storm (storage
+	// faults are thrown at the same count). Chaos arms only.
+	TenantPanics int `json:"tenant_panics,omitempty"`
+	// TornWrites is the number of manifest records torn on one replica at
+	// each crash point. Chaos arms only.
+	TornWrites int `json:"torn_writes,omitempty"`
+	// RetainFrames, when non-zero, runs the storm's tenants with a bounded
+	// journal/trace retention window. Chaos arms only.
+	RetainFrames int64 `json:"retain_frames,omitempty"`
 }
 
 // Matrix is a campaign configuration: arms crossed with seeds.
@@ -124,6 +148,12 @@ type Run struct {
 	Churn          int `json:"churn,omitempty"`
 	Evictions      int `json:"evictions,omitempty"`
 	CorruptRecords int `json:"corrupt_records,omitempty"`
+
+	FleetTenants int   `json:"fleet_tenants,omitempty"`
+	Crashes      int   `json:"crashes,omitempty"`
+	TenantPanics int   `json:"tenant_panics,omitempty"`
+	TornWrites   int   `json:"torn_writes,omitempty"`
+	RetainFrames int64 `json:"retain_frames,omitempty"`
 }
 
 // resolve turns an arm and a seed into a run descriptor (ID is assigned by
@@ -151,6 +181,15 @@ func (m Matrix) resolve(a Arm, seed int64) Run {
 		r.Churn = a.Churn
 		r.Evictions = a.Evictions
 		r.CorruptRecords = a.CorruptRecords
+	case KindChaos:
+		r.FleetTenants = a.FleetTenants
+		if r.FleetTenants == 0 {
+			r.FleetTenants = 8
+		}
+		r.Crashes = a.Crashes
+		r.TenantPanics = a.TenantPanics
+		r.TornWrites = a.TornWrites
+		r.RetainFrames = a.RetainFrames
 	default:
 		r.Rates = a.Rates
 	}
@@ -249,6 +288,13 @@ func (m Matrix) Validate() error {
 			}.Options()
 			if err := opts.Validate(); err != nil {
 				return fmt.Errorf("campaign: arm %q: %w", a.Name, err)
+			}
+		case KindChaos:
+			if a.FleetTenants < 0 || a.Crashes < 0 || a.TenantPanics < 0 || a.TornWrites < 0 {
+				return fmt.Errorf("campaign: arm %q: negative chaos event count", a.Name)
+			}
+			if m.Frames < 16 {
+				return fmt.Errorf("campaign: arm %q: chaos storms need at least 16 frames (got %d)", a.Name, m.Frames)
 			}
 		default:
 			return fmt.Errorf("campaign: arm %q has unknown kind %q", a.Name, a.Kind)

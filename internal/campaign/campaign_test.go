@@ -261,6 +261,41 @@ func TestMembershipRun(t *testing.T) {
 	}
 }
 
+// TestChaosRun drives the S4 matrix: every storm — panics only, host
+// crash-restart cycles with torn manifest writes, and the same storm under
+// a bounded retention window — must end with every tenant passing the
+// restart-equivalence check. Chaos outcomes carry real-time traffic
+// tallies, so unlike the other kinds byte-identical reports across worker
+// counts are not asserted; the invariant is that every storm is clean.
+func TestChaosRun(t *testing.T) {
+	m := S4Matrix(1, 100, 1)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	rep := BuildReport(m, Engine{Workers: 2}.Execute(m.Expand()))
+	if err := rep.FirstError(); err != nil {
+		t.Fatal(err)
+	}
+	tot := rep.Totals.Chaos
+	if tot == nil {
+		t.Fatal("chaos totals missing")
+	}
+	if tot.Storms != 3 || tot.Mismatches != 0 || tot.Checked != tot.Tenants {
+		t.Fatalf("chaos totals %+v: want 3 clean storms with all tenants checked", tot)
+	}
+	if tot.Crashes != 2 || tot.Recovered == 0 || tot.TornWrites == 0 {
+		t.Fatalf("chaos totals %+v: the crash arms never crashed/tore (vacuous)", tot)
+	}
+	for _, res := range rep.Results {
+		if res.Chaos == nil {
+			t.Fatalf("run %d: chaos outcome missing", res.Run.ID)
+		}
+		if res.Run.Arm == "calm" && res.Chaos.Crashes != 0 {
+			t.Fatalf("calm arm crashed %d times", res.Chaos.Crashes)
+		}
+	}
+}
+
 // TestProgress checks the ticker fires once per run, reaches the total,
 // and is serialized (the race detector guards the lock discipline).
 func TestProgress(t *testing.T) {

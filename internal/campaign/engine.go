@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/fleet/chaos"
 	"repro/internal/inject"
 	"repro/internal/telemetry"
 )
@@ -68,6 +69,10 @@ type Result struct {
 	// Membership carries the full membership-campaign metrics
 	// (KindMembership).
 	Membership *inject.MembershipMetrics `json:"membership,omitempty"`
+	// Chaos carries a chaos storm's outcome (KindChaos). A storm that is
+	// not Ok — any equivalence mismatch, any unchecked tenant — also sets
+	// Err, so a dirty storm fails the campaign like any failed run.
+	Chaos *chaos.Outcome `json:"chaos,omitempty"`
 }
 
 // execute runs one cell of the matrix. It is pure with respect to the
@@ -128,6 +133,28 @@ func (r Run) execute() Result {
 		res.Reconfigs = m.Reconfigs
 		res.Ring = m.Ring
 		res.fillTelemetry(m.Registry, m.Ring)
+	case KindChaos:
+		o := chaos.Run(chaos.Plan{
+			Seed:          r.Seed,
+			Tenants:       r.FleetTenants,
+			Frames:        int64(r.Frames),
+			Crashes:       r.Crashes,
+			Panics:        r.TenantPanics,
+			StorageFaults: r.TenantPanics,
+			TornWrites:    r.TornWrites,
+			RetainFrames:  r.RetainFrames,
+		})
+		res.Chaos = &o
+		if !o.Ok() {
+			msg := fmt.Sprintf("chaos storm not clean: %d/%d tenants checked", o.Checked, o.Tenants)
+			if len(o.Mismatches) > 0 {
+				msg += "; " + o.Mismatches[0]
+			}
+			if len(o.Errors) > 0 {
+				msg += "; " + o.Errors[0]
+			}
+			res.Err = msg
+		}
 	default:
 		res.Err = fmt.Sprintf("campaign: run %d has unknown kind %q", r.ID, r.Kind)
 	}

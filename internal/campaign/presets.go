@@ -75,6 +75,28 @@ func S3Matrix(seeds, frames, churn int) Matrix {
 	}
 }
 
+// S4Matrix is the S4 experiment as a campaign matrix: the durable fleet
+// host under seeded chaos storms, attacked three ways — a "calm" arm with
+// panics but no host crashes (the quarantine-reproduction baseline), a
+// "crashfault" arm adding host crash-restart cycles with torn manifest
+// writes at each crash point, and a "retention" arm running the same storm
+// with a bounded journal/trace window, proving recovery and retention
+// compose. Every tenant of every storm must pass the restart-equivalence
+// check.
+func S4Matrix(seeds, frames, crashes int) Matrix {
+	return Matrix{
+		Name:   "s4-fleet-chaos",
+		Seeds:  seeds,
+		Frames: frames,
+		Order:  SeedMajor,
+		Arms: []Arm{
+			{Name: "calm", Kind: KindChaos, FleetTenants: 4, TenantPanics: 1},
+			{Name: "crashfault", Kind: KindChaos, FleetTenants: 4, Crashes: crashes, TenantPanics: 1, TornWrites: 3},
+			{Name: "retention", Kind: KindChaos, FleetTenants: 4, Crashes: crashes, TenantPanics: 1, TornWrites: 3, RetainFrames: 48},
+		},
+	}
+}
+
 func minFloat(a, b float64) float64 {
 	if a < b {
 		return a

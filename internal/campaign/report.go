@@ -48,6 +48,25 @@ type Totals struct {
 	MembershipViolations int `json:"membership_violations,omitempty"`
 	// Membership aggregates the membership runs' counters.
 	Membership *MembershipTotals `json:"membership,omitempty"`
+	// Chaos aggregates the chaos storms' counters. Omitted from campaigns
+	// without chaos arms, so existing reports are unchanged byte for byte.
+	Chaos *ChaosTotals `json:"chaos,omitempty"`
+}
+
+// ChaosTotals sums the chaos storms' accounting over every chaos run of a
+// campaign. Mismatches stays zero on a passing campaign — any equivalence
+// divergence also fails its run.
+type ChaosTotals struct {
+	Storms      int `json:"storms"`
+	Tenants     int `json:"tenants"`
+	Crashes     int `json:"crashes"`
+	Recovered   int `json:"recovered"`
+	TornWrites  int `json:"torn_writes"`
+	Injected    int `json:"injected"`
+	DedupeHits  int `json:"dedupe_hits"`
+	Checked     int `json:"checked"`
+	Quarantined int `json:"quarantined"`
+	Mismatches  int `json:"mismatches"`
 }
 
 // MembershipTotals sums the membership layer's accounting over every
@@ -151,6 +170,24 @@ func BuildReport(m Matrix, results []Result) Report {
 	t := &rep.Totals
 	t.Runs = len(results)
 	for _, res := range results {
+		if res.Chaos != nil {
+			// Aggregated before the error gate: a dirty storm sets Err,
+			// and its mismatch count belongs in the totals.
+			if t.Chaos == nil {
+				t.Chaos = &ChaosTotals{}
+			}
+			o := res.Chaos
+			t.Chaos.Storms++
+			t.Chaos.Tenants += o.Tenants
+			t.Chaos.Crashes += o.Crashes
+			t.Chaos.Recovered += o.Recovered
+			t.Chaos.TornWrites += o.TornWrites
+			t.Chaos.Injected += o.Injected
+			t.Chaos.DedupeHits += o.DedupeHits
+			t.Chaos.Checked += o.Checked
+			t.Chaos.Quarantined += o.Quarantined
+			t.Chaos.Mismatches += len(o.Mismatches)
+		}
 		if res.Err != "" {
 			t.Errors++
 			continue

@@ -85,3 +85,22 @@ func (s *System) ProcAlive(id spec.ProcID) bool {
 	p, err := s.pool.Proc(id)
 	return err == nil && p.Alive()
 }
+
+// StepTo drives the system to the given frame boundary: it steps until
+// Frame() == target and stops there, so injections recorded against any
+// frame >= target can still be applied between frames. It is the
+// checkpoint-resume entry point: a recovering host replays a tenant by
+// alternating StepTo with the injections its manifest acked, reproducing
+// the pre-crash execution byte-identically from the same deterministic
+// inputs. Like every drive call it must not run concurrently with Step.
+func (s *System) StepTo(target int64) error {
+	if target < s.Frame() {
+		return fmt.Errorf("core: StepTo(%d) is in the past (next frame %d)", target, s.Frame())
+	}
+	for s.Frame() < target {
+		if err := s.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

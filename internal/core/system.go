@@ -126,6 +126,16 @@ type Options struct {
 	// byte-identically. Campaign drivers pass their per-run seed; zero is
 	// a valid (and deterministic) default.
 	TraceSeed int64
+	// RetainFrames bounds the system's history to a sliding window of
+	// frames: the sys_trace drops states and the flight recorder drops
+	// journal events (live and persisted chunks alike) older than the
+	// horizon, so a tenant's memory and stable-store footprint are flat
+	// in frames — the "weeks-long run" mode. Zero (the default) retains
+	// everything. Retention is configuration, not runtime state: property
+	// checks and flightrec cover the retained window, and a replayed or
+	// recovered run must use the same horizon for its journal and trace
+	// to stay byte-identical with the original.
+	RetainFrames int64
 	// DisableTracing turns the causal trace layer off while leaving the
 	// rest of the telemetry stack on — the ablation arm of the tracing
 	// overhead benchmark.
@@ -179,6 +189,9 @@ type System struct {
 	script   *envmon.Script
 	events   []ProcEvent
 	tr       *trace.Trace
+	// retain is Options.RetainFrames: the sliding history window recordHook
+	// trims the trace behind (0 keeps everything).
+	retain int64
 
 	// realApps caches rs.RealApps() (declaration order) and procHealth the
 	// per-processor health factor names, so the per-frame hooks do not
@@ -320,6 +333,7 @@ func NewSystem(opts Options) (*System, error) {
 		runtimes: make(map[spec.AppID]*appRuntime),
 		events:   append([]ProcEvent(nil), opts.ProcEvents...),
 		tr:       &trace.Trace{System: rs.Name, FrameLen: rs.FrameLen},
+		retain:   opts.RetainFrames,
 		telSink:  telemetry.NopSink{},
 	}
 	sort.SliceStable(s.events, func(i, j int) bool { return s.events[i].Frame < s.events[j].Frame })
@@ -397,6 +411,9 @@ func NewSystem(opts Options) (*System, error) {
 	if opts.TelemetryCapacity >= 0 {
 		s.telReg = telemetry.NewRegistry()
 		s.telRec = telemetry.NewRecorder(opts.TelemetryCapacity)
+		if opts.RetainFrames > 0 {
+			s.telRec.SetRetention(opts.RetainFrames)
+		}
 		s.telSink = s.telRec
 		s.manager.setTelemetry(s.telReg, s.telRec)
 		if !opts.DisableTracing {
@@ -850,7 +867,19 @@ func (s *System) recordHook(ctx frame.Context) error {
 	}
 	s.stateChanged = !unchanged || st.Config != s.lastCfgRec || st.Env != s.lastEnvRec
 	s.lastCfgRec, s.lastEnvRec = st.Config, st.Env
-	return s.tr.Append(st)
+	if err := s.tr.Append(st); err != nil {
+		return err
+	}
+	// Retention: once the trace holds two full windows, drop back to one.
+	// Trimming in window-sized chunks amortizes the copy to O(1)/frame and
+	// the allocation to one slice per window, and the 2x slack means every
+	// cycle inside the horizon stays addressable between trims. Driven only
+	// by the frame number, so replays trim at exactly the same frames.
+	if s.retain > 0 && s.tr.Len() >= 2*s.retain {
+		//lint:allow allocfree retention trim: one slice copy per retain-frames window, amortized O(1) per frame
+		s.tr.Trim(s.tr.End() - s.retain)
+	}
+	return nil
 }
 
 // metricsPersistEvery is the frame cadence of metrics-snapshot staging. The

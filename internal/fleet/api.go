@@ -26,21 +26,46 @@ import (
 // JSON bodies are rendered through cli.WriteJSON, so every object body
 // carries the schema_version field and byte-compatibility follows the cmd
 // tools' rule (cmd/README.md).
+//
+// Mutating routes (spawn, kill, inject) pass through two gates:
+//
+//   - admission control: a bounded concurrency semaphore; a full host sheds
+//     load with 429 and a Retry-After hint instead of queueing unboundedly;
+//   - the drain gate: a host on its way down (SIGTERM) answers 503, so
+//     clients fail over instead of racing the manifest's final checkpoint.
+//
+// Injections carry an optional request_id; repeats with the same id replay
+// the first outcome (see Host.Inject), making retries across timeouts — and
+// across a host crash — safe.
 type API struct {
 	host *Host
+	// sem is the admission-control semaphore for mutating requests.
+	sem chan struct{}
 }
 
+// DefaultAdmissionLimit bounds concurrently-admitted mutating requests.
+const DefaultAdmissionLimit = 256
+
 // NewAPI returns the control-plane handler for a host.
-func NewAPI(h *Host) *API { return &API{host: h} }
+func NewAPI(h *Host) *API { return NewAPILimited(h, DefaultAdmissionLimit) }
+
+// NewAPILimited is NewAPI with an explicit admission limit (<=0 uses the
+// default).
+func NewAPILimited(h *Host, limit int) *API {
+	if limit <= 0 {
+		limit = DefaultAdmissionLimit
+	}
+	return &API{host: h, sem: make(chan struct{}, limit)}
+}
 
 // Handler builds the route table.
 func (a *API) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /systems", a.handleSpawn)
+	mux.HandleFunc("POST /systems", a.mutating(a.handleSpawn))
 	mux.HandleFunc("GET /systems", a.handleList)
 	mux.HandleFunc("GET /systems/{id}", a.handleStatus)
-	mux.HandleFunc("DELETE /systems/{id}", a.handleKill)
-	mux.HandleFunc("POST /systems/{id}/inject", a.handleInject)
+	mux.HandleFunc("DELETE /systems/{id}", a.mutating(a.handleKill))
+	mux.HandleFunc("POST /systems/{id}/inject", a.mutating(a.handleInject))
 	mux.HandleFunc("GET /systems/{id}/metrics", a.handleTelemetry)
 	mux.HandleFunc("GET /systems/{id}/journal", a.handleTelemetry)
 	mux.HandleFunc("GET /systems/{id}/traces", a.handleTelemetry)
@@ -48,6 +73,28 @@ func (a *API) Handler() http.Handler {
 	mux.HandleFunc("GET /presets", a.handlePresets)
 	mux.HandleFunc("GET /stats", a.handleStats)
 	return mux
+}
+
+// mutating wraps a handler in the drain gate and the admission semaphore.
+// The acquire is non-blocking: past the limit the host is overloaded and the
+// honest answer is "come back", not an unbounded queue of goroutines each
+// waiting on a tenant lock.
+func (a *API) mutating(next http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if a.host.Draining() {
+			http.Error(w, "host is draining", http.StatusServiceUnavailable)
+			return
+		}
+		select {
+		case a.sem <- struct{}{}:
+			defer func() { <-a.sem }()
+		default:
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "control plane at admission limit", http.StatusTooManyRequests)
+			return
+		}
+		next(w, r)
+	}
 }
 
 // maxBodyBytes bounds control-plane request bodies.
@@ -149,7 +196,9 @@ func (a *API) handleInject(w http.ResponseWriter, r *http.Request) {
 	if !readBody(w, r, &inj) {
 		return
 	}
-	frame, err := t.Inject(inj)
+	// Route through the host: idempotency (request_id), the commit barrier,
+	// and durable journaling before the ack.
+	frame, err := a.host.Inject(t.ID(), inj)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return

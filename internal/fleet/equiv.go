@@ -1,0 +1,179 @@
+package fleet
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/cli"
+	"repro/internal/core"
+	"repro/internal/envmon"
+	"repro/internal/spec"
+	"repro/internal/telemetry"
+	"repro/internal/telemetry/serve"
+)
+
+// This file is the restart-equivalence checker: the executable form of the
+// durability contract. A tenant's replay recipe — its SpawnSpec plus every
+// acked injection at its applied frame — re-executed as an uninterrupted
+// standalone run must produce the byte-identical journal and trace reports
+// the (possibly crash-restarted, possibly many-times-recovered) fleet tenant
+// serves. The chaos harness (fleet/chaos) runs this check after every storm;
+// the CI smoke job runs the same comparison over HTTP.
+
+// AckedInjection is one entry of the public replay recipe: an injection plus
+// the applied_frame the host acked it at.
+type AckedInjection struct {
+	Inj     Injection `json:"inj"`
+	Applied int64     `json:"applied"`
+}
+
+// Spec returns the tenant's resolved SpawnSpec — the first half of its
+// replay recipe.
+func (t *Tenant) Spec() SpawnSpec {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.spec
+}
+
+// StandaloneSnapshot re-executes a SpawnSpec with its acked injections as an
+// uninterrupted straight-line run — NewSystem and Step in the caller's
+// goroutine, no fleet, no recovery machinery — up to the given frame
+// boundary, and returns the telemetry snapshot that run presents. With
+// quarantined set it takes the post-mortem path a quarantined tenant serves:
+// the journal recovered from committed stable storage rather than the live
+// ring. Injections of kind "panic" shape the target frame, not the
+// execution, so callers pass the quarantine frame as frames.
+func StandaloneSnapshot(ss SpawnSpec, acks []AckedInjection, frames int64, quarantined bool) (serve.Snapshot, error) {
+	opts, err := SpawnOptions(ss)
+	if err != nil {
+		return serve.Snapshot{}, err
+	}
+	sys, err := core.NewSystem(opts)
+	if err != nil {
+		return serve.Snapshot{}, err
+	}
+	defer sys.Close()
+	for _, a := range acks {
+		if a.Inj.Kind != "procfail" && a.Inj.Kind != "procrepair" {
+			continue
+		}
+		kind := core.ProcFail
+		if a.Inj.Kind == "procrepair" {
+			kind = core.ProcRepair
+		}
+		ev := core.ProcEvent{Frame: a.Applied, Proc: spec.ProcID(a.Inj.Proc), Kind: kind}
+		if err := sys.ScheduleProcEvent(ev); err != nil {
+			return serve.Snapshot{}, fmt.Errorf("standalone proc event at frame %d: %w", a.Applied, err)
+		}
+	}
+	for _, a := range acks {
+		switch a.Inj.Kind {
+		case "env":
+			if err := sys.StepTo(a.Applied); err != nil {
+				return serve.Snapshot{}, err
+			}
+			sys.InjectFactor(envmon.Factor(a.Inj.Factor), a.Inj.Value)
+		case "storage":
+			if err := sys.StepTo(a.Applied); err != nil {
+				return serve.Snapshot{}, err
+			}
+			if err := sys.InjectStorageFault(spec.ProcID(a.Inj.Proc)); err != nil {
+				return serve.Snapshot{}, fmt.Errorf("standalone storage fault at frame %d: %w", a.Applied, err)
+			}
+		}
+	}
+	if err := sys.StepTo(frames); err != nil {
+		return serve.Snapshot{}, err
+	}
+	snap := serve.Snapshot{Frame: sys.Frame(), FrameLen: opts.Spec.FrameLen}
+	reg, rec := sys.Telemetry()
+	if reg != nil {
+		snap.Metrics = reg.Snapshot()
+	}
+	if quarantined {
+		if st, err := sys.Pool().PollStable(sys.SCRAMProc()); err == nil {
+			if ring, err := telemetry.RecoverRing(st); err == nil {
+				snap.Events = ring
+			}
+		}
+	} else if rec != nil {
+		snap.Events = rec.Events()
+	}
+	return snap, nil
+}
+
+// CheckEquivalence asserts a tenant at rest (completed or quarantined)
+// serves the byte-identical journal — and, trace by trace, the identical
+// rendered trace reports — of its recipe's uninterrupted standalone run.
+// This is the property host recovery must preserve across any number of
+// crash-restart cycles.
+func CheckEquivalence(t *Tenant, acks []AckedInjection) error {
+	st := t.Status()
+	if st.State == StateRunning {
+		return fmt.Errorf("fleet: tenant %s still running; equivalence is checked at rest", st.ID)
+	}
+	snap, ok := t.TelemetrySnapshot()
+	if !ok {
+		return fmt.Errorf("fleet: tenant %s has no telemetry snapshot", st.ID)
+	}
+	ref, err := StandaloneSnapshot(t.Spec(), acks, snap.Frame, st.State == StateQuarantined)
+	if err != nil {
+		return fmt.Errorf("fleet: tenant %s standalone re-execution: %w", st.ID, err)
+	}
+	if snap.Frame != ref.Frame {
+		return fmt.Errorf("fleet: tenant %s at frame %d, standalone at %d", st.ID, snap.Frame, ref.Frame)
+	}
+	got, err := renderJournal(snap.Events)
+	if err != nil {
+		return fmt.Errorf("fleet: tenant %s journal render: %w", st.ID, err)
+	}
+	want, err := renderJournal(ref.Events)
+	if err != nil {
+		return fmt.Errorf("fleet: tenant %s standalone journal render: %w", st.ID, err)
+	}
+	if !bytes.Equal(got, want) {
+		return fmt.Errorf("fleet: tenant %s journal diverges from standalone run (%d vs %d bytes)", st.ID, len(got), len(want))
+	}
+	// The journal matched byte-for-byte; check the derived trace reports
+	// too, since /trace/<tid> is its own serialized surface.
+	for _, tv := range telemetry.AssembleTraces(ref.Events) {
+		if tv.ID == 0 {
+			continue
+		}
+		a, err := renderTraceReport(snap.Events, tv.ID)
+		if err != nil {
+			return fmt.Errorf("fleet: tenant %s trace %x: %w", st.ID, tv.ID, err)
+		}
+		b, err := renderTraceReport(ref.Events, tv.ID)
+		if err != nil {
+			return fmt.Errorf("fleet: tenant %s standalone trace %x: %w", st.ID, tv.ID, err)
+		}
+		if !bytes.Equal(a, b) {
+			return fmt.Errorf("fleet: tenant %s trace %x diverges from standalone run", st.ID, tv.ID)
+		}
+	}
+	return nil
+}
+
+// renderJournal renders events the way /journal and flightrec do.
+func renderJournal(events []telemetry.Event) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := telemetry.WriteJournal(&buf, events); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// renderTraceReport renders one trace report the way /trace/<tid> and
+// flightrec -trace -json do.
+func renderTraceReport(events []telemetry.Event, id int64) ([]byte, error) {
+	tv, ok := telemetry.FindTrace(events, id)
+	if !ok {
+		return nil, fmt.Errorf("trace %x not found", id)
+	}
+	var buf bytes.Buffer
+	if err := cli.WriteJSON(&buf, telemetry.BuildTraceReport(tv)); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

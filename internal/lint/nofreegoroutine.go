@@ -28,6 +28,10 @@ var frameSyncPkgs = map[string]bool{
 	// scoping it forces every launch (the scheduler loop, the shard
 	// workers) to carry an audited allow.
 	"fleet": true,
+	// chaos drives whole hosts through crash-restart storms; it must stay
+	// synchronous itself (the hosts own all concurrency), so any launch
+	// added here needs an audited allow.
+	"chaos": true,
 }
 
 // NoFreeGoroutine forbids goroutine launches in the frame-synchronous

@@ -1,0 +1,170 @@
+package stable
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// FileMedium is a directory-backed Medium: one file per key, with the key
+// escaped into a flat filename. It is the durability substrate for state
+// that must survive the death of the *process* (the fleet manifest), not
+// just a simulated processor halt.
+//
+// Crash model: writes go to a temp file in the same directory and are
+// renamed into place, so a key's file is always either the old record, the
+// new record, or (after an interrupted rename on a torn filesystem) absent
+// or garbage — never a silent splice of both. The medium deliberately does
+// not fsync: a SIGKILL of the process leaves the page cache intact, which
+// is the fail-stop halt the paper's model permits, and whole-machine power
+// loss is out of scope for this layer. Anything that does tear is caught by
+// the record CRC above and converged past by the replicated store's read
+// repair, exactly like a simulated medium fault.
+type FileMedium struct {
+	dir string
+	err error // first filesystem fault, surfaced on subsequent writes
+}
+
+// NewFileMedium opens (creating if needed) a directory-backed medium.
+func NewFileMedium(dir string) (*FileMedium, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("stable: file medium %s: %w", dir, err)
+	}
+	return &FileMedium{dir: dir}, nil
+}
+
+// Dir returns the backing directory.
+func (m *FileMedium) Dir() string { return m.dir }
+
+// fileSafe are the key bytes kept verbatim in filenames. Everything else
+// (including '/', '%', and the NUL that prefixes the commit record key) is
+// escaped as %XX, so distinct keys always map to distinct flat filenames.
+func fileSafe(b byte) bool {
+	return b >= 'a' && b <= 'z' || b >= 'A' && b <= 'Z' || b >= '0' && b <= '9' ||
+		b == '.' || b == '-' || b == '_'
+}
+
+const hexDigits = "0123456789abcdef"
+
+// encodeKey turns a store key into a filename.
+func encodeKey(key string) string {
+	var sb strings.Builder
+	sb.Grow(len(key))
+	for i := 0; i < len(key); i++ {
+		b := key[i]
+		if fileSafe(b) {
+			sb.WriteByte(b)
+			continue
+		}
+		sb.WriteByte('%')
+		sb.WriteByte(hexDigits[b>>4])
+		sb.WriteByte(hexDigits[b&0xf])
+	}
+	return sb.String()
+}
+
+// decodeKey inverts encodeKey; malformed names (stray temp files, foreign
+// droppings) report !ok and are ignored by Keys.
+func decodeKey(name string) (string, bool) {
+	var sb strings.Builder
+	sb.Grow(len(name))
+	for i := 0; i < len(name); i++ {
+		b := name[i]
+		if b != '%' {
+			if !fileSafe(b) {
+				return "", false
+			}
+			sb.WriteByte(b)
+			continue
+		}
+		if i+2 >= len(name) {
+			return "", false
+		}
+		hi := strings.IndexByte(hexDigits, name[i+1])
+		lo := strings.IndexByte(hexDigits, name[i+2])
+		if hi < 0 || lo < 0 {
+			return "", false
+		}
+		sb.WriteByte(byte(hi<<4 | lo))
+		i += 2
+	}
+	return sb.String(), true
+}
+
+// Read implements Medium. A missing or unreadable file reads as absence;
+// garbage content is the CRC layer's problem, as with any medium.
+func (m *FileMedium) Read(key string) ([]byte, bool) {
+	raw, err := os.ReadFile(filepath.Join(m.dir, encodeKey(key)))
+	if err != nil {
+		return nil, false
+	}
+	return raw, true
+}
+
+// Write implements Medium with temp-file + rename atomicity. A filesystem
+// error is a device write fault: it is returned (and latched, so a sick
+// disk keeps reporting) and the replicated store treats the replica as torn
+// for this commit.
+func (m *FileMedium) Write(key string, raw []byte) error {
+	if m.err != nil {
+		return m.err
+	}
+	dst := filepath.Join(m.dir, encodeKey(key))
+	// '#' is neither a safe key byte nor the escape character, so no
+	// encoded key ever begins with it: temp files can never shadow or
+	// decode as keys.
+	tmp, err := os.CreateTemp(m.dir, "#stage-*")
+	if err != nil {
+		m.err = err
+		return err
+	}
+	_, werr := tmp.Write(raw)
+	cerr := tmp.Close()
+	if werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp.Name())
+		m.err = werr
+		return werr
+	}
+	if err := os.Rename(tmp.Name(), dst); err != nil {
+		os.Remove(tmp.Name())
+		m.err = err
+		return err
+	}
+	return nil
+}
+
+// Delete implements Medium.
+func (m *FileMedium) Delete(key string) {
+	os.Remove(filepath.Join(m.dir, encodeKey(key)))
+}
+
+// Keys implements Medium. FileMedium backs the fleet manifest and CLI
+// stores, never the frame-hot scram media; the analyzer reaches it only
+// through conservative Medium interface dispatch.
+func (m *FileMedium) Keys() []string {
+	entries, err := os.ReadDir(m.dir)
+	if err != nil {
+		return nil
+	}
+	//lint:allow allocfree off-frame medium: FileMedium serves mount/recovery and the fleet manifest, reached only via conservative Medium dispatch (os.ReadDir above already allocates)
+	keys := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if key, ok := decodeKey(e.Name()); ok {
+			//lint:allow allocfree off-frame medium: same ReadDir-backed listing; growth is bounded by the directory size
+			keys = append(keys, key)
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// EndFrame implements Medium; real files have no simulated fault clock.
+func (m *FileMedium) EndFrame() {}

@@ -1,0 +1,178 @@
+package stable
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestFileMediumRoundTrip(t *testing.T) {
+	m, err := NewFileMedium(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := []string{
+		"plain",
+		"manifest/t/s-0/spawn",
+		"telemetry/ev/000000000000000a",
+		commitRecordKey, // leading NUL must escape cleanly
+		"odd %%/..\\key",
+	}
+	for i, k := range keys {
+		if err := m.Write(k, []byte{byte(i), 0xff, 0x00}); err != nil {
+			t.Fatalf("write %q: %v", k, err)
+		}
+	}
+	for i, k := range keys {
+		raw, ok := m.Read(k)
+		if !ok {
+			t.Fatalf("read %q: missing", k)
+		}
+		if len(raw) != 3 || raw[0] != byte(i) {
+			t.Fatalf("read %q: got % x", k, raw)
+		}
+	}
+	got := m.Keys()
+	if len(got) != len(keys) {
+		t.Fatalf("Keys() = %v, want %d keys", got, len(keys))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1] >= got[i] {
+			t.Fatalf("Keys() not sorted: %v", got)
+		}
+	}
+	m.Delete(keys[0])
+	if _, ok := m.Read(keys[0]); ok {
+		t.Fatalf("read after delete: still present")
+	}
+	if len(m.Keys()) != len(keys)-1 {
+		t.Fatalf("Keys() after delete = %v", m.Keys())
+	}
+}
+
+func TestFileMediumKeyEncodingBijective(t *testing.T) {
+	keys := []string{"a/b", "a%2fb", "a%b", "\x00commit", "%", "%%25", "..", "a b"}
+	seen := map[string]string{}
+	for _, k := range keys {
+		name := encodeKey(k)
+		if prev, dup := seen[name]; dup {
+			t.Fatalf("keys %q and %q collide as %q", prev, k, name)
+		}
+		seen[name] = k
+		back, ok := decodeKey(name)
+		if !ok || back != k {
+			t.Fatalf("decode(encode(%q)) = %q, %v", k, back, ok)
+		}
+	}
+	if _, ok := decodeKey("#stage-123456"); ok {
+		// temp-file droppings must not decode into phantom keys
+		t.Fatal("temp filename decoded as a key")
+	}
+	if _, ok := decodeKey("bad%zz"); ok {
+		t.Fatal("malformed escape decoded")
+	}
+}
+
+func TestFileMediumIgnoresForeignFiles(t *testing.T) {
+	dir := t.TempDir()
+	m, err := NewFileMedium(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Write("real", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "#stage-leftover"), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Keys(); len(got) != 1 || got[0] != "real" {
+		t.Fatalf("Keys() = %v, want [real]", got)
+	}
+}
+
+// TestMountReplicatedStoreRecoversVersion is the crash-restart contract at
+// the storage layer: a hardened store committed over file media, abandoned
+// without any shutdown, and remounted by a fresh process-equivalent must
+// serve the committed state and continue the version sequence.
+func TestMountReplicatedStoreRecoversVersion(t *testing.T) {
+	dirs := []string{t.TempDir(), t.TempDir()}
+	open := func() *Store {
+		media := make([]Medium, len(dirs))
+		for i, d := range dirs {
+			fm, err := NewFileMedium(d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			media[i] = fm
+		}
+		return NewHardened(MountReplicatedStore(media...))
+	}
+
+	st := open()
+	st.Put("k1", []byte("v1"))
+	v1 := st.Commit()
+	st.Put("k2", []byte("v2"))
+	st.Delete("k1")
+	v2 := st.Commit()
+	if v2 != v1+1 {
+		t.Fatalf("versions %d, %d", v1, v2)
+	}
+	// No close, no flush: the process "crashes" here.
+
+	re := open()
+	if got := re.Hardened().Version(); got != uint64(v2) {
+		t.Fatalf("remounted version = %d, want %d", got, v2)
+	}
+	if _, ok := re.Get("k1"); ok {
+		t.Fatal("deleted key resurrected after remount")
+	}
+	raw, ok := re.Get("k2")
+	if !ok || string(raw) != "v2" {
+		t.Fatalf("k2 after remount = %q, %v", raw, ok)
+	}
+	re.Put("k3", []byte("v3"))
+	if v3 := re.Commit(); v3 != v2+1 {
+		t.Fatalf("post-remount commit version = %d, want %d", v3, v2+1)
+	}
+}
+
+// TestMountReplicatedStoreTornCommitRecord corrupts one replica's commit
+// record; the mount must adopt the surviving replica's version and read
+// repair must heal the torn one.
+func TestMountReplicatedStoreTornCommitRecord(t *testing.T) {
+	dirs := []string{t.TempDir(), t.TempDir()}
+	media := func() []Medium {
+		out := make([]Medium, len(dirs))
+		for i, d := range dirs {
+			fm, err := NewFileMedium(d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out[i] = fm
+		}
+		return out
+	}
+
+	st := NewHardened(MountReplicatedStore(media()...))
+	st.Put("k", []byte("v"))
+	want := st.Commit()
+
+	// Tear replica 0's commit record mid-write.
+	torn := filepath.Join(dirs[0], encodeKey(commitRecordKey))
+	raw, err := os.ReadFile(torn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(torn, raw[:len(raw)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	re := NewHardened(MountReplicatedStore(media()...))
+	if got := re.Hardened().Version(); got != uint64(want) {
+		t.Fatalf("version with torn commit record = %d, want %d", got, want)
+	}
+	v, ok := re.Get("k")
+	if !ok || string(v) != "v" {
+		t.Fatalf("value after torn-record mount = %q, %v", v, ok)
+	}
+}

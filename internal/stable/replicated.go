@@ -777,6 +777,26 @@ func (r *ReplicatedStore) SnapshotPrefix(prefix string) (map[string][]byte, erro
 	return out, nil
 }
 
+// LostKeys returns the keys under prefix that are corrupt on every replica —
+// the structured companion to SnapshotPrefix's ErrUnrecoverable, for callers
+// that converge past damage instead of halting: they need to know exactly
+// which records are gone to quarantine only the state those records carried.
+func (r *ReplicatedStore) LostKeys(prefix string) []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var lost []string
+	up, anyUp := r.caughtUp()
+	for _, key := range r.unionKeys() {
+		if len(key) < len(prefix) || key[:len(prefix)] != prefix {
+			continue
+		}
+		if _, _, fatal := r.bestOf(key, up, anyUp); fatal {
+			lost = append(lost, key)
+		}
+	}
+	return lost
+}
+
 // KeysWithPrefix returns the committed keys having the given prefix, sorted.
 // Keys corrupt on every replica make it return ErrUnrecoverable.
 func (r *ReplicatedStore) KeysWithPrefix(prefix string) ([]string, error) {

@@ -206,10 +206,16 @@ func NewStore() *Store {
 // SetFaultSink to receive unrecoverable-fault notifications; without a sink,
 // unrecoverable corruption silently reads as absence, which weakens the
 // fail-stop guarantee.
+//
+// The store adopts the backend's committed version, so a backend remounted
+// from durable media (MountReplicatedStore) continues its version sequence
+// instead of re-issuing version 1 against history the media already hold.
+// Fresh backends report version 0, preserving the original behavior.
 func NewHardened(rep *ReplicatedStore) *Store {
 	return &Store{
-		rep:    rep,
-		staged: make(map[string]stagedVal),
+		rep:     rep,
+		version: rep.Version(),
+		staged:  make(map[string]stagedVal),
 	}
 }
 

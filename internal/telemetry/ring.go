@@ -83,6 +83,12 @@ const (
 	// span attribute. A fail-stop halt mid-span leaves the start event in
 	// the recovered ring with no end — the open span is the evidence.
 	KindSpanEnd Kind = "span-end"
+	// KindTrim records the retention horizon advancing: events older than
+	// the horizon were dropped from the ring (and their persisted chunks
+	// deleted at the next Persist). Attrs carry the cumulative trimmed
+	// count and the horizon frame, so a recovered journal states exactly
+	// how much history retention discarded before the crash.
+	KindTrim Kind = "journal-trim"
 )
 
 // Event is one flight-recorder entry. Frame is the only timestamp: the
@@ -228,7 +234,23 @@ type Recorder struct {
 	// start a new one. Empty openKey means no chunk is open.
 	openKey   string
 	openStart int64
+	// retain is the retention horizon in frames: at each SetFrame(f) with
+	// retain > 0, events from frames before f-retain are evicted. Zero
+	// keeps the original capacity-only eviction.
+	retain int64
+	// trimmed counts events evicted by the retention horizon (dropped
+	// counts capacity evictions; the two are disjoint).
+	trimmed int64
+	// trimNoted is the trimmed total already announced by a KindTrim
+	// event, so the note cadence stays one event per noteEvery frames no
+	// matter how many events each trim evicts.
+	trimNoted int64
 }
+
+// trimNoteEvery is the frame cadence of KindTrim announcements. Aligned
+// with the metrics persistence cadence so a weeks-long run's journal
+// carries a sparse, bounded record of its own trimming.
+const trimNoteEvery = 512
 
 // openChunkSealBytes is the encoded size past which the open chunk seals.
 // Every Persist while the chunk is open re-copies and re-checksums the whole
@@ -248,11 +270,59 @@ func NewRecorder(capacity int) *Recorder {
 }
 
 // SetFrame sets the frame number stamped on subsequently recorded events.
-// The scheduler's frame observer calls it at each frame start.
+// The scheduler's frame observer calls it at each frame start. With a
+// retention horizon configured, SetFrame is also where the horizon
+// advances: eviction is driven purely by the frame number, so a replayed
+// run trims at exactly the frames the original did and the retained
+// journal stays byte-identical.
 func (r *Recorder) SetFrame(f int64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.frame = f
+	if r.retain <= 0 || f <= r.retain {
+		return
+	}
+	horizon := f - r.retain
+	for r.count > 0 {
+		old := &r.buf[r.head]
+		if old.Frame >= horizon {
+			break
+		}
+		if r.persistHi > 0 && old.Seq >= r.persistHi {
+			// Never trim an event the journal has not staged yet: the
+			// retained window must stay recoverable, and the horizon is
+			// many frames behind the per-frame persistence anyway.
+			break
+		}
+		r.head = (r.head + 1) % r.capacity
+		r.count--
+		r.trimmed++
+	}
+	if r.trimmed > r.trimNoted && f%trimNoteEvery == 0 {
+		//lint:allow allocfree retention note: one map every trimNoteEvery frames, amortized far below the per-frame budget
+		r.recordLocked(Event{Frame: f, Kind: KindTrim, Attrs: map[string]int64{
+			"trimmed": r.trimmed,
+			"horizon": horizon,
+		}})
+		r.trimNoted = r.trimmed
+	}
+}
+
+// SetRetention sets the retention horizon in frames; 0 (the default)
+// disables frame-based trimming. The horizon is configuration, not state:
+// a recovered or replayed system must run with the same retention as the
+// original for the journals to match.
+func (r *Recorder) SetRetention(frames int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.retain = frames
+}
+
+// Trimmed returns the number of events evicted by the retention horizon.
+func (r *Recorder) Trimmed() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.trimmed
 }
 
 // FrameNum returns the current frame number.
@@ -268,6 +338,12 @@ func (r *Recorder) FrameNum() int64 {
 func (r *Recorder) Record(e Event) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	r.recordLocked(e)
+}
+
+// recordLocked is Record under the caller's lock; SetFrame uses it to emit
+// retention notes from inside the trim path.
+func (r *Recorder) recordLocked(e Event) {
 	e.Seq = r.seq
 	r.seq++
 	if e.Frame == 0 {
@@ -275,7 +351,9 @@ func (r *Recorder) Record(e Event) {
 	}
 	if len(r.buf) < r.capacity {
 		// Still growing: plain append, so a quiet system never pays for
-		// the full ring allocation. head is 0 throughout this phase.
+		// the full ring allocation. head + count always equals len(buf)
+		// in this phase (retention trims advance head without wrapping),
+		// so the new event's slot is exactly the append position.
 		r.buf = append(r.buf, e)
 		r.count++
 		return

@@ -137,35 +137,70 @@ func (s *SysState) anyInterrupted() bool {
 }
 
 // Trace is sys_trace: the per-cycle state sequence of one execution.
+//
+// A trace may be *trimmed*: long-running systems with a retention horizon
+// drop their oldest states and record the offset in Base, so States[i]
+// holds the state of cycle Base+i. An untrimmed trace has Base 0 and is
+// bitwise what it always was. Property checks and reconfiguration
+// extraction operate over the retained window; cycle numbers in results
+// stay absolute.
 type Trace struct {
 	// System names the system that produced the trace.
 	System string `json:"system"`
 	// FrameLen is cycle_time.
 	FrameLen time.Duration `json:"frame_len_ns"`
-	// States holds one entry per cycle, in cycle order starting at 0.
+	// Base is the cycle number of States[0]; 0 for an untrimmed trace.
+	Base int64 `json:"base,omitempty"`
+	// States holds one entry per cycle, in cycle order starting at Base.
 	States []SysState `json:"states"`
 }
 
 // Append adds the state for the next cycle. It returns an error if the
 // cycle number is not contiguous with the trace.
 func (t *Trace) Append(s SysState) error {
-	if want := int64(len(t.States)); s.Cycle != want {
+	if want := t.Base + int64(len(t.States)); s.Cycle != want {
 		return fmt.Errorf("trace: appending cycle %d, want %d", s.Cycle, want)
 	}
 	t.States = append(t.States, s)
 	return nil
 }
 
-// At returns the state at the given cycle.
+// At returns the state at the given cycle. Cycles before the retention
+// horizon of a trimmed trace report !ok, like cycles past the end.
 func (t *Trace) At(cycle int64) (SysState, bool) {
-	if cycle < 0 || cycle >= int64(len(t.States)) {
+	i := cycle - t.Base
+	if i < 0 || i >= int64(len(t.States)) {
 		return SysState{}, false
 	}
-	return t.States[cycle], true
+	return t.States[i], true
 }
 
-// Len returns the number of recorded cycles.
+// Len returns the number of retained cycles. For an untrimmed trace this is
+// the number of cycles executed; End gives the absolute cycle bound.
 func (t *Trace) Len() int64 { return int64(len(t.States)) }
+
+// End returns the exclusive upper cycle bound: the next cycle Append
+// expects. For an untrimmed trace End == Len.
+func (t *Trace) End() int64 { return t.Base + int64(len(t.States)) }
+
+// Trim drops every state before the given cycle and advances Base. States
+// are copied into a fresh slice so the dropped prefix is actually released;
+// callers amortize by trimming in chunks. Trimming past the end clears the
+// trace (Base becomes End). Trimming at or below Base is a no-op.
+func (t *Trace) Trim(before int64) {
+	k := before - t.Base
+	if k <= 0 {
+		return
+	}
+	if k > int64(len(t.States)) {
+		k = int64(len(t.States))
+	}
+	//lint:allow allocfree amortized retention trim: called once per retention window (not per frame), and the copy is what releases the dropped prefix
+	kept := make([]SysState, len(t.States)-int(k))
+	copy(kept, t.States[k:])
+	t.States = kept
+	t.Base += k
+}
 
 // AppIDs returns every application identifier appearing in the trace,
 // sorted.
@@ -225,8 +260,8 @@ func (t *Trace) Reconfigs() []Reconfiguration {
 			break // open window at end of trace
 		}
 		out = append(out, Reconfiguration{
-			StartC: start,
-			EndC:   c,
+			StartC: t.Base + start,
+			EndC:   t.Base + c,
 			From:   t.States[start].Config,
 			To:     t.States[c].Config,
 		})
@@ -248,8 +283,8 @@ func (t *Trace) OpenReconfig() (Reconfiguration, bool) {
 		start--
 	}
 	return Reconfiguration{
-		StartC: start,
-		EndC:   n - 1,
+		StartC: t.Base + start,
+		EndC:   t.Base + n - 1,
 		From:   t.States[start].Config,
 		To:     t.States[n-1].Config,
 	}, true
@@ -298,9 +333,12 @@ func (t *Trace) UnmarshalJSON(b []byte) error {
 	if err := json.Unmarshal(b, (*alias)(t)); err != nil {
 		return fmt.Errorf("trace: decoding: %w", err)
 	}
+	if t.Base < 0 {
+		return fmt.Errorf("trace: negative base %d", t.Base)
+	}
 	for i, s := range t.States {
-		if s.Cycle != int64(i) {
-			return fmt.Errorf("trace: state %d has cycle %d", i, s.Cycle)
+		if s.Cycle != t.Base+int64(i) {
+			return fmt.Errorf("trace: state %d has cycle %d, want %d", i, s.Cycle, t.Base+int64(i))
 		}
 	}
 	return nil
